@@ -1,0 +1,103 @@
+//! **Engine microbenchmarks** — the simulator's own hot paths: event-queue
+//! throughput, routing-function evaluation, and raw message throughput
+//! through the wormhole engine. These guard the substrate's performance
+//! rather than reproduce a figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wormcast_network::{MessageSpec, Network, NetworkConfig, OpId, Route};
+use wormcast_routing::{dor_path, CodedPath, DimensionOrdered, PlanarWestFirst, RoutingFunction};
+use wormcast_sim::{EventQueue, SimRng, SimTime};
+use wormcast_topology::{Mesh, NodeId, Topology};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut rng = SimRng::new(1);
+                for i in 0..n {
+                    q.schedule(SimTime::from_ps(rng.next_u64() % 1_000_000 + i), i);
+                }
+                let mut count = 0u64;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_candidates");
+    let mesh = Mesh::cube(16);
+    let rf = PlanarWestFirst;
+    group.bench_function("planar_west_first_walk", |b| {
+        b.iter(|| {
+            let src = NodeId(0);
+            let dst = NodeId(4095);
+            let mut cur = src;
+            while cur != dst {
+                let cands = rf.candidates(&mesh, src, cur, None, dst);
+                cur = mesh.channel_endpoints(cands[0]).1;
+            }
+            black_box(cur)
+        })
+    });
+    group.bench_function("dor_path_corner_to_corner", |b| {
+        b.iter(|| black_box(dor_path(&mesh, NodeId(0), NodeId(4095))))
+    });
+    group.finish();
+}
+
+fn bench_message_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(wormcast_bench::SAMPLE_SIZE);
+    let mesh = Mesh::cube(8);
+    let n_msgs = 2_000u64;
+    group.throughput(Throughput::Elements(n_msgs));
+    group.bench_function("unicast_2k_messages", |b| {
+        b.iter(|| {
+            let mut net = Network::new(
+                mesh.clone(),
+                NetworkConfig::paper_default(),
+                Box::new(DimensionOrdered),
+            );
+            let mut rng = SimRng::new(3);
+            for i in 0..n_msgs {
+                let src = NodeId(rng.index(512) as u32);
+                let mut dst = NodeId(rng.index(512) as u32);
+                while dst == src {
+                    dst = NodeId(rng.index(512) as u32);
+                }
+                let p = dor_path(&mesh, src, dst);
+                net.inject_at(
+                    SimTime::from_ps(i * 50_000),
+                    MessageSpec {
+                        src,
+                        route: Route::Fixed(CodedPath::unicast(&mesh, p)),
+                        length: 32,
+                        op: OpId(i),
+                        tag: 0,
+                        charge_startup: true,
+                    },
+                );
+            }
+            net.run_until_idle();
+            black_box(net.counters().completed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_routing_functions,
+    bench_message_throughput
+);
+criterion_main!(benches);

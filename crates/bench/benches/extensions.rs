@@ -1,0 +1,75 @@
+//! **Future-directions bench** — the §4 extensions: torus ring broadcast
+//! against mesh DB at the same node count, and the three multicast schemes
+//! across destination densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wormcast_broadcast::Algorithm;
+use wormcast_network::{NetworkConfig, ReleaseMode};
+use wormcast_topology::{Mesh, NodeId, Torus};
+use wormcast_workload::{
+    random_destinations, run_single_broadcast, run_single_multicast, run_torus_broadcast,
+    MulticastScheme,
+};
+
+fn bench_torus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_torus_vs_mesh");
+    group.sample_size(wormcast_bench::SAMPLE_SIZE);
+    let cfg = NetworkConfig::paper_default()
+        .with_release(ReleaseMode::AfterTailCrossing)
+        .with_ports(6);
+    for side in [4u16, 8] {
+        let torus = Torus::kary_ncube(side, 3);
+        let mesh = Mesh::cube(side);
+        let t = run_torus_broadcast(&torus, cfg, NodeId(7), 100);
+        let m = run_single_broadcast(&mesh, cfg, Algorithm::Db, NodeId(7), 100);
+        println!(
+            "--- {side}^3: torus ring {:.2} us vs mesh DB {:.2} us",
+            t.network_latency_us, m.network_latency_us
+        );
+        group.bench_with_input(BenchmarkId::new("torus-ring", side), &side, |b, _| {
+            b.iter(|| black_box(run_torus_broadcast(&torus, cfg, NodeId(7), 100)))
+        });
+        group.bench_with_input(BenchmarkId::new("mesh-db", side), &side, |b, _| {
+            b.iter(|| {
+                black_box(run_single_broadcast(&mesh, cfg, Algorithm::Db, NodeId(7), 100))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multicast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_multicast");
+    group.sample_size(wormcast_bench::SAMPLE_SIZE);
+    let mesh = Mesh::cube(8);
+    let cfg = NetworkConfig::paper_default();
+    for m in [15usize, 150] {
+        println!("--- multicast to {m} of 511 destinations:");
+        for scheme in MulticastScheme::ALL {
+            let dests = random_destinations(&mesh, NodeId(0), m, m as u64);
+            let o = run_single_multicast(&mesh, cfg, scheme, NodeId(0), &dests, 32);
+            println!("    {:<2} {:.2} us", scheme.name(), o.latency_us);
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), m),
+                &m,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(run_single_multicast(
+                            &mesh,
+                            cfg,
+                            scheme,
+                            NodeId(0),
+                            &dests,
+                            32,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_torus, bench_multicast);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! **Fig. 1 bench** — single-source broadcast latency vs network size.
+//!
+//! Each benchmark cell simulates one full broadcast of 100 flits (the
+//! figure's message length) on one of the paper's network sizes; Criterion
+//! reports the simulator's wall-clock cost per broadcast while the measured
+//! simulated latencies are printed once per size so `cargo bench`
+//! regenerates the figure's series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wormcast_broadcast::Algorithm;
+use wormcast_network::NetworkConfig;
+use wormcast_topology::{Mesh, NodeId};
+use wormcast_workload::run_single_broadcast;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_latency_vs_size");
+    group.sample_size(wormcast_bench::SAMPLE_SIZE);
+    // 64, 512 and 4096 nodes; 1000 is in the binary's full run.
+    for side in [4u16, 8, 16] {
+        let mesh = Mesh::cube(side);
+        let cfg = NetworkConfig::paper_default();
+        println!("--- Fig. 1 series at {0}x{0}x{0} ({1} nodes):", side, mesh.dims().len());
+        for alg in Algorithm::ALL {
+            let o = run_single_broadcast(&mesh, cfg, alg, NodeId(7), 100);
+            println!(
+                "    {:<4} latency = {:>8.2} us (CV {:.4})",
+                alg.name(),
+                o.network_latency_us,
+                o.cv
+            );
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), side),
+                &side,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(run_single_broadcast(
+                            &mesh,
+                            cfg,
+                            alg,
+                            black_box(NodeId(7)),
+                            100,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

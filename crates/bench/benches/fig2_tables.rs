@@ -1,0 +1,55 @@
+//! **Fig. 2 / Tables 1–2 bench** — coefficient of variation of arrival
+//! times under concurrent broadcast load.
+//!
+//! Each cell runs a reduced contended-CV measurement (10 overlapping
+//! operations) on one of the tables' mesh shapes; the measured CVs are
+//! printed so `cargo bench` regenerates the tables' series at reduced
+//! statistical weight.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wormcast_broadcast::Algorithm;
+use wormcast_network::NetworkConfig;
+use wormcast_topology::{Mesh, Topology};
+use wormcast_workload::run_contended_broadcasts;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_cv_vs_size");
+    group.sample_size(wormcast_bench::SAMPLE_SIZE);
+    for shape in [[4u16, 4, 4], [8, 8, 8]] {
+        let mesh = Mesh::new(&shape);
+        let cfg = NetworkConfig::paper_default();
+        println!(
+            "--- Fig. 2 / Tables 1-2 series at {}x{}x{} ({} nodes):",
+            shape[0],
+            shape[1],
+            shape[2],
+            mesh.num_nodes()
+        );
+        for alg in Algorithm::ALL {
+            let o = run_contended_broadcasts(&mesh, cfg, alg, 100, 10, 0.7, 2005);
+            println!("    {:<4} CV = {:.4}", alg.name(), o.cv);
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), mesh.num_nodes()),
+                &shape,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(run_contended_broadcasts(
+                            &mesh,
+                            cfg,
+                            alg,
+                            100,
+                            black_box(10),
+                            0.7,
+                            2005,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! **Figs. 3–4 bench** — mixed unicast/broadcast traffic latency vs load.
+//!
+//! One cell per (mesh, algorithm, load extreme): the 8×8×8 (Fig. 3) and
+//! 16×16×8 (Fig. 4) meshes under the 90/10 traffic mix at the lightest and
+//! heaviest swept load. The measured means are printed so `cargo bench`
+//! regenerates both figures' series at reduced batch weight.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wormcast_broadcast::Algorithm;
+use wormcast_network::{NetworkConfig, ReleaseMode};
+use wormcast_topology::Mesh;
+use wormcast_workload::{run_mixed_traffic, MixedConfig};
+
+fn quick_config(alg: Algorithm, load: f64) -> MixedConfig {
+    let mut mc = MixedConfig::paper(alg, load, 2005);
+    mc.batch_size = 5;
+    mc.batches = 4;
+    mc.max_sim_ms = 40.0;
+    mc
+}
+
+fn bench_sweep(c: &mut Criterion, name: &str, shape: [u16; 3]) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(wormcast_bench::SAMPLE_SIZE);
+    let mesh = Mesh::new(&shape);
+    let cfg = NetworkConfig::paper_default().with_release(ReleaseMode::AfterTailCrossing);
+    for load in [0.5, 5.0] {
+        println!(
+            "--- {name} series at load {load} msg/ms/node ({}x{}x{}):",
+            shape[0], shape[1], shape[2]
+        );
+        for alg in Algorithm::ALL {
+            let mc = quick_config(alg, load);
+            let o = run_mixed_traffic(&mesh, cfg, &mc);
+            println!(
+                "    {:<4} broadcast latency = {:.4} ms{}",
+                alg.name(),
+                o.mean_latency_ms,
+                if o.saturated { " (saturated)" } else { "" }
+            );
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), format!("load{load}")),
+                &load,
+                |b, _| {
+                    let mc = quick_config(alg, load);
+                    b.iter(|| black_box(run_mixed_traffic(&mesh, cfg, &mc)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    bench_sweep(c, "fig3_8x8x8", [8, 8, 8]);
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    bench_sweep(c, "fig4_16x16x8", [16, 16, 8]);
+}
+
+criterion_group!(benches, bench_fig3, bench_fig4);
+criterion_main!(benches);

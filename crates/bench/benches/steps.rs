@@ -1,0 +1,38 @@
+//! **§2 step-identity bench** — schedule construction cost.
+//!
+//! Building a broadcast schedule is on the critical path of every simulated
+//! operation (the mixed-traffic driver constructs one per broadcast
+//! arrival), so construction speed matters; this bench tracks it per
+//! algorithm and network size, and prints the step counts (§2's closed
+//! forms) as it goes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wormcast_broadcast::Algorithm;
+use wormcast_topology::{Mesh, NodeId};
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_construction");
+    group.sample_size(20);
+    for side in [4u16, 8, 16] {
+        let mesh = Mesh::cube(side);
+        println!("--- step counts at {0}x{0}x{0}:", side);
+        for alg in Algorithm::ALL {
+            let s = alg.schedule(&mesh, NodeId(0));
+            println!(
+                "    {:<4} steps = {} ({} messages)",
+                alg.name(),
+                s.steps(),
+                s.num_messages()
+            );
+            assert_eq!(s.steps(), alg.theoretical_steps(&mesh));
+            group.bench_with_input(BenchmarkId::new(alg.name(), side), &side, |b, _| {
+                b.iter(|| black_box(alg.schedule(&mesh, black_box(NodeId(0)))))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

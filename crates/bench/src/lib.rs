@@ -1,0 +1,11 @@
+//! # wormcast-bench — benchmark support
+//!
+//! The Criterion benches live in `benches/`; each regenerates one of the
+//! paper's tables or figures at reduced statistical weight while measuring
+//! the simulator's wall-clock cost, so `cargo bench` doubles as a smoke-run
+//! of the whole evaluation. This library crate holds the shared bench
+//! configuration.
+
+/// Criterion sample count used by all benches: the workloads are seconds
+/// long, so a small sample keeps `cargo bench --workspace` tractable.
+pub const SAMPLE_SIZE: usize = 10;

@@ -1,0 +1,169 @@
+//! The four broadcast algorithms behind one dispatching enum.
+
+use crate::ab::{ab_schedule, ab_steps};
+use crate::db::{db_schedule, db_steps};
+use crate::edn::{edn_schedule, edn_steps};
+use crate::rd::{rd_schedule, rd_steps};
+use crate::schedule::BroadcastSchedule;
+use serde::{Deserialize, Serialize};
+use wormcast_topology::{Mesh, NodeId};
+
+/// Which routing substrate an algorithm's messages assume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingKind {
+    /// Deterministic dimension-ordered routing (RD, EDN, DB).
+    DimensionOrdered,
+    /// Turn-model adaptive routing: west-first in 2D, Z-then-west-first in
+    /// 3D (AB).
+    WestFirstAdaptive,
+}
+
+/// The four broadcast algorithms the paper compares.
+///
+/// # Examples
+///
+/// ```
+/// use wormcast_broadcast::Algorithm;
+/// use wormcast_topology::{Mesh, NodeId};
+///
+/// let mesh = Mesh::cube(8);
+/// let schedule = Algorithm::Db.schedule(&mesh, NodeId(0));
+/// schedule.validate(&mesh, Algorithm::Db.ports()).unwrap();
+/// assert_eq!(schedule.steps(), 4); // constant, whatever the network size
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Recursive Doubling [Barnett et al. 1996].
+    Rd,
+    /// Extended Dominating Node [Tsai & McKinley 1997].
+    Edn,
+    /// Deterministic Broadcast on coded-path routing [Al-Dubai &
+    /// Ould-Khaoua 2004] — one of the paper's two proposed algorithms.
+    Db,
+    /// Adaptive Broadcast on coded-path + west-first routing [Al-Dubai,
+    /// Ould-Khaoua & Mackenzie 2003] — the other proposed algorithm.
+    Ab,
+}
+
+impl Algorithm {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Algorithm; 4] = [Algorithm::Rd, Algorithm::Edn, Algorithm::Db, Algorithm::Ab];
+
+    /// The paper's abbreviation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Rd => "RD",
+            Algorithm::Edn => "EDN",
+            Algorithm::Db => "DB",
+            Algorithm::Ab => "AB",
+        }
+    }
+
+    /// Build the broadcast schedule for `source`.
+    pub fn schedule(self, mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
+        match self {
+            Algorithm::Rd => rd_schedule(mesh, source),
+            Algorithm::Edn => edn_schedule(mesh, source),
+            Algorithm::Db => db_schedule(mesh, source),
+            Algorithm::Ab => ab_schedule(mesh, source),
+        }
+    }
+
+    /// The algorithm's analytical message-passing step count on `mesh`.
+    pub fn theoretical_steps(self, mesh: &Mesh) -> u32 {
+        match self {
+            Algorithm::Rd => rd_steps(mesh),
+            Algorithm::Edn => edn_steps(mesh),
+            Algorithm::Db => db_steps(mesh),
+            Algorithm::Ab => ab_steps(mesh),
+        }
+    }
+
+    /// Injection ports the algorithm's router model assumes: RD gains
+    /// nothing from multiport (one send per step, §2), EDN is defined on a
+    /// three-port router (§2), and the CPR router underneath DB and AB
+    /// replicates and forwards messages on all ports (one per direction of a
+    /// 3D mesh), so concurrent relay duties at the fixed corner/edge anchors
+    /// do not serialise behind each other.
+    pub fn ports(self) -> usize {
+        match self {
+            Algorithm::Rd => 1,
+            Algorithm::Edn => 3,
+            Algorithm::Db => 6,
+            Algorithm::Ab => 6,
+        }
+    }
+
+    /// The routing substrate the algorithm rides on.
+    pub fn routing(self) -> RoutingKind {
+        match self {
+            Algorithm::Ab => RoutingKind::WestFirstAdaptive,
+            _ => RoutingKind::DimensionOrdered,
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "RD" => Ok(Algorithm::Rd),
+            "EDN" => Ok(Algorithm::Edn),
+            "DB" => Ok(Algorithm::Db),
+            "AB" => Ok(Algorithm::Ab),
+            other => Err(format!("unknown algorithm '{other}' (RD, EDN, DB, AB)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_cover_all_sizes() {
+        for dims in [[4u16, 4, 4], [8, 8, 8], [4, 4, 16]] {
+            let m = Mesh::new(&dims);
+            for alg in Algorithm::ALL {
+                let s = alg.schedule(&m, NodeId(5));
+                s.validate(&m, alg.ports())
+                    .unwrap_or_else(|e| panic!("{alg} on {dims:?}: {e:?}"));
+                assert_eq!(s.steps(), alg.theoretical_steps(&m), "{alg} {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_step_comparison_3d() {
+        // §2: AB=3, DB=4, EDN=k+m+4, RD=log2 N. On 8x8x8: 3 < 4 < 6 < 9.
+        let m = Mesh::cube(8);
+        assert_eq!(Algorithm::Ab.theoretical_steps(&m), 3);
+        assert_eq!(Algorithm::Db.theoretical_steps(&m), 4);
+        assert_eq!(Algorithm::Edn.theoretical_steps(&m), 6);
+        assert_eq!(Algorithm::Rd.theoretical_steps(&m), 9);
+    }
+
+    #[test]
+    fn names_and_parsing_roundtrip() {
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.name().parse::<Algorithm>().unwrap(), alg);
+            assert_eq!(format!("{alg}"), alg.name());
+        }
+        assert!("XYZ".parse::<Algorithm>().is_err());
+        assert_eq!("db".parse::<Algorithm>().unwrap(), Algorithm::Db);
+    }
+
+    #[test]
+    fn routing_kinds() {
+        assert_eq!(Algorithm::Ab.routing(), RoutingKind::WestFirstAdaptive);
+        for alg in [Algorithm::Rd, Algorithm::Edn, Algorithm::Db] {
+            assert_eq!(alg.routing(), RoutingKind::DimensionOrdered);
+        }
+    }
+}

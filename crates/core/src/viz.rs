@@ -1,0 +1,153 @@
+//! ASCII visualisation of broadcast schedules — which nodes hold the payload
+//! after each message-passing step, plane by plane. Used by the docs and
+//! invaluable when writing a new schedule constructor.
+//!
+//! Legend: `S` source, `#` covered in an earlier step, `*` newly covered in
+//! the rendered step, `.` not yet covered.
+
+use crate::schedule::BroadcastSchedule;
+use std::collections::HashMap;
+use wormcast_topology::{Mesh, NodeId, Topology};
+
+/// Render the coverage state after `step` (1-based).
+///
+/// # Panics
+/// Panics if the mesh is not 2D/3D or the step exceeds the schedule's.
+pub fn render_step(mesh: &Mesh, schedule: &BroadcastSchedule, step: u32) -> String {
+    assert!(
+        mesh.ndims() == 2 || mesh.ndims() == 3,
+        "viz supports 2D/3D meshes"
+    );
+    assert!(step >= 1 && step <= schedule.steps(), "step out of range");
+    let covered = coverage_steps(mesh, schedule);
+    let (w, h) = (mesh.dim_size(0), mesh.dim_size(1));
+    let zrange = if mesh.ndims() == 3 { mesh.dim_size(2) } else { 1 };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} after step {step}/{} (source {}):\n",
+        schedule.algorithm,
+        schedule.steps(),
+        schedule.source
+    ));
+    for z in 0..zrange {
+        if mesh.ndims() == 3 {
+            out.push_str(&format!("z={z}\n"));
+        }
+        // Row h-1 at the top so +Y points up, as in the paper's diagrams.
+        for y in (0..h).rev() {
+            out.push_str("  ");
+            for x in 0..w {
+                let axes: &[u16] = if mesh.ndims() == 3 {
+                    &[x, y, z]
+                } else {
+                    &[x, y]
+                };
+                let n = mesh.node_at(&wormcast_topology::Coord::new(axes));
+                let ch = if n == schedule.source {
+                    'S'
+                } else {
+                    match covered.get(&n) {
+                        Some(&s) if s < step => '#',
+                        Some(&s) if s == step => '*',
+                        _ => '.',
+                    }
+                };
+                out.push(ch);
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render every step in sequence.
+pub fn render_all(mesh: &Mesh, schedule: &BroadcastSchedule) -> String {
+    (1..=schedule.steps())
+        .map(|s| render_step(mesh, schedule, s))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Map each covered node to the step in which it receives.
+fn coverage_steps(mesh: &Mesh, schedule: &BroadcastSchedule) -> HashMap<NodeId, u32> {
+    let mut covered = HashMap::new();
+    for m in &schedule.messages {
+        for r in m.plan.receivers(mesh) {
+            let e = covered.entry(r).or_insert(m.step);
+            *e = (*e).min(m.step);
+        }
+    }
+    covered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Algorithm;
+    use wormcast_topology::Coord;
+
+    #[test]
+    fn db_2d_step_progression_golden() {
+        let mesh = Mesh::square(4);
+        let src = mesh.node_at(&Coord::xy(1, 1));
+        let s = Algorithm::Db.schedule(&mesh, src);
+        // Step 1: the two anchor corners (source is at (1,1), nearest corner
+        // (0,0), opposite (3,3)).
+        let step1 = render_step(&mesh, &s, 1);
+        assert!(step1.contains("DB after step 1/3"));
+        let grid1: Vec<&str> = step1.lines().skip(1).collect();
+        assert_eq!(grid1[0].trim(), ". . . *"); // y=3: corner (3,3)
+        assert_eq!(grid1[2].trim(), ". S . ."); // y=1: source
+        assert_eq!(grid1[3].trim(), "* . . ."); // y=0: corner (0,0)
+        // Final step covers everyone.
+        let last = render_step(&mesh, &s, s.steps());
+        assert!(!last.contains('.'), "no uncovered nodes remain:\n{last}");
+    }
+
+    #[test]
+    fn coverage_is_monotone() {
+        let mesh = Mesh::cube(4);
+        let s = Algorithm::Ab.schedule(&mesh, NodeId(37));
+        let mut covered_counts = Vec::new();
+        for step in 1..=s.steps() {
+            let r = render_step(&mesh, &s, step);
+            let newly = r.chars().filter(|&c| c == '*').count();
+            let old = r.chars().filter(|&c| c == '#').count();
+            covered_counts.push(old + newly);
+        }
+        assert!(
+            covered_counts.windows(2).all(|w| w[0] <= w[1]),
+            "coverage only grows: {covered_counts:?}"
+        );
+        assert_eq!(*covered_counts.last().unwrap(), 63);
+    }
+
+    #[test]
+    fn render_all_contains_every_step() {
+        let mesh = Mesh::square(4);
+        let s = Algorithm::Rd.schedule(&mesh, NodeId(0));
+        let all = render_all(&mesh, &s);
+        for step in 1..=s.steps() {
+            assert!(all.contains(&format!("after step {step}/")));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "step out of range")]
+    fn step_bounds_checked() {
+        let mesh = Mesh::square(4);
+        let s = Algorithm::Rd.schedule(&mesh, NodeId(0));
+        let _ = render_step(&mesh, &s, 99);
+    }
+
+    #[test]
+    fn three_d_planes_labelled() {
+        let mesh = Mesh::cube(4);
+        let s = Algorithm::Db.schedule(&mesh, NodeId(0));
+        let r = render_step(&mesh, &s, 1);
+        for z in 0..4 {
+            assert!(r.contains(&format!("z={z}\n")));
+        }
+    }
+}

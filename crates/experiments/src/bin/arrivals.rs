@@ -1,0 +1,26 @@
+//! Prints the node-level arrival profile (percentiles, per-step delivery
+//! counts, ASCII histograms) for each broadcast algorithm — the §3.2 story
+//! behind the CV numbers.
+//!
+//! Usage: `arrivals [--out DIR] [--length F] [--seed SRC]`
+
+use wormcast_experiments::{arrivals, CommonOpts};
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let mut params = arrivals::ArrivalParams::default();
+    if let Some(l) = opts.length {
+        params.length = l;
+    }
+    if let Some(s) = opts.seed {
+        params.source = s as u32;
+    }
+    let profiles = arrivals::run(&params);
+    println!("{}", arrivals::table(&profiles, &params).render());
+    println!("{}", arrivals::step_table(&profiles).render());
+    if let Some(dir) = opts.out_dir {
+        let path = dir.join("arrivals.json");
+        wormcast_experiments::write_json(&path, &profiles).expect("write results");
+        println!("wrote {}", path.display());
+    }
+}

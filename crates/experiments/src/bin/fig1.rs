@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 1**: broadcast latency vs network size (64–4096
+//! nodes), single-source, L=100 flits, Ts=1.5 µs (override with `--ts`).
+//!
+//! Usage: `fig1 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]`
+
+use wormcast_experiments::{fig1, CommonOpts};
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let mut params = fig1::Fig1Params::default();
+    if opts.quick {
+        params.sides = vec![4, 8, 10];
+        params.runs = 8;
+    }
+    if let Some(s) = opts.seed {
+        params.seed = s;
+    }
+    if let Some(ts) = opts.startup_us {
+        params.startup_us = ts;
+    }
+    if let Some(l) = opts.length {
+        params.length = l;
+    }
+    let cells = fig1::run(&params);
+    println!("{}", fig1::table(&cells, &params).render());
+    let bad = fig1::check_claims(&cells);
+    if bad.is_empty() {
+        println!("claims: all of the paper's Fig. 1 orderings hold");
+    } else {
+        println!("claims VIOLATED:");
+        for b in &bad {
+            println!("  - {b}");
+        }
+    }
+    if let Some(dir) = opts.out_dir {
+        let path = dir.join("fig1.json");
+        wormcast_experiments::write_json(&path, &cells).expect("write results");
+        println!("wrote {}", path.display());
+    }
+}

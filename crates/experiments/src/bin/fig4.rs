@@ -1,0 +1,41 @@
+//! Regenerates **Fig. 4**: latency vs offered load on the 16×16×8 mesh under
+//! 90% unicast / 10% broadcast traffic (L=32 flits, Ts=1.5 µs).
+//!
+//! Usage: `fig4 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]`
+
+use wormcast_experiments::{fig34, CommonOpts};
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let mut params = fig34::LoadSweepParams::fig4();
+    if opts.quick {
+        params.batch_size = 40;
+        params.batches = 6;
+        params.max_sim_ms = 60.0;
+    }
+    if let Some(s) = opts.seed {
+        params.seed = s;
+    }
+    if let Some(ts) = opts.startup_us {
+        params.startup_us = ts;
+    }
+    if let Some(l) = opts.length {
+        params.length = l;
+    }
+    let cells = fig34::run(&params);
+    println!("{}", fig34::table(&cells, &params, "Fig. 4").render());
+    let bad = fig34::check_claims(&cells, &params);
+    if bad.is_empty() {
+        println!("claims: all of the paper's Fig. 4 orderings hold");
+    } else {
+        println!("claims VIOLATED:");
+        for b in &bad {
+            println!("  - {b}");
+        }
+    }
+    if let Some(dir) = opts.out_dir {
+        let path = dir.join("fig4.json");
+        wormcast_experiments::write_json(&path, &cells).expect("write results");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,37 @@
+//! Runs the multicast extension experiment (the paper's §4 future
+//! direction): UM / CM / SP latency vs destination-set density.
+//!
+//! Usage: `multicast [--quick] [--out DIR] [--seed N] [--length F]`
+
+use wormcast_experiments::{multicast, CommonOpts};
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let mut params = multicast::MulticastParams::default();
+    if opts.quick {
+        params.set_sizes = vec![5, 50, 400];
+        params.runs = 4;
+    }
+    if let Some(s) = opts.seed {
+        params.seed = s;
+    }
+    if let Some(l) = opts.length {
+        params.length = l;
+    }
+    let cells = multicast::run(&params);
+    println!("{}", multicast::table(&cells, &params).render());
+    let bad = multicast::check_claims(&cells);
+    if bad.is_empty() {
+        println!("claims: all multicast-extension orderings hold");
+    } else {
+        println!("claims VIOLATED:");
+        for b in &bad {
+            println!("  - {b}");
+        }
+    }
+    if let Some(dir) = opts.out_dir {
+        let path = dir.join("multicast.json");
+        wormcast_experiments::write_json(&path, &cells).expect("write results");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,17 @@
+//! Prints the step-count table: constructed schedules vs the §2 closed
+//! forms (RD = log₂N, EDN = k+m+4, DB = 4, AB = 3).
+//!
+//! Usage: `steps [--out DIR]`
+
+use wormcast_experiments::{steps, CommonOpts};
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let rows = steps::run(&steps::default_shapes());
+    println!("{}", steps::table(&rows).render());
+    if let Some(dir) = opts.out_dir {
+        let path = dir.join("steps.json");
+        wormcast_experiments::write_json(&path, &rows).expect("write results");
+        println!("wrote {}", path.display());
+    }
+}

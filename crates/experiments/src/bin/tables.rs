@@ -1,0 +1,31 @@
+//! Regenerates **Tables 1 and 2**: CV of RD and EDN with the percentage
+//! improvement obtained by DB (Table 1) and AB (Table 2).
+//!
+//! Usage: `tables [--quick] [--out DIR] [--seed N] [--ts US] [--length F]`
+
+use wormcast_experiments::{fig2, CommonOpts};
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let mut params = fig2::Fig2Params::default();
+    if opts.quick {
+        params.runs = 10;
+    }
+    if let Some(s) = opts.seed {
+        params.seed = s;
+    }
+    if let Some(ts) = opts.startup_us {
+        params.startup_us = ts;
+    }
+    if let Some(l) = opts.length {
+        params.length = l;
+    }
+    let cells = fig2::run(&params);
+    println!("{}", fig2::improvement_table(&cells, &params, "DB").render());
+    println!("{}", fig2::improvement_table(&cells, &params, "AB").render());
+    if let Some(dir) = opts.out_dir {
+        let path = dir.join("tables.json");
+        wormcast_experiments::write_json(&path, &cells).expect("write results");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,165 @@
+//! Umbrella experiment runner: regenerate every table and figure of the
+//! paper in one command.
+//!
+//! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig2|tables|fig3|fig4|arrivals|multicast]...
+//!                  [--quick] [--out DIR] [--seed N] [--ts US] [--length F]`
+//!
+//! With no selector (or `all`), runs the full suite: the §2 step identities,
+//! Fig. 1 (plus the Ts = 0.15 µs variant), Fig. 2, Tables 1–2, Figs. 3–4,
+//! the node-level arrival profiles and the multicast extension.
+
+use wormcast_experiments::{fig1, fig2, fig34, steps, CommonOpts};
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let which: Vec<String> = if opts.rest.is_empty() || opts.rest.iter().any(|r| r == "all") {
+        vec![
+            "steps", "fig1", "fig1-lowts", "fig2", "tables", "fig3", "fig4", "arrivals",
+            "multicast",
+        ]
+            .into_iter()
+            .map(String::from)
+            .collect()
+    } else {
+        opts.rest.clone()
+    };
+    let out = |name: &str, value: &dyn erased::Json| {
+        if let Some(dir) = &opts.out_dir {
+            let path = dir.join(format!("{name}.json"));
+            value.write(&path);
+            println!("wrote {}", path.display());
+        }
+    };
+
+    for sel in &which {
+        match sel.as_str() {
+            "steps" => {
+                let rows = steps::run(&steps::default_shapes());
+                println!("{}", steps::table(&rows).render());
+                out("steps", &rows);
+            }
+            "fig1" | "fig1-lowts" => {
+                let mut p = fig1::Fig1Params::default();
+                if sel == "fig1-lowts" {
+                    p.startup_us = 0.15;
+                }
+                if opts.quick {
+                    p.sides = vec![4, 8, 10];
+                    p.runs = 8;
+                }
+                if let Some(s) = opts.seed {
+                    p.seed = s;
+                }
+                if let Some(l) = opts.length {
+                    p.length = l;
+                }
+                let cells = fig1::run(&p);
+                println!("{}", fig1::table(&cells, &p).render());
+                report_claims(&fig1::check_claims(&cells));
+                out(sel, &cells);
+            }
+            "fig2" | "tables" => {
+                let mut p = fig2::Fig2Params::default();
+                if opts.quick {
+                    p.runs = 10;
+                }
+                if let Some(s) = opts.seed {
+                    p.seed = s;
+                }
+                if let Some(l) = opts.length {
+                    p.length = l;
+                }
+                let cells = fig2::run(&p);
+                if sel == "fig2" {
+                    println!("{}", fig2::fig2_table(&cells, &p).render());
+                    report_claims(&fig2::check_claims(&cells));
+                } else {
+                    println!("{}", fig2::improvement_table(&cells, &p, "DB").render());
+                    println!("{}", fig2::improvement_table(&cells, &p, "AB").render());
+                }
+                out(sel, &cells);
+            }
+            "fig3" | "fig4" => {
+                let mut p = if sel == "fig3" {
+                    fig34::LoadSweepParams::fig3()
+                } else {
+                    fig34::LoadSweepParams::fig4()
+                };
+                if opts.quick {
+                    p.batch_size = 40;
+                    p.batches = 6;
+                    p.max_sim_ms = 60.0;
+                }
+                if let Some(s) = opts.seed {
+                    p.seed = s;
+                }
+                if let Some(l) = opts.length {
+                    p.length = l;
+                }
+                let cells = fig34::run(&p);
+                let caption = if sel == "fig3" { "Fig. 3" } else { "Fig. 4" };
+                println!("{}", fig34::table(&cells, &p, caption).render());
+                report_claims(&fig34::check_claims(&cells, &p));
+                out(sel, &cells);
+            }
+            "arrivals" => {
+                let mut p = wormcast_experiments::arrivals::ArrivalParams::default();
+                if let Some(l) = opts.length {
+                    p.length = l;
+                }
+                let profiles = wormcast_experiments::arrivals::run(&p);
+                println!("{}", wormcast_experiments::arrivals::table(&profiles, &p).render());
+                println!("{}", wormcast_experiments::arrivals::step_table(&profiles).render());
+                out("arrivals", &profiles);
+            }
+            "multicast" => {
+                let mut p = wormcast_experiments::multicast::MulticastParams::default();
+                if opts.quick {
+                    p.set_sizes = vec![5, 50, 400];
+                    p.runs = 4;
+                }
+                if let Some(s) = opts.seed {
+                    p.seed = s;
+                }
+                let cells = wormcast_experiments::multicast::run(&p);
+                println!("{}", wormcast_experiments::multicast::table(&cells, &p).render());
+                report_claims(&wormcast_experiments::multicast::check_claims(&cells));
+                out("multicast", &cells);
+            }
+            other => {
+                eprintln!(
+                    "unknown experiment '{other}' (steps, fig1, fig1-lowts, fig2, tables,                      fig3, fig4, arrivals, multicast, all)"
+                );
+                std::process::exit(2);
+            }
+        }
+        println!();
+    }
+}
+
+fn report_claims(bad: &[String]) {
+    if bad.is_empty() {
+        println!("claims: all of the paper's orderings hold");
+    } else {
+        println!("claims VIOLATED:");
+        for b in bad {
+            println!("  - {b}");
+        }
+    }
+}
+
+/// Tiny object-safe serialization shim so the dispatcher can persist any
+/// result type through one code path.
+mod erased {
+    use std::path::Path;
+
+    pub trait Json {
+        fn write(&self, path: &Path);
+    }
+
+    impl<T: serde::Serialize> Json for T {
+        fn write(&self, path: &Path) {
+            wormcast_experiments::write_json(path, self).expect("write results");
+        }
+    }
+}

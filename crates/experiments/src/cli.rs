@@ -1,0 +1,115 @@
+//! Minimal command-line option handling shared by the experiment binaries.
+
+/// Options common to every experiment binary.
+#[derive(Debug, Clone)]
+pub struct CommonOpts {
+    /// Reduce run counts / batch sizes for a fast smoke pass.
+    pub quick: bool,
+    /// Directory results are written to as JSON (created if missing);
+    /// `None` disables persistence.
+    pub out_dir: Option<std::path::PathBuf>,
+    /// RNG seed override.
+    pub seed: Option<u64>,
+    /// Start-up latency override, µs.
+    pub startup_us: Option<f64>,
+    /// Message length override, flits.
+    pub length: Option<u64>,
+    /// Remaining positional arguments.
+    pub rest: Vec<String>,
+}
+
+impl CommonOpts {
+    /// Parse `--quick`, `--out DIR`, `--seed N`, `--ts US`, `--length F`
+    /// from the process arguments; anything else lands in `rest`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed values — these are developer
+    /// tools, not user-facing software.
+    pub fn parse() -> CommonOpts {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument iterator (testable).
+    pub fn parse_from(args: impl Iterator<Item = String>) -> CommonOpts {
+        let mut o = CommonOpts {
+            quick: false,
+            out_dir: None,
+            seed: None,
+            startup_us: None,
+            length: None,
+            rest: Vec::new(),
+        };
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => o.quick = true,
+                "--out" => {
+                    let v = it.next().expect("--out needs a directory");
+                    o.out_dir = Some(v.into());
+                }
+                "--seed" => {
+                    o.seed = Some(
+                        it.next()
+                            .expect("--seed needs a value")
+                            .parse()
+                            .expect("--seed must be an integer"),
+                    );
+                }
+                "--ts" => {
+                    o.startup_us = Some(
+                        it.next()
+                            .expect("--ts needs a value in us")
+                            .parse()
+                            .expect("--ts must be a number"),
+                    );
+                }
+                "--length" => {
+                    o.length = Some(
+                        it.next()
+                            .expect("--length needs a flit count")
+                            .parse()
+                            .expect("--length must be an integer"),
+                    );
+                }
+                other => o.rest.push(other.to_string()),
+            }
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CommonOpts {
+        CommonOpts::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert!(!o.quick);
+        assert!(o.out_dir.is_none());
+        assert!(o.rest.is_empty());
+    }
+
+    #[test]
+    fn all_flags() {
+        let o = parse(&[
+            "--quick", "--out", "results", "--seed", "9", "--ts", "0.15", "--length", "64", "all",
+        ]);
+        assert!(o.quick);
+        assert_eq!(o.out_dir.unwrap().to_str().unwrap(), "results");
+        assert_eq!(o.seed, Some(9));
+        assert_eq!(o.startup_us, Some(0.15));
+        assert_eq!(o.length, Some(64));
+        assert_eq!(o.rest, vec!["all"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed must be an integer")]
+    fn bad_seed_panics() {
+        parse(&["--seed", "x"]);
+    }
+}

@@ -1,0 +1,224 @@
+//! **Fig. 1** — Communication latency of DB, AB, RD and EDN for various
+//! network sizes. Single-source broadcast, message length L = 100 flits,
+//! start-up latency Ts = 1.5 µs (with the Ts = 0.15 µs variant of §3.1
+//! available as a parameter), network sizes 64–4096 nodes.
+
+use crate::report::{f2, Table};
+use serde::{Deserialize, Serialize};
+use wormcast_broadcast::Algorithm;
+use wormcast_network::NetworkConfig;
+use wormcast_sim::SimDuration;
+use wormcast_topology::{Mesh, Topology};
+use wormcast_workload::run_averaged_broadcasts;
+
+/// Parameters of the Fig. 1 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Params {
+    /// Mesh side lengths to sweep (cubic meshes: side³ nodes).
+    pub sides: Vec<u16>,
+    /// Message length in flits (paper: 100).
+    pub length: u64,
+    /// Start-up latency in µs (paper: 1.5, plus a 0.15 variant).
+    pub startup_us: f64,
+    /// Broadcasts averaged per cell (paper: ≥ 40).
+    pub runs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig1Params {
+    fn default() -> Self {
+        Fig1Params {
+            // 64, 512, 1000 and 4096 nodes, as on the paper's x-axis.
+            sides: vec![4, 8, 10, 16],
+            length: 100,
+            startup_us: 1.5,
+            runs: 40,
+            seed: 2005,
+        }
+    }
+}
+
+/// One cell of the Fig. 1 result grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Cell {
+    /// Nodes in the network.
+    pub nodes: usize,
+    /// Mesh side (cubic).
+    pub side: u16,
+    /// Algorithm short name.
+    pub algorithm: String,
+    /// Mean network-level broadcast latency, µs.
+    pub latency_us: f64,
+    /// Mean per-destination latency, µs.
+    pub mean_node_latency_us: f64,
+}
+
+/// Run the Fig. 1 experiment.
+pub fn run(params: &Fig1Params) -> Vec<Fig1Cell> {
+    let cfg = NetworkConfig::paper_default()
+        .with_startup(SimDuration::from_us(params.startup_us));
+    let mut cells: Vec<Fig1Cell> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &side in &params.sides {
+            for alg in Algorithm::ALL {
+                let handle = scope.spawn(move || {
+                    let mesh = Mesh::cube(side);
+                    let o = run_averaged_broadcasts(
+                        &mesh,
+                        cfg,
+                        alg,
+                        params.length,
+                        params.runs,
+                        params.seed ^ (side as u64) << 8,
+                    );
+                    Fig1Cell {
+                        nodes: mesh.num_nodes(),
+                        side,
+                        algorithm: alg.name().to_string(),
+                        latency_us: o.network_latency_us,
+                        mean_node_latency_us: o.mean_latency_us,
+                    }
+                });
+                handles.push(handle);
+            }
+        }
+        for h in handles {
+            cells.push(h.join().expect("experiment thread panicked"));
+        }
+    });
+    cells.sort_by_key(|c| (c.nodes, c.algorithm.clone()));
+    cells
+}
+
+/// Render the result in the paper's layout: one row per network size, one
+/// column per algorithm (latency in µs).
+pub fn table(cells: &[Fig1Cell], params: &Fig1Params) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig. 1: broadcast latency (us) vs network size; L={} flits, Ts={} us",
+            params.length, params.startup_us
+        ),
+        &["nodes", "RD", "EDN", "DB", "AB"],
+    );
+    for &side in &params.sides {
+        let nodes = (side as usize).pow(3);
+        let get = |alg: &str| -> String {
+            cells
+                .iter()
+                .find(|c| c.nodes == nodes && c.algorithm == alg)
+                .map(|c| f2(c.latency_us))
+                .unwrap_or_else(|| "-".into())
+        };
+        t.push_row(vec![
+            nodes.to_string(),
+            get("RD"),
+            get("EDN"),
+            get("DB"),
+            get("AB"),
+        ]);
+    }
+    t
+}
+
+/// The paper's qualitative claims for Fig. 1, checked programmatically; the
+/// returned list is empty when every claim holds.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(a < b)` reads as the claim's negation, NaN-safe
+pub fn check_claims(cells: &[Fig1Cell]) -> Vec<String> {
+    let mut bad = Vec::new();
+    let get = |nodes: usize, alg: &str| -> f64 {
+        cells
+            .iter()
+            .find(|c| c.nodes == nodes && c.algorithm == alg)
+            .map(|c| c.latency_us)
+            .unwrap_or(f64::NAN)
+    };
+    let sizes: Vec<usize> = {
+        let mut s: Vec<usize> = cells.iter().map(|c| c.nodes).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    let largest = *sizes.last().unwrap_or(&0);
+    // DB and AB beat RD and EDN at every size.
+    for &n in &sizes {
+        for ours in ["DB", "AB"] {
+            for theirs in ["RD", "EDN"] {
+                if !(get(n, ours) < get(n, theirs)) {
+                    bad.push(format!("{ours} !< {theirs} at N={n}"));
+                }
+            }
+        }
+    }
+    // EDN comparable to DB at 64 nodes (same 4 steps) but much worse at the
+    // largest size.
+    if sizes.contains(&64) {
+        let ratio = get(64, "EDN") / get(64, "DB");
+        if !(ratio < 2.0) {
+            bad.push(format!("EDN/DB at 64 nodes should be close, got {ratio:.2}"));
+        }
+    }
+    if largest >= 4096 {
+        let ratio = get(largest, "EDN") / get(largest, "DB");
+        if !(ratio > 1.5) {
+            bad.push(format!(
+                "EDN should degrade at N={largest}; EDN/DB = {ratio:.2}"
+            ));
+        }
+    }
+    // RD grows with log2 N; DB/AB stay nearly flat.
+    if sizes.len() >= 2 {
+        let first = sizes[0];
+        let rd_growth = get(largest, "RD") - get(first, "RD");
+        let db_growth = get(largest, "DB") - get(first, "DB");
+        if !(rd_growth > db_growth) {
+            bad.push("RD should grow faster than DB with network size".into());
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params() -> Fig1Params {
+        Fig1Params {
+            sides: vec![4, 8],
+            length: 100,
+            startup_us: 1.5,
+            runs: 4,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn produces_full_grid() {
+        let p = quick_params();
+        let cells = run(&p);
+        assert_eq!(cells.len(), 2 * 4);
+        for c in &cells {
+            assert!(c.latency_us > 0.0);
+            assert!(c.mean_node_latency_us <= c.latency_us);
+        }
+    }
+
+    #[test]
+    fn claims_hold_on_small_sizes() {
+        let p = quick_params();
+        let cells = run(&p);
+        let bad = check_claims(&cells);
+        assert!(bad.is_empty(), "violated: {bad:?}");
+    }
+
+    #[test]
+    fn table_has_row_per_size() {
+        let p = quick_params();
+        let cells = run(&p);
+        let t = table(&cells, &p);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.render().contains("64"));
+        assert!(t.render().contains("512"));
+    }
+}

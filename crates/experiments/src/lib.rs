@@ -1,0 +1,32 @@
+//! # wormcast-experiments — regenerating the paper's tables and figures
+//!
+//! One module per experiment of the evaluation section (§3):
+//!
+//! | Module | Reproduces | Paper setting |
+//! |--------|------------|---------------|
+//! | [`fig1`] | Fig. 1 | broadcast latency vs network size (64–4096 nodes) |
+//! | [`fig2`] | Fig. 2, Tables 1–2 | CV of arrival times vs network size |
+//! | [`fig34`] | Figs. 3 & 4 | latency vs load, 90/10 unicast/broadcast mix |
+//! | [`steps`] | §2 identities | step counts vs closed forms |
+//! | [`multicast`] | §4 future work | UM/CM/SP multicast density sweep |
+//! | [`arrivals`] | §3.2 widened | per-destination arrival percentiles & histograms |
+//!
+//! Each module exposes `run` (produce cells), `table` (render the paper's
+//! layout) and, where the paper makes qualitative claims, `check_claims`
+//! (verify the shape of the result programmatically). Binaries `fig1`,
+//! `fig2`, `fig3`, `fig4`, `steps` and the umbrella `wormcast` print the
+//! tables and optionally persist JSON via `--out DIR`.
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod cli;
+pub mod fig1;
+pub mod fig2;
+pub mod fig34;
+pub mod multicast;
+pub mod report;
+pub mod steps;
+
+pub use cli::CommonOpts;
+pub use report::{write_json, Table};

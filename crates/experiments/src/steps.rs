@@ -1,0 +1,110 @@
+//! **§2 step-count identities** — the analytical message-passing step counts
+//! of the four algorithms, checked against the constructed schedules.
+
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use wormcast_broadcast::Algorithm;
+use wormcast_topology::{Mesh, NodeId, Topology};
+
+/// One row: constructed vs analytical step counts on one mesh.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepsRow {
+    /// Mesh shape.
+    pub shape: [u16; 3],
+    /// Nodes.
+    pub nodes: usize,
+    /// (algorithm, constructed steps, analytical steps) triples.
+    pub counts: Vec<(String, u32, u32)>,
+}
+
+/// Default shapes: the paper's evaluation sizes.
+pub fn default_shapes() -> Vec<[u16; 3]> {
+    vec![
+        [4, 4, 4],
+        [4, 4, 16],
+        [8, 8, 8],
+        [8, 8, 16],
+        [10, 10, 10],
+        [16, 16, 8],
+        [16, 16, 16],
+    ]
+}
+
+/// Compute the step-count table.
+pub fn run(shapes: &[[u16; 3]]) -> Vec<StepsRow> {
+    shapes
+        .iter()
+        .map(|&shape| {
+            let mesh = Mesh::new(&shape);
+            let counts = Algorithm::ALL
+                .iter()
+                .map(|&alg| {
+                    let constructed = alg.schedule(&mesh, NodeId(0)).steps();
+                    let analytical = alg.theoretical_steps(&mesh);
+                    (alg.name().to_string(), constructed, analytical)
+                })
+                .collect();
+            StepsRow {
+                shape,
+                nodes: mesh.num_nodes(),
+                counts,
+            }
+        })
+        .collect()
+}
+
+/// Render the step-count table.
+pub fn table(rows: &[StepsRow]) -> Table {
+    let mut t = Table::new(
+        "Message-passing steps: constructed schedule vs closed form (RD=log2 N, EDN=k+m+4, DB=4, AB=3)",
+        &["mesh", "nodes", "RD", "EDN", "DB", "AB"],
+    );
+    for r in rows {
+        let fmt = |name: &str| -> String {
+            let (_, c, a) = r
+                .counts
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .expect("algorithm present");
+            if c == a {
+                format!("{c}")
+            } else {
+                format!("{c} (formula {a})")
+            }
+        };
+        t.push_row(vec![
+            format!("{}x{}x{}", r.shape[0], r.shape[1], r.shape[2]),
+            r.nodes.to_string(),
+            fmt("RD"),
+            fmt("EDN"),
+            fmt("DB"),
+            fmt("AB"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructed_matches_formula_on_paper_sizes() {
+        for row in run(&default_shapes()) {
+            for (name, constructed, analytical) in &row.counts {
+                assert_eq!(
+                    constructed, analytical,
+                    "{name} on {:?}: constructed {constructed} vs formula {analytical}",
+                    row.shape
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = run(&[[4, 4, 4]]);
+        let t = table(&rows);
+        assert!(t.render().contains("4x4x4"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulator configuration: the paper's hardware constants.
+
+use serde::{Deserialize, Serialize};
+use wormcast_sim::SimDuration;
+
+/// When a message's channels are given back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReleaseMode {
+    /// Wormhole blocking-in-place: every channel the header has acquired is
+    /// held until the tail completes at the final destination. A blocked
+    /// message therefore stalls its whole upstream path — the physically
+    /// faithful wormhole model (1-flit router buffers).
+    PathHolding,
+    /// Virtual cut-through–style facility queueing: each channel is released
+    /// one body-time after the header crossed it (the tail has drained), and
+    /// a blocked header waits in the next channel's queue without holding
+    /// anything upstream. This is the channel-queue model of the paper's
+    /// CSIM/MultiSim simulator ("each channel has a single queue where
+    /// messages are held while awaiting transmission").
+    AfterTailCrossing,
+}
+
+/// Timing and router-architecture parameters of a simulated network.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Message start-up latency Ts, charged at the source for every
+    /// message-passing step. The paper uses 0.15 µs and 1.5 µs (§3),
+    /// consistent with Cray T3D-era technology.
+    pub startup: SimDuration,
+    /// Per-flit channel transmission time β. The paper uses 0.003 µs.
+    pub flit_time: SimDuration,
+    /// Routing-decision delay charged per hop as the header passes a router.
+    /// Wormhole routers make this a single cycle; defaults to one flit time.
+    pub routing_delay: SimDuration,
+    /// Injection ports per node: how many messages a node can be sending at
+    /// once. RD is studied on a one-port model, EDN assumes a three-port
+    /// router (§2), and DB/AB need two ports for their first step.
+    pub inject_ports: usize,
+    /// Channel release discipline (wormhole path-holding vs the paper's
+    /// facility-queueing model).
+    pub release: ReleaseMode,
+}
+
+impl NetworkConfig {
+    /// The paper's baseline: Ts = 1.5 µs, β = 0.003 µs, one routing cycle per
+    /// hop, and a generous 6-port (all-port, one per mesh direction in 3D)
+    /// injection model.
+    pub fn paper_default() -> Self {
+        NetworkConfig {
+            startup: SimDuration::from_us(1.5),
+            flit_time: SimDuration::from_us(0.003),
+            routing_delay: SimDuration::from_us(0.003),
+            inject_ports: 6,
+            release: ReleaseMode::PathHolding,
+        }
+    }
+
+    /// The paper's low start-up variant: Ts = 0.15 µs.
+    pub fn paper_low_startup() -> Self {
+        NetworkConfig {
+            startup: SimDuration::from_us(0.15),
+            ..Self::paper_default()
+        }
+    }
+
+    /// Override the start-up latency.
+    pub fn with_startup(mut self, ts: SimDuration) -> Self {
+        self.startup = ts;
+        self
+    }
+
+    /// Override the channel-release discipline.
+    pub fn with_release(mut self, mode: ReleaseMode) -> Self {
+        self.release = mode;
+        self
+    }
+
+    /// Override the injection-port count.
+    ///
+    /// # Panics
+    /// Panics if `ports` is zero.
+    pub fn with_ports(mut self, ports: usize) -> Self {
+        assert!(ports > 0, "a node needs at least one injection port");
+        self.inject_ports = ports;
+        self
+    }
+
+    /// Time for a message body of `len` flits to drain past a point once the
+    /// header has arrived.
+    pub fn body_time(&self, len: u64) -> SimDuration {
+        self.flit_time.times(len)
+    }
+
+    /// Per-hop header latency: one routing decision plus one channel crossing.
+    pub fn hop_time(&self) -> SimDuration {
+        self.routing_delay + self.flit_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let c = NetworkConfig::paper_default();
+        assert_eq!(c.startup.as_ps(), 1_500_000);
+        assert_eq!(c.flit_time.as_ps(), 3_000);
+        assert_eq!(NetworkConfig::paper_low_startup().startup.as_ps(), 150_000);
+    }
+
+    #[test]
+    fn body_time_scales_with_length() {
+        let c = NetworkConfig::paper_default();
+        assert_eq!(c.body_time(100).as_ps(), 300_000);
+        assert_eq!(c.body_time(0).as_ps(), 0);
+    }
+
+    #[test]
+    fn hop_time_is_route_plus_cross() {
+        let c = NetworkConfig::paper_default();
+        assert_eq!(c.hop_time().as_ps(), 6_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one injection port")]
+    fn zero_ports_rejected() {
+        let _ = NetworkConfig::paper_default().with_ports(0);
+    }
+}

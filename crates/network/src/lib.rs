@@ -1,0 +1,22 @@
+//! # wormcast-network — the wormhole-switched mesh simulator
+//!
+//! An event-driven simulator of wormhole switching on k-ary n-dimensional
+//! meshes, the substrate on which the four broadcast algorithms are
+//! compared. See [`engine::Network`] for the model description (header/
+//! channel granularity, FIFO channel queues, blocking-in-place, CPR
+//! absorb-and-forward, per-node injection ports, start-up latency Ts).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod message;
+pub mod trace;
+
+pub use config::{NetworkConfig, ReleaseMode};
+pub use engine::{Counters, Network};
+pub use message::{Delivery, MessageId, MessageSpec, OpId, Route};
+pub use trace::{Trace, TraceKind, TraceRecord};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,144 @@
+//! Execution tracing — a bounded record of engine decisions for debugging
+//! and for tests that assert *mechanism*, not just outcome.
+
+use crate::message::MessageId;
+use serde::{Deserialize, Serialize};
+use wormcast_sim::SimTime;
+use wormcast_topology::{ChannelId, NodeId};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Injection requested at the source PE.
+    Inject,
+    /// An injection port was granted.
+    PortGrant,
+    /// Start-up latency elapsed; header entered the router.
+    StartupDone,
+    /// A channel was granted to the header.
+    ChannelGrant,
+    /// The header found its channel(s) busy and joined a queue.
+    ChannelWait,
+    /// The header arrived at a router.
+    HeaderArrive,
+    /// A payload copy finished arriving at a node.
+    Deliver,
+    /// The message completed at its final destination.
+    Complete,
+    /// A channel was released.
+    ChannelRelease,
+}
+
+/// One trace record. `node`/`channel` are populated where meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The message involved ([`MessageId::MAX`-like sentinel never occurs]).
+    pub message: MessageId,
+    /// The node involved, if any.
+    pub node: Option<NodeId>,
+    /// The channel involved, if any.
+    pub channel: Option<ChannelId>,
+}
+
+/// A bounded ring buffer of trace records; disabled (zero-cost apart from a
+/// branch) by default.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: std::collections::VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Enable with the given capacity; older records are dropped once full.
+    pub fn enable(&mut self, capacity: usize) {
+        assert!(capacity > 0, "trace capacity must be positive");
+        self.capacity = capacity;
+        self.records.clear();
+        self.dropped = 0;
+    }
+
+    /// Whether recording is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Append a record (no-op when disabled).
+    #[inline]
+    pub fn push(&mut self, r: TraceRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(r);
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Records for one message, oldest first.
+    pub fn of_message(&self, m: MessageId) -> Vec<TraceRecord> {
+        self.records.iter().filter(|r| r.message == m).copied().collect()
+    }
+
+    /// Records dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: TraceKind, msg: u64) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_ps(1),
+            kind,
+            message: MessageId(msg),
+            node: None,
+            channel: None,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::default();
+        t.push(rec(TraceKind::Inject, 0));
+        assert_eq!(t.records().count(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = Trace::default();
+        t.enable(2);
+        t.push(rec(TraceKind::Inject, 0));
+        t.push(rec(TraceKind::Deliver, 1));
+        t.push(rec(TraceKind::Complete, 2));
+        let kinds: Vec<TraceKind> = t.records().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![TraceKind::Deliver, TraceKind::Complete]);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn per_message_filter() {
+        let mut t = Trace::default();
+        t.enable(10);
+        t.push(rec(TraceKind::Inject, 5));
+        t.push(rec(TraceKind::Inject, 6));
+        t.push(rec(TraceKind::Complete, 5));
+        assert_eq!(t.of_message(MessageId(5)).len(), 2);
+        assert_eq!(t.of_message(MessageId(9)).len(), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Coded-path routing (CPR) — Al-Dubai & Ould-Khaoua's multidestination
+//! path-based mechanism [IPCCC 2001], the substrate of the DB and AB
+//! broadcast algorithms.
+//!
+//! A CPR message's header flit carries a **2-bit control field** that tells
+//! each router on the path what to do when the header arrives:
+//!
+//! * `00` (unicast) — pass through; only the path's final node receives;
+//! * `10` (corner relay) — designated relay nodes (corners) receive a copy
+//!   *and* keep forwarding in the same cycle; other nodes pass through;
+//! * `11` (gather all) — **every** node on the path receives a copy and
+//!   forwards; the message delivers to its whole path in one step.
+//!
+//! The absorb-and-forward capability is what lets DB cover a full row or
+//! column of the mesh in a single message-passing step, and is the reason DB
+//! needs only 4 steps (and AB 3) regardless of network size.
+
+use crate::path::Path;
+use serde::{Deserialize, Serialize};
+use wormcast_topology::{NodeId, Topology};
+
+/// The 2-bit CPR header control field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlField {
+    /// `00`: plain unicast — deliver at the final node only.
+    Unicast,
+    /// `10`: deliver at designated relay (corner) nodes and the final node,
+    /// forwarding concurrently. Used by AB's first and second steps.
+    CornerRelay,
+    /// `11`: deliver at every node along the path. Used by the dissemination
+    /// steps of DB and AB.
+    GatherAll,
+}
+
+impl ControlField {
+    /// The two on-the-wire header bits.
+    pub fn bits(self) -> u8 {
+        match self {
+            ControlField::Unicast => 0b00,
+            ControlField::CornerRelay => 0b10,
+            ControlField::GatherAll => 0b11,
+        }
+    }
+
+    /// Decode from header bits.
+    pub fn from_bits(bits: u8) -> Option<ControlField> {
+        match bits {
+            0b00 => Some(ControlField::Unicast),
+            0b10 => Some(ControlField::CornerRelay),
+            0b11 => Some(ControlField::GatherAll),
+            _ => None,
+        }
+    }
+}
+
+/// A multidestination message: a path plus the per-node delivery behaviour
+/// derived from the control field.
+///
+/// `deliver[i]` says whether the i-th node of the path (index 0 = source)
+/// absorbs a copy. The source never delivers to itself; the final node always
+/// receives.
+///
+/// # Examples
+///
+/// A gather-all (`11`) coded path delivers to every node it crosses — the
+/// mechanism that lets DB cover a whole row in one message-passing step:
+///
+/// ```
+/// use wormcast_routing::{CodedPath, Path};
+/// use wormcast_topology::{Coord, Mesh, Topology};
+///
+/// let mesh = Mesh::square(4);
+/// let row: Vec<_> = (0..4).map(|x| mesh.node_at(&Coord::xy(x, 1))).collect();
+/// let cp = CodedPath::gather_all(&mesh, Path::through(&mesh, &row));
+/// assert_eq!(cp.num_receivers(), 3); // everyone after the source
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodedPath {
+    /// The physical route.
+    pub path: Path,
+    /// The header control field.
+    pub control: ControlField,
+    /// Delivery mask, aligned with `path.nodes()`.
+    deliver: Vec<bool>,
+}
+
+impl CodedPath {
+    /// A `00`-coded unicast: deliver at the final node only.
+    ///
+    /// # Panics
+    /// Panics if the path is empty (a message to self is not a message).
+    pub fn unicast<T: Topology>(topo: &T, path: Path) -> CodedPath {
+        assert!(!path.is_empty(), "unicast path must leave the source");
+        let n = path.nodes(topo).len();
+        let mut deliver = vec![false; n];
+        deliver[n - 1] = true;
+        CodedPath {
+            path,
+            control: ControlField::Unicast,
+            deliver,
+        }
+    }
+
+    /// An `11`-coded gather-all: every node after the source receives.
+    ///
+    /// # Panics
+    /// Panics if the path is empty.
+    pub fn gather_all<T: Topology>(topo: &T, path: Path) -> CodedPath {
+        assert!(!path.is_empty(), "gather-all path must leave the source");
+        let n = path.nodes(topo).len();
+        let mut deliver = vec![true; n];
+        deliver[0] = false;
+        CodedPath {
+            path,
+            control: ControlField::GatherAll,
+            deliver,
+        }
+    }
+
+    /// A `10`-coded corner relay: deliver at the listed `relays` (which must
+    /// be distinct intermediate or final nodes of the path) and at the final
+    /// node.
+    ///
+    /// # Panics
+    /// Panics if the path is empty, or any relay is the source or not on the
+    /// path.
+    pub fn corner_relay<T: Topology>(topo: &T, path: Path, relays: &[NodeId]) -> CodedPath {
+        assert!(!path.is_empty(), "corner-relay path must leave the source");
+        let nodes = path.nodes(topo);
+        let mut deliver = vec![false; nodes.len()];
+        for relay in relays {
+            let idx = nodes
+                .iter()
+                .position(|n| n == relay)
+                .unwrap_or_else(|| panic!("relay {relay} is not on the path"));
+            assert!(idx != 0, "the source cannot be a relay");
+            deliver[idx] = true;
+        }
+        *deliver.last_mut().unwrap() = true;
+        CodedPath {
+            path,
+            control: ControlField::CornerRelay,
+            deliver,
+        }
+    }
+
+    /// A coded path with an explicit receiver set: deliver at exactly the
+    /// listed nodes (the final node need *not* receive — used when a
+    /// dissemination path runs past a node that already holds the payload,
+    /// e.g. the broadcast source). Encoded on the wire as `11` with per-hop
+    /// skip marks.
+    ///
+    /// # Panics
+    /// Panics if the path is empty, `receivers` is empty, or any receiver is
+    /// the source or not on the path.
+    pub fn selective<T: Topology>(topo: &T, path: Path, receivers: &[NodeId]) -> CodedPath {
+        assert!(!path.is_empty(), "selective path must leave the source");
+        assert!(!receivers.is_empty(), "selective path needs receivers");
+        let nodes = path.nodes(topo);
+        let mut deliver = vec![false; nodes.len()];
+        for r in receivers {
+            let idx = nodes
+                .iter()
+                .position(|n| n == r)
+                .unwrap_or_else(|| panic!("receiver {r} is not on the path"));
+            assert!(idx != 0, "the source cannot be a receiver");
+            deliver[idx] = true;
+        }
+        CodedPath {
+            path,
+            control: ControlField::GatherAll,
+            deliver,
+        }
+    }
+
+    /// Delivery mask aligned with `path.nodes()`.
+    pub fn deliver_mask(&self) -> &[bool] {
+        &self.deliver
+    }
+
+    /// The nodes that receive a copy of this message, in path order.
+    pub fn receivers<T: Topology>(&self, topo: &T) -> Vec<NodeId> {
+        self.path
+            .nodes(topo)
+            .into_iter()
+            .zip(&self.deliver)
+            .filter_map(|(n, &d)| d.then_some(n))
+            .collect()
+    }
+
+    /// Number of receivers.
+    pub fn num_receivers(&self) -> usize {
+        self.deliver.iter().filter(|&&d| d).count()
+    }
+
+    /// The source node.
+    pub fn src(&self) -> NodeId {
+        self.path.src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormcast_topology::{Coord, Mesh};
+
+    fn row_path(m: &Mesh) -> Path {
+        Path::through(
+            m,
+            &(0..4)
+                .map(|x| m.node_at(&Coord::xy(x, 1)))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn control_field_bits_roundtrip() {
+        for cf in [
+            ControlField::Unicast,
+            ControlField::CornerRelay,
+            ControlField::GatherAll,
+        ] {
+            assert_eq!(ControlField::from_bits(cf.bits()), Some(cf));
+        }
+        assert_eq!(ControlField::from_bits(0b01), None);
+    }
+
+    #[test]
+    fn unicast_delivers_only_at_end() {
+        let m = Mesh::square(4);
+        let cp = CodedPath::unicast(&m, row_path(&m));
+        assert_eq!(cp.num_receivers(), 1);
+        assert_eq!(cp.receivers(&m), vec![m.node_at(&Coord::xy(3, 1))]);
+    }
+
+    #[test]
+    fn gather_all_delivers_everywhere_but_source() {
+        let m = Mesh::square(4);
+        let cp = CodedPath::gather_all(&m, row_path(&m));
+        assert_eq!(cp.num_receivers(), 3);
+        let rx = cp.receivers(&m);
+        assert!(!rx.contains(&m.node_at(&Coord::xy(0, 1))));
+        assert!(rx.contains(&m.node_at(&Coord::xy(1, 1))));
+        assert!(rx.contains(&m.node_at(&Coord::xy(3, 1))));
+    }
+
+    #[test]
+    fn corner_relay_delivers_at_relays_and_end() {
+        let m = Mesh::square(4);
+        let relay = m.node_at(&Coord::xy(2, 1));
+        let cp = CodedPath::corner_relay(&m, row_path(&m), &[relay]);
+        assert_eq!(
+            cp.receivers(&m),
+            vec![relay, m.node_at(&Coord::xy(3, 1))]
+        );
+    }
+
+    #[test]
+    fn corner_relay_end_always_receives() {
+        let m = Mesh::square(4);
+        let cp = CodedPath::corner_relay(&m, row_path(&m), &[]);
+        assert_eq!(cp.receivers(&m), vec![m.node_at(&Coord::xy(3, 1))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not on the path")]
+    fn relay_off_path_rejected() {
+        let m = Mesh::square(4);
+        let off = m.node_at(&Coord::xy(0, 0));
+        let _ = CodedPath::corner_relay(&m, row_path(&m), &[off]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source cannot be a relay")]
+    fn source_relay_rejected() {
+        let m = Mesh::square(4);
+        let src = m.node_at(&Coord::xy(0, 1));
+        let _ = CodedPath::corner_relay(&m, row_path(&m), &[src]);
+    }
+
+    #[test]
+    fn selective_delivers_exactly_listed() {
+        let m = Mesh::square(4);
+        let rx = [m.node_at(&Coord::xy(1, 1)), m.node_at(&Coord::xy(2, 1))];
+        let cp = CodedPath::selective(&m, row_path(&m), &rx);
+        assert_eq!(cp.receivers(&m), rx.to_vec());
+        // Final node (3,1) does NOT receive.
+        assert!(!cp.receivers(&m).contains(&m.node_at(&Coord::xy(3, 1))));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs receivers")]
+    fn selective_empty_receivers_rejected() {
+        let m = Mesh::square(4);
+        let _ = CodedPath::selective(&m, row_path(&m), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must leave the source")]
+    fn empty_path_rejected() {
+        let m = Mesh::square(4);
+        let p = Path::through(&m, &[m.node_at(&Coord::xy(0, 0))]);
+        let _ = CodedPath::unicast(&m, p);
+    }
+}

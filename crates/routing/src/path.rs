@@ -1,0 +1,163 @@
+//! Network paths: the channel sequences messages traverse.
+
+use serde::{Deserialize, Serialize};
+use wormcast_topology::{ChannelId, NodeId, Topology};
+
+/// A concrete path through the network: a source node and the ordered list of
+/// directed channels the header crosses. An empty `hops` list is a
+/// self-delivery (used nowhere by the algorithms, but legal).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    /// The injecting node.
+    pub src: NodeId,
+    /// Channels in traversal order.
+    pub hops: Vec<ChannelId>,
+}
+
+impl Path {
+    /// Build a path from the ordered list of nodes it visits.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or consecutive nodes are not adjacent.
+    pub fn through<T: Topology>(topo: &T, nodes: &[NodeId]) -> Path {
+        assert!(!nodes.is_empty(), "path needs at least the source node");
+        let hops = nodes
+            .windows(2)
+            .map(|w| {
+                topo.channel_between(w[0], w[1]).unwrap_or_else(|| {
+                    panic!("nodes {} and {} are not adjacent", w[0], w[1])
+                })
+            })
+            .collect();
+        Path {
+            src: nodes[0],
+            hops,
+        }
+    }
+
+    /// The ordered list of nodes this path visits, starting at `src`.
+    pub fn nodes<T: Topology>(&self, topo: &T) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.hops.len() + 1);
+        out.push(self.src);
+        for &ch in &self.hops {
+            let (from, to) = topo.channel_endpoints(ch);
+            debug_assert_eq!(from, *out.last().unwrap(), "path is not contiguous");
+            out.push(to);
+        }
+        out
+    }
+
+    /// The final node of the path.
+    pub fn dest<T: Topology>(&self, topo: &T) -> NodeId {
+        match self.hops.last() {
+            None => self.src,
+            Some(&ch) => topo.channel_endpoints(ch).1,
+        }
+    }
+
+    /// Number of channel crossings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the path stays at its source.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Whether this path is minimal (length equals topology distance).
+    pub fn is_minimal<T: Topology>(&self, topo: &T) -> bool {
+        self.len() as u32 == topo.distance(self.src, self.dest(topo))
+    }
+
+    /// Whether the path ever visits the same node twice.
+    pub fn has_cycle<T: Topology>(&self, topo: &T) -> bool {
+        let nodes = self.nodes(topo);
+        let mut seen = std::collections::HashSet::with_capacity(nodes.len());
+        nodes.iter().any(|n| !seen.insert(*n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormcast_topology::{Coord, Mesh};
+
+    fn mesh() -> Mesh {
+        Mesh::square(4)
+    }
+
+    fn node(m: &Mesh, x: u16, y: u16) -> NodeId {
+        m.node_at(&Coord::xy(x, y))
+    }
+
+    #[test]
+    fn through_builds_contiguous_path() {
+        let m = mesh();
+        let p = Path::through(
+            &m,
+            &[node(&m, 0, 0), node(&m, 1, 0), node(&m, 1, 1), node(&m, 1, 2)],
+        );
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.src, node(&m, 0, 0));
+        assert_eq!(p.dest(&m), node(&m, 1, 2));
+        assert_eq!(
+            p.nodes(&m),
+            vec![node(&m, 0, 0), node(&m, 1, 0), node(&m, 1, 1), node(&m, 1, 2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn through_rejects_jumps() {
+        let m = mesh();
+        let _ = Path::through(&m, &[node(&m, 0, 0), node(&m, 2, 0)]);
+    }
+
+    #[test]
+    fn singleton_path() {
+        let m = mesh();
+        let p = Path::through(&m, &[node(&m, 2, 2)]);
+        assert!(p.is_empty());
+        assert_eq!(p.dest(&m), node(&m, 2, 2));
+        assert!(p.is_minimal(&m));
+    }
+
+    #[test]
+    fn minimality() {
+        let m = mesh();
+        let direct = Path::through(&m, &[node(&m, 0, 0), node(&m, 1, 0), node(&m, 2, 0)]);
+        assert!(direct.is_minimal(&m));
+        let detour = Path::through(
+            &m,
+            &[
+                node(&m, 0, 0),
+                node(&m, 0, 1),
+                node(&m, 1, 1),
+                node(&m, 1, 0),
+                node(&m, 2, 0),
+            ],
+        );
+        assert!(!detour.is_minimal(&m));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let m = mesh();
+        let loopy = Path::through(
+            &m,
+            &[
+                node(&m, 0, 0),
+                node(&m, 1, 0),
+                node(&m, 1, 1),
+                node(&m, 0, 1),
+                node(&m, 0, 0),
+            ],
+        );
+        assert!(loopy.has_cycle(&m));
+        let straight = Path::through(&m, &[node(&m, 0, 0), node(&m, 1, 0)]);
+        assert!(!straight.has_cycle(&m));
+    }
+}

@@ -1,0 +1,564 @@
+//! Turn-model adaptive routing (Glass & Ni) and the odd-even model (Chiu).
+//!
+//! The AB algorithm rides on west-first routing: in a 2D mesh, the turns
+//! (south → west) and (north → west) are prohibited, which forces a packet to
+//! complete all of its westward movement *first* and thereafter route
+//! adaptively among the productive east/north/south channels. Prohibiting
+//! just those two turns leaves the channel dependency graph acyclic, so the
+//! scheme is deadlock-free with no virtual channels [Glass & Ni 1992].
+//!
+//! For the paper's 3D networks the AB algorithm only ever moves either within
+//! an X–Y plane or straight along Z, and we compose hierarchically: a packet
+//! first corrects Z dimension-ordered, then routes west-first within its
+//! destination plane ([`PlanarWestFirst`]). Z channels only feed X–Y
+//! channels, never the reverse, so acyclicity — and hence deadlock freedom —
+//! is preserved.
+
+use crate::dor::{dor_path, hop_dim_sign};
+use crate::RoutingFunction;
+use wormcast_topology::{ChannelId, Coord, Mesh, NodeId, Sign, Topology};
+
+/// Deterministic dimension-ordered routing as a [`RoutingFunction`]
+/// (single candidate per hop). The substrate of RD, EDN and DB.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DimensionOrdered;
+
+impl RoutingFunction for DimensionOrdered {
+    fn candidates(
+        &self,
+        mesh: &Mesh,
+        _src: NodeId,
+        cur: NodeId,
+        _prev: Option<(usize, Sign)>,
+        dst: NodeId,
+    ) -> Vec<ChannelId> {
+        let cc = mesh.coord_of(cur);
+        let cd = mesh.coord_of(dst);
+        for dim in 0..mesh.ndims() {
+            if let Some(sign) = Sign::towards(cc.get(dim), cd.get(dim)) {
+                return vec![mesh
+                    .channel(cur, dim, sign)
+                    .expect("productive mesh channel exists")];
+            }
+        }
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "dimension-ordered"
+    }
+}
+
+/// West-first turn-model routing for 2D meshes.
+///
+/// If the destination lies to the west, the only candidate is the west
+/// channel; otherwise all minimal productive channels (east and/or
+/// north/south) are offered, east preferred first for determinism of the
+/// fallback choice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WestFirst;
+
+/// Push the productive channels of `cur` towards `dst` among the given
+/// dimension/sign pairs, in the given order.
+fn productive(
+    mesh: &Mesh,
+    cur: NodeId,
+    dst: NodeId,
+    dims: &[usize],
+    out: &mut Vec<ChannelId>,
+) {
+    let cc = mesh.coord_of(cur);
+    let cd = mesh.coord_of(dst);
+    for &dim in dims {
+        if let Some(sign) = Sign::towards(cc.get(dim), cd.get(dim)) {
+            out.push(
+                mesh.channel(cur, dim, sign)
+                    .expect("productive mesh channel exists"),
+            );
+        }
+    }
+}
+
+impl RoutingFunction for WestFirst {
+    fn candidates(
+        &self,
+        mesh: &Mesh,
+        _src: NodeId,
+        cur: NodeId,
+        _prev: Option<(usize, Sign)>,
+        dst: NodeId,
+    ) -> Vec<ChannelId> {
+        assert_eq!(mesh.ndims(), 2, "WestFirst routes 2D meshes");
+        let cc = mesh.coord_of(cur);
+        let cd = mesh.coord_of(dst);
+        // West phase: all westward movement happens before anything else.
+        if cd.get(0) < cc.get(0) {
+            return vec![mesh
+                .channel(cur, 0, Sign::Minus)
+                .expect("west channel exists")];
+        }
+        // Adaptive phase: minimal east/north/south.
+        let mut out = Vec::with_capacity(2);
+        productive(mesh, cur, dst, &[0, 1], &mut out);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "west-first"
+    }
+}
+
+/// West-first for 3D meshes, composed hierarchically: correct Z
+/// (dimension-ordered) first, then route west-first within the X–Y plane.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanarWestFirst;
+
+impl RoutingFunction for PlanarWestFirst {
+    fn candidates(
+        &self,
+        mesh: &Mesh,
+        _src: NodeId,
+        cur: NodeId,
+        _prev: Option<(usize, Sign)>,
+        dst: NodeId,
+    ) -> Vec<ChannelId> {
+        assert_eq!(mesh.ndims(), 3, "PlanarWestFirst routes 3D meshes");
+        let cc = mesh.coord_of(cur);
+        let cd = mesh.coord_of(dst);
+        // Z phase.
+        if let Some(sign) = Sign::towards(cc.get(2), cd.get(2)) {
+            return vec![mesh.channel(cur, 2, sign).expect("z channel exists")];
+        }
+        // West phase within the plane.
+        if cd.get(0) < cc.get(0) {
+            return vec![mesh
+                .channel(cur, 0, Sign::Minus)
+                .expect("west channel exists")];
+        }
+        // Adaptive phase.
+        let mut out = Vec::with_capacity(2);
+        productive(mesh, cur, dst, &[0, 1], &mut out);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "planar-west-first"
+    }
+}
+
+/// Negative-first turn-model routing (any dimensionality): all hops in
+/// negative directions are taken first (adaptively among themselves), then
+/// all positive hops (adaptively). Deadlock-free [Glass & Ni 1992]; used by
+/// the ablation benches as an alternative adaptive substrate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NegativeFirst;
+
+impl RoutingFunction for NegativeFirst {
+    fn candidates(
+        &self,
+        mesh: &Mesh,
+        _src: NodeId,
+        cur: NodeId,
+        _prev: Option<(usize, Sign)>,
+        dst: NodeId,
+    ) -> Vec<ChannelId> {
+        let cc = mesh.coord_of(cur);
+        let cd = mesh.coord_of(dst);
+        let mut negatives = Vec::new();
+        let mut positives = Vec::new();
+        for dim in 0..mesh.ndims() {
+            match Sign::towards(cc.get(dim), cd.get(dim)) {
+                Some(Sign::Minus) => negatives.push(
+                    mesh.channel(cur, dim, Sign::Minus)
+                        .expect("productive channel"),
+                ),
+                Some(Sign::Plus) => positives.push(
+                    mesh.channel(cur, dim, Sign::Plus)
+                        .expect("productive channel"),
+                ),
+                None => {}
+            }
+        }
+        if negatives.is_empty() {
+            positives
+        } else {
+            negatives
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "negative-first"
+    }
+}
+
+/// The odd-even turn model (Chiu 2000) for 2D meshes — minimal adaptive,
+/// deadlock-free without virtual channels; an alternative substrate for AB in
+/// the ablation benches.
+///
+/// Implementation of Chiu's `ROUTE` function: turns from east to north/south
+/// are only taken in odd columns (or the source column), and a packet heading
+/// west pre-positions its row movement in even columns, so that the
+/// prohibited EN/ES-at-even and NW/SW-at-odd turns never occur.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OddEven;
+
+impl RoutingFunction for OddEven {
+    fn candidates(
+        &self,
+        mesh: &Mesh,
+        src: NodeId,
+        cur: NodeId,
+        _prev: Option<(usize, Sign)>,
+        dst: NodeId,
+    ) -> Vec<ChannelId> {
+        assert_eq!(mesh.ndims(), 2, "OddEven routes 2D meshes");
+        let cc = mesh.coord_of(cur);
+        let cd = mesh.coord_of(dst);
+        let cs = mesh.coord_of(src);
+        let (cx, cy) = (cc.get(0) as i32, cc.get(1) as i32);
+        let (dx, dy) = (cd.get(0) as i32, cd.get(1) as i32);
+        let e0 = dx - cx;
+        let e1 = dy - cy;
+        let mut out = Vec::with_capacity(2);
+        let mut add = |dim: usize, sign: Sign| {
+            out.push(mesh.channel(cur, dim, sign).expect("mesh channel exists"));
+        };
+        let ns = if e1 < 0 { Sign::Minus } else { Sign::Plus };
+        if e0 == 0 && e1 == 0 {
+            return out;
+        }
+        if e0 == 0 {
+            add(1, ns);
+        } else if e0 > 0 {
+            // Eastbound.
+            if e1 == 0 {
+                add(0, Sign::Plus);
+            } else {
+                if cx % 2 == 1 || cx == cs.get(0) as i32 {
+                    add(1, ns);
+                }
+                if dx % 2 == 1 || e0 != 1 {
+                    add(0, Sign::Plus);
+                }
+            }
+        } else {
+            // Westbound: row movement allowed only in even columns.
+            add(0, Sign::Minus);
+            if e1 != 0 && cx % 2 == 0 {
+                add(1, ns);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "odd-even"
+    }
+}
+
+/// Whether a path on a 2D mesh is legal under the west-first turn model:
+/// every westward (−X) hop precedes every non-westward hop, and the path is
+/// minimal per dimension (no direction reversals).
+pub fn is_west_first_legal(mesh: &Mesh, path: &crate::Path) -> bool {
+    assert_eq!(mesh.ndims(), 2);
+    xy_west_first_legal(
+        &path
+            .nodes(mesh)
+            .iter()
+            .map(|&n| mesh.coord_of(n))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Whether a path on a 3D mesh is legal under [`PlanarWestFirst`]: all Z hops
+/// first, then a west-first-legal X–Y walk.
+pub fn is_planar_west_first_legal(mesh: &Mesh, path: &crate::Path) -> bool {
+    assert_eq!(mesh.ndims(), 3);
+    let coords: Vec<Coord> = path.nodes(mesh).iter().map(|&n| mesh.coord_of(n)).collect();
+    let mut seen_xy = false;
+    for w in coords.windows(2) {
+        let Some((dim, _)) = hop_dim_sign(&w[0], &w[1]) else {
+            return false;
+        };
+        if dim == 2 {
+            if seen_xy {
+                return false;
+            }
+        } else {
+            seen_xy = true;
+        }
+    }
+    xy_west_first_legal(&coords)
+}
+
+/// West-first legality over a coordinate walk, considering only X–Y hops
+/// (dims 0 and 1) and ignoring hops in other dimensions.
+fn xy_west_first_legal(coords: &[Coord]) -> bool {
+    let mut seen_non_west = false;
+    let mut x_sign: Option<Sign> = None;
+    let mut y_sign: Option<Sign> = None;
+    for w in coords.windows(2) {
+        let Some((dim, sign)) = hop_dim_sign(&w[0], &w[1]) else {
+            return false;
+        };
+        match dim {
+            0 => {
+                if let Some(s) = x_sign {
+                    if s != sign {
+                        return false; // reversal in X
+                    }
+                }
+                x_sign = Some(sign);
+                if sign == Sign::Minus {
+                    if seen_non_west {
+                        return false; // a west hop after E/N/S movement
+                    }
+                } else {
+                    seen_non_west = true;
+                }
+            }
+            1 => {
+                if let Some(s) = y_sign {
+                    if s != sign {
+                        return false; // reversal in Y
+                    }
+                }
+                y_sign = Some(sign);
+                seen_non_west = true;
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Construct a canonical west-first-legal minimal path in a 2D mesh:
+/// west fully first (if needed), then dimension-ordered east/then-Y.
+pub fn west_first_path(mesh: &Mesh, src: NodeId, dst: NodeId) -> crate::Path {
+    assert_eq!(mesh.ndims(), 2);
+    let cs = mesh.coord_of(src);
+    let cd = mesh.coord_of(dst);
+    if cd.get(0) < cs.get(0) {
+        // West leg first, then the rest dimension-ordered (which is +X/±Y).
+        let pivot = mesh.node_at(&cs.with(0, cd.get(0)));
+        let mut nodes = crate::Path::through(
+            mesh,
+            &std::iter::once(src)
+                .chain(
+                    wormcast_topology::straight_walk(&cs, &mesh.coord_of(pivot))
+                        .iter()
+                        .map(|c| mesh.node_at(c)),
+                )
+                .collect::<Vec<_>>(),
+        )
+        .nodes(mesh);
+        let rest = dor_path(mesh, pivot, dst);
+        nodes.extend(rest.nodes(mesh).into_iter().skip(1));
+        crate::Path::through(mesh, &nodes)
+    } else {
+        dor_path(mesh, src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Path;
+
+    fn node(m: &Mesh, x: u16, y: u16) -> NodeId {
+        m.node_at(&Coord::xy(x, y))
+    }
+
+    #[test]
+    fn dor_single_candidate() {
+        let m = Mesh::square(4);
+        let rf = DimensionOrdered;
+        let c = rf.candidates(&m, node(&m, 0, 0), node(&m, 0, 0), None, node(&m, 2, 2));
+        assert_eq!(c.len(), 1);
+        let (_, to) = m.channel_endpoints(c[0]);
+        assert_eq!(to, node(&m, 1, 0), "X corrected first");
+    }
+
+    #[test]
+    fn dor_empty_at_destination() {
+        let m = Mesh::square(4);
+        let rf = DimensionOrdered;
+        assert!(rf
+            .candidates(&m, node(&m, 1, 1), node(&m, 1, 1), None, node(&m, 1, 1))
+            .is_empty());
+    }
+
+    #[test]
+    fn west_first_forces_west_phase() {
+        let m = Mesh::square(8);
+        let rf = WestFirst;
+        // Destination to the south-west: only west is offered.
+        let c = rf.candidates(&m, node(&m, 5, 5), node(&m, 5, 5), None, node(&m, 2, 1));
+        assert_eq!(c.len(), 1);
+        let (_, to) = m.channel_endpoints(c[0]);
+        assert_eq!(to, node(&m, 4, 5));
+    }
+
+    #[test]
+    fn west_first_adaptive_when_east_or_north() {
+        let m = Mesh::square(8);
+        let rf = WestFirst;
+        let c = rf.candidates(&m, node(&m, 2, 2), node(&m, 2, 2), None, node(&m, 5, 6));
+        assert_eq!(c.len(), 2, "east and north both offered");
+    }
+
+    #[test]
+    fn west_first_candidates_always_productive() {
+        let m = Mesh::square(8);
+        let rf = WestFirst;
+        for s in 0..64u32 {
+            for d in 0..64u32 {
+                let (src, dst) = (NodeId(s), NodeId(d));
+                if src == dst {
+                    continue;
+                }
+                // Walk greedily along first candidates; must reach dst in
+                // exactly distance hops (minimal, no dead ends).
+                let mut cur = src;
+                let mut hops = 0;
+                while cur != dst {
+                    let cands = rf.candidates(&m, src, cur, None, dst);
+                    assert!(!cands.is_empty(), "dead end at {cur} toward {dst}");
+                    cur = m.channel_endpoints(cands[0]).1;
+                    hops += 1;
+                    assert!(hops <= 14, "non-minimal walk {src}->{dst}");
+                }
+                assert_eq!(hops, m.distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn planar_west_first_corrects_z_first() {
+        let m = Mesh::cube(4);
+        let rf = PlanarWestFirst;
+        let src = m.node_at(&Coord::xyz(1, 1, 0));
+        let dst = m.node_at(&Coord::xyz(0, 3, 3));
+        let c = rf.candidates(&m, src, src, None, dst);
+        assert_eq!(c.len(), 1);
+        let (_, to) = m.channel_endpoints(c[0]);
+        assert_eq!(m.coord_of(to), Coord::xyz(1, 1, 1));
+    }
+
+    #[test]
+    fn planar_west_first_minimal_everywhere() {
+        let m = Mesh::cube(4);
+        let rf = PlanarWestFirst;
+        for s in (0..64u32).step_by(7) {
+            for d in (0..64u32).step_by(5) {
+                let (src, dst) = (NodeId(s), NodeId(d));
+                let mut cur = src;
+                let mut hops = 0;
+                while cur != dst {
+                    let cands = rf.candidates(&m, src, cur, None, dst);
+                    assert!(!cands.is_empty());
+                    cur = m.channel_endpoints(cands[cands.len() - 1]).1;
+                    hops += 1;
+                    assert!(hops <= 12);
+                }
+                assert_eq!(hops, m.distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn negative_first_phases() {
+        let m = Mesh::cube(4);
+        let rf = NegativeFirst;
+        let src = m.node_at(&Coord::xyz(2, 2, 2));
+        let dst = m.node_at(&Coord::xyz(0, 3, 1));
+        let c = rf.candidates(&m, src, src, None, dst);
+        // Negative dims: X and Z => two negative candidates, no positive yet.
+        assert_eq!(c.len(), 2);
+        for ch in c {
+            let (_, to) = m.channel_endpoints(ch);
+            let cc = m.coord_of(to);
+            assert!(cc == Coord::xyz(1, 2, 2) || cc == Coord::xyz(2, 2, 1));
+        }
+    }
+
+    #[test]
+    fn odd_even_minimal_everywhere() {
+        let m = Mesh::square(8);
+        let rf = OddEven;
+        for s in 0..64u32 {
+            for d in 0..64u32 {
+                let (src, dst) = (NodeId(s), NodeId(d));
+                if src == dst {
+                    continue;
+                }
+                // Explore both greedy extremes (first and last candidate).
+                for pick_last in [false, true] {
+                    let mut cur = src;
+                    let mut hops = 0;
+                    while cur != dst {
+                        let cands = rf.candidates(&m, src, cur, None, dst);
+                        assert!(
+                            !cands.is_empty(),
+                            "odd-even dead end at {cur} toward {dst}"
+                        );
+                        let pick = if pick_last { cands.len() - 1 } else { 0 };
+                        cur = m.channel_endpoints(cands[pick]).1;
+                        hops += 1;
+                        assert!(hops <= 14, "non-minimal {src}->{dst}");
+                    }
+                    assert_eq!(hops, m.distance(src, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_legality_checker() {
+        let m = Mesh::square(4);
+        // Legal: west, west, then north.
+        let legal = Path::through(
+            &m,
+            &[node(&m, 3, 0), node(&m, 2, 0), node(&m, 1, 0), node(&m, 1, 1)],
+        );
+        assert!(is_west_first_legal(&m, &legal));
+        // Illegal: north then west (prohibited NW turn).
+        let illegal = Path::through(&m, &[node(&m, 3, 0), node(&m, 3, 1), node(&m, 2, 1)]);
+        assert!(!is_west_first_legal(&m, &illegal));
+    }
+
+    #[test]
+    fn west_first_path_construction_is_legal_and_minimal() {
+        let m = Mesh::square(8);
+        for s in (0..64u32).step_by(3) {
+            for d in (0..64u32).step_by(7) {
+                let p = west_first_path(&m, NodeId(s), NodeId(d));
+                assert!(p.is_minimal(&m), "{s}->{d}");
+                assert!(is_west_first_legal(&m, &p), "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn planar_legality_z_after_xy_rejected() {
+        let m = Mesh::cube(4);
+        let bad = Path::through(
+            &m,
+            &[
+                m.node_at(&Coord::xyz(0, 0, 0)),
+                m.node_at(&Coord::xyz(1, 0, 0)),
+                m.node_at(&Coord::xyz(1, 0, 1)),
+            ],
+        );
+        assert!(!is_planar_west_first_legal(&m, &bad));
+        let good = Path::through(
+            &m,
+            &[
+                m.node_at(&Coord::xyz(0, 0, 0)),
+                m.node_at(&Coord::xyz(0, 0, 1)),
+                m.node_at(&Coord::xyz(1, 0, 1)),
+            ],
+        );
+        assert!(is_planar_west_first_legal(&m, &good));
+    }
+}

@@ -1,0 +1,199 @@
+//! Sampling distributions used by the workloads.
+//!
+//! The paper's traffic model (§3.3) uses exponentially distributed message
+//! inter-arrival times; message lengths are swept over fixed values (32–2048
+//! flits); sources and destinations are chosen uniformly. We provide those
+//! plus a couple of length distributions used by the ablation benches.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A distribution over time spans.
+pub trait DurationDist {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut SimRng) -> SimDuration;
+    /// The distribution mean, for analytic cross-checks.
+    fn mean(&self) -> SimDuration;
+}
+
+/// Exponential inter-arrival times with the given mean (Poisson arrivals).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    mean_ps: f64,
+}
+
+impl Exponential {
+    /// Exponential with mean `mean`.
+    ///
+    /// # Panics
+    /// Panics if the mean is zero — a zero-mean exponential is degenerate and
+    /// would make a traffic generator inject infinitely fast.
+    pub fn with_mean(mean: SimDuration) -> Self {
+        assert!(mean.as_ps() > 0, "exponential mean must be positive");
+        Exponential {
+            mean_ps: mean.as_ps() as f64,
+        }
+    }
+
+    /// Exponential parameterised by rate in messages per millisecond — the
+    /// x-axis unit of the paper's Figs. 3 and 4.
+    pub fn with_rate_per_ms(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Exponential {
+            mean_ps: crate::time::PS_PER_MS as f64 / rate,
+        }
+    }
+}
+
+impl DurationDist for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        // Inverse transform; 1-u avoids ln(0).
+        let u = 1.0 - rng.unit();
+        let ps = -self.mean_ps * u.ln();
+        SimDuration::from_ps(ps.round() as u64)
+    }
+
+    fn mean(&self) -> SimDuration {
+        SimDuration::from_ps(self.mean_ps.round() as u64)
+    }
+}
+
+/// A fixed, deterministic span (used for closed-form latency checks).
+#[derive(Debug, Clone, Copy)]
+pub struct Fixed(pub SimDuration);
+
+impl DurationDist for Fixed {
+    fn sample(&self, _rng: &mut SimRng) -> SimDuration {
+        self.0
+    }
+    fn mean(&self) -> SimDuration {
+        self.0
+    }
+}
+
+/// A distribution over message lengths in flits.
+pub trait LengthDist {
+    /// Draw one length.
+    fn sample(&self, rng: &mut SimRng) -> u64;
+}
+
+/// Every message has the same length — the setting in all the paper's figures.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLength(pub u64);
+
+impl LengthDist for FixedLength {
+    fn sample(&self, _rng: &mut SimRng) -> u64 {
+        self.0
+    }
+}
+
+/// Uniform over a closed set of lengths (the paper's 32–2048 flit sweep as a
+/// mixed workload, used by ablation benches).
+#[derive(Debug, Clone)]
+pub struct ChoiceLength(pub Vec<u64>);
+
+impl LengthDist for ChoiceLength {
+    fn sample(&self, rng: &mut SimRng) -> u64 {
+        assert!(!self.0.is_empty(), "ChoiceLength: empty choice set");
+        self.0[rng.index(self.0.len())]
+    }
+}
+
+/// Bimodal: short control messages with probability `p_short`, long data
+/// messages otherwise. Used in ablation benches only.
+#[derive(Debug, Clone, Copy)]
+pub struct BimodalLength {
+    /// Length of the short mode, flits.
+    pub short: u64,
+    /// Length of the long mode, flits.
+    pub long: u64,
+    /// Probability of drawing the short mode.
+    pub p_short: f64,
+}
+
+impl LengthDist for BimodalLength {
+    fn sample(&self, rng: &mut SimRng) -> u64 {
+        if rng.chance(self.p_short) {
+            self.short
+        } else {
+            self.long
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::new(11);
+        let d = Exponential::with_mean(SimDuration::from_us(10.0));
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut rng).as_ps()).sum();
+        let mean = total as f64 / n as f64;
+        let expect = 10.0 * 1e6;
+        assert!(
+            (mean - expect).abs() / expect < 0.03,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn exponential_rate_per_ms() {
+        // rate 0.05 msg/ms => mean 20 ms.
+        let d = Exponential::with_rate_per_ms(0.05);
+        assert_eq!(d.mean().as_ps(), 20 * crate::time::PS_PER_MS);
+    }
+
+    #[test]
+    fn exponential_is_nonnegative_and_varies() {
+        let mut rng = SimRng::new(2);
+        let d = Exponential::with_mean(SimDuration::from_us(1.0));
+        let samples: Vec<u64> = (0..100).map(|_| d.sample(&mut rng).as_ps()).collect();
+        assert!(samples.iter().any(|&s| s != samples[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_mean_rejected() {
+        let _ = Exponential::with_mean(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = SimRng::new(0);
+        let d = Fixed(SimDuration::from_ps(123));
+        assert_eq!(d.sample(&mut rng).as_ps(), 123);
+        assert_eq!(d.mean().as_ps(), 123);
+    }
+
+    #[test]
+    fn fixed_length() {
+        let mut rng = SimRng::new(0);
+        assert_eq!(FixedLength(64).sample(&mut rng), 64);
+    }
+
+    #[test]
+    fn choice_length_only_draws_members() {
+        let mut rng = SimRng::new(9);
+        let d = ChoiceLength(vec![32, 64, 2048]);
+        for _ in 0..200 {
+            let l = d.sample(&mut rng);
+            assert!([32, 64, 2048].contains(&l));
+        }
+    }
+
+    #[test]
+    fn bimodal_respects_probability() {
+        let mut rng = SimRng::new(4);
+        let d = BimodalLength {
+            short: 8,
+            long: 512,
+            p_short: 0.9,
+        };
+        let shorts = (0..5000).filter(|_| d.sample(&mut rng) == 8).count();
+        let frac = shorts as f64 / 5000.0;
+        assert!((frac - 0.9).abs() < 0.03, "short fraction {frac}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # wormcast-sim — discrete-event simulation kernel
+//!
+//! The execution substrate for the wormcast network simulator. The paper's
+//! authors built their simulator on MultiSim/CSIM-18, a C process-oriented
+//! simulation package; this crate is the from-scratch Rust equivalent:
+//!
+//! * [`time`] — integer-picosecond simulated time ([`SimTime`], [`SimDuration`]);
+//! * [`queue`] — the future-event list ([`EventQueue`]) with deterministic
+//!   FIFO tie-breaking, so runs are bit-reproducible;
+//! * [`rng`] — seeded, labelled random substreams ([`SimRng`]);
+//! * [`dist`] — the sampling distributions the workloads need.
+//!
+//! Engines (e.g. `wormcast-network`) own an [`EventQueue`] over their own event
+//! enum and drive the classic loop:
+//!
+//! ```
+//! use wormcast_sim::{EventQueue, SimTime, SimDuration};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_us(1.0), Ev::Ping(0));
+//! while let Some((now, Ev::Ping(k))) = q.pop() {
+//!     if k < 3 {
+//!         q.schedule(now + SimDuration::from_us(1.0), Ev::Ping(k + 1));
+//!     }
+//! }
+//! assert_eq!(q.now(), SimTime::from_us(4.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use dist::{
+    BimodalLength, ChoiceLength, DurationDist, Exponential, Fixed, FixedLength, LengthDist,
+};
+pub use queue::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime, PS_PER_MS, PS_PER_US};

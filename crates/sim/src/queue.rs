@@ -1,0 +1,263 @@
+//! The future-event list: a deterministic priority queue of timed events.
+//!
+//! Ties are broken by insertion sequence number, so two events scheduled for
+//! the same instant fire in the order they were scheduled. This mirrors the
+//! quasi-parallel process semantics of CSIM (the engine underneath the paper's
+//! MultiSim simulator) closely enough for every quantity the paper reports,
+//! while keeping runs bit-reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list with deterministic FIFO tie-breaking and O(log n)
+/// schedule/pop. Cancellation is lazy: cancelled ids are skipped at pop time.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    /// Seqs of events that are scheduled and not yet fired or cancelled.
+    pending: std::collections::HashSet<u64>,
+    /// Seqs cancelled but still physically present in the heap.
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            pending: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The current simulation clock: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock — scheduling into the
+    /// past is always a model bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. had not yet fired or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove and return the earliest pending event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            debug_assert!(entry.time >= self.now, "event heap went backwards");
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Whether any events remain pending.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of events pushed so far (fired, pending or cancelled); useful as
+    /// a deterministic progress measure in tests.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ps: u64) -> SimTime {
+        SimTime::from_ps(ps)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.schedule(t(10), ());
+        q.schedule(t(25), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(10));
+        q.pop();
+        assert_eq!(q.now(), t(10));
+        q.pop();
+        assert_eq!(q.now(), t(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+    }
+
+    #[test]
+    fn cancel_twice_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.pop();
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(20)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1u32);
+        let (now, _) = q.pop().unwrap();
+        // Schedule relative to the popped time, as engines do.
+        q.schedule(now + SimDuration::from_ps(5), 2u32);
+        q.schedule(now + SimDuration::from_ps(1), 3u32);
+        assert_eq!(q.pop(), Some((t(11), 3)));
+        assert_eq!(q.pop(), Some((t(15), 2)));
+    }
+}

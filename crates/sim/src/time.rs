@@ -1,0 +1,292 @@
+//! Simulation time.
+//!
+//! All kernel time is kept in **integer picoseconds** so that event ordering is
+//! exact and runs are bit-reproducible across platforms. The paper's hardware
+//! constants translate exactly: the per-flit channel cycle β = 0.003 µs is
+//! 3 000 ps and the start-up latencies Ts = 0.15 µs / 1.5 µs are 150 000 ps and
+//! 1 500 000 ps. Floating-point conversions are provided only at the reporting
+//! boundary (µs / ms values printed in tables and figures).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds in one microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds in one millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+
+/// An absolute instant on the simulation clock, in picoseconds since t = 0.
+///
+/// `SimTime` is totally ordered and wraps a `u64`, giving exact arithmetic for
+/// around 213 days of simulated time — vastly more than any experiment here
+/// (the longest runs cover a few simulated seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span between two [`SimTime`] instants, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from a count of picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Construct from microseconds (exact for the paper's constants).
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        SimTime((us * PS_PER_US as f64).round() as u64)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        SimTime((ms * PS_PER_MS as f64).round() as u64)
+    }
+
+    /// This instant expressed in picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// This instant expressed in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier > self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            earlier <= self,
+            "SimTime::since: earlier ({earlier}) is after self ({self})"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating addition of a duration (sticks at [`SimTime::MAX`]).
+    #[inline]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from a count of picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        SimDuration((us * PS_PER_US as f64).round() as u64)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        SimDuration((ms * PS_PER_MS as f64).round() as u64)
+    }
+
+    /// This span expressed in picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This span expressed in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// This span expressed in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// Integer multiple of this span (e.g. L flits × β).
+    #[inline]
+    pub const fn times(self, n: u64) -> SimDuration {
+        SimDuration(self.0 * n)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}us", self.as_us())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}us", self.as_us())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_exact() {
+        assert_eq!(SimDuration::from_us(0.003).as_ps(), 3_000);
+        assert_eq!(SimDuration::from_us(0.15).as_ps(), 150_000);
+        assert_eq!(SimDuration::from_us(1.5).as_ps(), 1_500_000);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let t = SimTime::from_ps(10_000);
+        let d = SimDuration::from_ps(2_500);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d).since(t), d);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let d = SimDuration::from_ms(1.0);
+        assert_eq!(d.as_ps(), PS_PER_MS);
+        assert!((d.as_us() - 1000.0).abs() < 1e-12);
+        assert!((d.as_ms() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flit_arithmetic() {
+        // 100 flits at beta = 3ns each => 300ns = 0.3us.
+        let beta = SimDuration::from_us(0.003);
+        assert_eq!(beta.times(100).as_ps(), 300_000);
+        assert_eq!((beta * 100).as_ps(), 300_000);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_ps(1);
+        let b = SimTime::from_ps(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert!(SimTime::ZERO < SimTime::MAX);
+    }
+
+    #[test]
+    fn saturating_add_sticks_at_max() {
+        let t = SimTime::MAX;
+        assert_eq!(t.saturating_add(SimDuration::from_ps(10)), SimTime::MAX);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_ps).sum();
+        assert_eq!(total.as_ps(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn since_panics_when_reversed() {
+        let a = SimTime::from_ps(5);
+        let b = SimTime::from_ps(10);
+        let _ = a.since(b);
+    }
+}

@@ -1,0 +1,225 @@
+//! Batch-means steady-state estimation.
+//!
+//! The paper (§3.3) collects load-sweep statistics with a batch strategy:
+//! "20 batches have been used to collect the statistics reported here
+//! (actually 21 batches were used, but the first batch statistics have been
+//! ignored because it produces optimistic values due to cold start)". This
+//! module reproduces that method: observations stream into fixed-size
+//! batches; the first `warmup` batches are discarded; the batch means are
+//! treated as (approximately independent) samples and a Student-t confidence
+//! interval is computed on their grand mean.
+
+use crate::summary::OnlineStats;
+use crate::ttable::t_critical_95;
+use serde::{Deserialize, Serialize};
+
+/// Streaming batch-means estimator.
+///
+/// # Examples
+///
+/// The paper's configuration — 21 batches with the cold-start batch
+/// discarded:
+///
+/// ```
+/// use wormcast_stats::BatchMeans;
+///
+/// let mut b = BatchMeans::new(100, 1);
+/// for i in 0..2_100 {
+///     b.push(5.0 + (i % 7) as f64);
+/// }
+/// let est = b.estimate().unwrap();
+/// assert_eq!(est.batches, 20);
+/// assert!((est.mean - 8.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    warmup_batches: usize,
+    current: OnlineStats,
+    batch_means: Vec<f64>,
+    discarded: usize,
+}
+
+/// The result of a batch-means estimation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BatchEstimate {
+    /// Grand mean of the retained batch means.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval around `mean`.
+    pub half_width_95: f64,
+    /// Number of retained (post-warmup) batches.
+    pub batches: usize,
+}
+
+impl BatchEstimate {
+    /// Relative precision: half-width / mean (∞ when the mean is 0).
+    pub fn relative_precision(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width_95 / self.mean.abs()
+        }
+    }
+}
+
+impl BatchMeans {
+    /// An estimator that groups observations into batches of `batch_size`
+    /// and discards the first `warmup_batches` completed batches.
+    ///
+    /// The paper's configuration is `warmup_batches = 1` with 21 total
+    /// batches (20 retained).
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: u64, warmup_batches: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            warmup_batches,
+            current: OnlineStats::new(),
+            batch_means: Vec::new(),
+            discarded: 0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.current.push(x);
+        if self.current.count() == self.batch_size {
+            let mean = self.current.mean();
+            self.current = OnlineStats::new();
+            if self.discarded < self.warmup_batches {
+                self.discarded += 1;
+            } else {
+                self.batch_means.push(mean);
+            }
+        }
+    }
+
+    /// Number of completed, retained batches.
+    pub fn completed_batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Total observations consumed (including warmup and the partial batch).
+    pub fn observations(&self) -> u64 {
+        (self.discarded + self.batch_means.len()) as u64 * self.batch_size + self.current.count()
+    }
+
+    /// The retained batch means.
+    pub fn means(&self) -> &[f64] {
+        &self.batch_means
+    }
+
+    /// The grand mean and its 95% CI over retained batches, or `None` with
+    /// fewer than two retained batches.
+    pub fn estimate(&self) -> Option<BatchEstimate> {
+        let k = self.batch_means.len();
+        if k < 2 {
+            return None;
+        }
+        let s = crate::summary::summarize(&self.batch_means);
+        let t = t_critical_95(k - 1);
+        Some(BatchEstimate {
+            mean: s.mean(),
+            half_width_95: t * s.std_dev() / (k as f64).sqrt(),
+            batches: k,
+        })
+    }
+
+    /// Whether the estimate has reached the requested relative precision at
+    /// 95% confidence with at least `min_batches` retained batches — the
+    /// "steady state (results do not change with time)" stopping rule.
+    pub fn is_precise(&self, rel: f64, min_batches: usize) -> bool {
+        match self.estimate() {
+            Some(e) => e.batches >= min_batches && e.relative_precision() <= rel,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_fill_and_roll() {
+        let mut b = BatchMeans::new(3, 0);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] {
+            b.push(x);
+        }
+        assert_eq!(b.completed_batches(), 2);
+        assert_eq!(b.means(), &[2.0, 5.0]);
+        assert_eq!(b.observations(), 7);
+    }
+
+    #[test]
+    fn warmup_discards_first_batches() {
+        let mut b = BatchMeans::new(2, 1);
+        for x in [100.0, 100.0, 1.0, 1.0, 2.0, 2.0] {
+            b.push(x);
+        }
+        // First batch (mean 100 — the "cold start") dropped.
+        assert_eq!(b.means(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn estimate_needs_two_batches() {
+        let mut b = BatchMeans::new(2, 0);
+        b.push(1.0);
+        b.push(1.0);
+        assert!(b.estimate().is_none());
+        b.push(2.0);
+        b.push(2.0);
+        let e = b.estimate().unwrap();
+        assert!((e.mean - 1.5).abs() < 1e-12);
+        assert_eq!(e.batches, 2);
+    }
+
+    #[test]
+    fn ci_covers_true_mean_for_constant_data() {
+        let mut b = BatchMeans::new(5, 1);
+        for _ in 0..100 {
+            b.push(7.0);
+        }
+        let e = b.estimate().unwrap();
+        assert_eq!(e.mean, 7.0);
+        assert_eq!(e.half_width_95, 0.0);
+        assert!(b.is_precise(0.01, 10));
+    }
+
+    #[test]
+    fn paper_configuration_21_batches_drop_1() {
+        let mut b = BatchMeans::new(10, 1);
+        for i in 0..210 {
+            b.push(i as f64);
+        }
+        assert_eq!(b.completed_batches(), 20);
+    }
+
+    #[test]
+    fn relative_precision_of_zero_mean() {
+        let e = BatchEstimate {
+            mean: 0.0,
+            half_width_95: 1.0,
+            batches: 5,
+        };
+        assert!(e.relative_precision().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let _ = BatchMeans::new(0, 0);
+    }
+
+    #[test]
+    fn is_precise_respects_min_batches() {
+        let mut b = BatchMeans::new(1, 0);
+        b.push(5.0);
+        b.push(5.0);
+        b.push(5.0);
+        assert!(b.is_precise(0.05, 3));
+        assert!(!b.is_precise(0.05, 4));
+    }
+}

@@ -1,0 +1,23 @@
+//! # wormcast-stats — simulation output analysis
+//!
+//! The estimators behind every number the experiments report:
+//!
+//! * [`OnlineStats`] — streaming mean / SD / CV (the paper's coefficient of
+//!   variation of per-destination arrival times, §3.2);
+//! * [`BatchMeans`] — the paper's batch-means methodology for the load sweeps
+//!   (§3.3: 21 batches, first discarded, 95% confidence);
+//! * [`t_critical_95`] — Student-t critical values for the intervals;
+//! * [`Quantiles`] / [`Histogram`] / [`lag1_autocorrelation`] — tail
+//!   statistics and the batch-independence diagnostic.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod quantile;
+pub mod summary;
+pub mod ttable;
+
+pub use batch::{BatchEstimate, BatchMeans};
+pub use quantile::{lag1_autocorrelation, Histogram, Quantiles};
+pub use summary::{summarize, OnlineStats};
+pub use ttable::t_critical_95;

@@ -1,0 +1,271 @@
+//! Quantiles and tail statistics.
+//!
+//! The paper reports means and CVs; tail behaviour (p95/p99 arrival times)
+//! is where broadcast stragglers live, so the workload drivers expose it
+//! through this module.
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted sample supporting exact quantile queries.
+///
+/// # Examples
+///
+/// ```
+/// use wormcast_stats::Quantiles;
+///
+/// let q = Quantiles::new((1..=100).map(f64::from).collect());
+/// assert_eq!(q.median(), 50.5);
+/// assert_eq!(q.p95(), 95.05);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Quantiles {
+    sorted: Vec<f64>,
+}
+
+impl Quantiles {
+    /// Build from an arbitrary sample (NaNs are rejected).
+    ///
+    /// # Panics
+    /// Panics if the sample is empty or contains NaN.
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        assert!(!xs.is_empty(), "quantiles need at least one observation");
+        assert!(xs.iter().all(|x| !x.is_nan()), "NaN in sample");
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Quantiles { sorted: xs }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1) with linear interpolation between order
+    /// statistics (type-7, the common default).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside [0, 1].
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let h = q * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        let frac = h - lo as f64;
+        self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// Interquartile range, a robust spread measure.
+    pub fn iqr(&self) -> f64 {
+        self.quantile(0.75) - self.quantile(0.25)
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with an overflow bucket — the
+/// shape view behind the arrival-time distributions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    underflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram of `bins` equal-width buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            overflow: 0,
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bucket counts (excluding under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Render a compact ASCII sparkline of the bucket mass.
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.counts
+            .iter()
+            .map(|&c| GLYPHS[(c * 7 / max) as usize])
+            .collect()
+    }
+}
+
+/// Lag-1 autocorrelation of a series — the standard check that batch means
+/// are large enough to be treated as independent (|ρ₁| of the batch means
+/// should be small).
+///
+/// Returns 0 for series shorter than 2 or with zero variance.
+pub fn lag1_autocorrelation(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_sample() {
+        let q = Quantiles::new(vec![3.0, 1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(q.median(), 3.0);
+        assert_eq!(q.min(), 1.0);
+        assert_eq!(q.max(), 5.0);
+        assert_eq!(q.quantile(0.25), 2.0);
+        assert_eq!(q.iqr(), 2.0);
+        assert_eq!(q.count(), 5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let q = Quantiles::new(vec![0.0, 10.0]);
+        assert_eq!(q.quantile(0.5), 5.0);
+        assert_eq!(q.quantile(0.1), 1.0);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let q = Quantiles::new(vec![7.0]);
+        assert_eq!(q.median(), 7.0);
+        assert_eq!(q.p99(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_rejected() {
+        let _ = Quantiles::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Quantiles::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_grid() {
+        let q = Quantiles::new((0..=100).map(|i| i as f64).collect());
+        assert_eq!(q.p95(), 95.0);
+        assert_eq!(q.p99(), 99.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.0, 3.0, 9.9, 10.0, -1.0, 100.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.sparkline().chars().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn bad_histogram_range() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(lag1_autocorrelation(&xs) < -0.9);
+    }
+
+    #[test]
+    fn autocorrelation_of_trend_is_positive() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(lag1_autocorrelation(&xs) > 0.9);
+    }
+
+    #[test]
+    fn autocorrelation_degenerate_cases() {
+        assert_eq!(lag1_autocorrelation(&[]), 0.0);
+        assert_eq!(lag1_autocorrelation(&[1.0]), 0.0);
+        assert_eq!(lag1_autocorrelation(&[2.0, 2.0, 2.0]), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Two-sided Student-t critical values at 95% confidence.
+
+/// The 97.5th percentile of the Student-t distribution with `df` degrees of
+/// freedom (so that ±t covers 95% two-sided). Exact table for df ≤ 30, then
+/// selected larger values, then the normal limit 1.96.
+///
+/// # Panics
+/// Panics if `df == 0` — a CI over a single sample is undefined.
+pub fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => panic!("t critical value undefined for 0 degrees of freedom"),
+        1..=30 => TABLE[df - 1],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spot_values() {
+        assert_eq!(t_critical_95(1), 12.706);
+        assert_eq!(t_critical_95(10), 2.228);
+        assert_eq!(t_critical_95(19), 2.093); // the paper's 20 batches
+        assert_eq!(t_critical_95(30), 2.042);
+        assert_eq!(t_critical_95(1000), 1.960);
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for df in 1..200 {
+            let t = t_critical_95(df);
+            assert!(t <= prev, "t table not monotone at df={df}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 degrees of freedom")]
+    fn zero_df_panics() {
+        let _ = t_critical_95(0);
+    }
+}

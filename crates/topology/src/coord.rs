@@ -1,0 +1,233 @@
+//! Mixed-radix coordinates for n-dimensional topologies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of dimensions supported by the fixed-size coordinate type.
+///
+/// The paper's networks are 2D/3D meshes; the generalized-hypercube extension
+/// uses mixed radices but rarely more than a handful of dimensions. Keeping
+/// coordinates `Copy` (no heap allocation) matters: they are manipulated in
+/// the innermost routing loops.
+pub const MAX_DIMS: usize = 6;
+
+/// A point in an n-dimensional grid, `n <= MAX_DIMS`.
+///
+/// Stored inline so that `Coord` is `Copy`; unused trailing dimensions are 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    axes: [u16; MAX_DIMS],
+    ndims: u8,
+}
+
+impl Coord {
+    /// Build a coordinate from per-dimension positions.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_DIMS`] dimensions are given.
+    pub fn new(axes: &[u16]) -> Self {
+        assert!(
+            axes.len() <= MAX_DIMS,
+            "Coord supports at most {MAX_DIMS} dims, got {}",
+            axes.len()
+        );
+        let mut a = [0u16; MAX_DIMS];
+        a[..axes.len()].copy_from_slice(axes);
+        Coord {
+            axes: a,
+            ndims: axes.len() as u8,
+        }
+    }
+
+    /// 2D convenience constructor: `(x, y)`.
+    pub fn xy(x: u16, y: u16) -> Self {
+        Coord::new(&[x, y])
+    }
+
+    /// 3D convenience constructor: `(x, y, z)`.
+    pub fn xyz(x: u16, y: u16, z: u16) -> Self {
+        Coord::new(&[x, y, z])
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndims(&self) -> usize {
+        self.ndims as usize
+    }
+
+    /// The position along dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim >= self.ndims()`.
+    #[inline]
+    pub fn get(&self, dim: usize) -> u16 {
+        assert!(dim < self.ndims(), "dim {dim} out of range");
+        self.axes[dim]
+    }
+
+    /// Returns a copy with dimension `dim` set to `value`.
+    #[inline]
+    pub fn with(&self, dim: usize, value: u16) -> Coord {
+        assert!(dim < self.ndims(), "dim {dim} out of range");
+        let mut c = *self;
+        c.axes[dim] = value;
+        c
+    }
+
+    /// The coordinate axes as a slice.
+    #[inline]
+    pub fn axes(&self) -> &[u16] {
+        &self.axes[..self.ndims()]
+    }
+
+    /// Manhattan (L1) distance to `other` in a mesh (no wraparound).
+    ///
+    /// # Panics
+    /// Panics if dimensionality differs.
+    pub fn manhattan(&self, other: &Coord) -> u32 {
+        assert_eq!(self.ndims, other.ndims, "dimensionality mismatch");
+        self.axes()
+            .iter()
+            .zip(other.axes())
+            .map(|(&a, &b)| (a as i32 - b as i32).unsigned_abs())
+            .sum()
+    }
+
+    /// Number of dimensions in which the two coordinates differ.
+    pub fn hamming(&self, other: &Coord) -> u32 {
+        assert_eq!(self.ndims, other.ndims, "dimensionality mismatch");
+        self.axes()
+            .iter()
+            .zip(other.axes())
+            .filter(|(a, b)| a != b)
+            .count() as u32
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.axes().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A direction along one dimension: towards higher or lower coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sign {
+    /// Towards increasing coordinate (east / north / up in 2D/3D diagrams).
+    Plus,
+    /// Towards decreasing coordinate.
+    Minus,
+}
+
+impl Sign {
+    /// The opposite direction.
+    #[inline]
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+
+    /// +1 / -1 as an i32.
+    #[inline]
+    pub fn delta(self) -> i32 {
+        match self {
+            Sign::Plus => 1,
+            Sign::Minus => -1,
+        }
+    }
+
+    /// The sign needed to travel from `from` to `to` along one axis, or `None`
+    /// if the positions are equal.
+    #[inline]
+    pub fn towards(from: u16, to: u16) -> Option<Sign> {
+        use std::cmp::Ordering::*;
+        match from.cmp(&to) {
+            Less => Some(Sign::Plus),
+            Greater => Some(Sign::Minus),
+            Equal => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let c = Coord::xyz(1, 2, 3);
+        assert_eq!(c.ndims(), 3);
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.get(1), 2);
+        assert_eq!(c.get(2), 3);
+        assert_eq!(c.axes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn with_replaces_single_axis() {
+        let c = Coord::xy(4, 7);
+        let d = c.with(0, 9);
+        assert_eq!(d, Coord::xy(9, 7));
+        assert_eq!(c, Coord::xy(4, 7), "original untouched");
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Coord::xyz(0, 0, 0).manhattan(&Coord::xyz(3, 4, 5)), 12);
+        assert_eq!(Coord::xy(5, 5).manhattan(&Coord::xy(5, 5)), 0);
+        assert_eq!(Coord::xy(7, 1).manhattan(&Coord::xy(2, 3)), 7);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        assert_eq!(Coord::xyz(1, 2, 3).hamming(&Coord::xyz(1, 5, 3)), 1);
+        assert_eq!(Coord::xyz(0, 0, 0).hamming(&Coord::xyz(1, 1, 1)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn manhattan_rejects_mixed_dims() {
+        let _ = Coord::xy(0, 0).manhattan(&Coord::xyz(0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let _ = Coord::xy(0, 0).get(2);
+    }
+
+    #[test]
+    fn sign_towards() {
+        assert_eq!(Sign::towards(0, 5), Some(Sign::Plus));
+        assert_eq!(Sign::towards(5, 0), Some(Sign::Minus));
+        assert_eq!(Sign::towards(3, 3), None);
+    }
+
+    #[test]
+    fn sign_flip_and_delta() {
+        assert_eq!(Sign::Plus.flip(), Sign::Minus);
+        assert_eq!(Sign::Minus.flip(), Sign::Plus);
+        assert_eq!(Sign::Plus.delta(), 1);
+        assert_eq!(Sign::Minus.delta(), -1);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Coord::xyz(1, 2, 3)), "(1,2,3)");
+    }
+}

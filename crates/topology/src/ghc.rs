@@ -1,0 +1,253 @@
+//! The generalized hypercube (GHC) — the paper's second "future directions"
+//! topology.
+//!
+//! In a GHC with radices `(m_1, …, m_n)`, two nodes are adjacent iff their
+//! coordinates differ in exactly one dimension — in *any* amount, i.e. each
+//! dimension is a complete graph K_{m_d}. Every node therefore has
+//! `Σ (m_d − 1)` neighbours and any destination is reachable in at most `n`
+//! hops (one per differing dimension).
+
+use crate::coord::{Coord, Sign, MAX_DIMS};
+use crate::ids::{ChannelId, NodeId};
+use crate::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A generalized hypercube with per-dimension radices `dims`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneralizedHypercube {
+    dims: Vec<u16>,
+    strides: Vec<u32>,
+    num_nodes: u32,
+    /// Channel-offset of the first channel of each dimension within a node's
+    /// channel block; `dim_offsets[d] = Σ_{e<d} (dims[e] − 1)`.
+    dim_offsets: Vec<u32>,
+    chans_per_node: u32,
+}
+
+impl GeneralizedHypercube {
+    /// Build a GHC with the given per-dimension radices.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty, any radix is < 2, more than [`MAX_DIMS`]
+    /// dimensions are requested, or the node count overflows u32.
+    pub fn new(dims: &[u16]) -> Self {
+        assert!(!dims.is_empty(), "GHC needs at least one dimension");
+        assert!(
+            dims.len() <= MAX_DIMS,
+            "GHC supports at most {MAX_DIMS} dimensions"
+        );
+        assert!(dims.iter().all(|&d| d >= 2), "GHC radix must be at least 2");
+        let mut strides = Vec::with_capacity(dims.len());
+        let mut dim_offsets = Vec::with_capacity(dims.len());
+        let mut acc: u64 = 1;
+        let mut chan_acc: u32 = 0;
+        for &d in dims {
+            strides.push(acc as u32);
+            dim_offsets.push(chan_acc);
+            acc *= d as u64;
+            chan_acc += d as u32 - 1;
+            assert!(acc <= u32::MAX as u64, "GHC too large for u32 node ids");
+        }
+        GeneralizedHypercube {
+            dims: dims.to_vec(),
+            strides,
+            num_nodes: acc as u32,
+            dim_offsets,
+            chans_per_node: chan_acc,
+        }
+    }
+
+    /// The binary hypercube Q_n (all radices 2).
+    pub fn binary(n: usize) -> Self {
+        GeneralizedHypercube::new(&vec![2; n])
+    }
+
+    /// Per-dimension radices.
+    pub fn dims(&self) -> &[u16] {
+        &self.dims
+    }
+
+    /// The directed channel from `from` to the node at position `target`
+    /// along dimension `dim` (which must differ from `from`'s position).
+    pub fn channel_to(&self, from: NodeId, dim: usize, target: u16) -> ChannelId {
+        assert!(dim < self.dims.len(), "dim {dim} out of range");
+        assert!(target < self.dims[dim], "target position out of range");
+        let own = self.coord_of(from).get(dim);
+        assert_ne!(own, target, "channel to self requested");
+        // Targets are numbered 0..k skipping `own`.
+        let slot = if target < own { target } else { target - 1 } as u32;
+        ChannelId(from.0 * self.chans_per_node + self.dim_offsets[dim] + slot)
+    }
+
+    /// Decompose a channel id into (source node, dimension, target position).
+    pub fn channel_parts(&self, ch: ChannelId) -> (NodeId, usize, u16) {
+        let node = NodeId(ch.0 / self.chans_per_node);
+        let mut slot = ch.0 % self.chans_per_node;
+        let mut dim = 0;
+        while dim + 1 < self.dims.len() && slot >= self.dims[dim] as u32 - 1 {
+            slot -= self.dims[dim] as u32 - 1;
+            dim += 1;
+        }
+        let own = self.coord_of(node).get(dim);
+        let target = if (slot as u16) < own {
+            slot as u16
+        } else {
+            slot as u16 + 1
+        };
+        (node, dim, target)
+    }
+
+    /// Iterate over all nodes in linear order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes).map(NodeId)
+    }
+}
+
+impl Topology for GeneralizedHypercube {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn dim_size(&self, dim: usize) -> u16 {
+        self.dims[dim]
+    }
+
+    fn coord_of(&self, n: NodeId) -> Coord {
+        assert!(n.0 < self.num_nodes, "node {n} out of range");
+        let mut axes = [0u16; MAX_DIMS];
+        let mut rest = n.0;
+        for (d, &size) in self.dims.iter().enumerate() {
+            axes[d] = (rest % size as u32) as u16;
+            rest /= size as u32;
+        }
+        Coord::new(&axes[..self.dims.len()])
+    }
+
+    fn node_at(&self, c: &Coord) -> NodeId {
+        assert_eq!(c.ndims(), self.dims.len(), "coordinate dims mismatch");
+        let mut idx: u32 = 0;
+        for (d, &size) in self.dims.iter().enumerate() {
+            let v = c.get(d);
+            assert!(v < size, "coordinate {c} outside GHC {:?}", self.dims);
+            idx += v as u32 * self.strides[d];
+        }
+        NodeId(idx)
+    }
+
+    /// Nearest-neighbour step in +/- direction (wrapping); provided for trait
+    /// completeness — GHC routing normally jumps straight to the target
+    /// position via [`GeneralizedHypercube::channel_to`].
+    fn neighbor(&self, n: NodeId, dim: usize, sign: Sign) -> Option<NodeId> {
+        assert!(dim < self.dims.len(), "dim {dim} out of range");
+        let c = self.coord_of(n);
+        let k = self.dims[dim] as i32;
+        if k == 1 {
+            return None;
+        }
+        let pos = (c.get(dim) as i32 + sign.delta()).rem_euclid(k);
+        Some(self.node_at(&c.with(dim, pos as u16)))
+    }
+
+    fn num_channels(&self) -> usize {
+        (self.num_nodes * self.chans_per_node) as usize
+    }
+
+    fn channel_between(&self, from: NodeId, to: NodeId) -> Option<ChannelId> {
+        let cf = self.coord_of(from);
+        let ct = self.coord_of(to);
+        if cf.hamming(&ct) != 1 {
+            return None;
+        }
+        let dim = (0..self.ndims()).find(|&d| cf.get(d) != ct.get(d)).unwrap();
+        Some(self.channel_to(from, dim, ct.get(dim)))
+    }
+
+    fn channel_endpoints(&self, ch: ChannelId) -> (NodeId, NodeId) {
+        let (node, dim, target) = self.channel_parts(ch);
+        let dst = self.node_at(&self.coord_of(node).with(dim, target));
+        (node, dst)
+    }
+
+    /// GHC distance = Hamming distance over coordinates (one hop per
+    /// differing dimension).
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.coord_of(a).hamming(&self.coord_of(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_hypercube_degree() {
+        let q4 = GeneralizedHypercube::binary(4);
+        assert_eq!(q4.num_nodes(), 16);
+        assert_eq!(q4.num_channels(), 16 * 4);
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let g = GeneralizedHypercube::new(&[3, 4, 2]);
+        for n in g.nodes() {
+            assert_eq!(g.node_at(&g.coord_of(n)), n);
+        }
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let g = GeneralizedHypercube::new(&[4, 3]);
+        for n in g.nodes() {
+            let c = g.coord_of(n);
+            for dim in 0..2 {
+                for target in 0..g.dim_size(dim) {
+                    if target == c.get(dim) {
+                        continue;
+                    }
+                    let ch = g.channel_to(n, dim, target);
+                    assert_eq!(g.channel_parts(ch), (n, dim, target));
+                    let (from, to) = g.channel_endpoints(ch);
+                    assert_eq!(from, n);
+                    assert_eq!(g.coord_of(to), c.with(dim, target));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_hamming() {
+        let g = GeneralizedHypercube::new(&[4, 4, 4]);
+        let a = g.node_at(&Coord::xyz(0, 0, 0));
+        let b = g.node_at(&Coord::xyz(3, 0, 2));
+        assert_eq!(g.distance(a, b), 2, "one hop per differing dim");
+    }
+
+    #[test]
+    fn channel_between_same_dim_long_jump() {
+        let g = GeneralizedHypercube::new(&[5, 5]);
+        let a = g.node_at(&Coord::xy(0, 2));
+        let b = g.node_at(&Coord::xy(4, 2));
+        let ch = g.channel_between(a, b).expect("K5 edge exists");
+        assert_eq!(g.channel_endpoints(ch), (a, b));
+    }
+
+    #[test]
+    fn channel_between_two_dims_is_none() {
+        let g = GeneralizedHypercube::new(&[5, 5]);
+        let a = g.node_at(&Coord::xy(0, 0));
+        let b = g.node_at(&Coord::xy(1, 1));
+        assert_eq!(g.channel_between(a, b), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel to self")]
+    fn channel_to_self_panics() {
+        let g = GeneralizedHypercube::new(&[4, 4]);
+        let n = g.node_at(&Coord::xy(2, 0));
+        let _ = g.channel_to(n, 0, 2);
+    }
+}

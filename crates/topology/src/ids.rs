@@ -1,0 +1,82 @@
+//! Dense integer identifiers for nodes and directed channels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node (processor + router) in the network, identified by its linear index
+/// in row-major coordinate order. Dense in `0..num_nodes`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The linear index as a usize, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A **directed** physical channel (link) between two adjacent routers.
+///
+/// Channel ids are dense in `0..num_channels` for the owning topology, so
+/// per-channel simulator state lives in flat arrays. The id scheme is
+/// topology-specific; use the topology's methods to resolve endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    /// The dense index as a usize, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId(17);
+        assert_eq!(n.index(), 17);
+        assert_eq!(format!("{n}"), "n17");
+    }
+
+    #[test]
+    fn channel_id_roundtrip() {
+        let c = ChannelId(5);
+        assert_eq!(c.index(), 5);
+        assert_eq!(format!("{c:?}"), "c5");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ChannelId(0) < ChannelId(9));
+    }
+}

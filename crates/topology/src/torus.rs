@@ -1,0 +1,274 @@
+//! The k-ary n-cube (torus) — the paper's "future directions" topology.
+//!
+//! Identical to the mesh except that every dimension wraps around, so every
+//! node has exactly `2·n` neighbours and all channel id slots are physically
+//! present.
+
+use crate::coord::{Coord, Sign, MAX_DIMS};
+use crate::ids::{ChannelId, NodeId};
+use crate::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A k-ary n-cube with per-dimension radices `dims`. Dimensions of size 1 or
+/// 2 are allowed but degenerate (a size-2 wrap link parallels the mesh link);
+/// the constructor therefore requires radix ≥ 3 to keep the channel id space
+/// unambiguous.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Torus {
+    dims: Vec<u16>,
+    strides: Vec<u32>,
+    num_nodes: u32,
+}
+
+impl Torus {
+    /// Build a torus with the given per-dimension radices.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty, any radix is < 3, more than [`MAX_DIMS`]
+    /// dimensions are requested, or the node count overflows u32.
+    pub fn new(dims: &[u16]) -> Self {
+        assert!(!dims.is_empty(), "torus needs at least one dimension");
+        assert!(
+            dims.len() <= MAX_DIMS,
+            "torus supports at most {MAX_DIMS} dimensions"
+        );
+        assert!(
+            dims.iter().all(|&d| d >= 3),
+            "torus radix must be at least 3 so +/- wrap channels are distinct"
+        );
+        let mut strides = Vec::with_capacity(dims.len());
+        let mut acc: u64 = 1;
+        for &d in dims {
+            strides.push(acc as u32);
+            acc *= d as u64;
+            assert!(acc <= u32::MAX as u64, "torus too large for u32 node ids");
+        }
+        Torus {
+            dims: dims.to_vec(),
+            strides,
+            num_nodes: acc as u32,
+        }
+    }
+
+    /// A k-ary n-cube: `n` dimensions of radix `k`.
+    pub fn kary_ncube(k: u16, n: usize) -> Self {
+        Torus::new(&vec![k; n])
+    }
+
+    /// Per-dimension radices.
+    pub fn dims(&self) -> &[u16] {
+        &self.dims
+    }
+
+    #[inline]
+    fn chans_per_node(&self) -> u32 {
+        2 * self.dims.len() as u32
+    }
+
+    /// The directed channel leaving `from` along `dim` in direction `sign`
+    /// (always exists on a torus).
+    pub fn channel(&self, from: NodeId, dim: usize, sign: Sign) -> ChannelId {
+        assert!(dim < self.dims.len(), "dim {dim} out of range");
+        let slot = 2 * dim as u32
+            + match sign {
+                Sign::Plus => 0,
+                Sign::Minus => 1,
+            };
+        ChannelId(from.0 * self.chans_per_node() + slot)
+    }
+
+    /// Decompose a channel id into (source node, dimension, sign).
+    pub fn channel_parts(&self, ch: ChannelId) -> (NodeId, usize, Sign) {
+        let per = self.chans_per_node();
+        let node = NodeId(ch.0 / per);
+        let slot = ch.0 % per;
+        let dim = (slot / 2) as usize;
+        let sign = if slot.is_multiple_of(2) { Sign::Plus } else { Sign::Minus };
+        (node, dim, sign)
+    }
+
+    /// Iterate over all nodes in linear order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes).map(NodeId)
+    }
+
+    /// Minimal wrap-aware distance along one dimension.
+    fn dim_distance(&self, dim: usize, a: u16, b: u16) -> u32 {
+        let k = self.dims[dim] as i32;
+        let d = (a as i32 - b as i32).abs();
+        d.min(k - d) as u32
+    }
+}
+
+impl Topology for Torus {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn dim_size(&self, dim: usize) -> u16 {
+        self.dims[dim]
+    }
+
+    fn coord_of(&self, n: NodeId) -> Coord {
+        assert!(n.0 < self.num_nodes, "node {n} out of range");
+        let mut axes = [0u16; MAX_DIMS];
+        let mut rest = n.0;
+        for (d, &size) in self.dims.iter().enumerate() {
+            axes[d] = (rest % size as u32) as u16;
+            rest /= size as u32;
+        }
+        Coord::new(&axes[..self.dims.len()])
+    }
+
+    fn node_at(&self, c: &Coord) -> NodeId {
+        assert_eq!(c.ndims(), self.dims.len(), "coordinate dims mismatch");
+        let mut idx: u32 = 0;
+        for (d, &size) in self.dims.iter().enumerate() {
+            let v = c.get(d);
+            assert!(v < size, "coordinate {c} outside torus {:?}", self.dims);
+            idx += v as u32 * self.strides[d];
+        }
+        NodeId(idx)
+    }
+
+    fn neighbor(&self, n: NodeId, dim: usize, sign: Sign) -> Option<NodeId> {
+        assert!(dim < self.dims.len(), "dim {dim} out of range");
+        let c = self.coord_of(n);
+        let k = self.dims[dim] as i32;
+        let pos = (c.get(dim) as i32 + sign.delta()).rem_euclid(k);
+        Some(self.node_at(&c.with(dim, pos as u16)))
+    }
+
+    fn num_channels(&self) -> usize {
+        (self.num_nodes * self.chans_per_node()) as usize
+    }
+
+    fn channel_between(&self, from: NodeId, to: NodeId) -> Option<ChannelId> {
+        let cf = self.coord_of(from);
+        let ct = self.coord_of(to);
+        let mut found = None;
+        for d in 0..self.ndims() {
+            let (a, b) = (cf.get(d), ct.get(d));
+            if a == b {
+                continue;
+            }
+            if found.is_some() {
+                return None; // differs in more than one dimension
+            }
+            let k = self.dims[d];
+            let sign = if (a + 1) % k == b {
+                Sign::Plus
+            } else if (b + 1) % k == a {
+                Sign::Minus
+            } else {
+                return None; // not adjacent even with wrap
+            };
+            found = Some(self.channel(from, d, sign));
+        }
+        found
+    }
+
+    fn channel_endpoints(&self, ch: ChannelId) -> (NodeId, NodeId) {
+        let (node, dim, sign) = self.channel_parts(ch);
+        (node, self.neighbor(node, dim, sign).expect("torus neighbor"))
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coord_of(a);
+        let cb = self.coord_of(b);
+        (0..self.ndims())
+            .map(|d| self.dim_distance(d, ca.get(d), cb.get(d)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_neighbors() {
+        let t = Torus::kary_ncube(4, 2);
+        let corner = t.node_at(&Coord::xy(0, 0));
+        assert_eq!(
+            t.neighbor(corner, 0, Sign::Minus),
+            Some(t.node_at(&Coord::xy(3, 0)))
+        );
+        assert_eq!(
+            t.neighbor(corner, 1, Sign::Minus),
+            Some(t.node_at(&Coord::xy(0, 3)))
+        );
+    }
+
+    #[test]
+    fn every_node_has_2n_neighbors() {
+        let t = Torus::kary_ncube(4, 3);
+        for n in t.nodes() {
+            let mut count = 0;
+            for d in 0..3 {
+                for s in [Sign::Plus, Sign::Minus] {
+                    assert!(t.neighbor(n, d, s).is_some());
+                    count += 1;
+                }
+            }
+            assert_eq!(count, 6);
+        }
+    }
+
+    #[test]
+    fn wrap_distance_is_minimal() {
+        let t = Torus::kary_ncube(8, 1);
+        let a = t.node_at(&Coord::new(&[0]));
+        let b = t.node_at(&Coord::new(&[7]));
+        assert_eq!(t.distance(a, b), 1, "wrap should shortcut");
+        let c = t.node_at(&Coord::new(&[4]));
+        assert_eq!(t.distance(a, c), 4);
+    }
+
+    #[test]
+    fn channel_between_wrap_links() {
+        let t = Torus::kary_ncube(4, 2);
+        let a = t.node_at(&Coord::xy(3, 1));
+        let b = t.node_at(&Coord::xy(0, 1));
+        let ch = t.channel_between(a, b).unwrap();
+        assert_eq!(t.channel_endpoints(ch), (a, b));
+        let (_, dim, sign) = t.channel_parts(ch);
+        assert_eq!((dim, sign), (0, Sign::Plus));
+    }
+
+    #[test]
+    fn channel_between_diagonal_is_none() {
+        let t = Torus::kary_ncube(4, 2);
+        let a = t.node_at(&Coord::xy(0, 0));
+        let b = t.node_at(&Coord::xy(1, 1));
+        assert_eq!(t.channel_between(a, b), None);
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let t = Torus::new(&[3, 5, 4]);
+        for n in t.nodes() {
+            assert_eq!(t.node_at(&t.coord_of(n)), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn small_radix_rejected() {
+        let _ = Torus::new(&[2, 4]);
+    }
+
+    #[test]
+    fn all_channel_slots_valid() {
+        let t = Torus::kary_ncube(3, 2);
+        assert_eq!(t.num_channels(), 9 * 4);
+        for c in 0..t.num_channels() {
+            let (from, to) = t.channel_endpoints(ChannelId(c as u32));
+            assert_ne!(from, to);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Executing broadcast schedules on the simulated network.
+//!
+//! A [`BroadcastTracker`] turns a static [`BroadcastSchedule`] into the
+//! asynchronous message flow a real wormhole machine would produce: the
+//! source's messages are injected when the operation starts; every relay
+//! node's messages are injected the moment its own copy finishes arriving.
+//! Injection-port contention and start-up latency are charged by the network
+//! engine itself.
+
+use std::collections::HashMap;
+use wormcast_broadcast::{BroadcastSchedule, RoutePlan};
+use wormcast_network::{Delivery, MessageSpec, OpId, Route};
+use wormcast_sim::SimTime;
+use wormcast_topology::{Mesh, NodeId, Topology};
+
+/// Tracks one in-flight broadcast operation.
+#[derive(Debug)]
+pub struct BroadcastTracker {
+    op: OpId,
+    source: NodeId,
+    length: u64,
+    /// Message specs not yet released, grouped by sending node and ordered
+    /// by step within each group.
+    pending: HashMap<NodeId, Vec<(u32, Route, bool)>>,
+    /// Arrival time of the payload at each node (None = not yet).
+    arrivals: Vec<Option<SimTime>>,
+    received: usize,
+    expected: usize,
+    started_at: Option<SimTime>,
+}
+
+impl BroadcastTracker {
+    /// Prepare the execution of `schedule` under operation id `op` with
+    /// `length`-flit messages.
+    pub fn new(mesh: &Mesh, schedule: &BroadcastSchedule, op: OpId, length: u64) -> Self {
+        let mut pending: HashMap<NodeId, Vec<(u32, Route, bool)>> = HashMap::new();
+        for m in &schedule.messages {
+            let (src, route) = match &m.plan {
+                RoutePlan::Coded(cp) => (cp.src(), Route::Fixed(cp.clone())),
+                RoutePlan::Adaptive { src, dst } => (*src, Route::Adaptive { dst: *dst }),
+            };
+            pending
+                .entry(src)
+                .or_default()
+                .push((m.step, route, m.charge_startup));
+        }
+        for routes in pending.values_mut() {
+            routes.sort_by_key(|(step, _, _)| *step);
+        }
+        BroadcastTracker {
+            op,
+            source: schedule.source,
+            length,
+            pending,
+            arrivals: vec![None; mesh.num_nodes()],
+            received: 0,
+            expected: mesh.num_nodes() - 1,
+            started_at: None,
+        }
+    }
+
+    /// The operation id this tracker answers to.
+    pub fn op(&self) -> OpId {
+        self.op
+    }
+
+    /// The broadcast source.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Begin the operation at `now`: returns the source's message specs,
+    /// ready for injection at `now`.
+    ///
+    /// # Panics
+    /// Panics if called twice.
+    pub fn start(&mut self, now: SimTime) -> Vec<MessageSpec> {
+        assert!(self.started_at.is_none(), "broadcast already started");
+        self.started_at = Some(now);
+        self.release(self.source)
+    }
+
+    /// Feed one network delivery. If it belongs to this operation, the
+    /// arrival is recorded and any messages the receiving node is scheduled
+    /// to relay are returned for immediate injection. Deliveries for other
+    /// operations return an empty vec.
+    ///
+    /// # Panics
+    /// Panics on duplicate delivery to one node — valid schedules deliver
+    /// exactly once.
+    pub fn on_delivery(&mut self, d: &Delivery) -> Vec<MessageSpec> {
+        if d.op != self.op {
+            return Vec::new();
+        }
+        let slot = &mut self.arrivals[d.node.index()];
+        assert!(
+            slot.is_none(),
+            "node {} received the broadcast twice",
+            d.node
+        );
+        *slot = Some(d.delivered_at);
+        self.received += 1;
+        self.release(d.node)
+    }
+
+    fn release(&mut self, node: NodeId) -> Vec<MessageSpec> {
+        let Some(routes) = self.pending.remove(&node) else {
+            return Vec::new();
+        };
+        routes
+            .into_iter()
+            .map(|(step, route, charge_startup)| MessageSpec {
+                src: node,
+                route,
+                length: self.length,
+                op: self.op,
+                tag: step,
+                charge_startup,
+            })
+            .collect()
+    }
+
+    /// Whether every destination has received the payload.
+    pub fn is_complete(&self) -> bool {
+        self.received == self.expected
+    }
+
+    /// When the operation started.
+    pub fn started_at(&self) -> Option<SimTime> {
+        self.started_at
+    }
+
+    /// Per-destination arrival latencies (µs), defined once complete.
+    ///
+    /// # Panics
+    /// Panics if the broadcast has not completed.
+    pub fn latencies_us(&self) -> Vec<f64> {
+        assert!(self.is_complete(), "broadcast still in flight");
+        let t0 = self.started_at.expect("started");
+        self.arrivals
+            .iter()
+            .flatten()
+            .map(|t| t.since(t0).as_us())
+            .collect()
+    }
+
+    /// The network-level broadcast latency: time from start until the last
+    /// destination finished receiving.
+    ///
+    /// # Panics
+    /// Panics if the broadcast has not completed.
+    pub fn network_latency_us(&self) -> f64 {
+        self.latencies_us()
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+}

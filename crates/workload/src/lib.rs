@@ -1,0 +1,39 @@
+//! # wormcast-workload — traffic generation and broadcast execution
+//!
+//! The drivers that put messages into the simulated network:
+//!
+//! * [`executor`] — [`BroadcastTracker`]: executes a [`wormcast_broadcast`]
+//!   schedule asynchronously (relays fire as their copies arrive);
+//! * [`single`] — single-source broadcast experiments on an idle network
+//!   (the setting of the paper's Figs. 1–2 and Tables 1–2);
+//! * [`contended`] — broadcasts under concurrent broadcast load, the
+//!   steady-state setting behind the paper's CV tables (Fig. 2, Tables 1–2);
+//! * [`mixed`] — the paper's §3.3 workload: 90% unicast / 10% broadcast
+//!   Poisson traffic swept over offered load (Figs. 3–4);
+//! * [`multicast`] — destination-subset delivery with the UM / CM / SP
+//!   schemes (the paper's named future direction);
+//! * [`torus`] — the k-ary n-cube ring broadcast executed on the real
+//!   engine (`Network<Torus>`).
+
+#![warn(missing_docs)]
+
+pub mod contended;
+pub mod executor;
+pub mod mixed;
+pub mod multicast;
+pub mod patterns;
+pub mod single;
+pub mod torus;
+
+pub use contended::{run_contended_broadcasts, ContendedOutcome};
+pub use executor::BroadcastTracker;
+pub use mixed::{run_mixed_traffic, MixedConfig, MixedOutcome};
+pub use multicast::{
+    random_destinations, run_single_multicast, MulticastOutcome, MulticastScheme,
+};
+pub use patterns::DestPattern;
+pub use torus::{run_torus_broadcast, TorusOutcome};
+pub use single::{
+    network_for, routing_for, run_averaged_broadcasts, run_single_broadcast, AveragedOutcome,
+    BroadcastOutcome,
+};

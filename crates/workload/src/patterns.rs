@@ -1,0 +1,199 @@
+//! Unicast destination patterns.
+//!
+//! The paper's §3.3 background traffic is uniform random; the wider
+//! interconnection-network literature evaluates against structured patterns
+//! too, because adaptivity pays off precisely when traffic is *not*
+//! uniform. These are the classic ones, usable as the unicast component of
+//! the mixed workload.
+
+use serde::{Deserialize, Serialize};
+use wormcast_sim::SimRng;
+use wormcast_topology::{Coord, Mesh, NodeId, Topology};
+
+/// How unicast destinations are chosen for a given source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DestPattern {
+    /// Uniformly random destination ≠ source (the paper's model).
+    Uniform,
+    /// Matrix transpose: `(x, y, z) → (y, x, z)`. Nodes on the diagonal
+    /// fall back to uniform. Stresses one diagonal of each plane.
+    Transpose,
+    /// Dimension reversal: coordinate vector reversed, `(x, y, z) → (z, y,
+    /// x)`. Falls back to uniform for fixed points.
+    DimReversal,
+    /// Complement: every coordinate mirrored, `(x, …) → (k−1−x, …)`.
+    /// Maximum-distance traffic; every message crosses the bisection.
+    Complement,
+    /// Hotspot: with probability `fraction` (percent, 0–100) the destination
+    /// is the hotspot node, else uniform. Models a shared server / lock.
+    Hotspot {
+        /// Linear index of the hotspot node.
+        node: u32,
+        /// Percent of traffic aimed at the hotspot.
+        percent: u8,
+    },
+}
+
+impl DestPattern {
+    /// Pick the destination for `src` (never returns `src`).
+    pub fn pick(&self, mesh: &Mesh, src: NodeId, rng: &mut SimRng) -> NodeId {
+        let dst = self.raw_pick(mesh, src, rng);
+        if dst != src {
+            return dst;
+        }
+        // Fixed point (diagonal of a transpose, centre of a complement, the
+        // hotspot itself): fall back to uniform.
+        loop {
+            let d = NodeId(rng.index(mesh.num_nodes()) as u32);
+            if d != src {
+                return d;
+            }
+        }
+    }
+
+    fn raw_pick(&self, mesh: &Mesh, src: NodeId, rng: &mut SimRng) -> NodeId {
+        match *self {
+            DestPattern::Uniform => NodeId(rng.index(mesh.num_nodes()) as u32),
+            DestPattern::Transpose => {
+                let c = mesh.coord_of(src);
+                if mesh.ndims() < 2 || mesh.dim_size(0) != mesh.dim_size(1) {
+                    return src; // undefined; fall back
+                }
+                let mut axes: Vec<u16> = c.axes().to_vec();
+                axes.swap(0, 1);
+                mesh.node_at(&Coord::new(&axes))
+            }
+            DestPattern::DimReversal => {
+                let c = mesh.coord_of(src);
+                let mut axes: Vec<u16> = c.axes().to_vec();
+                // Requires symmetric extents to stay in range.
+                let n = mesh.ndims();
+                let sym = (0..n).all(|d| mesh.dim_size(d) == mesh.dim_size(n - 1 - d));
+                if !sym {
+                    return src;
+                }
+                axes.reverse();
+                mesh.node_at(&Coord::new(&axes))
+            }
+            DestPattern::Complement => {
+                let c = mesh.coord_of(src);
+                let axes: Vec<u16> = (0..mesh.ndims())
+                    .map(|d| mesh.dim_size(d) - 1 - c.get(d))
+                    .collect();
+                mesh.node_at(&Coord::new(&axes))
+            }
+            DestPattern::Hotspot { node, percent } => {
+                if rng.chance(percent as f64 / 100.0) {
+                    NodeId(node % mesh.num_nodes() as u32)
+                } else {
+                    NodeId(rng.index(mesh.num_nodes()) as u32)
+                }
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DestPattern::Uniform => "uniform",
+            DestPattern::Transpose => "transpose",
+            DestPattern::DimReversal => "dim-reversal",
+            DestPattern::Complement => "complement",
+            DestPattern::Hotspot { .. } => "hotspot",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_never_returns_source() {
+        let mesh = Mesh::cube(4);
+        let mut rng = SimRng::new(1);
+        for s in 0..64u32 {
+            for _ in 0..10 {
+                assert_ne!(DestPattern::Uniform.pick(&mesh, NodeId(s), &mut rng), NodeId(s));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_xy() {
+        let mesh = Mesh::cube(4);
+        let mut rng = SimRng::new(2);
+        let src = mesh.node_at(&Coord::xyz(1, 3, 2));
+        let dst = DestPattern::Transpose.pick(&mesh, src, &mut rng);
+        assert_eq!(mesh.coord_of(dst), Coord::xyz(3, 1, 2));
+    }
+
+    #[test]
+    fn transpose_diagonal_falls_back_to_uniform() {
+        let mesh = Mesh::cube(4);
+        let mut rng = SimRng::new(3);
+        let src = mesh.node_at(&Coord::xyz(2, 2, 1));
+        let dst = DestPattern::Transpose.pick(&mesh, src, &mut rng);
+        assert_ne!(dst, src);
+    }
+
+    #[test]
+    fn complement_mirrors_all_axes() {
+        let mesh = Mesh::new(&[4, 6, 8]);
+        let mut rng = SimRng::new(4);
+        let src = mesh.node_at(&Coord::xyz(1, 2, 3));
+        let dst = DestPattern::Complement.pick(&mesh, src, &mut rng);
+        assert_eq!(mesh.coord_of(dst), Coord::xyz(2, 3, 4));
+    }
+
+    #[test]
+    fn complement_is_maximum_distance_on_cube() {
+        let mesh = Mesh::cube(8);
+        let mut rng = SimRng::new(5);
+        // Corner-to-corner traffic crosses the full diameter.
+        let src = mesh.node_at(&Coord::xyz(0, 0, 0));
+        let dst = DestPattern::Complement.pick(&mesh, src, &mut rng);
+        assert_eq!(mesh.distance(src, dst), 21);
+    }
+
+    #[test]
+    fn dim_reversal_reverses() {
+        let mesh = Mesh::cube(4);
+        let mut rng = SimRng::new(6);
+        let src = mesh.node_at(&Coord::xyz(1, 2, 3));
+        let dst = DestPattern::DimReversal.pick(&mesh, src, &mut rng);
+        assert_eq!(mesh.coord_of(dst), Coord::xyz(3, 2, 1));
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let mesh = Mesh::cube(4);
+        let mut rng = SimRng::new(7);
+        let pat = DestPattern::Hotspot { node: 42, percent: 50 };
+        let hits = (0..2000)
+            .filter(|_| pat.pick(&mesh, NodeId(0), &mut rng) == NodeId(42))
+            .count();
+        let frac = hits as f64 / 2000.0;
+        // 50% direct + ~1/64 of the uniform remainder.
+        assert!((frac - 0.5).abs() < 0.06, "hotspot fraction {frac}");
+    }
+
+    #[test]
+    fn hotspot_source_at_hotspot_falls_back() {
+        let mesh = Mesh::cube(4);
+        let mut rng = SimRng::new(8);
+        let pat = DestPattern::Hotspot { node: 5, percent: 100 };
+        for _ in 0..50 {
+            assert_ne!(pat.pick(&mesh, NodeId(5), &mut rng), NodeId(5));
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DestPattern::Uniform.name(), "uniform");
+        assert_eq!(
+            DestPattern::Hotspot { node: 0, percent: 10 }.name(),
+            "hotspot"
+        );
+    }
+}

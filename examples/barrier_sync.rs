@@ -1,0 +1,51 @@
+//! Global synchronisation under load — the paper's third motivating use
+//! ("broadcast is required in control operations, such as global
+//! synchronisation, and to signal changes in network conditions").
+//!
+//! A barrier release is a 1-flit-payload broadcast (here 8 flits with
+//! headers) that must reach every node while the application's regular
+//! traffic (90% unicast / 10% broadcast, the paper's §3.3 mix) keeps
+//! flowing. The figure of merit is the *release skew*: how long after the
+//! first node leaves the barrier does the last node leave? That is exactly
+//! the arrival-time spread the paper's CV metric captures.
+//!
+//! ```sh
+//! cargo run --release --example barrier_sync
+//! ```
+
+use wormcast::prelude::*;
+use wormcast::workload::run_mixed_traffic;
+
+fn main() {
+    let mesh = Mesh::cube(8);
+    let cfg = NetworkConfig::paper_default().with_release(ReleaseMode::AfterTailCrossing);
+
+    println!("barrier release under 90/10 mixed traffic, 8x8x8 mesh\n");
+    println!(
+        "{:>4}  {:>16}  {:>14}  {:>12}",
+        "alg", "release mean(ms)", "unicast(ms)", "saturated?"
+    );
+    for alg in Algorithm::ALL {
+        let mut mc = MixedConfig::paper(alg, 2.0, 0xBA44);
+        mc.length = 8; // barrier token
+        mc.batch_size = 10;
+        mc.batches = 8;
+        mc.max_sim_ms = 120.0;
+        let o = run_mixed_traffic(&mesh, cfg, &mc);
+        println!(
+            "{:>4}  {:>16.4}  {:>14.5}  {:>12}",
+            alg.name(),
+            o.mean_latency_ms,
+            o.mean_unicast_latency_ms,
+            if o.saturated { "yes" } else { "no" }
+        );
+    }
+
+    println!(
+        "\nThe broadcast column is the mean time from the release broadcast\n\
+         being issued until the LAST node has received it — the barrier's\n\
+         effective exit cost. The unicast column shows that the application's\n\
+         point-to-point traffic is barely disturbed either way; the broadcast\n\
+         algorithm is what decides how quickly everyone gets moving again."
+    );
+}

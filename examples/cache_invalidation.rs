@@ -1,0 +1,60 @@
+//! Distributed-shared-memory cache invalidation — the paper's motivating
+//! workload ("broadcast communication is often used to support shared data
+//! invalidation and updating procedures required for cache coherence
+//! protocols").
+//!
+//! Directory-less coherence broadcasts a short invalidation message to every
+//! node whenever a widely shared line is written. Invalidations are small
+//! (here 8 flits) and frequent, and what matters is not only how fast the
+//! *last* sharer is invalidated (network latency) but how *uneven* the
+//! invalidation wave is (the CV of arrival times): a straggling sharer can
+//! return stale data for the whole window.
+//!
+//! ```sh
+//! cargo run --release --example cache_invalidation
+//! ```
+
+use wormcast::prelude::*;
+
+fn main() {
+    let mesh = Mesh::cube(8);
+    let cfg = NetworkConfig::paper_default();
+    const INVALIDATION_FLITS: u64 = 8;
+    // Writes to shared lines arrive continuously; model a steady 0.5
+    // invalidation broadcasts per node per ms so operations overlap.
+    const WRITE_RATE: f64 = 0.5;
+    const WRITES: usize = 50;
+
+    println!("DSM invalidation storm on an 8x8x8 mesh");
+    println!(
+        "invalidation payload: {INVALIDATION_FLITS} flits, {WRITES} overlapping writes, \
+         {WRITE_RATE} writes/node/ms\n"
+    );
+    println!(
+        "{:>4}  {:>14}  {:>16}  {:>10}",
+        "alg", "mean stale(us)", "worst sharer(us)", "wave CV"
+    );
+
+    for alg in Algorithm::ALL {
+        let o = run_contended_broadcasts(
+            &mesh,
+            cfg,
+            alg,
+            INVALIDATION_FLITS,
+            WRITES,
+            WRITE_RATE,
+            0xCAFE,
+        );
+        println!(
+            "{:>4}  {:>14.2}  {:>16.2}  {:>10.4}",
+            o.algorithm, o.mean_latency_us, o.network_latency_us, o.cv
+        );
+    }
+
+    println!(
+        "\nA low CV means the invalidation wave sweeps all sharers nearly\n\
+         simultaneously — the coded-path broadcasts deliver whole rows per\n\
+         step, while the unicast-tree algorithms spread arrivals across\n\
+         log-many steps and leave late sharers holding stale lines longer."
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: broadcast one message on a wormhole mesh and look at what
+//! happened, at both the network level and the node level.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wormcast::prelude::*;
+
+fn main() {
+    // The paper's mid-size network: an 8x8x8 mesh (512 nodes), wormhole
+    // switched, with Cray T3D-era timing (Ts = 1.5us, beta = 0.003us).
+    let mesh = Mesh::cube(8);
+    let cfg = NetworkConfig::paper_default();
+
+    println!("network: 8x8x8 mesh, {} nodes", mesh.num_nodes());
+    println!(
+        "timing : Ts = {} (start-up), beta = {} (per flit)\n",
+        cfg.startup, cfg.flit_time
+    );
+
+    // Broadcast 100 flits from a node in the interior, once per algorithm.
+    let source = mesh.node_at(&Coord::xyz(3, 4, 5));
+    println!(
+        "{:>4}  {:>6}  {:>12}  {:>12}  {:>8}",
+        "alg", "steps", "latency(us)", "mean-node(us)", "CV"
+    );
+    for alg in Algorithm::ALL {
+        let steps = alg.theoretical_steps(&mesh);
+        let o = run_single_broadcast(&mesh, cfg, alg, source, 100);
+        println!(
+            "{:>4}  {:>6}  {:>12.2}  {:>12.2}  {:>8.4}",
+            alg.name(),
+            steps,
+            o.network_latency_us,
+            o.mean_latency_us,
+            o.cv
+        );
+    }
+
+    println!(
+        "\nThe proposed coded-path algorithms (DB, AB) finish in a constant\n\
+         number of message-passing steps, so their latency barely depends on\n\
+         the network size; Recursive Doubling pays one start-up per log2(N)\n\
+         steps and the Extended Dominating Node scheme one per k+m+4 levels."
+    );
+}

@@ -1,0 +1,165 @@
+//! End-to-end integration tests asserting the paper's headline results on
+//! reduced (CI-sized) versions of the real experiments. The full-size runs
+//! live in the experiment binaries and benches; these tests keep the claims
+//! from regressing.
+
+use wormcast::experiments::{fig1, fig2, fig34, steps};
+use wormcast::prelude::*;
+
+#[test]
+fn section2_step_count_identities() {
+    // RD = log2 N, EDN = k+m+4, DB = 4, AB = 3 — constructed schedules match
+    // the closed forms on every evaluation size of the paper.
+    for row in steps::run(&steps::default_shapes()) {
+        for (name, constructed, analytical) in &row.counts {
+            assert_eq!(
+                constructed, analytical,
+                "{name} on {:?}: {constructed} vs formula {analytical}",
+                row.shape
+            );
+        }
+    }
+}
+
+#[test]
+fn fig1_scalability_claims_hold_at_reduced_scale() {
+    let params = fig1::Fig1Params {
+        sides: vec![4, 8, 10],
+        length: 100,
+        startup_us: 1.5,
+        runs: 6,
+        seed: 77,
+    };
+    let cells = fig1::run(&params);
+    let bad = fig1::check_claims(&cells);
+    assert!(bad.is_empty(), "Fig. 1 claims violated: {bad:?}");
+}
+
+#[test]
+fn fig1_low_startup_variant_preserves_ordering() {
+    // §3.1 also simulates Ts = 0.15us; the ordering DB/AB < EDN < RD must
+    // survive, with smaller absolute gaps.
+    let lat = |ts: f64, alg: Algorithm| -> f64 {
+        let cells = fig1::run(&fig1::Fig1Params {
+            sides: vec![8],
+            length: 100,
+            startup_us: ts,
+            runs: 4,
+            seed: 3,
+        });
+        cells
+            .iter()
+            .find(|c| c.algorithm == alg.name())
+            .unwrap()
+            .latency_us
+    };
+    for ts in [1.5, 0.15] {
+        let (rd, edn, db, ab) = (
+            lat(ts, Algorithm::Rd),
+            lat(ts, Algorithm::Edn),
+            lat(ts, Algorithm::Db),
+            lat(ts, Algorithm::Ab),
+        );
+        assert!(db < edn && db < rd, "Ts={ts}: DB {db} vs EDN {edn}, RD {rd}");
+        assert!(ab < edn && ab < rd, "Ts={ts}: AB {ab}");
+    }
+    // The RD-vs-DB gap shrinks with the cheaper start-up.
+    let gap_hi = lat(1.5, Algorithm::Rd) - lat(1.5, Algorithm::Db);
+    let gap_lo = lat(0.15, Algorithm::Rd) - lat(0.15, Algorithm::Db);
+    assert!(
+        gap_lo < gap_hi,
+        "start-up gap should shrink: {gap_lo} vs {gap_hi}"
+    );
+}
+
+#[test]
+fn fig2_cv_orderings_hold_at_reduced_scale() {
+    // The 64-node mesh is dominated by step-structure noise at this reduced
+    // run count (see EXPERIMENTS.md); 256 and 512 nodes carry the claims.
+    let params = fig2::Fig2Params {
+        shapes: vec![[4, 4, 16], [8, 8, 8]],
+        length: 100,
+        startup_us: 1.5,
+        runs: 25,
+        broadcast_rate_per_node_per_ms: 0.7,
+        seed: 41,
+    };
+    let cells = fig2::run(&params);
+    let bad = fig2::check_claims(&cells);
+    assert!(bad.is_empty(), "Fig. 2 claims violated: {bad:?}");
+}
+
+#[test]
+fn fig3_load_sweep_claims_hold_at_reduced_scale() {
+    let params = fig34::LoadSweepParams {
+        shape: [8, 8, 8],
+        loads: vec![0.5, 2.0, 5.0],
+        length: 32,
+        startup_us: 1.5,
+        batch_size: 10,
+        batches: 6,
+        max_sim_ms: 120.0,
+        release: ReleaseMode::AfterTailCrossing,
+        seed: 5,
+    };
+    let cells = fig34::run(&params);
+    let bad = fig34::check_claims(&cells, &params);
+    assert!(bad.is_empty(), "Fig. 3 claims violated: {bad:?}");
+}
+
+#[test]
+fn deterministic_experiments_are_reproducible() {
+    let p = fig1::Fig1Params {
+        sides: vec![4],
+        length: 64,
+        startup_us: 1.5,
+        runs: 3,
+        seed: 123,
+    };
+    let a = fig1::run(&p);
+    let b = fig1::run(&p);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.latency_us, y.latency_us);
+        assert_eq!(x.algorithm, y.algorithm);
+    }
+}
+
+#[test]
+fn broadcast_latency_decomposes_into_steps() {
+    // At zero load the network latency of each algorithm is bounded below by
+    // steps·Ts and above by steps·(Ts + worst-path + body) — the paper's
+    // start-up-dominated accounting.
+    let mesh = Mesh::cube(4);
+    let cfg = NetworkConfig::paper_default();
+    let ts = cfg.startup.as_us();
+    for alg in Algorithm::ALL {
+        let steps = alg.theoretical_steps(&mesh) as f64;
+        let o = run_single_broadcast(&mesh, cfg, alg, NodeId(21), 100);
+        let per_step_max = ts + 24.0 * cfg.hop_time().as_us() + cfg.body_time(100).as_us();
+        assert!(
+            o.network_latency_us >= steps * ts,
+            "{alg}: {} < {steps} * Ts",
+            o.network_latency_us
+        );
+        assert!(
+            o.network_latency_us <= steps * per_step_max + 1.0,
+            "{alg}: {} too large",
+            o.network_latency_us
+        );
+    }
+}
+
+#[test]
+fn proposed_algorithms_send_fewer_longer_messages() {
+    // The mechanism behind the paper's results: DB/AB trade many unicasts
+    // for a few multidestination paths.
+    let mesh = Mesh::cube(8);
+    let rd = Algorithm::Rd.schedule(&mesh, NodeId(0));
+    let edn = Algorithm::Edn.schedule(&mesh, NodeId(0));
+    let db = Algorithm::Db.schedule(&mesh, NodeId(0));
+    let ab = Algorithm::Ab.schedule(&mesh, NodeId(0));
+    assert_eq!(rd.num_messages(), 511);
+    assert_eq!(edn.num_messages(), 511);
+    assert!(db.num_messages() < 250, "DB: {}", db.num_messages());
+    assert!(ab.num_messages() < 100, "AB: {}", ab.num_messages());
+}
