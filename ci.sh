@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local CI gate: run exactly what .github/workflows/ci.yml runs.
+#
+# Usage: ./ci.sh [--offline]
+#
+# The workspace vendors every external dependency under vendor/, so the
+# whole gate works without network access; pass --offline (or set
+# CARGO_NET_OFFLINE=true) to make cargo enforce that.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+OFFLINE=()
+for arg in "$@"; do
+    case "$arg" in
+    --offline) OFFLINE=(--offline) ;;
+    *)
+        echo "usage: ./ci.sh [--offline]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
+run cargo build "${OFFLINE[@]}" --release --workspace
+run cargo test "${OFFLINE[@]}" --workspace -q
+
+echo "ci: all gates passed"

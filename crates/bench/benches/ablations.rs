@@ -12,12 +12,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wormcast_broadcast::Algorithm;
+use wormcast_network::OpId;
 use wormcast_network::{Network, NetworkConfig, ReleaseMode};
 use wormcast_routing::{OddEven, WestFirst};
 use wormcast_sim::{SimDuration, SimTime};
 use wormcast_topology::{Mesh, NodeId};
-use wormcast_workload::{run_single_broadcast, BroadcastTracker, MixedConfig, run_mixed_traffic};
-use wormcast_network::OpId;
+use wormcast_workload::{run_mixed_traffic, run_single_broadcast, BroadcastTracker, MixedConfig};
 
 /// Ts sweep: the RD-vs-DB gap tracks the start-up latency (Fig. 1 text).
 fn ablate_startup(c: &mut Criterion) {
@@ -56,11 +56,9 @@ fn ablate_length(c: &mut Criterion) {
         for alg in Algorithm::ALL {
             let o = run_single_broadcast(&mesh, cfg, alg, NodeId(7), len);
             println!("    {:<4} {:.2} us", alg.name(), o.network_latency_us);
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), len),
-                &len,
-                |b, &l| b.iter(|| black_box(run_single_broadcast(&mesh, cfg, alg, NodeId(7), l))),
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), len), &len, |b, &l| {
+                b.iter(|| black_box(run_single_broadcast(&mesh, cfg, alg, NodeId(7), l)))
+            });
         }
     }
     group.finish();
@@ -95,9 +93,7 @@ fn ablate_rd_ports(c: &mut Criterion) {
         };
         let lat = run();
         println!("--- RD with {ports} port(s): {lat:.2} us");
-        group.bench_with_input(BenchmarkId::new("RD", ports), &ports, |b, _| {
-            b.iter(&run)
-        });
+        group.bench_with_input(BenchmarkId::new("RD", ports), &ports, |b, _| b.iter(&run));
     }
     group.finish();
 }
@@ -108,10 +104,7 @@ fn ablate_ab_turn_model(c: &mut Criterion) {
     group.sample_size(wormcast_bench::SAMPLE_SIZE);
     let mesh = Mesh::square(16);
     let cfg = NetworkConfig::paper_default().with_ports(Algorithm::Ab.ports());
-    for (name, rf) in [
-        ("west-first", true),
-        ("odd-even", false),
-    ] {
+    for (name, rf) in [("west-first", true), ("odd-even", false)] {
         let run = || {
             let schedule = Algorithm::Ab.schedule(&mesh, NodeId(37));
             let rf: Box<dyn wormcast_routing::RoutingFunction> = if rf {
@@ -175,7 +168,13 @@ fn ablate_traffic_pattern(c: &mut Criterion) {
         ("uniform", DestPattern::Uniform),
         ("transpose", DestPattern::Transpose),
         ("complement", DestPattern::Complement),
-        ("hotspot10", DestPattern::Hotspot { node: 219, percent: 10 }),
+        (
+            "hotspot10",
+            DestPattern::Hotspot {
+                node: 219,
+                percent: 10,
+            },
+        ),
     ] {
         let mut mc = MixedConfig::paper(Algorithm::Ab, 3.0, 31);
         mc.batch_size = 5;

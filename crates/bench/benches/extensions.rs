@@ -32,7 +32,13 @@ fn bench_torus(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("mesh-db", side), &side, |b, _| {
             b.iter(|| {
-                black_box(run_single_broadcast(&mesh, cfg, Algorithm::Db, NodeId(7), 100))
+                black_box(run_single_broadcast(
+                    &mesh,
+                    cfg,
+                    Algorithm::Db,
+                    NodeId(7),
+                    100,
+                ))
             })
         });
     }
@@ -50,22 +56,18 @@ fn bench_multicast(c: &mut Criterion) {
             let dests = random_destinations(&mesh, NodeId(0), m, m as u64);
             let o = run_single_multicast(&mesh, cfg, scheme, NodeId(0), &dests, 32);
             println!("    {:<2} {:.2} us", scheme.name(), o.latency_us);
-            group.bench_with_input(
-                BenchmarkId::new(scheme.name(), m),
-                &m,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(run_single_multicast(
-                            &mesh,
-                            cfg,
-                            scheme,
-                            NodeId(0),
-                            &dests,
-                            32,
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(scheme.name(), m), &m, |b, _| {
+                b.iter(|| {
+                    black_box(run_single_multicast(
+                        &mesh,
+                        cfg,
+                        scheme,
+                        NodeId(0),
+                        &dests,
+                        32,
+                    ))
+                })
+            });
         }
     }
     group.finish();

@@ -20,7 +20,11 @@ fn bench_fig1(c: &mut Criterion) {
     for side in [4u16, 8, 16] {
         let mesh = Mesh::cube(side);
         let cfg = NetworkConfig::paper_default();
-        println!("--- Fig. 1 series at {0}x{0}x{0} ({1} nodes):", side, mesh.dims().len());
+        println!(
+            "--- Fig. 1 series at {0}x{0}x{0} ({1} nodes):",
+            side,
+            mesh.dims().len()
+        );
         for alg in Algorithm::ALL {
             let o = run_single_broadcast(&mesh, cfg, alg, NodeId(7), 100);
             println!(
@@ -29,21 +33,17 @@ fn bench_fig1(c: &mut Criterion) {
                 o.network_latency_us,
                 o.cv
             );
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), side),
-                &side,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(run_single_broadcast(
-                            &mesh,
-                            cfg,
-                            alg,
-                            black_box(NodeId(7)),
-                            100,
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), side), &side, |b, _| {
+                b.iter(|| {
+                    black_box(run_single_broadcast(
+                        &mesh,
+                        cfg,
+                        alg,
+                        black_box(NodeId(7)),
+                        100,
+                    ))
+                })
+            });
         }
     }
     group.finish();

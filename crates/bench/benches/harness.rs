@@ -1,0 +1,58 @@
+//! **Harness bench** — replication throughput of the parallel `Runner`.
+//!
+//! Runs the same reduced Fig. 1 sweep (8×8×8 mesh, the paper's 100-flit
+//! broadcasts) through `fig1::run` with a 1-worker runner and with one
+//! runner per available core, so the reported element throughput is
+//! replications/second and the two groups give the end-to-end speedup of
+//! `--jobs N` over `--jobs 1` on this machine. Both runners fold in index
+//! order, so the printed sanity line checks the results are bit-identical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wormcast_experiments::fig1::{self, Fig1Params};
+use wormcast_workload::Runner;
+
+fn params() -> Fig1Params {
+    Fig1Params {
+        sides: vec![8],
+        runs: 8,
+        ..Fig1Params::default()
+    }
+}
+
+fn bench_harness(c: &mut Criterion) {
+    let p = params();
+    let auto = Runner::new(0);
+    let single = Runner::new(1);
+    // 4 algorithms x `runs` replications per invocation.
+    let reps = 4 * p.runs as u64;
+
+    let a = fig1::run(&p, &single);
+    let b = fig1::run(&p, &auto);
+    let identical = a.len() == b.len()
+        && a.iter().zip(&b).all(|(x, y)| {
+            x.latency_us.to_bits() == y.latency_us.to_bits()
+                && x.mean_node_latency_us.to_bits() == y.mean_node_latency_us.to_bits()
+        });
+    println!(
+        "--- harness: 1 worker vs {} workers, {} replications/iter, bit-identical: {}",
+        auto.jobs(),
+        reps,
+        identical
+    );
+    assert!(identical, "jobs=1 and jobs=N diverged");
+
+    let mut group = c.benchmark_group("harness_fig1_replications");
+    group.sample_size(wormcast_bench::SAMPLE_SIZE);
+    group.throughput(Throughput::Elements(reps));
+    for (label, jobs) in [("jobs1", 1usize), ("jobsN", 0)] {
+        let runner = Runner::new(jobs);
+        group.bench_with_input(BenchmarkId::new(label, runner.jobs()), &runner, |b, r| {
+            b.iter(|| black_box(fig1::run(black_box(&p), r)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_harness);
+criterion_main!(benches);

@@ -59,7 +59,10 @@ pub fn ab_schedule(mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
     if is3d {
         for corner in [near, far] {
             if corner != src_c {
-                messages.push(ScheduledMessage { step: 1, charge_startup: true, plan: RoutePlan::Adaptive {
+                messages.push(ScheduledMessage {
+                    step: 1,
+                    charge_startup: true,
+                    plan: RoutePlan::Adaptive {
                         src: source,
                         dst: mesh.node_at(&corner),
                     },
@@ -68,13 +71,19 @@ pub fn ab_schedule(mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
         }
     } else {
         if near != src_c {
-            messages.push(ScheduledMessage { step: 1, charge_startup: true, plan: RoutePlan::Adaptive {
+            messages.push(ScheduledMessage {
+                step: 1,
+                charge_startup: true,
+                plan: RoutePlan::Adaptive {
                     src: source,
                     dst: mesh.node_at(&near),
                 },
             });
         }
-        messages.push(ScheduledMessage { step: 2, charge_startup: true, plan: RoutePlan::Adaptive {
+        messages.push(ScheduledMessage {
+            step: 2,
+            charge_startup: true,
+            plan: RoutePlan::Adaptive {
                 src: mesh.node_at(&near),
                 dst: mesh.node_at(&far),
             },
@@ -101,7 +110,10 @@ pub fn ab_schedule(mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
                     .into_iter()
                     .map(|z| mesh.node_at(&corner.with(2, z)))
                     .collect();
-                messages.push(ScheduledMessage { step: 2, charge_startup: true, plan: RoutePlan::Coded(CodedPath::gather_all(
+                messages.push(ScheduledMessage {
+                    step: 2,
+                    charge_startup: true,
+                    plan: RoutePlan::Coded(CodedPath::gather_all(
                         mesh,
                         Path::through(mesh, &nodes),
                     )),
@@ -125,7 +137,15 @@ pub fn ab_schedule(mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
             } else {
                 (hm..h).rev().collect()
             };
-            push_serpentine(mesh, &mut messages, serp_step, &plane, &corner, &rows, &src_c);
+            push_serpentine(
+                mesh,
+                &mut messages,
+                serp_step,
+                &plane,
+                &corner,
+                &rows,
+                &src_c,
+            );
         }
     }
 
@@ -325,7 +345,9 @@ mod tests {
         // Each individual segment stays west-first conformable (one row + a
         // turn hop).
         for msg in ab.messages.iter().filter(|m2| m2.step == 3) {
-            let RoutePlan::Coded(cp) = &msg.plan else { panic!() };
+            let RoutePlan::Coded(cp) = &msg.plan else {
+                panic!()
+            };
             assert!(cp.path.len() <= 17, "segment = row + turn hop");
         }
         // DB's longest path is a corner leg (<= (W-1)+(H-1) hops) or a

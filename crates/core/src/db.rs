@@ -76,7 +76,10 @@ pub fn db_schedule(mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
     // source *is* that anchor).
     for corner in [a0, b0] {
         if corner != src_c {
-            messages.push(ScheduledMessage { step: 1, charge_startup: true, plan: RoutePlan::Coded(CodedPath::unicast(
+            messages.push(ScheduledMessage {
+                step: 1,
+                charge_startup: true,
+                plan: RoutePlan::Coded(CodedPath::unicast(
                     mesh,
                     wormcast_routing::dor_path(mesh, source, node(&corner)),
                 )),
@@ -96,7 +99,10 @@ pub fn db_schedule(mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
                     .into_iter()
                     .map(|z| node(&corner.with(2, z)))
                     .collect();
-                messages.push(ScheduledMessage { step: 2, charge_startup: true, plan: RoutePlan::Coded(CodedPath::gather_all(
+                messages.push(ScheduledMessage {
+                    step: 2,
+                    charge_startup: true,
+                    plan: RoutePlan::Coded(CodedPath::gather_all(
                         mesh,
                         Path::through(mesh, &nodes),
                     )),
@@ -199,7 +205,10 @@ fn push_line(
     let last_rx = *receivers.last().unwrap();
     let end = nodes.iter().position(|&n| n == last_rx).unwrap();
     let path = Path::through(mesh, &nodes[..=end]);
-    messages.push(ScheduledMessage::step_message(step, RoutePlan::Coded(CodedPath::selective(mesh, path, &receivers))));
+    messages.push(ScheduledMessage::step_message(
+        step,
+        RoutePlan::Coded(CodedPath::selective(mesh, path, &receivers)),
+    ));
 }
 
 /// DB's step count: 4 in 3D, 3 in 2D — independent of network size, the
@@ -321,7 +330,9 @@ mod tests {
         let s = db_schedule(&m, NodeId(77));
         let mut by_step = vec![0usize; 5];
         for msg in &s.messages {
-            let RoutePlan::Coded(cp) = &msg.plan else { unreachable!() };
+            let RoutePlan::Coded(cp) = &msg.plan else {
+                unreachable!()
+            };
             by_step[msg.step as usize] += cp.num_receivers();
         }
         let total: usize = by_step.iter().sum();

@@ -64,7 +64,10 @@ pub fn edn_schedule(mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
     let mut holders: Vec<(Coord, Block)> = vec![(mesh.coord_of(source), whole)];
 
     // Phase 1a: XY quadrant reduction.
-    while holders.iter().any(|(_, b)| b.extent(0) > 4 || b.extent(1) > 4) {
+    while holders
+        .iter()
+        .any(|(_, b)| b.extent(0) > 4 || b.extent(1) > 4)
+    {
         holders = split_step(mesh, holders, &[0, 1], step, &mut messages);
         step += 1;
     }
@@ -161,7 +164,10 @@ fn split_step(
             } else {
                 let src = mesh.node_at(&holder);
                 let dst = mesh.node_at(&mirror);
-                out.push(ScheduledMessage::step_message(step, RoutePlan::Coded(CodedPath::unicast(mesh, dor_path(mesh, src, dst)))));
+                out.push(ScheduledMessage::step_message(
+                    step,
+                    RoutePlan::Coded(CodedPath::unicast(mesh, dor_path(mesh, src, dst))),
+                ));
                 next.push((mirror, sub));
             }
         }
@@ -194,10 +200,13 @@ fn base_z_halve(
         let own_lo = own.lo[2];
         let rel = holder.get(2) - own_lo;
         let mirror = holder.with(2, other.lo[2] + rel.min(other.extent(2) - 1));
-        out.push(ScheduledMessage::step_message(step, RoutePlan::Coded(CodedPath::unicast(
+        out.push(ScheduledMessage::step_message(
+            step,
+            RoutePlan::Coded(CodedPath::unicast(
                 mesh,
                 dor_path(mesh, mesh.node_at(&holder), mesh.node_at(&mirror)),
-            ))));
+            )),
+        ));
         next.push((holder, own));
         next.push((mirror, other));
     }
@@ -222,10 +231,13 @@ fn base_z_adjacent(
                 next.push((holder, plane));
             } else {
                 let mirror = holder.with(2, z);
-                out.push(ScheduledMessage::step_message(step, RoutePlan::Coded(CodedPath::unicast(
+                out.push(ScheduledMessage::step_message(
+                    step,
+                    RoutePlan::Coded(CodedPath::unicast(
                         mesh,
                         dor_path(mesh, mesh.node_at(&holder), mesh.node_at(&mirror)),
-                    ))));
+                    )),
+                ));
                 next.push((mirror, plane));
             }
         }
@@ -249,10 +261,13 @@ fn base_dominate(
                 if c == holder {
                     continue;
                 }
-                out.push(ScheduledMessage::step_message(step, RoutePlan::Coded(CodedPath::unicast(
+                out.push(ScheduledMessage::step_message(
+                    step,
+                    RoutePlan::Coded(CodedPath::unicast(
                         mesh,
                         dor_path(mesh, mesh.node_at(&holder), mesh.node_at(&c)),
-                    ))));
+                    )),
+                ));
             }
         }
     }
@@ -310,11 +325,11 @@ mod tests {
         // (4·2^k)^2 × (4·2^m) => k+m+4.
         for (dims, expect) in [
             ([4u16, 4, 4], 4),
-            ([8, 8, 8], 6),     // k=1, m=1
-            ([4, 4, 16], 6),    // k=0, m=2
-            ([8, 8, 16], 7),    // k=1, m=2
-            ([16, 16, 8], 7),   // k=2, m=1
-            ([16, 16, 16], 8),  // k=2, m=2
+            ([8, 8, 8], 6),    // k=1, m=1
+            ([4, 4, 16], 6),   // k=0, m=2
+            ([8, 8, 16], 7),   // k=1, m=2
+            ([16, 16, 8], 7),  // k=2, m=1
+            ([16, 16, 16], 8), // k=2, m=2
         ] {
             let m = Mesh::new(&dims);
             assert_eq!(edn_steps(&m), expect, "{dims:?} closed form");

@@ -37,8 +37,8 @@ pub use ab::{ab_schedule, ab_steps};
 pub use algorithm::{Algorithm, RoutingKind};
 pub use db::{db_schedule, db_steps};
 pub use edn::{edn_schedule, edn_steps};
-pub use rd::{rd_schedule, rd_steps};
 pub use extensions::{ghc_broadcast, torus_ring_broadcast, ExtError, ExtMessage, ExtSchedule};
 pub use multicast::{cpr_multicast, sp_multicast, um_multicast, um_steps, validate_multicast};
+pub use rd::{rd_schedule, rd_steps};
 pub use schedule::{BroadcastSchedule, RoutePlan, ScheduleError, ScheduledMessage};
 pub use viz::{render_all, render_step};

@@ -44,7 +44,10 @@ fn normalize(source: NodeId, dests: &[NodeId]) -> Vec<NodeId> {
 /// Panics if `dests` (after removing the source and duplicates) is empty.
 pub fn um_multicast(mesh: &Mesh, source: NodeId, dests: &[NodeId]) -> BroadcastSchedule {
     let dests = normalize(source, dests);
-    assert!(!dests.is_empty(), "multicast needs at least one destination");
+    assert!(
+        !dests.is_empty(),
+        "multicast needs at least one destination"
+    );
     let mut messages = Vec::new();
     // Responsibility span: a slice of the sorted destination list, plus the
     // holder in charge of it.
@@ -99,7 +102,10 @@ pub fn um_steps(m: usize) -> u32 {
 pub fn cpr_multicast(mesh: &Mesh, source: NodeId, dests: &[NodeId]) -> BroadcastSchedule {
     assert_eq!(mesh.ndims(), 3, "cpr_multicast is defined for 3D meshes");
     let dests = normalize(source, dests);
-    assert!(!dests.is_empty(), "multicast needs at least one destination");
+    assert!(
+        !dests.is_empty(),
+        "multicast needs at least one destination"
+    );
     let src_c = mesh.coord_of(source);
     let zs = src_c.get(2);
     let mut messages = Vec::new();
@@ -154,14 +160,13 @@ pub fn cpr_multicast(mesh: &Mesh, source: NodeId, dests: &[NodeId]) -> Broadcast
         // Trim the walk at the last receiver.
         let last_z = mesh.coord_of(*rx.last().unwrap()).get(2);
         let end = walk.iter().position(|&z| z == last_z).unwrap();
-        let nodes: Vec<NodeId> = walk[..=end].iter().map(|&z| mesh.node_at(&anchor(z))).collect();
+        let nodes: Vec<NodeId> = walk[..=end]
+            .iter()
+            .map(|&z| mesh.node_at(&anchor(z)))
+            .collect();
         messages.push(ScheduledMessage::step_message(
             2,
-            RoutePlan::Coded(CodedPath::selective(
-                mesh,
-                Path::through(mesh, &nodes),
-                &rx,
-            )),
+            RoutePlan::Coded(CodedPath::selective(mesh, Path::through(mesh, &nodes), &rx)),
         ));
         for r in rx {
             anchor_holds_from.insert(mesh.coord_of(r).get(2), 2);
@@ -179,7 +184,9 @@ pub fn cpr_multicast(mesh: &Mesh, source: NodeId, dests: &[NodeId]) -> Broadcast
         for (&y, row_dests) in &rows {
             // Path: (0,0,z) .. (0,y,z) .. (max_x,y,z).
             let max_x = row_dests.iter().map(|c| c.get(0)).max().unwrap();
-            let mut nodes: Vec<NodeId> = (0..=y).map(|yy| mesh.node_at(&astart.with(1, yy))).collect();
+            let mut nodes: Vec<NodeId> = (0..=y)
+                .map(|yy| mesh.node_at(&astart.with(1, yy)))
+                .collect();
             nodes.extend((1..=max_x).map(|xx| mesh.node_at(&Coord::xyz(xx, y, z))));
             let rx: Vec<NodeId> = row_dests
                 .iter()
@@ -191,11 +198,7 @@ pub fn cpr_multicast(mesh: &Mesh, source: NodeId, dests: &[NodeId]) -> Broadcast
             }
             messages.push(ScheduledMessage::step_message(
                 3,
-                RoutePlan::Coded(CodedPath::selective(
-                    mesh,
-                    Path::through(mesh, &nodes),
-                    &rx,
-                )),
+                RoutePlan::Coded(CodedPath::selective(mesh, Path::through(mesh, &nodes), &rx)),
             ));
         }
     }
@@ -225,13 +228,20 @@ pub fn cpr_multicast(mesh: &Mesh, source: NodeId, dests: &[NodeId]) -> Broadcast
 pub fn sp_multicast(mesh: &Mesh, source: NodeId, dests: &[NodeId]) -> BroadcastSchedule {
     assert_eq!(mesh.ndims(), 3, "sp_multicast is defined for 3D meshes");
     let dests = normalize(source, dests);
-    assert!(!dests.is_empty(), "multicast needs at least one destination");
+    assert!(
+        !dests.is_empty(),
+        "multicast needs at least one destination"
+    );
     // Scan order: z, then y, then x alternating direction per (z,y) parity —
     // a dimension-ordered chain whose segments are each DOR-legal.
     let mut ordered: Vec<Coord> = dests.iter().map(|&d| mesh.coord_of(d)).collect();
     ordered.sort_by_key(|c| {
         let (x, y, z) = (c.get(0), c.get(1), c.get(2));
-        let xkey = if (y + z) % 2 == 0 { x as i32 } else { -(x as i32) };
+        let xkey = if (y + z) % 2 == 0 {
+            x as i32
+        } else {
+            -(x as i32)
+        };
         (z, y, xkey)
     });
     let mut messages = Vec::new();
@@ -293,11 +303,7 @@ pub fn validate_multicast(
             }
         }
     }
-    Ok(got
-        .keys()
-        .filter(|n| !want.contains(n))
-        .copied()
-        .collect())
+    Ok(got.keys().filter(|n| !want.contains(n)).copied().collect())
 }
 
 fn compress(messages: &mut [ScheduledMessage]) {
@@ -361,8 +367,7 @@ mod tests {
         for m in [1usize, 5, 40, 200] {
             let dests = random_dests(&mesh, src, m, m as u64 ^ 0xC0);
             let s = cpr_multicast(&mesh, src, &dests);
-            validate_multicast(&mesh, &s, &dests)
-                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+            validate_multicast(&mesh, &s, &dests).unwrap_or_else(|e| panic!("m={m}: {e}"));
             assert!(s.steps() <= 3, "CM is a 3-step scheme, got {}", s.steps());
         }
     }

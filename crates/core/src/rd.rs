@@ -58,13 +58,7 @@ pub fn rd_schedule(mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
     }
 }
 
-fn recurse(
-    mesh: &Mesh,
-    bbox: &SubBox,
-    holder: Coord,
-    step: u32,
-    out: &mut Vec<ScheduledMessage>,
-) {
+fn recurse(mesh: &Mesh, bbox: &SubBox, holder: Coord, step: u32, out: &mut Vec<ScheduledMessage>) {
     if bbox.is_unit() {
         return;
     }
@@ -88,7 +82,10 @@ fn recurse(
     let partner = holder.with(d, partner_pos);
     let src = mesh.node_at(&holder);
     let dst = mesh.node_at(&partner);
-    out.push(ScheduledMessage::step_message(step, RoutePlan::Coded(CodedPath::unicast(mesh, dor_path(mesh, src, dst)))));
+    out.push(ScheduledMessage::step_message(
+        step,
+        RoutePlan::Coded(CodedPath::unicast(mesh, dor_path(mesh, src, dst))),
+    ));
     recurse(mesh, own, holder, step + 1, out);
     recurse(mesh, other, partner, step + 1, out);
 }

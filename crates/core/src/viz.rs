@@ -21,7 +21,11 @@ pub fn render_step(mesh: &Mesh, schedule: &BroadcastSchedule, step: u32) -> Stri
     assert!(step >= 1 && step <= schedule.steps(), "step out of range");
     let covered = coverage_steps(mesh, schedule);
     let (w, h) = (mesh.dim_size(0), mesh.dim_size(1));
-    let zrange = if mesh.ndims() == 3 { mesh.dim_size(2) } else { 1 };
+    let zrange = if mesh.ndims() == 3 {
+        mesh.dim_size(2)
+    } else {
+        1
+    };
     let mut out = String::new();
     out.push_str(&format!(
         "{} after step {step}/{} (source {}):\n",
@@ -100,7 +104,7 @@ mod tests {
         assert_eq!(grid1[0].trim(), ". . . *"); // y=3: corner (3,3)
         assert_eq!(grid1[2].trim(), ". S . ."); // y=1: source
         assert_eq!(grid1[3].trim(), "* . . ."); // y=0: corner (0,0)
-        // Final step covers everyone.
+                                                // Final step covers everyone.
         let last = render_step(&mesh, &s, s.steps());
         assert!(!last.contains('.'), "no uncovered nodes remain:\n{last}");
     }

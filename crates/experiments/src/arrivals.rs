@@ -15,7 +15,7 @@ use wormcast_network::{NetworkConfig, OpId};
 use wormcast_sim::SimTime;
 use wormcast_stats::{Histogram, Quantiles};
 use wormcast_topology::{Mesh, NodeId, Topology};
-use wormcast_workload::{network_for, BroadcastTracker};
+use wormcast_workload::{network_for, BroadcastTracker, Runner};
 
 /// Parameters for the arrival-profile experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -62,15 +62,19 @@ pub struct ArrivalProfile {
     pub sparkline: String,
 }
 
-/// Run one broadcast per algorithm and profile the arrivals.
-pub fn run(params: &ArrivalParams) -> Vec<ArrivalProfile> {
+/// Run one broadcast per algorithm (one harness task each, folded in
+/// algorithm order) and profile the arrivals.
+pub fn run(params: &ArrivalParams, runner: &Runner) -> Vec<ArrivalProfile> {
     let mesh = Mesh::new(&params.shape);
     let cfg = NetworkConfig::paper_default();
     let source = NodeId(params.source % mesh.num_nodes() as u32);
-    Algorithm::ALL
-        .iter()
-        .map(|&alg| profile_one(&mesh, cfg, alg, source, params))
-        .collect()
+    let mut profiles = Vec::with_capacity(Algorithm::ALL.len());
+    runner.run(
+        Algorithm::ALL.len(),
+        |i| profile_one(&mesh, cfg, Algorithm::ALL[i], source, params),
+        |_, p| profiles.push(p),
+    );
+    profiles
 }
 
 fn profile_one(
@@ -127,7 +131,15 @@ pub fn table(profiles: &[ArrivalProfile], params: &ArrivalParams) -> Table {
             "Node-level arrival profile; {}x{}x{} mesh, L={} flits (one broadcast each)",
             params.shape[0], params.shape[1], params.shape[2], params.length
         ),
-        &["alg", "p50(us)", "p95(us)", "p99(us)", "max(us)", "IQR(us)", "arrivals histogram"],
+        &[
+            "alg",
+            "p50(us)",
+            "p95(us)",
+            "p99(us)",
+            "max(us)",
+            "IQR(us)",
+            "arrivals histogram",
+        ],
     );
     for p in profiles {
         t.push_row(vec![
@@ -185,7 +197,7 @@ mod tests {
 
     #[test]
     fn profiles_are_ordered_and_complete() {
-        let profiles = run(&quick());
+        let profiles = run(&quick(), &Runner::sequential());
         assert_eq!(profiles.len(), 4);
         for p in &profiles {
             assert!(p.p50_us <= p.p95_us);
@@ -199,7 +211,7 @@ mod tests {
 
     #[test]
     fn ab_tail_is_tighter_than_rd() {
-        let profiles = run(&quick());
+        let profiles = run(&quick(), &Runner::sequential());
         let get = |name: &str| profiles.iter().find(|p| p.algorithm == name).unwrap();
         // The step structure bounds the spread: AB's worst arrival lands far
         // earlier than RD's.
@@ -208,11 +220,15 @@ mod tests {
 
     #[test]
     fn per_step_counts_match_step_structure() {
-        let profiles = run(&quick());
+        let profiles = run(&quick(), &Runner::sequential());
         let ab = profiles.iter().find(|p| p.algorithm == "AB").unwrap();
         assert!(ab.per_step.len() <= 3);
         let rd = profiles.iter().find(|p| p.algorithm == "RD").unwrap();
-        assert_eq!(rd.per_step.len(), 6, "RD delivers in every one of its 6 steps");
+        assert_eq!(
+            rd.per_step.len(),
+            6,
+            "RD delivers in every one of its 6 steps"
+        );
         // RD's last step carries half the network.
         assert_eq!(rd.per_step.last().unwrap().1, 32);
     }
@@ -220,7 +236,7 @@ mod tests {
     #[test]
     fn tables_render() {
         let params = quick();
-        let profiles = run(&params);
+        let profiles = run(&params, &Runner::sequential());
         assert!(table(&profiles, &params).render().contains("AB"));
         assert!(step_table(&profiles).render().contains("s1"));
     }

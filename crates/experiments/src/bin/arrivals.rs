@@ -2,7 +2,7 @@
 //! counts, ASCII histograms) for each broadcast algorithm — the §3.2 story
 //! behind the CV numbers.
 //!
-//! Usage: `arrivals [--out DIR] [--length F] [--seed SRC]`
+//! Usage: `arrivals [--out DIR] [--length F] [--seed SRC] [--jobs N]`
 
 use wormcast_experiments::{arrivals, CommonOpts};
 
@@ -15,7 +15,7 @@ fn main() {
     if let Some(s) = opts.seed {
         params.source = s as u32;
     }
-    let profiles = arrivals::run(&params);
+    let profiles = arrivals::run(&params, &opts.runner());
     println!("{}", arrivals::table(&profiles, &params).render());
     println!("{}", arrivals::step_table(&profiles).render());
     if let Some(dir) = opts.out_dir {

@@ -1,7 +1,7 @@
 //! Regenerates **Fig. 1**: broadcast latency vs network size (64–4096
 //! nodes), single-source, L=100 flits, Ts=1.5 µs (override with `--ts`).
 //!
-//! Usage: `fig1 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]`
+//! Usage: `fig1 [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]`
 
 use wormcast_experiments::{fig1, CommonOpts};
 
@@ -21,7 +21,7 @@ fn main() {
     if let Some(l) = opts.length {
         params.length = l;
     }
-    let cells = fig1::run(&params);
+    let cells = fig1::run(&params, &opts.runner());
     println!("{}", fig1::table(&cells, &params).render());
     let bad = fig1::check_claims(&cells);
     if bad.is_empty() {

@@ -1,7 +1,7 @@
 //! Regenerates **Fig. 2**: coefficient of variation of arrival times vs
 //! network size, measured in steady state with concurrent broadcasts.
 //!
-//! Usage: `fig2 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]`
+//! Usage: `fig2 [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]`
 
 use wormcast_experiments::{fig2, CommonOpts};
 
@@ -20,7 +20,7 @@ fn main() {
     if let Some(l) = opts.length {
         params.length = l;
     }
-    let cells = fig2::run(&params);
+    let cells = fig2::run(&params, &opts.runner());
     println!("{}", fig2::fig2_table(&cells, &params).render());
     let bad = fig2::check_claims(&cells);
     if bad.is_empty() {

@@ -1,7 +1,7 @@
 //! Regenerates **Fig. 3**: latency vs offered load on the 8×8×8 mesh under
 //! 90% unicast / 10% broadcast traffic (L=32 flits, Ts=1.5 µs).
 //!
-//! Usage: `fig3 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]`
+//! Usage: `fig3 [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]`
 
 use wormcast_experiments::{fig34, CommonOpts};
 
@@ -22,7 +22,7 @@ fn main() {
     if let Some(l) = opts.length {
         params.length = l;
     }
-    let cells = fig34::run(&params);
+    let cells = fig34::run(&params, &opts.runner());
     println!("{}", fig34::table(&cells, &params, "Fig. 3").render());
     let bad = fig34::check_claims(&cells, &params);
     if bad.is_empty() {

@@ -1,7 +1,7 @@
 //! Runs the multicast extension experiment (the paper's §4 future
 //! direction): UM / CM / SP latency vs destination-set density.
 //!
-//! Usage: `multicast [--quick] [--out DIR] [--seed N] [--length F]`
+//! Usage: `multicast [--quick] [--out DIR] [--seed N] [--length F] [--jobs N]`
 
 use wormcast_experiments::{multicast, CommonOpts};
 
@@ -18,7 +18,7 @@ fn main() {
     if let Some(l) = opts.length {
         params.length = l;
     }
-    let cells = multicast::run(&params);
+    let cells = multicast::run(&params, &opts.runner());
     println!("{}", multicast::table(&cells, &params).render());
     let bad = multicast::check_claims(&cells);
     if bad.is_empty() {

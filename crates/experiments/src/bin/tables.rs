@@ -1,7 +1,7 @@
 //! Regenerates **Tables 1 and 2**: CV of RD and EDN with the percentage
 //! improvement obtained by DB (Table 1) and AB (Table 2).
 //!
-//! Usage: `tables [--quick] [--out DIR] [--seed N] [--ts US] [--length F]`
+//! Usage: `tables [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]`
 
 use wormcast_experiments::{fig2, CommonOpts};
 
@@ -20,9 +20,15 @@ fn main() {
     if let Some(l) = opts.length {
         params.length = l;
     }
-    let cells = fig2::run(&params);
-    println!("{}", fig2::improvement_table(&cells, &params, "DB").render());
-    println!("{}", fig2::improvement_table(&cells, &params, "AB").render());
+    let cells = fig2::run(&params, &opts.runner());
+    println!(
+        "{}",
+        fig2::improvement_table(&cells, &params, "DB").render()
+    );
+    println!(
+        "{}",
+        fig2::improvement_table(&cells, &params, "AB").render()
+    );
     if let Some(dir) = opts.out_dir {
         let path = dir.join("tables.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");

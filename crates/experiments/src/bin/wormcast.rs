@@ -2,7 +2,7 @@
 //! paper in one command.
 //!
 //! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig2|tables|fig3|fig4|arrivals|multicast]...
-//!                  [--quick] [--out DIR] [--seed N] [--ts US] [--length F]`
+//!                  [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]`
 //!
 //! With no selector (or `all`), runs the full suite: the §2 step identities,
 //! Fig. 1 (plus the Ts = 0.15 µs variant), Fig. 2, Tables 1–2, Figs. 3–4,
@@ -12,14 +12,22 @@ use wormcast_experiments::{fig1, fig2, fig34, steps, CommonOpts};
 
 fn main() {
     let opts = CommonOpts::parse();
+    let runner = opts.runner();
     let which: Vec<String> = if opts.rest.is_empty() || opts.rest.iter().any(|r| r == "all") {
         vec![
-            "steps", "fig1", "fig1-lowts", "fig2", "tables", "fig3", "fig4", "arrivals",
+            "steps",
+            "fig1",
+            "fig1-lowts",
+            "fig2",
+            "tables",
+            "fig3",
+            "fig4",
+            "arrivals",
             "multicast",
         ]
-            .into_iter()
-            .map(String::from)
-            .collect()
+        .into_iter()
+        .map(String::from)
+        .collect()
     } else {
         opts.rest.clone()
     };
@@ -53,7 +61,7 @@ fn main() {
                 if let Some(l) = opts.length {
                     p.length = l;
                 }
-                let cells = fig1::run(&p);
+                let cells = fig1::run(&p, &runner);
                 println!("{}", fig1::table(&cells, &p).render());
                 report_claims(&fig1::check_claims(&cells));
                 out(sel, &cells);
@@ -69,7 +77,7 @@ fn main() {
                 if let Some(l) = opts.length {
                     p.length = l;
                 }
-                let cells = fig2::run(&p);
+                let cells = fig2::run(&p, &runner);
                 if sel == "fig2" {
                     println!("{}", fig2::fig2_table(&cells, &p).render());
                     report_claims(&fig2::check_claims(&cells));
@@ -96,7 +104,7 @@ fn main() {
                 if let Some(l) = opts.length {
                     p.length = l;
                 }
-                let cells = fig34::run(&p);
+                let cells = fig34::run(&p, &runner);
                 let caption = if sel == "fig3" { "Fig. 3" } else { "Fig. 4" };
                 println!("{}", fig34::table(&cells, &p, caption).render());
                 report_claims(&fig34::check_claims(&cells, &p));
@@ -107,9 +115,15 @@ fn main() {
                 if let Some(l) = opts.length {
                     p.length = l;
                 }
-                let profiles = wormcast_experiments::arrivals::run(&p);
-                println!("{}", wormcast_experiments::arrivals::table(&profiles, &p).render());
-                println!("{}", wormcast_experiments::arrivals::step_table(&profiles).render());
+                let profiles = wormcast_experiments::arrivals::run(&p, &runner);
+                println!(
+                    "{}",
+                    wormcast_experiments::arrivals::table(&profiles, &p).render()
+                );
+                println!(
+                    "{}",
+                    wormcast_experiments::arrivals::step_table(&profiles).render()
+                );
                 out("arrivals", &profiles);
             }
             "multicast" => {
@@ -121,8 +135,11 @@ fn main() {
                 if let Some(s) = opts.seed {
                     p.seed = s;
                 }
-                let cells = wormcast_experiments::multicast::run(&p);
-                println!("{}", wormcast_experiments::multicast::table(&cells, &p).render());
+                let cells = wormcast_experiments::multicast::run(&p, &runner);
+                println!(
+                    "{}",
+                    wormcast_experiments::multicast::table(&cells, &p).render()
+                );
                 report_claims(&wormcast_experiments::multicast::check_claims(&cells));
                 out("multicast", &cells);
             }

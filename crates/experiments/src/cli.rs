@@ -1,5 +1,7 @@
 //! Minimal command-line option handling shared by the experiment binaries.
 
+use wormcast_workload::Runner;
+
 /// Options common to every experiment binary.
 #[derive(Debug, Clone)]
 pub struct CommonOpts {
@@ -14,13 +16,21 @@ pub struct CommonOpts {
     pub startup_us: Option<f64>,
     /// Message length override, flits.
     pub length: Option<u64>,
+    /// Worker threads for the replication harness (`--jobs N`; 0 or absent
+    /// means one per available core). Results are identical for any value.
+    pub jobs: Option<usize>,
     /// Remaining positional arguments.
     pub rest: Vec<String>,
 }
 
 impl CommonOpts {
-    /// Parse `--quick`, `--out DIR`, `--seed N`, `--ts US`, `--length F`
-    /// from the process arguments; anything else lands in `rest`.
+    /// The replication [`Runner`] the binary should drive experiments with.
+    pub fn runner(&self) -> Runner {
+        Runner::new(self.jobs.unwrap_or(0))
+    }
+
+    /// Parse `--quick`, `--out DIR`, `--seed N`, `--ts US`, `--length F`,
+    /// `--jobs N` from the process arguments; anything else lands in `rest`.
     ///
     /// # Panics
     /// Panics with a usage message on malformed values — these are developer
@@ -37,6 +47,7 @@ impl CommonOpts {
             seed: None,
             startup_us: None,
             length: None,
+            jobs: None,
             rest: Vec::new(),
         };
         let mut it = args.peekable();
@@ -71,6 +82,14 @@ impl CommonOpts {
                             .expect("--length must be an integer"),
                     );
                 }
+                "--jobs" => {
+                    o.jobs = Some(
+                        it.next()
+                            .expect("--jobs needs a worker count (0 = auto)")
+                            .parse()
+                            .expect("--jobs must be an integer"),
+                    );
+                }
                 other => o.rest.push(other.to_string()),
             }
         }
@@ -91,20 +110,32 @@ mod tests {
         let o = parse(&[]);
         assert!(!o.quick);
         assert!(o.out_dir.is_none());
+        assert!(o.jobs.is_none());
         assert!(o.rest.is_empty());
+        assert!(o.runner().jobs() >= 1);
     }
 
     #[test]
     fn all_flags() {
         let o = parse(&[
-            "--quick", "--out", "results", "--seed", "9", "--ts", "0.15", "--length", "64", "all",
+            "--quick", "--out", "results", "--seed", "9", "--ts", "0.15", "--length", "64",
+            "--jobs", "3", "all",
         ]);
         assert!(o.quick);
-        assert_eq!(o.out_dir.unwrap().to_str().unwrap(), "results");
         assert_eq!(o.seed, Some(9));
         assert_eq!(o.startup_us, Some(0.15));
         assert_eq!(o.length, Some(64));
+        assert_eq!(o.jobs, Some(3));
+        assert_eq!(o.runner().jobs(), 3);
         assert_eq!(o.rest, vec!["all"]);
+        assert_eq!(o.out_dir.unwrap().to_str().unwrap(), "results");
+    }
+
+    #[test]
+    fn jobs_zero_means_auto() {
+        let o = parse(&["--jobs", "0"]);
+        assert_eq!(o.jobs, Some(0));
+        assert!(o.runner().jobs() >= 1);
     }
 
     #[test]

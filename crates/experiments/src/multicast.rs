@@ -9,9 +9,9 @@
 use crate::report::{f2, f4, Table};
 use serde::{Deserialize, Serialize};
 use wormcast_network::NetworkConfig;
-use wormcast_stats::summarize;
+use wormcast_stats::OnlineStats;
 use wormcast_topology::{Mesh, NodeId, Topology};
-use wormcast_workload::{random_destinations, run_single_multicast, MulticastScheme};
+use wormcast_workload::{random_destinations, run_single_multicast, MulticastScheme, Runner};
 
 /// Parameters of the multicast density sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -55,35 +55,51 @@ pub struct MulticastCell {
     pub overhead: f64,
 }
 
-/// Run the sweep.
-pub fn run(params: &MulticastParams) -> Vec<MulticastCell> {
+/// Run the sweep on `runner`'s workers.
+///
+/// Flattened to replication granularity: every (scheme, set size, rep)
+/// triple is one harness task; per-cell streaming aggregates fold in
+/// replication order, so the result is bit-identical for any `--jobs`
+/// count. Schemes share per-rep seeds (common random sets and sources).
+pub fn run(params: &MulticastParams, runner: &Runner) -> Vec<MulticastCell> {
     let mesh = Mesh::new(&params.shape);
     let cfg = NetworkConfig::paper_default();
-    let mut cells = Vec::new();
-    for scheme in MulticastScheme::ALL {
-        for &m in &params.set_sizes {
-            let mut lats = Vec::with_capacity(params.runs);
-            let mut cvs = Vec::with_capacity(params.runs);
-            let mut over = Vec::with_capacity(params.runs);
-            for r in 0..params.runs {
-                let seed = params.seed ^ ((m as u64) << 24) ^ (r as u64);
-                let src = NodeId((seed % mesh.num_nodes() as u64) as u32);
-                let dests = random_destinations(&mesh, src, m, seed);
-                let o = run_single_multicast(&mesh, cfg, scheme, src, &dests, params.length);
-                lats.push(o.latency_us);
-                cvs.push(o.cv);
-                over.push(o.overhead_copies as f64);
-            }
-            cells.push(MulticastCell {
-                scheme: scheme.name().to_string(),
-                set_size: m,
-                latency_us: summarize(&lats).mean(),
-                cv: summarize(&cvs).mean(),
-                overhead: summarize(&over).mean(),
-            });
-        }
-    }
-    cells
+    let plan: Vec<(MulticastScheme, usize)> = MulticastScheme::ALL
+        .iter()
+        .flat_map(|&scheme| params.set_sizes.iter().map(move |&m| (scheme, m)))
+        .collect();
+    let runs = params.runs.max(1);
+    let mut acc: Vec<(OnlineStats, OnlineStats, OnlineStats)> = plan
+        .iter()
+        .map(|_| (OnlineStats::new(), OnlineStats::new(), OnlineStats::new()))
+        .collect();
+    runner.run(
+        plan.len() * runs,
+        |i| {
+            let (scheme, m) = plan[i / runs];
+            let r = i % runs;
+            let seed = params.seed ^ ((m as u64) << 24) ^ (r as u64);
+            let src = NodeId((seed % mesh.num_nodes() as u64) as u32);
+            let dests = random_destinations(&mesh, src, m, seed);
+            run_single_multicast(&mesh, cfg, scheme, src, &dests, params.length)
+        },
+        |i, o| {
+            let (lats, cvs, over) = &mut acc[i / runs];
+            lats.push(o.latency_us);
+            cvs.push(o.cv);
+            over.push(o.overhead_copies as f64);
+        },
+    );
+    plan.iter()
+        .zip(&acc)
+        .map(|(&(scheme, m), (lats, cvs, over))| MulticastCell {
+            scheme: scheme.name().to_string(),
+            set_size: m,
+            latency_us: lats.mean(),
+            cv: cvs.mean(),
+            overhead: over.mean(),
+        })
+        .collect()
 }
 
 /// Render the sweep.
@@ -168,7 +184,7 @@ mod tests {
     #[test]
     fn sweep_covers_grid() {
         let p = quick();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         assert_eq!(cells.len(), 3 * 3);
         for c in &cells {
             assert!(c.latency_us > 0.0, "{} at {}", c.scheme, c.set_size);
@@ -178,7 +194,7 @@ mod tests {
     #[test]
     fn sp_grows_with_density() {
         let p = quick();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         let get = |m: usize| {
             cells
                 .iter()
@@ -192,7 +208,7 @@ mod tests {
     #[test]
     fn table_renders() {
         let p = quick();
-        let cells = run(&p);
+        let cells = run(&p, &Runner::sequential());
         let t = table(&cells, &p);
         assert_eq!(t.rows.len(), 3);
     }

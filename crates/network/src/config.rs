@@ -39,6 +39,10 @@ pub struct NetworkConfig {
     /// Channel release discipline (wormhole path-holding vs the paper's
     /// facility-queueing model).
     pub release: ReleaseMode,
+    /// Run [`crate::engine::Network::check_invariants`] even in release
+    /// builds. Debug builds always check; release builds skip the O(network)
+    /// walk unless this is set.
+    pub check_invariants: bool,
 }
 
 impl NetworkConfig {
@@ -52,6 +56,7 @@ impl NetworkConfig {
             routing_delay: SimDuration::from_us(0.003),
             inject_ports: 6,
             release: ReleaseMode::PathHolding,
+            check_invariants: false,
         }
     }
 
@@ -82,6 +87,13 @@ impl NetworkConfig {
     pub fn with_ports(mut self, ports: usize) -> Self {
         assert!(ports > 0, "a node needs at least one injection port");
         self.inject_ports = ports;
+        self
+    }
+
+    /// Enable invariant checking in release builds (see the
+    /// [`NetworkConfig::check_invariants`] field).
+    pub fn with_invariant_checks(mut self, on: bool) -> Self {
+        self.check_invariants = on;
         self
     }
 

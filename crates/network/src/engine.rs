@@ -29,24 +29,14 @@
 
 use crate::config::{NetworkConfig, ReleaseMode};
 use crate::message::{Delivery, MessageId, MessageSpec, Route};
-use crate::trace::{Trace, TraceKind, TraceRecord};
+use crate::metrics::{CountersSink, MetricsSink, TraceSink, UtilizationSink};
+use crate::trace::Trace;
 use std::collections::VecDeque;
 use wormcast_routing::{RoutingFunction, SimTopology};
 use wormcast_sim::{EventQueue, SimTime};
 use wormcast_topology::{ChannelId, Mesh, NodeId, Sign};
 
-/// Aggregate counters for throughput accounting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Counters {
-    /// Messages whose injection has been requested.
-    pub injected: u64,
-    /// Messages fully completed (tail arrived at final destination).
-    pub completed: u64,
-    /// Payload copies delivered (≥ completed for multidestination messages).
-    pub deliveries: u64,
-    /// Total flits delivered across all copies.
-    pub flits_delivered: u64,
-}
+pub use crate::metrics::Counters;
 
 #[derive(Debug)]
 enum Ev {
@@ -69,10 +59,6 @@ enum Ev {
 struct Chan {
     busy: Option<MessageId>,
     waiters: VecDeque<MessageId>,
-    /// When the current occupant acquired the channel.
-    busy_since: SimTime,
-    /// Accumulated occupancy, for utilization accounting.
-    busy_total: wormcast_sim::SimDuration,
 }
 
 struct Port {
@@ -140,8 +126,14 @@ pub struct Network<T: SimTopology = Mesh> {
     channels: Vec<Chan>,
     ports: Vec<Port>,
     outbox: VecDeque<Delivery>,
-    counters: Counters,
-    trace: Trace,
+    /// Built-in observers (see [`crate::metrics`]): the engine emits events,
+    /// these sinks aggregate them. Kept as concrete fields so the historical
+    /// accessors (`counters`, `channel_utilization`, `trace`) stay cheap.
+    sink_counters: CountersSink,
+    sink_util: UtilizationSink,
+    sink_trace: TraceSink,
+    /// User-attached observers.
+    extra_sinks: Vec<Box<dyn MetricsSink>>,
     /// Channels disabled by fault injection (never granted again).
     failed: std::collections::HashSet<ChannelId>,
 }
@@ -154,8 +146,6 @@ impl<T: SimTopology> Network<T> {
             .map(|_| Chan {
                 busy: None,
                 waiters: VecDeque::new(),
-                busy_since: SimTime::ZERO,
-                busy_total: wormcast_sim::SimDuration::ZERO,
             })
             .collect();
         let ports = (0..topo.num_nodes())
@@ -164,6 +154,7 @@ impl<T: SimTopology> Network<T> {
                 waiters: VecDeque::new(),
             })
             .collect();
+        let num_channels = topo.num_channels();
         Network {
             topo,
             cfg,
@@ -173,32 +164,38 @@ impl<T: SimTopology> Network<T> {
             channels,
             ports,
             outbox: VecDeque::new(),
-            counters: Counters::default(),
-            trace: Trace::default(),
+            sink_counters: CountersSink::default(),
+            sink_util: UtilizationSink::new(num_channels),
+            sink_trace: TraceSink::default(),
+            extra_sinks: Vec::new(),
             failed: std::collections::HashSet::new(),
         }
     }
 
+    /// Attach an additional observer. Sinks see every observable event from
+    /// this point on; they cannot influence the simulation.
+    pub fn add_sink(&mut self, sink: Box<dyn MetricsSink>) {
+        self.extra_sinks.push(sink);
+    }
+
     /// Start recording a bounded execution trace (see [`crate::trace`]).
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace.enable(capacity);
+        self.sink_trace.enable(capacity);
     }
 
     /// The recorded trace.
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        self.sink_trace.trace()
     }
 
+    /// Fan one observation event out to the built-in and attached sinks.
     #[inline]
-    fn tr(&mut self, kind: TraceKind, m: MessageId, node: Option<NodeId>, ch: Option<ChannelId>) {
-        if self.trace.is_enabled() {
-            self.trace.push(TraceRecord {
-                time: self.queue.now(),
-                kind,
-                message: m,
-                node,
-                channel: ch,
-            });
+    fn emit(&mut self, f: impl Fn(&mut dyn MetricsSink)) {
+        f(&mut self.sink_counters);
+        f(&mut self.sink_util);
+        f(&mut self.sink_trace);
+        for s in &mut self.extra_sinks {
+            f(s.as_mut());
         }
     }
 
@@ -241,12 +238,13 @@ impl<T: SimTopology> Network<T> {
 
     /// Aggregate counters.
     pub fn counters(&self) -> Counters {
-        self.counters
+        self.sink_counters.counters()
     }
 
     /// Messages injected but not yet fully completed.
     pub fn in_flight(&self) -> u64 {
-        self.counters.injected - self.counters.completed
+        let c = self.counters();
+        c.injected - c.completed
     }
 
     /// Request injection of `spec` at absolute time `at` (≥ now).
@@ -280,9 +278,8 @@ impl<T: SimTopology> Network<T> {
             done: false,
             spec,
         });
-        self.counters.injected += 1;
         let src = self.msgs[id.index()].spec.src;
-        self.tr(TraceKind::Inject, id, Some(src), None);
+        self.emit(|s| s.on_inject(at, id, src));
         self.queue.schedule(at, Ev::Arrive(id));
         id
     }
@@ -354,7 +351,7 @@ impl<T: SimTopology> Network<T> {
             } else {
                 wormcast_sim::SimDuration::ZERO
             };
-            self.tr(TraceKind::PortGrant, m, Some(src), None);
+            self.emit(|s| s.on_port_grant(now, m, src));
             self.queue.schedule(now + ts, Ev::StartupDone(m));
         } else {
             port.waiters.push_back(m);
@@ -370,6 +367,7 @@ impl<T: SimTopology> Network<T> {
             } else {
                 wormcast_sim::SimDuration::ZERO
             };
+            self.emit(|s| s.on_port_grant(now, m, node));
             self.queue.schedule(now + ts, Ev::StartupDone(m));
         } else {
             port.free += 1;
@@ -378,7 +376,7 @@ impl<T: SimTopology> Network<T> {
 
     fn on_startup_done(&mut self, now: SimTime, m: MessageId) {
         let node = self.msgs[m.index()].cur;
-        self.tr(TraceKind::StartupDone, m, Some(node), None);
+        self.emit(|s| s.on_startup_done(now, m, node));
         self.advance_header(now, m);
     }
 
@@ -411,7 +409,7 @@ impl<T: SimTopology> Network<T> {
             let src = self.msgs[m.index()].spec.src;
             self.queue.schedule(now + body, Ev::PortRelease(src));
         }
-        self.tr(TraceKind::HeaderArrive, m, Some(to), Some(ch));
+        self.emit(|s| s.on_header_hop(now, m, to, ch));
         self.advance_header(now, m);
     }
 
@@ -447,13 +445,9 @@ impl<T: SimTopology> Network<T> {
             match &msg.spec.route {
                 Route::Fixed(cp) => vec![cp.path.hops[msg.next_fixed]],
                 Route::Adaptive { dst } => {
-                    let cands = self.rf.candidates(
-                        &self.topo,
-                        msg.spec.src,
-                        msg.cur,
-                        msg.prev,
-                        *dst,
-                    );
+                    let cands =
+                        self.rf
+                            .candidates(&self.topo, msg.spec.src, msg.cur, msg.prev, *dst);
                     assert!(
                         !cands.is_empty(),
                         "routing function dead-ended at {} toward {}",
@@ -489,7 +483,8 @@ impl<T: SimTopology> Network<T> {
             .expect("candidates nonempty");
         self.channels[wait_ch.index()].waiters.push_back(m);
         self.msgs[m.index()].waiting_on = Some(wait_ch);
-        self.tr(TraceKind::ChannelWait, m, None, Some(wait_ch));
+        let queue_len = self.channels[wait_ch.index()].waiters.len();
+        self.emit(|s| s.on_channel_wait(now, m, wait_ch, queue_len));
     }
 
     /// Give channel `ch` to message `m` and start the crossing.
@@ -497,22 +492,21 @@ impl<T: SimTopology> Network<T> {
         let chan = &mut self.channels[ch.index()];
         debug_assert!(chan.busy.is_none(), "granting a busy channel");
         chan.busy = Some(m);
-        chan.busy_since = now;
         let msg = &mut self.msgs[m.index()];
         msg.crossing = Some(ch);
         msg.waiting_on = None;
         if matches!(msg.spec.route, Route::Fixed(_)) {
             msg.next_fixed += 1;
         }
-        self.tr(TraceKind::ChannelGrant, m, None, Some(ch));
-        self.queue.schedule(now + self.cfg.hop_time(), Ev::Header(m));
+        self.emit(|s| s.on_channel_grant(now, m, ch));
+        self.queue
+            .schedule(now + self.cfg.hop_time(), Ev::Header(m));
     }
 
     fn on_deliver(&mut self, now: SimTime, m: MessageId, node: NodeId) {
-        self.tr(TraceKind::Deliver, m, Some(node), None);
+        let flits = self.msgs[m.index()].spec.length;
+        self.emit(|s| s.on_deliver(now, m, node, flits));
         let msg = &self.msgs[m.index()];
-        self.counters.deliveries += 1;
-        self.counters.flits_delivered += msg.spec.length;
         self.outbox.push_back(Delivery {
             message: m,
             op: msg.spec.op,
@@ -539,33 +533,20 @@ impl<T: SimTopology> Network<T> {
         }
         let msg = &mut self.msgs[m.index()];
         msg.done = true;
-        self.counters.completed += 1;
-        let node = self.msgs[m.index()].cur;
-        self.tr(TraceKind::Complete, m, Some(node), None);
+        let node = msg.cur;
+        self.emit(|s| s.on_complete(now, m, node));
     }
 
     /// Release a channel and hand it to the first waiter, if any.
     fn release(&mut self, now: SimTime, ch: ChannelId) {
-        let chan = &mut self.channels[ch.index()];
-        chan.busy = None;
-        chan.busy_total += now.since(chan.busy_since);
+        self.channels[ch.index()].busy = None;
+        self.emit(|s| s.on_channel_release(now, ch));
         if self.failed.contains(&ch) {
             // A channel failed while draining stays dead: waiters stall.
             return;
         }
-        if let Some(m) = chan.waiters.pop_front() {
+        if let Some(m) = self.channels[ch.index()].waiters.pop_front() {
             self.grant(now, m, ch);
-        }
-        if self.trace.is_enabled() {
-            // Attribute the release to the departing occupant (unknown here
-            // in facility mode); record channel only.
-            self.trace.push(TraceRecord {
-                time: now,
-                kind: TraceKind::ChannelRelease,
-                message: MessageId(u64::MAX),
-                node: None,
-                channel: Some(ch),
-            });
         }
     }
 
@@ -573,11 +554,7 @@ impl<T: SimTopology> Network<T> {
     /// Index by [`ChannelId`]; boundary slots that have no physical link are
     /// always 0.
     pub fn channel_utilization(&self) -> Vec<f64> {
-        let elapsed = self.now().as_us().max(1e-12);
-        self.channels
-            .iter()
-            .map(|c| c.busy_total.as_us() / elapsed)
-            .collect()
+        self.sink_util.utilization(self.now())
     }
 
     /// Current queue length per channel (headers waiting).
@@ -587,7 +564,19 @@ impl<T: SimTopology> Network<T> {
 
     /// Sanity probe for tests: no channel is held by a completed message and
     /// every waiting message is queued on exactly the channel it records.
+    ///
+    /// The walk is O(channels + waiters) and only meant for test builds: in
+    /// release builds this is a no-op unless
+    /// [`NetworkConfig::check_invariants`] is set.
     pub fn check_invariants(&self) {
+        if !cfg!(debug_assertions) && !self.cfg.check_invariants {
+            return;
+        }
+        self.force_check_invariants();
+    }
+
+    /// [`Network::check_invariants`], unconditionally.
+    pub fn force_check_invariants(&self) {
         for (i, chan) in self.channels.iter().enumerate() {
             if let Some(m) = chan.busy {
                 assert!(
@@ -605,7 +594,6 @@ impl<T: SimTopology> Network<T> {
         }
     }
 }
-
 
 impl Network<Mesh> {
     /// The mesh being simulated (compatibility accessor for the default

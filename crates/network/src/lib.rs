@@ -11,11 +11,13 @@
 pub mod config;
 pub mod engine;
 pub mod message;
+pub mod metrics;
 pub mod trace;
 
 pub use config::{NetworkConfig, ReleaseMode};
-pub use engine::{Counters, Network};
+pub use engine::Network;
 pub use message::{Delivery, MessageId, MessageSpec, OpId, Route};
+pub use metrics::{Counters, CountersSink, MetricsSink, TraceSink, UtilizationSink};
 pub use trace::{Trace, TraceKind, TraceRecord};
 
 #[cfg(test)]

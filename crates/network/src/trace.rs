@@ -88,7 +88,11 @@ impl Trace {
 
     /// Records for one message, oldest first.
     pub fn of_message(&self, m: MessageId) -> Vec<TraceRecord> {
-        self.records.iter().filter(|r| r.message == m).copied().collect()
+        self.records
+            .iter()
+            .filter(|r| r.message == m)
+            .copied()
+            .collect()
     }
 
     /// Records dropped due to the capacity bound.

@@ -249,10 +249,7 @@ mod tests {
         let m = Mesh::square(4);
         let relay = m.node_at(&Coord::xy(2, 1));
         let cp = CodedPath::corner_relay(&m, row_path(&m), &[relay]);
-        assert_eq!(
-            cp.receivers(&m),
-            vec![relay, m.node_at(&Coord::xy(3, 1))]
-        );
+        assert_eq!(cp.receivers(&m), vec![relay, m.node_at(&Coord::xy(3, 1))]);
     }
 
     #[test]

@@ -75,7 +75,9 @@ mod torus_dor_tests {
     fn empty_at_destination() {
         let t = Torus::kary_ncube(4, 3);
         let rf = TorusDor;
-        assert!(rf.candidates(&t, NodeId(5), NodeId(5), None, NodeId(5)).is_empty());
+        assert!(rf
+            .candidates(&t, NodeId(5), NodeId(5), None, NodeId(5))
+            .is_empty());
     }
 }
 
@@ -114,7 +116,11 @@ impl SimTopology for Torus {
 /// `prev` carries the (dimension, sign) of the hop that brought the header to
 /// `cur`, for turn-sensitive models; `None` at the source. The default type
 /// parameter keeps `dyn RoutingFunction` meaning "a mesh routing function".
-pub trait RoutingFunction<T: SimTopology = Mesh> {
+///
+/// Routing functions are `Send + Sync` (they are stateless lookup tables in
+/// practice) so a network owning one can move across threads in the
+/// replication harness.
+pub trait RoutingFunction<T: SimTopology = Mesh>: Send + Sync {
     /// Legal productive output channels at `cur`, in preference order.
     fn candidates(
         &self,

@@ -24,9 +24,8 @@ impl Path {
         let hops = nodes
             .windows(2)
             .map(|w| {
-                topo.channel_between(w[0], w[1]).unwrap_or_else(|| {
-                    panic!("nodes {} and {} are not adjacent", w[0], w[1])
-                })
+                topo.channel_between(w[0], w[1])
+                    .unwrap_or_else(|| panic!("nodes {} and {} are not adjacent", w[0], w[1]))
             })
             .collect();
         Path {
@@ -98,14 +97,24 @@ mod tests {
         let m = mesh();
         let p = Path::through(
             &m,
-            &[node(&m, 0, 0), node(&m, 1, 0), node(&m, 1, 1), node(&m, 1, 2)],
+            &[
+                node(&m, 0, 0),
+                node(&m, 1, 0),
+                node(&m, 1, 1),
+                node(&m, 1, 2),
+            ],
         );
         assert_eq!(p.len(), 3);
         assert_eq!(p.src, node(&m, 0, 0));
         assert_eq!(p.dest(&m), node(&m, 1, 2));
         assert_eq!(
             p.nodes(&m),
-            vec![node(&m, 0, 0), node(&m, 1, 0), node(&m, 1, 1), node(&m, 1, 2)]
+            vec![
+                node(&m, 0, 0),
+                node(&m, 1, 0),
+                node(&m, 1, 1),
+                node(&m, 1, 2)
+            ]
         );
     }
 

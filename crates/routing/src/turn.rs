@@ -60,13 +60,7 @@ pub struct WestFirst;
 
 /// Push the productive channels of `cur` towards `dst` among the given
 /// dimension/sign pairs, in the given order.
-fn productive(
-    mesh: &Mesh,
-    cur: NodeId,
-    dst: NodeId,
-    dims: &[usize],
-    out: &mut Vec<ChannelId>,
-) {
+fn productive(mesh: &Mesh, cur: NodeId, dst: NodeId, dims: &[usize], out: &mut Vec<ChannelId>) {
     let cc = mesh.coord_of(cur);
     let cd = mesh.coord_of(dst);
     for &dim in dims {
@@ -498,10 +492,7 @@ mod tests {
                     let mut hops = 0;
                     while cur != dst {
                         let cands = rf.candidates(&m, src, cur, None, dst);
-                        assert!(
-                            !cands.is_empty(),
-                            "odd-even dead end at {cur} toward {dst}"
-                        );
+                        assert!(!cands.is_empty(), "odd-even dead end at {cur} toward {dst}");
                         let pick = if pick_last { cands.len() - 1 } else { 0 };
                         cur = m.channel_endpoints(cands[pick]).1;
                         hops += 1;
@@ -519,7 +510,12 @@ mod tests {
         // Legal: west, west, then north.
         let legal = Path::through(
             &m,
-            &[node(&m, 3, 0), node(&m, 2, 0), node(&m, 1, 0), node(&m, 1, 1)],
+            &[
+                node(&m, 3, 0),
+                node(&m, 2, 0),
+                node(&m, 1, 0),
+                node(&m, 1, 1),
+            ],
         );
         assert!(is_west_first_legal(&m, &legal));
         // Illegal: north then west (prohibited NW turn).

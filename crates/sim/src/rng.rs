@@ -22,14 +22,32 @@ impl SimRng {
         }
     }
 
+    /// A replication stream: the `rep`-th independent stream derived from a
+    /// master experiment seed.
+    ///
+    /// The master seed keys the cipher and the replication index selects the
+    /// ChaCha stream number, so every replication draws from the same keyed
+    /// cipher on non-overlapping streams. The derivation is a pure function
+    /// of `(master_seed, rep)` — results are bit-identical no matter which
+    /// worker thread runs the replication or in what order.
+    pub fn for_replication(master_seed: u64, rep: u64) -> Self {
+        let mut inner = ChaCha8Rng::seed_from_u64(master_seed);
+        // Splay the replication index across the 64-bit stream space so
+        // labelled substreams (an XOR of the label hash, below) of different
+        // replications cannot collide for small `rep`.
+        inner.set_stream(rep.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        SimRng { inner }
+    }
+
     /// Derive an independent, reproducible substream for component `label`.
     ///
-    /// The derivation hashes the label into the stream number of the ChaCha
-    /// cipher, so substreams never overlap regardless of how much each is
-    /// consumed.
+    /// The derivation XORs a hash of the label into the stream number of the
+    /// ChaCha cipher, so substreams never overlap regardless of how much
+    /// each is consumed, and substreams of distinct replication streams
+    /// ([`SimRng::for_replication`]) stay distinct.
     pub fn substream(&self, label: &str) -> SimRng {
         let mut inner = self.inner.clone();
-        inner.set_stream(fnv1a(label.as_bytes()));
+        inner.set_stream(inner.get_stream() ^ fnv1a(label.as_bytes()));
         inner.set_word_pos(0);
         SimRng { inner }
     }
@@ -116,6 +134,48 @@ mod tests {
         let root = SimRng::new(42);
         let mut a = root.substream("a");
         let mut b = root.substream("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn replication_streams_are_order_independent() {
+        // Stream 3 is the same whether or not streams 0..2 were ever built
+        // or consumed — the property the parallel harness relies on.
+        let mut direct = SimRng::for_replication(9, 3);
+        let expected: Vec<u64> = (0..16).map(|_| direct.next_u64()).collect();
+
+        for other in [0u64, 1, 2, 7] {
+            let mut r = SimRng::for_replication(9, other);
+            r.next_u64();
+        }
+        let mut again = SimRng::for_replication(9, 3);
+        let got: Vec<u64> = (0..16).map(|_| again.next_u64()).collect();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn replication_streams_differ() {
+        let mut a = SimRng::for_replication(9, 0);
+        let mut b = SimRng::for_replication(9, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "replication streams should diverge, {same}/64");
+    }
+
+    #[test]
+    fn replication_zero_matches_root_seed() {
+        // Replication 0 of a master seed is the root stream of that seed, so
+        // single-replication experiments keep their historical draws.
+        let mut a = SimRng::for_replication(77, 0);
+        let mut b = SimRng::new(77);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn replication_substreams_stay_distinct() {
+        let mut a = SimRng::for_replication(5, 1).substream("arrivals");
+        let mut b = SimRng::for_replication(5, 2).substream("arrivals");
         assert_ne!(a.next_u64(), b.next_u64());
     }
 

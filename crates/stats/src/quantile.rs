@@ -252,7 +252,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series_is_negative() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(lag1_autocorrelation(&xs) < -0.9);
     }
 

@@ -86,7 +86,7 @@ impl Mesh {
     /// The direction slot of a directed channel id: `2*dim + (0|1)`.
     #[inline]
     fn dir_slot(dim: usize, sign: Sign) -> u32 {
-         2 * dim as u32
+        2 * dim as u32
             + match sign {
                 Sign::Plus => 0,
                 Sign::Minus => 1,
@@ -108,7 +108,11 @@ impl Mesh {
         let node = NodeId(ch.0 / per);
         let slot = ch.0 % per;
         let dim = (slot / 2) as usize;
-        let sign = if slot.is_multiple_of(2) { Sign::Plus } else { Sign::Minus };
+        let sign = if slot.is_multiple_of(2) {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         (node, dim, sign)
     }
 

@@ -83,7 +83,11 @@ impl Torus {
         let node = NodeId(ch.0 / per);
         let slot = ch.0 % per;
         let dim = (slot / 2) as usize;
-        let sign = if slot.is_multiple_of(2) { Sign::Plus } else { Sign::Minus };
+        let sign = if slot.is_multiple_of(2) {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         (node, dim, sign)
     }
 
@@ -174,7 +178,10 @@ impl Topology for Torus {
 
     fn channel_endpoints(&self, ch: ChannelId) -> (NodeId, NodeId) {
         let (node, dim, sign) = self.channel_parts(ch);
-        (node, self.neighbor(node, dim, sign).expect("torus neighbor"))
+        (
+            node,
+            self.neighbor(node, dim, sign).expect("torus neighbor"),
+        )
     }
 
     fn distance(&self, a: NodeId, b: NodeId) -> u32 {

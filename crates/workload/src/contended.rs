@@ -54,12 +54,34 @@ pub fn run_contended_broadcasts(
     broadcast_rate_per_node_per_ms: f64,
     seed: u64,
 ) -> ContendedOutcome {
+    run_contended_broadcasts_from(
+        mesh,
+        cfg,
+        alg,
+        length,
+        runs,
+        broadcast_rate_per_node_per_ms,
+        &SimRng::new(seed),
+    )
+}
+
+/// [`run_contended_broadcasts`] drawing from an explicit root stream — the
+/// entry point for harness replications, which pass their
+/// [`wormcast_sim::SimRng::for_replication`] stream.
+pub fn run_contended_broadcasts_from(
+    mesh: &Mesh,
+    cfg: NetworkConfig,
+    alg: Algorithm,
+    length: u64,
+    runs: usize,
+    broadcast_rate_per_node_per_ms: f64,
+    root: &SimRng,
+) -> ContendedOutcome {
     assert!(runs > 0, "need at least one run");
     assert!(
         broadcast_rate_per_node_per_ms > 0.0,
         "broadcast rate must be positive"
     );
-    let root = SimRng::new(seed);
     let mut src_rng = root.substream("sources");
     let mut arr_rng = root.substream("arrivals");
     let inter =

@@ -150,8 +150,6 @@ impl BroadcastTracker {
     /// # Panics
     /// Panics if the broadcast has not completed.
     pub fn network_latency_us(&self) -> f64 {
-        self.latencies_us()
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.latencies_us().into_iter().fold(0.0, f64::max)
     }
 }

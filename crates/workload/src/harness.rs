@@ -1,0 +1,305 @@
+//! The replication harness: run independent replications of an experiment
+//! across worker threads, deterministically.
+//!
+//! Every experiment in this workspace has the same outer shape: a list of
+//! independent simulation tasks (replications of a spec, or cells of a
+//! parameter grid), each a pure function of its index, whose outputs fold
+//! into streaming statistics. This module provides that shape once:
+//!
+//! * [`Runner`] — executes `task(0..count)` across `--jobs` worker threads
+//!   (`std::thread::scope`, no extra dependencies) and folds results **in
+//!   index order**, so the folded outcome is bit-identical no matter how
+//!   many workers run or how they interleave.
+//! * [`Replication`] — a spec that builds its network + schedule + workload
+//!   from a [`RepContext`] carrying the replication's private RNG stream
+//!   ([`SimRng::for_replication`]: ChaCha stream = f(master seed, index)).
+//! * [`BroadcastRep`] — the paper's standard replication (one single-source
+//!   broadcast from a randomly drawn source), used by
+//!   [`crate::single::run_averaged_broadcasts`] and the Fig. 1/Table 1–2
+//!   drivers.
+//!
+//! Determinism argument: each task output depends only on `(spec, master
+//! seed, index)` — never on thread identity, scheduling, or shared mutable
+//! state — and the fold consumes outputs in index order through a reorder
+//! buffer. Hence `jobs = 1` and `jobs = N` produce byte-identical results,
+//! which `tests/determinism.rs` locks in.
+
+use crate::single::{run_single_broadcast, BroadcastOutcome};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use wormcast_broadcast::Algorithm;
+use wormcast_network::NetworkConfig;
+use wormcast_sim::SimRng;
+use wormcast_topology::{Mesh, NodeId, Topology};
+
+/// Everything a replication may depend on besides its spec: its index and
+/// its private, order-independent RNG stream.
+pub struct RepContext {
+    /// Index of this replication in `0..reps`.
+    pub index: usize,
+    /// The replication's root RNG stream (derive labelled substreams from it
+    /// rather than consuming it directly, as the workload drivers do).
+    pub rng: SimRng,
+}
+
+impl RepContext {
+    /// The context of replication `index` under `master_seed`.
+    pub fn new(master_seed: u64, index: usize) -> Self {
+        RepContext {
+            index,
+            rng: SimRng::for_replication(master_seed, index as u64),
+        }
+    }
+}
+
+/// An experiment spec that can run one replication of itself.
+///
+/// Implementations build the network, schedule, and workload from `self`
+/// plus the context, and must not read any other mutable state — that is
+/// what makes replications order-independent and the harness deterministic.
+pub trait Replication: Sync {
+    /// Result of one replication.
+    type Output: Send;
+
+    /// Run replication `ctx.index`.
+    fn replicate(&self, ctx: &mut RepContext) -> Self::Output;
+}
+
+/// Closures are specs too: `|ctx| ...` runs as a replication.
+impl<T: Send, F: Fn(&mut RepContext) -> T + Sync> Replication for F {
+    type Output = T;
+    fn replicate(&self, ctx: &mut RepContext) -> T {
+        self(ctx)
+    }
+}
+
+/// One replication of the paper's standard experiment: a single-source
+/// broadcast of `length` flits from a uniformly drawn source on an idle
+/// network configured for `alg`.
+#[derive(Debug, Clone)]
+pub struct BroadcastRep {
+    /// The mesh under test.
+    pub mesh: Mesh,
+    /// Network configuration (ports are overridden per algorithm).
+    pub cfg: NetworkConfig,
+    /// Broadcast algorithm under test.
+    pub alg: Algorithm,
+    /// Message length in flits.
+    pub length: u64,
+}
+
+impl Replication for BroadcastRep {
+    type Output = BroadcastOutcome;
+    fn replicate(&self, ctx: &mut RepContext) -> BroadcastOutcome {
+        let mut src_rng = ctx.rng.substream("sources");
+        let source = NodeId(src_rng.index(self.mesh.num_nodes()) as u32);
+        run_single_broadcast(&self.mesh, self.cfg, self.alg, source, self.length)
+    }
+}
+
+/// Executes independent tasks across worker threads and folds their outputs
+/// in index order.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    jobs: usize,
+}
+
+impl Default for Runner {
+    /// One worker per available core.
+    fn default() -> Self {
+        Runner::new(0)
+    }
+}
+
+impl Runner {
+    /// A runner with `jobs` workers; `0` means one per available core.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        Runner { jobs }
+    }
+
+    /// A single-threaded runner (tasks run inline on the caller's thread).
+    pub fn sequential() -> Self {
+        Runner { jobs: 1 }
+    }
+
+    /// Number of worker threads this runner uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run `task(i)` for every `i in 0..count` and call `fold(i, output)`
+    /// strictly in index order (0, 1, 2, …).
+    ///
+    /// Tasks are pulled by worker threads from a shared counter; outputs
+    /// stream back over a channel and pass through a reorder buffer (at most
+    /// O(jobs) entries under balanced task lengths) before folding. With one
+    /// job, tasks run inline — no threads, no channel.
+    ///
+    /// # Panics
+    /// Propagates the first panic of any task.
+    pub fn run<T: Send>(
+        &self,
+        count: usize,
+        task: impl Fn(usize) -> T + Sync,
+        mut fold: impl FnMut(usize, T),
+    ) {
+        if count == 0 {
+            return;
+        }
+        let jobs = self.jobs.min(count);
+        if jobs <= 1 {
+            for i in 0..count {
+                fold(i, task(i));
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                let task = &task;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    if tx.send((i, task(i))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Reorder: fold strictly by index so the folded result cannot
+            // depend on worker scheduling.
+            let mut pending = BTreeMap::new();
+            let mut want = 0usize;
+            for (i, out) in rx {
+                pending.insert(i, out);
+                while let Some(out) = pending.remove(&want) {
+                    fold(want, out);
+                    want += 1;
+                }
+            }
+            assert!(
+                pending.is_empty() && want == count,
+                "harness lost task outputs ({want}/{count} folded) — a worker panicked"
+            );
+        });
+    }
+
+    /// Run `reps` replications of `spec` under `master_seed` and fold the
+    /// outputs in replication order.
+    ///
+    /// Replication `i` draws from the RNG stream
+    /// `SimRng::for_replication(master_seed, i)`, so its result is a pure
+    /// function of `(spec, master_seed, i)` — independent of `jobs`.
+    pub fn replicate<R: Replication>(
+        &self,
+        spec: &R,
+        reps: usize,
+        master_seed: u64,
+        fold: impl FnMut(usize, R::Output),
+    ) {
+        self.run(
+            reps,
+            |i| spec.replicate(&mut RepContext::new(master_seed, i)),
+            fold,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormcast_stats::OnlineStats;
+
+    #[test]
+    fn folds_in_index_order_regardless_of_jobs() {
+        for jobs in [1usize, 2, 4, 7] {
+            let runner = Runner::new(jobs);
+            let mut order = Vec::new();
+            runner.run(
+                20,
+                |i| {
+                    // Uneven task times shuffle completion order.
+                    if i % 3 == 0 {
+                        std::thread::yield_now();
+                    }
+                    i * i
+                },
+                |i, v| order.push((i, v)),
+            );
+            let expect: Vec<(usize, usize)> = (0..20).map(|i| (i, i * i)).collect();
+            assert_eq!(order, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn replications_are_job_count_invariant() {
+        let spec = BroadcastRep {
+            mesh: Mesh::cube(4),
+            cfg: NetworkConfig::paper_default(),
+            alg: Algorithm::Db,
+            length: 32,
+        };
+        let run_with = |jobs: usize| {
+            let mut stats = OnlineStats::new();
+            let mut sources = Vec::new();
+            Runner::new(jobs).replicate(&spec, 6, 99, |_, o: BroadcastOutcome| {
+                stats.push(o.network_latency_us);
+                sources.push(o.source);
+            });
+            (stats.mean(), sources)
+        };
+        let (m1, s1) = run_with(1);
+        let (m4, s4) = run_with(4);
+        assert_eq!(m1.to_bits(), m4.to_bits(), "bit-identical fold");
+        assert_eq!(s1, s4, "same sources in the same order");
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let mut called = false;
+        Runner::new(4).run(0, |_| 1, |_, _| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn closure_specs_work() {
+        let mut got = Vec::new();
+        Runner::sequential().replicate(&|ctx: &mut RepContext| ctx.index * 10, 3, 0, |_, v| {
+            got.push(v)
+        });
+        assert_eq!(got, vec![0, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        Runner::new(2).run(
+            8,
+            |i| {
+                assert!(i != 5, "boom");
+                i
+            },
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    fn runner_auto_jobs_positive() {
+        assert!(Runner::default().jobs() >= 1);
+        assert_eq!(Runner::sequential().jobs(), 1);
+        assert_eq!(Runner::new(3).jobs(), 3);
+    }
+}

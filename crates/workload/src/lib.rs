@@ -13,27 +13,30 @@
 //! * [`multicast`] — destination-subset delivery with the UM / CM / SP
 //!   schemes (the paper's named future direction);
 //! * [`torus`] — the k-ary n-cube ring broadcast executed on the real
-//!   engine (`Network<Torus>`).
+//!   engine (`Network<Torus>`);
+//! * [`harness`] — the replication harness: [`harness::Runner`] executes
+//!   independent replications across worker threads and folds the results
+//!   deterministically (same bits for any `--jobs`).
 
 #![warn(missing_docs)]
 
 pub mod contended;
 pub mod executor;
+pub mod harness;
 pub mod mixed;
 pub mod multicast;
 pub mod patterns;
 pub mod single;
 pub mod torus;
 
-pub use contended::{run_contended_broadcasts, ContendedOutcome};
+pub use contended::{run_contended_broadcasts, run_contended_broadcasts_from, ContendedOutcome};
 pub use executor::BroadcastTracker;
-pub use mixed::{run_mixed_traffic, MixedConfig, MixedOutcome};
-pub use multicast::{
-    random_destinations, run_single_multicast, MulticastOutcome, MulticastScheme,
-};
+pub use harness::{BroadcastRep, RepContext, Replication, Runner};
+pub use mixed::{run_mixed_traffic, run_mixed_traffic_from, MixedConfig, MixedOutcome};
+pub use multicast::{random_destinations, run_single_multicast, MulticastOutcome, MulticastScheme};
 pub use patterns::DestPattern;
-pub use torus::{run_torus_broadcast, TorusOutcome};
 pub use single::{
     network_for, routing_for, run_averaged_broadcasts, run_single_broadcast, AveragedOutcome,
     BroadcastOutcome,
 };
+pub use torus::{run_torus_broadcast, TorusOutcome};

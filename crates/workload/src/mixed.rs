@@ -91,6 +91,17 @@ pub struct MixedOutcome {
 
 /// Run the mixed unicast/broadcast workload at one load point.
 pub fn run_mixed_traffic(mesh: &Mesh, cfg: NetworkConfig, mc: &MixedConfig) -> MixedOutcome {
+    run_mixed_traffic_from(mesh, cfg, mc, &SimRng::new(mc.seed))
+}
+
+/// [`run_mixed_traffic`] drawing from an explicit root stream (`mc.seed` is
+/// ignored) — the entry point for harness replications.
+pub fn run_mixed_traffic_from(
+    mesh: &Mesh,
+    cfg: NetworkConfig,
+    mc: &MixedConfig,
+    root: &SimRng,
+) -> MixedOutcome {
     assert!(
         (0.0..=1.0).contains(&mc.broadcast_fraction),
         "broadcast fraction must be a probability"
@@ -101,7 +112,6 @@ pub fn run_mixed_traffic(mesh: &Mesh, cfg: NetworkConfig, mc: &MixedConfig) -> M
         wormcast_broadcast::RoutingKind::WestFirstAdaptive
     );
 
-    let root = SimRng::new(mc.seed);
     let mut arrivals_rng = root.substream("arrivals");
     let mut source_rng = root.substream("sources");
     let mut dest_rng = root.substream("destinations");
@@ -123,13 +133,13 @@ pub fn run_mixed_traffic(mesh: &Mesh, cfg: NetworkConfig, mc: &MixedConfig) -> M
     let target_batches = mc.batches;
 
     let inject_arrival = |net: &mut Network,
-                              trackers: &mut HashMap<OpId, BroadcastTracker>,
-                              bcast_started: &mut HashMap<OpId, SimTime>,
-                              next_op: &mut u64,
-                              at: SimTime,
-                              source_rng: &mut SimRng,
-                              dest_rng: &mut SimRng,
-                              kind_rng: &mut SimRng| {
+                          trackers: &mut HashMap<OpId, BroadcastTracker>,
+                          bcast_started: &mut HashMap<OpId, SimTime>,
+                          next_op: &mut u64,
+                          at: SimTime,
+                          source_rng: &mut SimRng,
+                          dest_rng: &mut SimRng,
+                          kind_rng: &mut SimRng| {
         let src = NodeId(source_rng.index(mesh.num_nodes()) as u32);
         let op = OpId(*next_op);
         *next_op += 1;
@@ -335,7 +345,10 @@ mod tests {
             run_mixed_traffic(&m, NetworkConfig::paper_default(), &mc)
         };
         let uni = run_pat(DestPattern::Uniform);
-        let hot = run_pat(DestPattern::Hotspot { node: 21, percent: 60 });
+        let hot = run_pat(DestPattern::Hotspot {
+            node: 21,
+            percent: 60,
+        });
         assert!(
             hot.mean_unicast_latency_ms > uni.mean_unicast_latency_ms,
             "hotspot unicast {} should exceed uniform {}",

@@ -24,8 +24,11 @@ pub enum MulticastScheme {
 
 impl MulticastScheme {
     /// All schemes.
-    pub const ALL: [MulticastScheme; 3] =
-        [MulticastScheme::Um, MulticastScheme::Cm, MulticastScheme::Sp];
+    pub const ALL: [MulticastScheme; 3] = [
+        MulticastScheme::Um,
+        MulticastScheme::Cm,
+        MulticastScheme::Sp,
+    ];
 
     /// Short name.
     pub fn name(self) -> &'static str {
@@ -226,7 +229,12 @@ mod tests {
             sp.latency_us,
             sp.mean_latency_us
         );
-        assert!(sp.cv > um.cv, "SP CV {} should exceed UM CV {}", sp.cv, um.cv);
+        assert!(
+            sp.cv > um.cv,
+            "SP CV {} should exceed UM CV {}",
+            sp.cv,
+            um.cv
+        );
         assert_eq!(sp.overhead_copies, 0, "SP only touches destinations");
     }
 

@@ -114,7 +114,10 @@ mod tests {
         let mut rng = SimRng::new(1);
         for s in 0..64u32 {
             for _ in 0..10 {
-                assert_ne!(DestPattern::Uniform.pick(&mesh, NodeId(s), &mut rng), NodeId(s));
+                assert_ne!(
+                    DestPattern::Uniform.pick(&mesh, NodeId(s), &mut rng),
+                    NodeId(s)
+                );
             }
         }
     }
@@ -169,7 +172,10 @@ mod tests {
     fn hotspot_concentrates_traffic() {
         let mesh = Mesh::cube(4);
         let mut rng = SimRng::new(7);
-        let pat = DestPattern::Hotspot { node: 42, percent: 50 };
+        let pat = DestPattern::Hotspot {
+            node: 42,
+            percent: 50,
+        };
         let hits = (0..2000)
             .filter(|_| pat.pick(&mesh, NodeId(0), &mut rng) == NodeId(42))
             .count();
@@ -182,7 +188,10 @@ mod tests {
     fn hotspot_source_at_hotspot_falls_back() {
         let mesh = Mesh::cube(4);
         let mut rng = SimRng::new(8);
-        let pat = DestPattern::Hotspot { node: 5, percent: 100 };
+        let pat = DestPattern::Hotspot {
+            node: 5,
+            percent: 100,
+        };
         for _ in 0..50 {
             assert_ne!(pat.pick(&mesh, NodeId(5), &mut rng), NodeId(5));
         }
@@ -192,7 +201,11 @@ mod tests {
     fn names() {
         assert_eq!(DestPattern::Uniform.name(), "uniform");
         assert_eq!(
-            DestPattern::Hotspot { node: 0, percent: 10 }.name(),
+            DestPattern::Hotspot {
+                node: 0,
+                percent: 10
+            }
+            .name(),
             "hotspot"
         );
     }

@@ -2,12 +2,13 @@
 //! Tables 1–2: one node broadcasts on an otherwise idle network).
 
 use crate::executor::BroadcastTracker;
+use crate::harness::{BroadcastRep, Runner};
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::{Algorithm, RoutingKind};
 use wormcast_network::{Network, NetworkConfig, OpId};
 use wormcast_routing::{DimensionOrdered, PlanarWestFirst, RoutingFunction, WestFirst};
-use wormcast_sim::{SimRng, SimTime};
-use wormcast_stats::summarize;
+use wormcast_sim::SimTime;
+use wormcast_stats::{summarize, OnlineStats};
 use wormcast_topology::{Mesh, NodeId, Topology};
 
 /// Measured outcome of one single-source broadcast.
@@ -105,7 +106,11 @@ pub struct AveragedOutcome {
     pub cv: f64,
 }
 
-/// Run `runs` broadcasts from uniformly random sources and average.
+/// Run `runs` broadcast replications from uniformly random sources (one
+/// RNG stream per replication — see [`crate::harness`]) and average.
+///
+/// Replications execute on `runner`'s worker threads; the averaged result
+/// is bit-identical for any job count.
 pub fn run_averaged_broadcasts(
     mesh: &Mesh,
     cfg: NetworkConfig,
@@ -113,25 +118,29 @@ pub fn run_averaged_broadcasts(
     length: u64,
     runs: usize,
     seed: u64,
+    runner: &Runner,
 ) -> AveragedOutcome {
     assert!(runs > 0, "need at least one run");
-    let mut rng = SimRng::new(seed).substream("sources");
-    let mut net_lat = Vec::with_capacity(runs);
-    let mut mean_lat = Vec::with_capacity(runs);
-    let mut cvs = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let source = NodeId(rng.index(mesh.num_nodes()) as u32);
-        let o = run_single_broadcast(mesh, cfg, alg, source, length);
+    let spec = BroadcastRep {
+        mesh: mesh.clone(),
+        cfg,
+        alg,
+        length,
+    };
+    let mut net_lat = OnlineStats::new();
+    let mut mean_lat = OnlineStats::new();
+    let mut cvs = OnlineStats::new();
+    runner.replicate(&spec, runs, seed, |_, o: BroadcastOutcome| {
         net_lat.push(o.network_latency_us);
         mean_lat.push(o.mean_latency_us);
         cvs.push(o.cv);
-    }
+    });
     AveragedOutcome {
         algorithm: alg.name().to_string(),
         runs,
-        network_latency_us: summarize(&net_lat).mean(),
-        mean_latency_us: summarize(&mean_lat).mean(),
-        cv: summarize(&cvs).mean(),
+        network_latency_us: net_lat.mean(),
+        mean_latency_us: mean_lat.mean(),
+        cv: cvs.mean(),
     }
 }
 
@@ -222,10 +231,24 @@ mod tests {
     #[test]
     fn averaged_runs_are_deterministic_given_seed() {
         let m = Mesh::cube(4);
-        let a = run_averaged_broadcasts(&m, cfg(), Algorithm::Db, 64, 5, 42);
-        let b = run_averaged_broadcasts(&m, cfg(), Algorithm::Db, 64, 5, 42);
+        let r = Runner::sequential();
+        let a = run_averaged_broadcasts(&m, cfg(), Algorithm::Db, 64, 5, 42, &r);
+        let b = run_averaged_broadcasts(&m, cfg(), Algorithm::Db, 64, 5, 42, &r);
         assert_eq!(a.network_latency_us, b.network_latency_us);
         assert_eq!(a.cv, b.cv);
+    }
+
+    #[test]
+    fn averaged_runs_are_job_count_invariant() {
+        let m = Mesh::cube(4);
+        let a = run_averaged_broadcasts(&m, cfg(), Algorithm::Ab, 64, 6, 42, &Runner::new(1));
+        let b = run_averaged_broadcasts(&m, cfg(), Algorithm::Ab, 64, 6, 42, &Runner::new(4));
+        assert_eq!(
+            a.network_latency_us.to_bits(),
+            b.network_latency_us.to_bits()
+        );
+        assert_eq!(a.mean_latency_us.to_bits(), b.mean_latency_us.to_bits());
+        assert_eq!(a.cv.to_bits(), b.cv.to_bits());
     }
 
     #[test]
@@ -250,8 +273,7 @@ mod tests {
         // From a corner source on 4x4x4 with L=1 flit and tiny Ts the
         // network latency is bounded by steps * (Ts + path·hop + body).
         let m = Mesh::cube(4);
-        let c = NetworkConfig::paper_default()
-            .with_startup(SimDuration::from_us(0.0));
+        let c = NetworkConfig::paper_default().with_startup(SimDuration::from_us(0.0));
         let o = run_single_broadcast(&m, c, Algorithm::Db, NodeId(0), 1);
         // All paths ≤ 6+6 hops; four pipelined steps of ≤ 12 hops each.
         let bound = 4.0 * (12.0 * 0.006 + 0.003) + 0.1;

@@ -51,11 +51,8 @@ pub fn run_torus_broadcast(
         .analytic_latency(cfg.startup, cfg.hop_time(), cfg.flit_time, length)
         .as_us();
 
-    let mut net: Network<Torus> = Network::new(
-        torus.clone(),
-        cfg,
-        Box::new(wormcast_routing::TorusDor),
-    );
+    let mut net: Network<Torus> =
+        Network::new(torus.clone(), cfg, Box::new(wormcast_routing::TorusDor));
     let mut tracker = ExtTracker::new(torus, &schedule, length);
     for spec in tracker.start(SimTime::ZERO) {
         net.inject_at(SimTime::ZERO, spec);

@@ -81,12 +81,13 @@ fn main() {
         .count();
     println!(
         "west-first adaptive unicast  (0,4) -> (7,5): {} in {hops} hops{}",
-        if deliveries.len() == 1 { "delivered" } else { "lost" },
         if deliveries.len() == 1 {
-            format!(
-                " ({:.2} us)",
-                deliveries[0].latency().as_us()
-            )
+            "delivered"
+        } else {
+            "lost"
+        },
+        if deliveries.len() == 1 {
+            format!(" ({:.2} us)", deliveries[0].latency().as_us())
         } else {
             String::new()
         },

@@ -40,7 +40,9 @@ fn main() {
     let torus = Torus::kary_ncube(8, 3);
     let tsched = torus_ring_broadcast(&torus, NodeId(91));
     tsched.validate(&torus).expect("torus schedule covers all");
-    let tcfg = cfg.with_release(ReleaseMode::AfterTailCrossing).with_ports(6);
+    let tcfg = cfg
+        .with_release(ReleaseMode::AfterTailCrossing)
+        .with_ports(6);
     let tsim = run_torus_broadcast(&torus, tcfg, NodeId(91), L);
     println!(
         "{:<26} {:>6} steps  {:>9.2} us  (simulated; analytic {:.2})",

@@ -60,8 +60,8 @@ pub mod prelude {
     pub use wormcast_stats::{summarize, BatchMeans, OnlineStats};
     pub use wormcast_topology::{Coord, Mesh, NodeId, Plane, Sign, Topology};
     pub use wormcast_workload::{
-        random_destinations, run_averaged_broadcasts, run_contended_broadcasts,
-        run_mixed_traffic, run_single_broadcast, run_single_multicast, run_torus_broadcast,
-        BroadcastTracker, MixedConfig, MulticastScheme,
+        random_destinations, run_averaged_broadcasts, run_contended_broadcasts, run_mixed_traffic,
+        run_single_broadcast, run_single_multicast, run_torus_broadcast, BroadcastRep,
+        BroadcastTracker, MixedConfig, MulticastScheme, RepContext, Replication, Runner,
     };
 }

@@ -2,9 +2,7 @@
 //! broadcast (simulated end-to-end), generalized-hypercube broadcast,
 //! multicast schemes, and the schedule visualiser.
 
-use wormcast::broadcast::{
-    ghc_broadcast, render_all, torus_ring_broadcast, um_steps, validate_multicast,
-};
+use wormcast::broadcast::{ghc_broadcast, render_all, um_steps, validate_multicast};
 use wormcast::prelude::*;
 use wormcast::topology::{GeneralizedHypercube, Torus};
 
@@ -17,7 +15,12 @@ fn torus_simulation_agrees_with_analytic_model_across_shapes() {
         let t = Torus::new(&dims);
         let o = run_torus_broadcast(&t, cfg, NodeId(1), 64);
         let rel = (o.network_latency_us - o.analytic_latency_us).abs() / o.analytic_latency_us;
-        assert!(rel < 0.2, "{dims:?}: sim {} vs analytic {}", o.network_latency_us, o.analytic_latency_us);
+        assert!(
+            rel < 0.2,
+            "{dims:?}: sim {} vs analytic {}",
+            o.network_latency_us,
+            o.analytic_latency_us
+        );
     }
 }
 
@@ -58,8 +61,7 @@ fn multicast_schemes_agree_on_who_receives() {
     let dests: Vec<NodeId> = vec![NodeId(0), NodeId(13), NodeId(42), NodeId(63)];
     for scheme in MulticastScheme::ALL {
         let s = scheme.schedule(&mesh, src, &dests);
-        validate_multicast(&mesh, &s, &dests)
-            .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+        validate_multicast(&mesh, &s, &dests).unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
     }
 }
 

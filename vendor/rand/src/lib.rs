@@ -1,0 +1,195 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the minimal surface the simulator actually uses: [`RngCore`],
+//! [`SeedableRng`] and the [`Rng`] extension (uniform ranges and unit-f64
+//! draws). Semantics match rand 0.8 closely enough for a self-contained
+//! simulation study: draws are deterministic per generator state, ranges use
+//! unbiased rejection sampling, and `f64` draws have 53 random bits.
+
+#![warn(missing_docs)]
+
+/// The core of a random number generator: raw 32/64-bit output.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// Construct from a `u64`, expanded with SplitMix64 exactly as rand does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (Vigna), the same expansion rand_core uses.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from a generator via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random bits into [0, 1), as rand's Standard does for f64.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Bounds usable with [`Rng::gen_range`] (only `Range<T>` is needed here).
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                // Unbiased bounded draw: rejection-sample the top zone.
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return self.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "gen_range: empty range");
+                if s == <$t>::MIN && e == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                SampleRange::<$t>::sample_from(s..e + 1, rng)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u16, u32, u64, usize, u8);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::draw(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience extension over [`RngCore`], mirroring rand's `Rng`.
+pub trait Rng: RngCore {
+    /// Draw a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draw uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// `rand::rngs` placeholder module for API compatibility.
+pub mod rngs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = Counter(7);
+        for _ in 0..1000 {
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_and_bounds() {
+        let mut r = Counter(3);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = r.gen_range(0usize..7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut r = Counter(1);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline vendored ChaCha-based RNG.
+//!
+//! Implements the real ChaCha stream cipher core (D. J. Bernstein) with 8
+//! rounds and exposes the `rand_chacha 0.3` API surface the simulator uses:
+//! [`ChaCha8Rng`] with `seed_from_u64`, `set_stream`, `set_word_pos`,
+//! `get_stream` and `Clone`. Output is a deterministic function of
+//! (key, stream, position); distinct streams over the same key are
+//! independent keystreams, which is exactly the substream-derivation
+//! property `wormcast_sim::SimRng` relies on.
+//!
+//! Note: this is an API-compatible reimplementation, not a bit-exact clone
+//! of the rand_chacha crate's output (nothing in this workspace depends on
+//! the upstream keystream ordering — only on determinism and stream
+//! independence).
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// Number of ChaCha double-rounds (8-round variant → 4 double rounds).
+const DOUBLE_ROUNDS: usize = 4;
+
+/// The ChaCha8 random number generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// 256-bit key (words 4..12 of the ChaCha state).
+    key: [u32; 8],
+    /// 64-bit block counter (words 12..14).
+    counter: u64,
+    /// 64-bit stream id (words 14..16) — the substream selector.
+    stream: u64,
+    /// Current block's keystream, 16 words.
+    block: [u32; 16],
+    /// Next unconsumed word in `block`; 16 means "block exhausted".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    /// The stream id of this generator.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Select an independent keystream over the same key. Resets the block
+    /// position so the new stream starts from its origin.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.index = 16;
+    }
+
+    /// Seek to an absolute word position in the keystream (only position 0 —
+    /// the stream origin — is needed by this workspace, but any position
+    /// works).
+    pub fn set_word_pos(&mut self, word_pos: u128) {
+        self.counter = (word_pos / 16) as u64;
+        let within = (word_pos % 16) as usize;
+        if within == 0 {
+            self.index = 16;
+        } else {
+            self.refill();
+            self.index = within;
+        }
+    }
+
+    /// Generate the next keystream block into `self.block`.
+    fn refill(&mut self) {
+        let mut x = [0u32; 16];
+        // "expand 32-byte k" constants.
+        x[0] = 0x6170_7865;
+        x[1] = 0x3320_646e;
+        x[2] = 0x7962_2d32;
+        x[3] = 0x6b20_6574;
+        x[4..12].copy_from_slice(&self.key);
+        x[12] = self.counter as u32;
+        x[13] = (self.counter >> 32) as u32;
+        x[14] = self.stream as u32;
+        x[15] = (self.stream >> 32) as u32;
+        let input = x;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (o, i) in x.iter_mut().zip(input.iter()) {
+            *o = o.wrapping_add(*i);
+        }
+        self.block = x;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+#[inline(always)]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn streams_diverge_and_reset() {
+        let base = ChaCha8Rng::seed_from_u64(9);
+        let mut s1 = base.clone();
+        s1.set_stream(1);
+        let mut s2 = base.clone();
+        s2.set_stream(2);
+        assert_ne!(s1.next_u64(), s2.next_u64());
+
+        // Re-selecting a stream restarts it from the origin.
+        let mut again = base.clone();
+        again.set_stream(1);
+        let mut fresh = base;
+        fresh.set_stream(1);
+        for _ in 0..10 {
+            fresh.next_u64();
+        }
+        fresh.set_stream(1);
+        assert_eq!(again.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn word_pos_seeks() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let first: Vec<u32> = (0..20).map(|_| a.next_u32()).collect();
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        b.set_word_pos(17);
+        assert_eq!(b.next_u32(), first[17]);
+    }
+
+    #[test]
+    fn chacha_quarter_round_vector() {
+        // RFC 7539 §2.1.1 test vector for the quarter round.
+        let mut x = [0u32; 16];
+        x[0] = 0x11111111;
+        x[1] = 0x01020304;
+        x[2] = 0x9b8d6f43;
+        x[3] = 0x01234567;
+        quarter(&mut x, 0, 1, 2, 3);
+        assert_eq!(x[0], 0xea2a92f4);
+        assert_eq!(x[1], 0xcb1cf8ce);
+        assert_eq!(x[2], 0x4581472e);
+        assert_eq!(x[3], 0x5881c4bb);
+    }
+}
