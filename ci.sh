@@ -30,4 +30,23 @@ run cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
 run cargo build "${OFFLINE[@]}" --release --workspace
 run cargo test "${OFFLINE[@]}" --workspace -q
 
+# Telemetry smoke: run a small fig1 with telemetry + events enabled, check
+# the export exists, and validate the NDJSON stream against the schema test
+# (every line parses, t_ps monotone per message).
+TDIR="$(mktemp -d)"
+trap 'rm -rf "$TDIR"' EXIT
+run ./target/release/fig1 --quick --jobs 2 --seed 7 \
+    --telemetry "$TDIR" --events "$TDIR/fig1.events.ndjson"
+[ -s "$TDIR/fig1.telemetry.json" ] || {
+    echo "ci: fig1.telemetry.json missing or empty" >&2
+    exit 1
+}
+[ -s "$TDIR/fig1.events.ndjson" ] || {
+    echo "ci: fig1.events.ndjson missing or empty" >&2
+    exit 1
+}
+echo "==> validating NDJSON event stream schema"
+WORMCAST_EVENTS_FILE="$TDIR/fig1.events.ndjson" \
+    run cargo test "${OFFLINE[@]}" -q -p wormcast --test telemetry_schema
+
 echo "ci: all gates passed"

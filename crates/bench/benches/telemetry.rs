@@ -1,0 +1,101 @@
+//! **Telemetry overhead bench** — what does observing a run cost?
+//!
+//! One 100-flit DB broadcast on the 8×8×8 mesh (the paper's standard
+//! single-source setting), three ways:
+//!
+//! * `off` — no sinks attached: the exact pre-telemetry code path that
+//!   `--telemetry`-less runs take (this is the zero-cost-when-off baseline);
+//! * `histograms` — phase histograms + heatmap collector attached
+//!   (the `--telemetry DIR` configuration);
+//! * `full_events` — histograms, heatmap *and* the NDJSON event log
+//!   (the `--events PATH` configuration, the most expensive sink).
+//!
+//! Throughput is element = delivered destination, so the three groups read
+//! directly as deliveries/second with and without observation. The printed
+//! sanity line checks the observed run's outcome is bit-identical to the
+//! unobserved one — sinks must never perturb the simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wormcast_broadcast::Algorithm;
+use wormcast_network::NetworkConfig;
+use wormcast_telemetry::{Observe, TelemetrySpec};
+use wormcast_topology::{Mesh, NodeId, Topology};
+use wormcast_workload::run_single_broadcast_observed;
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mesh = Mesh::cube(8);
+    let cfg = NetworkConfig::paper_default();
+    let alg = Algorithm::Db;
+    let source = NodeId(77);
+    let length = 100u64;
+    let destinations = (mesh.num_nodes() - 1) as u64;
+
+    let histograms = TelemetrySpec::default();
+    let full = TelemetrySpec::full();
+
+    let (base, _) = run_single_broadcast_observed(&mesh, cfg, alg, source, length, None);
+    let (observed, frame) = run_single_broadcast_observed(
+        &mesh,
+        cfg,
+        alg,
+        source,
+        length,
+        Some(Observe::new(&full, 0)),
+    );
+    let identical = base.network_latency_us.to_bits() == observed.network_latency_us.to_bits()
+        && base.cv.to_bits() == observed.cv.to_bits();
+    let events = frame
+        .as_ref()
+        .and_then(|f| f.events.as_ref())
+        .map_or(0, |e| e.len());
+    println!(
+        "--- telemetry: {} destinations, {} events under full observation, bit-identical outcome: {}",
+        destinations, events, identical
+    );
+    assert!(identical, "telemetry sinks perturbed the simulation");
+
+    let mut group = c.benchmark_group("telemetry_single_broadcast");
+    group.sample_size(wormcast_bench::SAMPLE_SIZE);
+    group.throughput(Throughput::Elements(destinations));
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            black_box(run_single_broadcast_observed(
+                black_box(&mesh),
+                cfg,
+                alg,
+                source,
+                length,
+                None,
+            ))
+        })
+    });
+    group.bench_function("histograms", |b| {
+        b.iter(|| {
+            black_box(run_single_broadcast_observed(
+                black_box(&mesh),
+                cfg,
+                alg,
+                source,
+                length,
+                Some(Observe::new(&histograms, 0)),
+            ))
+        })
+    });
+    group.bench_function("full_events", |b| {
+        b.iter(|| {
+            black_box(run_single_broadcast_observed(
+                black_box(&mesh),
+                cfg,
+                alg,
+                source,
+                length,
+                Some(Observe::new(&full, 0)),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

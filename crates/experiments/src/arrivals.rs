@@ -8,12 +8,14 @@
 //! the message arrival times" of the paper's introduction, made visible.
 
 use crate::report::{f2, Table};
+use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use wormcast_broadcast::Algorithm;
 use wormcast_network::{NetworkConfig, OpId};
 use wormcast_sim::SimTime;
 use wormcast_stats::{Histogram, Quantiles};
+use wormcast_telemetry::{Observe, TelemetryFrame, TelemetrySpec};
 use wormcast_topology::{Mesh, NodeId, Topology};
 use wormcast_workload::{network_for, BroadcastTracker, Runner};
 
@@ -65,16 +67,37 @@ pub struct ArrivalProfile {
 /// Run one broadcast per algorithm (one harness task each, folded in
 /// algorithm order) and profile the arrivals.
 pub fn run(params: &ArrivalParams, runner: &Runner) -> Vec<ArrivalProfile> {
+    run_observed(params, runner, None).0
+}
+
+/// [`run`] with optional telemetry: one frame per algorithm's single
+/// broadcast, labelled with the algorithm's short name, in the same
+/// (algorithm) order as the profiles. The algorithm's index stamps its
+/// events' `rep` field.
+pub fn run_observed(
+    params: &ArrivalParams,
+    runner: &Runner,
+    telemetry: Option<&TelemetrySpec>,
+) -> (Vec<ArrivalProfile>, Vec<LabeledFrame>) {
     let mesh = Mesh::new(&params.shape);
     let cfg = NetworkConfig::paper_default();
     let source = NodeId(params.source % mesh.num_nodes() as u32);
     let mut profiles = Vec::with_capacity(Algorithm::ALL.len());
+    let mut frames = Vec::new();
     runner.run(
         Algorithm::ALL.len(),
-        |i| profile_one(&mesh, cfg, Algorithm::ALL[i], source, params),
-        |_, p| profiles.push(p),
+        |i| {
+            let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
+            profile_one(&mesh, cfg, Algorithm::ALL[i], source, params, observe)
+        },
+        |i, (p, frame)| {
+            if let Some(frame) = frame {
+                frames.push(LabeledFrame::new(Algorithm::ALL[i].name(), frame));
+            }
+            profiles.push(p);
+        },
     );
-    profiles
+    (profiles, frames)
 }
 
 fn profile_one(
@@ -83,9 +106,14 @@ fn profile_one(
     alg: Algorithm,
     source: NodeId,
     params: &ArrivalParams,
-) -> ArrivalProfile {
+    observe: Option<Observe<'_>>,
+) -> (ArrivalProfile, Option<TelemetryFrame>) {
     let schedule = alg.schedule(mesh, source);
     let mut net = network_for(alg, mesh.clone(), cfg);
+    let collector = observe.map(|o| o.collector(mesh.num_channels(), mesh.num_nodes()));
+    if let Some(c) = &collector {
+        net.add_sink(c.sink());
+    }
     let mut tracker = BroadcastTracker::new(mesh, &schedule, OpId(0), params.length);
     for spec in tracker.start(SimTime::ZERO) {
         net.inject_at(SimTime::ZERO, spec);
@@ -101,6 +129,13 @@ fn profile_one(
         }
     }
     let lats = tracker.latencies_us();
+    let frame = collector.map(|c| {
+        for &l in &lats {
+            c.record_arrival_us(l);
+        }
+        drop(net);
+        c.finish()
+    });
     let q = Quantiles::new(lats.clone());
     let mut hist = Histogram::new(0.0, q.max() * 1.0001, params.bins);
     for &l in &lats {
@@ -112,16 +147,19 @@ fn profile_one(
     }
     let mut per_step: Vec<(u32, usize)> = per_step.into_iter().collect();
     per_step.sort_unstable();
-    ArrivalProfile {
-        algorithm: alg.name().to_string(),
-        p50_us: q.median(),
-        p95_us: q.p95(),
-        p99_us: q.p99(),
-        max_us: q.max(),
-        iqr_us: q.iqr(),
-        per_step,
-        sparkline: hist.sparkline(),
-    }
+    (
+        ArrivalProfile {
+            algorithm: alg.name().to_string(),
+            p50_us: q.median(),
+            p95_us: q.p95(),
+            p99_us: q.p99(),
+            max_us: q.max(),
+            iqr_us: q.iqr(),
+            per_step,
+            sparkline: hist.sparkline(),
+        },
+        frame,
+    )
 }
 
 /// Render the profiles.

@@ -2,9 +2,10 @@
 //! counts, ASCII histograms) for each broadcast algorithm — the §3.2 story
 //! behind the CV numbers.
 //!
-//! Usage: `arrivals [--out DIR] [--length F] [--seed SRC] [--jobs N]`
+//! Usage: `arrivals [--out DIR] [--length F] [--seed SRC] [--jobs N]
+//! [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{arrivals, CommonOpts};
+use wormcast_experiments::{arrivals, telemetry, CommonOpts};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -15,12 +16,32 @@ fn main() {
     if let Some(s) = opts.seed {
         params.source = s as u32;
     }
-    let profiles = arrivals::run(&params, &opts.runner());
+    let spec = opts.telemetry_spec();
+    let t0 = std::time::Instant::now();
+    let (profiles, frames) = arrivals::run_observed(&params, &opts.runner(), spec.as_ref());
+    let wall = t0.elapsed();
     println!("{}", arrivals::table(&profiles, &params).render());
     println!("{}", arrivals::step_table(&profiles).render());
-    if let Some(dir) = opts.out_dir {
+    if let Some(dir) = &opts.out_dir {
         let path = dir.join("arrivals.json");
         wormcast_experiments::write_json(&path, &profiles).expect("write results");
         println!("wrote {}", path.display());
+    }
+    if spec.is_some() {
+        let mut m = telemetry::manifest(
+            "arrivals",
+            &opts,
+            params.source as u64,
+            params.length,
+            0.0,
+            1,
+            wall,
+        );
+        m.algorithms = profiles.iter().map(|p| p.algorithm.clone()).collect();
+        m.topologies = vec![format!(
+            "{}x{}x{}",
+            params.shape[0], params.shape[1], params.shape[2]
+        )];
+        telemetry::write_outputs(&opts, "arrivals", m, &frames);
     }
 }

@@ -1,9 +1,10 @@
 //! Regenerates **Fig. 1**: broadcast latency vs network size (64–4096
 //! nodes), single-source, L=100 flits, Ts=1.5 µs (override with `--ts`).
 //!
-//! Usage: `fig1 [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]`
+//! Usage: `fig1 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]
+//! [--jobs N] [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{fig1, CommonOpts};
+use wormcast_experiments::{fig1, telemetry, CommonOpts};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -21,7 +22,10 @@ fn main() {
     if let Some(l) = opts.length {
         params.length = l;
     }
-    let cells = fig1::run(&params, &opts.runner());
+    let spec = opts.telemetry_spec();
+    let t0 = std::time::Instant::now();
+    let (cells, frames) = fig1::run_observed(&params, &opts.runner(), spec.as_ref());
+    let wall = t0.elapsed();
     println!("{}", fig1::table(&cells, &params).render());
     let bad = fig1::check_claims(&cells);
     if bad.is_empty() {
@@ -32,9 +36,29 @@ fn main() {
             println!("  - {b}");
         }
     }
-    if let Some(dir) = opts.out_dir {
+    if let Some(dir) = &opts.out_dir {
         let path = dir.join("fig1.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
         println!("wrote {}", path.display());
+    }
+    if spec.is_some() {
+        let mut m = telemetry::manifest(
+            "fig1",
+            &opts,
+            params.seed,
+            params.length,
+            params.startup_us,
+            params.runs,
+            wall,
+        );
+        m.algorithms = cells.iter().map(|c| c.algorithm.clone()).collect();
+        m.algorithms.sort();
+        m.algorithms.dedup();
+        m.topologies = params
+            .sides
+            .iter()
+            .map(|s| format!("{s}x{s}x{s}"))
+            .collect();
+        telemetry::write_outputs(&opts, "fig1", m, &frames);
     }
 }

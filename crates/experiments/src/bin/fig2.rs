@@ -1,9 +1,10 @@
 //! Regenerates **Fig. 2**: coefficient of variation of arrival times vs
 //! network size, measured in steady state with concurrent broadcasts.
 //!
-//! Usage: `fig2 [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]`
+//! Usage: `fig2 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]
+//! [--jobs N] [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{fig2, CommonOpts};
+use wormcast_experiments::{fig2, telemetry, CommonOpts};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -20,7 +21,10 @@ fn main() {
     if let Some(l) = opts.length {
         params.length = l;
     }
-    let cells = fig2::run(&params, &opts.runner());
+    let spec = opts.telemetry_spec();
+    let t0 = std::time::Instant::now();
+    let (cells, frames) = fig2::run_observed(&params, &opts.runner(), spec.as_ref());
+    let wall = t0.elapsed();
     println!("{}", fig2::fig2_table(&cells, &params).render());
     let bad = fig2::check_claims(&cells);
     if bad.is_empty() {
@@ -31,9 +35,29 @@ fn main() {
             println!("  - {b}");
         }
     }
-    if let Some(dir) = opts.out_dir {
+    if let Some(dir) = &opts.out_dir {
         let path = dir.join("fig2.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
         println!("wrote {}", path.display());
+    }
+    if spec.is_some() {
+        let mut m = telemetry::manifest(
+            "fig2",
+            &opts,
+            params.seed,
+            params.length,
+            params.startup_us,
+            params.runs,
+            wall,
+        );
+        m.algorithms = cells.iter().map(|c| c.algorithm.clone()).collect();
+        m.algorithms.sort();
+        m.algorithms.dedup();
+        m.topologies = params
+            .shapes
+            .iter()
+            .map(|s| format!("{}x{}x{}", s[0], s[1], s[2]))
+            .collect();
+        telemetry::write_outputs(&opts, "fig2", m, &frames);
     }
 }

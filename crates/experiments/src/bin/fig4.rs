@@ -1,9 +1,10 @@
 //! Regenerates **Fig. 4**: latency vs offered load on the 16×16×8 mesh under
 //! 90% unicast / 10% broadcast traffic (L=32 flits, Ts=1.5 µs).
 //!
-//! Usage: `fig4 [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]`
+//! Usage: `fig4 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]
+//! [--jobs N] [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{fig34, CommonOpts};
+use wormcast_experiments::{fig34, telemetry, CommonOpts};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -22,7 +23,10 @@ fn main() {
     if let Some(l) = opts.length {
         params.length = l;
     }
-    let cells = fig34::run(&params, &opts.runner());
+    let spec = opts.telemetry_spec();
+    let t0 = std::time::Instant::now();
+    let (cells, frames) = fig34::run_observed(&params, &opts.runner(), spec.as_ref());
+    let wall = t0.elapsed();
     println!("{}", fig34::table(&cells, &params, "Fig. 4").render());
     let bad = fig34::check_claims(&cells, &params);
     if bad.is_empty() {
@@ -33,9 +37,28 @@ fn main() {
             println!("  - {b}");
         }
     }
-    if let Some(dir) = opts.out_dir {
+    if let Some(dir) = &opts.out_dir {
         let path = dir.join("fig4.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
         println!("wrote {}", path.display());
+    }
+    if spec.is_some() {
+        let mut m = telemetry::manifest(
+            "fig4",
+            &opts,
+            params.seed,
+            params.length,
+            params.startup_us,
+            params.batches,
+            wall,
+        );
+        m.algorithms = cells.iter().map(|c| c.algorithm.clone()).collect();
+        m.algorithms.sort();
+        m.algorithms.dedup();
+        m.topologies = vec![format!(
+            "{}x{}x{}",
+            params.shape[0], params.shape[1], params.shape[2]
+        )];
+        telemetry::write_outputs(&opts, "fig4", m, &frames);
     }
 }

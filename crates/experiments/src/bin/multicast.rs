@@ -1,9 +1,10 @@
 //! Runs the multicast extension experiment (the paper's §4 future
 //! direction): UM / CM / SP latency vs destination-set density.
 //!
-//! Usage: `multicast [--quick] [--out DIR] [--seed N] [--length F] [--jobs N]`
+//! Usage: `multicast [--quick] [--out DIR] [--seed N] [--length F] [--jobs N]
+//! [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{multicast, CommonOpts};
+use wormcast_experiments::{multicast, telemetry, CommonOpts};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -18,7 +19,10 @@ fn main() {
     if let Some(l) = opts.length {
         params.length = l;
     }
-    let cells = multicast::run(&params, &opts.runner());
+    let spec = opts.telemetry_spec();
+    let t0 = std::time::Instant::now();
+    let (cells, frames) = multicast::run_observed(&params, &opts.runner(), spec.as_ref());
+    let wall = t0.elapsed();
     println!("{}", multicast::table(&cells, &params).render());
     let bad = multicast::check_claims(&cells);
     if bad.is_empty() {
@@ -29,9 +33,28 @@ fn main() {
             println!("  - {b}");
         }
     }
-    if let Some(dir) = opts.out_dir {
+    if let Some(dir) = &opts.out_dir {
         let path = dir.join("multicast.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
         println!("wrote {}", path.display());
+    }
+    if spec.is_some() {
+        let mut m = telemetry::manifest(
+            "multicast",
+            &opts,
+            params.seed,
+            params.length,
+            0.0,
+            params.runs,
+            wall,
+        );
+        m.algorithms = cells.iter().map(|c| c.scheme.clone()).collect();
+        m.algorithms.sort();
+        m.algorithms.dedup();
+        m.topologies = vec![format!(
+            "{}x{}x{}",
+            params.shape[0], params.shape[1], params.shape[2]
+        )];
+        telemetry::write_outputs(&opts, "multicast", m, &frames);
     }
 }

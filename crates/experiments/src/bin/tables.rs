@@ -1,9 +1,10 @@
 //! Regenerates **Tables 1 and 2**: CV of RD and EDN with the percentage
 //! improvement obtained by DB (Table 1) and AB (Table 2).
 //!
-//! Usage: `tables [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]`
+//! Usage: `tables [--quick] [--out DIR] [--seed N] [--ts US] [--length F]
+//! [--jobs N] [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{fig2, CommonOpts};
+use wormcast_experiments::{fig2, telemetry, CommonOpts};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -20,7 +21,10 @@ fn main() {
     if let Some(l) = opts.length {
         params.length = l;
     }
-    let cells = fig2::run(&params, &opts.runner());
+    let spec = opts.telemetry_spec();
+    let t0 = std::time::Instant::now();
+    let (cells, frames) = fig2::run_observed(&params, &opts.runner(), spec.as_ref());
+    let wall = t0.elapsed();
     println!(
         "{}",
         fig2::improvement_table(&cells, &params, "DB").render()
@@ -29,9 +33,29 @@ fn main() {
         "{}",
         fig2::improvement_table(&cells, &params, "AB").render()
     );
-    if let Some(dir) = opts.out_dir {
+    if let Some(dir) = &opts.out_dir {
         let path = dir.join("tables.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
         println!("wrote {}", path.display());
+    }
+    if spec.is_some() {
+        let mut m = telemetry::manifest(
+            "tables",
+            &opts,
+            params.seed,
+            params.length,
+            params.startup_us,
+            params.runs,
+            wall,
+        );
+        m.algorithms = cells.iter().map(|c| c.algorithm.clone()).collect();
+        m.algorithms.sort();
+        m.algorithms.dedup();
+        m.topologies = params
+            .shapes
+            .iter()
+            .map(|s| format!("{}x{}x{}", s[0], s[1], s[2]))
+            .collect();
+        telemetry::write_outputs(&opts, "tables", m, &frames);
     }
 }

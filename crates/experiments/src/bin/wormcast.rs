@@ -2,16 +2,31 @@
 //! paper in one command.
 //!
 //! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig2|tables|fig3|fig4|arrivals|multicast]...
-//!                  [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]`
+//!                  [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]
+//!                  [--telemetry DIR] [--events PATH] [--trace-dump PATH]`
 //!
 //! With no selector (or `all`), runs the full suite: the §2 step identities,
 //! Fig. 1 (plus the Ts = 0.15 µs variant), Fig. 2, Tables 1–2, Figs. 3–4,
 //! the node-level arrival profiles and the multicast extension.
+//!
+//! `--telemetry DIR` writes one `<sel>.telemetry.json` per experiment run;
+//! `--events PATH` writes one NDJSON stream per experiment, the selector
+//! name inserted before the extension (`events.ndjson` → `events-fig1.ndjson`)
+//! so successive experiments don't clobber each other. The `steps` selector
+//! computes closed forms without simulating, so it emits no telemetry.
+//!
+//! `--trace-dump PATH` runs one DB broadcast on an 8×8×8 mesh (honouring
+//! `--length`, `--ts` and `--seed`) with the engine's bounded trace enabled
+//! and writes the trace as NDJSON to PATH, then exits.
 
-use wormcast_experiments::{fig1, fig2, fig34, steps, CommonOpts};
+use wormcast_experiments::{fig1, fig2, fig34, steps, telemetry, CommonOpts};
 
 fn main() {
     let opts = CommonOpts::parse();
+    if let Some(path) = opts.trace_dump.clone() {
+        dump_trace(&opts, &path);
+        return;
+    }
     let runner = opts.runner();
     let which: Vec<String> = if opts.rest.is_empty() || opts.rest.iter().any(|r| r == "all") {
         vec![
@@ -38,6 +53,27 @@ fn main() {
             println!("wrote {}", path.display());
         }
     };
+    // Per-selector telemetry destinations: the umbrella runs several
+    // experiments in one process, so the event stream path gets the selector
+    // name inserted before its extension to keep the streams separate.
+    let topts = |sel: &str| -> CommonOpts {
+        let mut o = opts.clone();
+        if let Some(p) = &o.events {
+            let stem = p
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("events")
+                .to_string();
+            let ext = p
+                .extension()
+                .and_then(|s| s.to_str())
+                .unwrap_or("ndjson")
+                .to_string();
+            o.events = Some(p.with_file_name(format!("{stem}-{sel}.{ext}")));
+        }
+        o
+    };
+    let spec = opts.telemetry_spec();
 
     for sel in &which {
         match sel.as_str() {
@@ -61,10 +97,28 @@ fn main() {
                 if let Some(l) = opts.length {
                     p.length = l;
                 }
-                let cells = fig1::run(&p, &runner);
+                let t0 = std::time::Instant::now();
+                let (cells, frames) = fig1::run_observed(&p, &runner, spec.as_ref());
+                let wall = t0.elapsed();
                 println!("{}", fig1::table(&cells, &p).render());
                 report_claims(&fig1::check_claims(&cells));
                 out(sel, &cells);
+                if spec.is_some() {
+                    let mut m = telemetry::manifest(
+                        sel,
+                        &opts,
+                        p.seed,
+                        p.length,
+                        p.startup_us,
+                        p.runs,
+                        wall,
+                    );
+                    m.algorithms = cells.iter().map(|c| c.algorithm.clone()).collect();
+                    m.algorithms.sort();
+                    m.algorithms.dedup();
+                    m.topologies = p.sides.iter().map(|s| format!("{s}x{s}x{s}")).collect();
+                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                }
             }
             "fig2" | "tables" => {
                 let mut p = fig2::Fig2Params::default();
@@ -77,7 +131,9 @@ fn main() {
                 if let Some(l) = opts.length {
                     p.length = l;
                 }
-                let cells = fig2::run(&p, &runner);
+                let t0 = std::time::Instant::now();
+                let (cells, frames) = fig2::run_observed(&p, &runner, spec.as_ref());
+                let wall = t0.elapsed();
                 if sel == "fig2" {
                     println!("{}", fig2::fig2_table(&cells, &p).render());
                     report_claims(&fig2::check_claims(&cells));
@@ -86,6 +142,26 @@ fn main() {
                     println!("{}", fig2::improvement_table(&cells, &p, "AB").render());
                 }
                 out(sel, &cells);
+                if spec.is_some() {
+                    let mut m = telemetry::manifest(
+                        sel,
+                        &opts,
+                        p.seed,
+                        p.length,
+                        p.startup_us,
+                        p.runs,
+                        wall,
+                    );
+                    m.algorithms = cells.iter().map(|c| c.algorithm.clone()).collect();
+                    m.algorithms.sort();
+                    m.algorithms.dedup();
+                    m.topologies = p
+                        .shapes
+                        .iter()
+                        .map(|s| format!("{}x{}x{}", s[0], s[1], s[2]))
+                        .collect();
+                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                }
             }
             "fig3" | "fig4" => {
                 let mut p = if sel == "fig3" {
@@ -104,18 +180,39 @@ fn main() {
                 if let Some(l) = opts.length {
                     p.length = l;
                 }
-                let cells = fig34::run(&p, &runner);
+                let t0 = std::time::Instant::now();
+                let (cells, frames) = fig34::run_observed(&p, &runner, spec.as_ref());
+                let wall = t0.elapsed();
                 let caption = if sel == "fig3" { "Fig. 3" } else { "Fig. 4" };
                 println!("{}", fig34::table(&cells, &p, caption).render());
                 report_claims(&fig34::check_claims(&cells, &p));
                 out(sel, &cells);
+                if spec.is_some() {
+                    let mut m = telemetry::manifest(
+                        sel,
+                        &opts,
+                        p.seed,
+                        p.length,
+                        p.startup_us,
+                        p.batches,
+                        wall,
+                    );
+                    m.algorithms = cells.iter().map(|c| c.algorithm.clone()).collect();
+                    m.algorithms.sort();
+                    m.algorithms.dedup();
+                    m.topologies = vec![format!("{}x{}x{}", p.shape[0], p.shape[1], p.shape[2])];
+                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                }
             }
             "arrivals" => {
                 let mut p = wormcast_experiments::arrivals::ArrivalParams::default();
                 if let Some(l) = opts.length {
                     p.length = l;
                 }
-                let profiles = wormcast_experiments::arrivals::run(&p, &runner);
+                let t0 = std::time::Instant::now();
+                let (profiles, frames) =
+                    wormcast_experiments::arrivals::run_observed(&p, &runner, spec.as_ref());
+                let wall = t0.elapsed();
                 println!(
                     "{}",
                     wormcast_experiments::arrivals::table(&profiles, &p).render()
@@ -125,6 +222,13 @@ fn main() {
                     wormcast_experiments::arrivals::step_table(&profiles).render()
                 );
                 out("arrivals", &profiles);
+                if spec.is_some() {
+                    let mut m =
+                        telemetry::manifest(sel, &opts, p.source as u64, p.length, 0.0, 1, wall);
+                    m.algorithms = profiles.iter().map(|pr| pr.algorithm.clone()).collect();
+                    m.topologies = vec![format!("{}x{}x{}", p.shape[0], p.shape[1], p.shape[2])];
+                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                }
             }
             "multicast" => {
                 let mut p = wormcast_experiments::multicast::MulticastParams::default();
@@ -135,13 +239,25 @@ fn main() {
                 if let Some(s) = opts.seed {
                     p.seed = s;
                 }
-                let cells = wormcast_experiments::multicast::run(&p, &runner);
+                let t0 = std::time::Instant::now();
+                let (cells, frames) =
+                    wormcast_experiments::multicast::run_observed(&p, &runner, spec.as_ref());
+                let wall = t0.elapsed();
                 println!(
                     "{}",
                     wormcast_experiments::multicast::table(&cells, &p).render()
                 );
                 report_claims(&wormcast_experiments::multicast::check_claims(&cells));
                 out("multicast", &cells);
+                if spec.is_some() {
+                    let mut m =
+                        telemetry::manifest(sel, &opts, p.seed, p.length, 0.0, p.runs, wall);
+                    m.algorithms = cells.iter().map(|c| c.scheme.clone()).collect();
+                    m.algorithms.sort();
+                    m.algorithms.dedup();
+                    m.topologies = vec![format!("{}x{}x{}", p.shape[0], p.shape[1], p.shape[2])];
+                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                }
             }
             other => {
                 eprintln!(
@@ -152,6 +268,48 @@ fn main() {
         }
         println!();
     }
+}
+
+/// `--trace-dump PATH`: run one DB broadcast on an 8×8×8 mesh with the
+/// engine's bounded trace ring enabled (64 Ki records) and dump the trace as
+/// NDJSON, reusing the telemetry event exporter's line format.
+fn dump_trace(opts: &CommonOpts, path: &std::path::Path) {
+    use wormcast_broadcast::Algorithm;
+    use wormcast_network::{NetworkConfig, OpId};
+    use wormcast_sim::{SimDuration, SimTime};
+    use wormcast_topology::{Mesh, NodeId, Topology};
+    use wormcast_workload::{network_for, BroadcastTracker};
+
+    let mesh = Mesh::cube(8);
+    let mut cfg = NetworkConfig::paper_default();
+    if let Some(ts) = opts.startup_us {
+        cfg = cfg.with_startup(SimDuration::from_us(ts));
+    }
+    let length = opts.length.unwrap_or(100);
+    let source = NodeId((opts.seed.unwrap_or(0) % mesh.num_nodes() as u64) as u32);
+    let alg = Algorithm::Db;
+    let schedule = alg.schedule(&mesh, source);
+    let mut net = network_for(alg, mesh.clone(), cfg);
+    net.enable_trace(65_536);
+    let mut tracker = BroadcastTracker::new(&mesh, &schedule, OpId(0), length);
+    for spec in tracker.start(SimTime::ZERO) {
+        net.inject_at(SimTime::ZERO, spec);
+    }
+    while !tracker.is_complete() {
+        let d = net.next_delivery().expect("broadcast completes");
+        for spec in tracker.on_delivery(&d) {
+            net.inject_at(d.delivered_at, spec);
+        }
+    }
+    telemetry::warn_if_trace_dropped(net.trace(), "wormcast --trace-dump");
+    let ndjson = wormcast_telemetry::events::trace_to_ndjson(net.trace());
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create trace dump directory");
+        }
+    }
+    std::fs::write(path, ndjson).expect("write trace dump");
+    println!("wrote {}", path.display());
 }
 
 fn report_claims(bad: &[String]) {

@@ -1,5 +1,6 @@
 //! Minimal command-line option handling shared by the experiment binaries.
 
+use wormcast_telemetry::TelemetrySpec;
 use wormcast_workload::Runner;
 
 /// Options common to every experiment binary.
@@ -19,6 +20,15 @@ pub struct CommonOpts {
     /// Worker threads for the replication harness (`--jobs N`; 0 or absent
     /// means one per available core). Results are identical for any value.
     pub jobs: Option<usize>,
+    /// Directory telemetry exports are written to (`--telemetry DIR`);
+    /// `None` disables telemetry collection entirely (zero-cost).
+    pub telemetry: Option<std::path::PathBuf>,
+    /// Path the NDJSON event stream is written to (`--events PATH`);
+    /// implies telemetry collection.
+    pub events: Option<std::path::PathBuf>,
+    /// Path a single-run engine trace is dumped to as NDJSON
+    /// (`--trace-dump PATH`; honoured by the `wormcast` umbrella binary).
+    pub trace_dump: Option<std::path::PathBuf>,
     /// Remaining positional arguments.
     pub rest: Vec<String>,
 }
@@ -27,6 +37,20 @@ impl CommonOpts {
     /// The replication [`Runner`] the binary should drive experiments with.
     pub fn runner(&self) -> Runner {
         Runner::new(self.jobs.unwrap_or(0))
+    }
+
+    /// The telemetry spec implied by the flags: `None` unless `--telemetry`
+    /// or `--events` was given (so unobserved runs stay on the exact
+    /// pre-telemetry code path), with the event stream enabled only when
+    /// `--events` names a destination.
+    pub fn telemetry_spec(&self) -> Option<TelemetrySpec> {
+        if self.telemetry.is_none() && self.events.is_none() {
+            return None;
+        }
+        Some(TelemetrySpec {
+            events: self.events.is_some(),
+            ..TelemetrySpec::default()
+        })
     }
 
     /// Parse `--quick`, `--out DIR`, `--seed N`, `--ts US`, `--length F`,
@@ -48,6 +72,9 @@ impl CommonOpts {
             startup_us: None,
             length: None,
             jobs: None,
+            telemetry: None,
+            events: None,
+            trace_dump: None,
             rest: Vec::new(),
         };
         let mut it = args.peekable();
@@ -90,6 +117,18 @@ impl CommonOpts {
                             .expect("--jobs must be an integer"),
                     );
                 }
+                "--telemetry" => {
+                    let v = it.next().expect("--telemetry needs a directory");
+                    o.telemetry = Some(v.into());
+                }
+                "--events" => {
+                    let v = it.next().expect("--events needs a file path");
+                    o.events = Some(v.into());
+                }
+                "--trace-dump" => {
+                    let v = it.next().expect("--trace-dump needs a file path");
+                    o.trace_dump = Some(v.into());
+                }
                 other => o.rest.push(other.to_string()),
             }
         }
@@ -129,6 +168,26 @@ mod tests {
         assert_eq!(o.runner().jobs(), 3);
         assert_eq!(o.rest, vec!["all"]);
         assert_eq!(o.out_dir.unwrap().to_str().unwrap(), "results");
+    }
+
+    #[test]
+    fn telemetry_flags() {
+        let o = parse(&[]);
+        assert!(o.telemetry_spec().is_none(), "telemetry off by default");
+
+        let o = parse(&["--telemetry", "t-out"]);
+        let spec = o.telemetry_spec().expect("spec on");
+        assert!(spec.phases && spec.heatmap && !spec.events);
+        assert_eq!(o.telemetry.unwrap().to_str().unwrap(), "t-out");
+
+        let o = parse(&["--events", "ev.ndjson"]);
+        let spec = o.telemetry_spec().expect("events imply telemetry");
+        assert!(spec.events);
+        assert!(o.telemetry.is_none());
+
+        let o = parse(&["--trace-dump", "trace.ndjson"]);
+        assert!(o.telemetry_spec().is_none(), "trace dump alone ≠ telemetry");
+        assert_eq!(o.trace_dump.unwrap().to_str().unwrap(), "trace.ndjson");
     }
 
     #[test]

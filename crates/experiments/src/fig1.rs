@@ -4,13 +4,15 @@
 //! available as a parameter), network sizes 64–4096 nodes.
 
 use crate::report::{f2, Table};
+use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::NetworkConfig;
 use wormcast_sim::SimDuration;
 use wormcast_stats::OnlineStats;
+use wormcast_telemetry::{Observe, TelemetrySpec};
 use wormcast_topology::{Mesh, Topology};
-use wormcast_workload::{BroadcastRep, RepContext, Replication, Runner};
+use wormcast_workload::{BroadcastRep, RepContext, Runner, TelemetryMerge};
 
 /// Parameters of the Fig. 1 sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -63,6 +65,20 @@ pub struct Fig1Cell {
 /// fold in replication order, so the result is bit-identical for any
 /// `--jobs` count.
 pub fn run(params: &Fig1Params, runner: &Runner) -> Vec<Fig1Cell> {
+    run_observed(params, runner, None).0
+}
+
+/// [`run`] with optional telemetry: when `telemetry` is `Some`, every
+/// replication attaches a collector sink and the per-cell frames (merged in
+/// replication order) come back labelled `"<nodes>/<alg>"`, sorted by the
+/// same `(nodes, algorithm)` key as the cells so frame *k* describes cell
+/// *k*. Events are stamped with the global task index as `rep`, so
+/// `(rep, msg)` pairs are unique across the whole export.
+pub fn run_observed(
+    params: &Fig1Params,
+    runner: &Runner,
+    telemetry: Option<&TelemetrySpec>,
+) -> (Vec<Fig1Cell>, Vec<LabeledFrame>) {
     let cfg = NetworkConfig::paper_default().with_startup(SimDuration::from_us(params.startup_us));
     // One replication spec per (side, alg) cell. Algorithms at the same size
     // share a master seed, so replication r draws the same source for all
@@ -87,31 +103,51 @@ pub fn run(params: &Fig1Params, runner: &Runner) -> Vec<Fig1Cell> {
         .iter()
         .map(|_| (OnlineStats::new(), OnlineStats::new()))
         .collect();
+    let mut merges: Vec<TelemetryMerge> = plan.iter().map(|_| TelemetryMerge::new()).collect();
     runner.run(
         plan.len() * runs,
         |i| {
             let (_, master, spec) = &plan[i / runs];
-            spec.replicate(&mut RepContext::new(*master, i % runs))
+            let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
+            spec.replicate_observed(&mut RepContext::new(*master, i % runs), observe)
         },
-        |i, o| {
+        |i, (o, frame)| {
             let (net, node) = &mut acc[i / runs];
             net.push(o.network_latency_us);
             node.push(o.mean_latency_us);
+            merges[i / runs].absorb(frame);
         },
     );
-    let mut cells: Vec<Fig1Cell> = plan
+    let mut rows: Vec<(Fig1Cell, TelemetryMerge)> = plan
         .iter()
         .zip(&acc)
-        .map(|((side, _, spec), (net, node))| Fig1Cell {
-            nodes: spec.mesh.num_nodes(),
-            side: *side,
-            algorithm: spec.alg.name().to_string(),
-            latency_us: net.mean(),
-            mean_node_latency_us: node.mean(),
+        .zip(merges)
+        .map(|(((side, _, spec), (net, node)), merge)| {
+            (
+                Fig1Cell {
+                    nodes: spec.mesh.num_nodes(),
+                    side: *side,
+                    algorithm: spec.alg.name().to_string(),
+                    latency_us: net.mean(),
+                    mean_node_latency_us: node.mean(),
+                },
+                merge,
+            )
         })
         .collect();
-    cells.sort_by_key(|c| (c.nodes, c.algorithm.clone()));
-    cells
+    rows.sort_by_key(|(c, _)| (c.nodes, c.algorithm.clone()));
+    let mut cells = Vec::with_capacity(rows.len());
+    let mut frames = Vec::new();
+    for (cell, merge) in rows {
+        if let Some(frame) = merge.finish() {
+            frames.push(LabeledFrame::new(
+                format!("{}/{}", cell.nodes, cell.algorithm),
+                frame,
+            ));
+        }
+        cells.push(cell);
+    }
+    (cells, frames)
 }
 
 /// Render the result in the paper's layout: one row per network size, one
@@ -244,6 +280,28 @@ mod tests {
         assert_eq!(t.rows.len(), 2);
         assert!(t.render().contains("64"));
         assert!(t.render().contains("512"));
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_labels_frames() {
+        let p = quick_params();
+        let plain = run(&p, &Runner::sequential());
+        let spec = TelemetrySpec::default();
+        let (cells, frames) = run_observed(&p, &Runner::sequential(), Some(&spec));
+        assert_eq!(cells.len(), plain.len());
+        for (a, b) in cells.iter().zip(&plain) {
+            assert_eq!(a.latency_us.to_bits(), b.latency_us.to_bits());
+        }
+        assert_eq!(frames.len(), cells.len(), "one frame per cell");
+        for (f, c) in frames.iter().zip(&cells) {
+            assert_eq!(f.label, format!("{}/{}", c.nodes, c.algorithm));
+            // One arrival per destination per replication.
+            assert_eq!(
+                f.frame.arrivals.count(),
+                (c.nodes as u64 - 1) * p.runs as u64
+            );
+            assert_eq!(f.frame.op_cv.count, p.runs as u64);
+        }
     }
 
     #[test]

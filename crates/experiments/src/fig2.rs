@@ -17,12 +17,14 @@
 //! approach the idle-network limit.
 
 use crate::report::{f2, f4, Table};
+use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::NetworkConfig;
 use wormcast_sim::{SimDuration, SimRng};
+use wormcast_telemetry::{Observe, TelemetryFrame, TelemetrySpec};
 use wormcast_topology::{Mesh, Topology};
-use wormcast_workload::{run_contended_broadcasts_from, Runner};
+use wormcast_workload::{run_contended_broadcasts_observed, Runner};
 
 /// Parameters of the Fig. 2 / Tables 1–2 sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -77,6 +79,20 @@ pub struct Fig2Cell {
 /// sources (common random numbers). Cells fold in index order — the result
 /// is bit-identical for any `--jobs` count.
 pub fn run(params: &Fig2Params, runner: &Runner) -> Vec<Fig2Cell> {
+    run_observed(params, runner, None).0
+}
+
+/// [`run`] with optional telemetry: each (shape, alg) cell is one
+/// steady-state simulation, so its frame needs no merging — it comes back
+/// labelled `"<W>x<H>x<D>/<alg>"`, sorted by the same `(nodes, algorithm)`
+/// key as the cells. The cell's task index stamps its events' `rep` field,
+/// and the frame's `op_cv` accumulator tracks exactly the per-operation CVs
+/// the driver averages into [`Fig2Cell::cv`].
+pub fn run_observed(
+    params: &Fig2Params,
+    runner: &Runner,
+    telemetry: Option<&TelemetrySpec>,
+) -> (Vec<Fig2Cell>, Vec<LabeledFrame>) {
     let cfg = NetworkConfig::paper_default().with_startup(SimDuration::from_us(params.startup_us));
     let plan: Vec<([u16; 3], Algorithm)> = params
         .shapes
@@ -84,14 +100,15 @@ pub fn run(params: &Fig2Params, runner: &Runner) -> Vec<Fig2Cell> {
         .flat_map(|&shape| Algorithm::ALL.iter().map(move |&alg| (shape, alg)))
         .collect();
     let algs = Algorithm::ALL.len();
-    let mut cells = Vec::with_capacity(plan.len());
+    let mut rows: Vec<(Fig2Cell, Option<TelemetryFrame>)> = Vec::with_capacity(plan.len());
     runner.run(
         plan.len(),
         |i| {
             let (shape, alg) = plan[i];
             let mesh = Mesh::new(&shape);
             let root = SimRng::for_replication(params.seed, (i / algs) as u64);
-            let o = run_contended_broadcasts_from(
+            let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
+            let (o, frame) = run_contended_broadcasts_observed(
                 &mesh,
                 cfg,
                 alg,
@@ -99,18 +116,36 @@ pub fn run(params: &Fig2Params, runner: &Runner) -> Vec<Fig2Cell> {
                 params.runs,
                 params.broadcast_rate_per_node_per_ms,
                 &root,
+                observe,
             );
-            Fig2Cell {
-                shape,
-                nodes: mesh.num_nodes(),
-                algorithm: alg.name().to_string(),
-                cv: o.cv,
-            }
+            (
+                Fig2Cell {
+                    shape,
+                    nodes: mesh.num_nodes(),
+                    algorithm: alg.name().to_string(),
+                    cv: o.cv,
+                },
+                frame,
+            )
         },
-        |_, cell| cells.push(cell),
+        |_, row| rows.push(row),
     );
-    cells.sort_by_key(|c| (c.nodes, c.algorithm.clone()));
-    cells
+    rows.sort_by_key(|(c, _)| (c.nodes, c.algorithm.clone()));
+    let mut cells = Vec::with_capacity(rows.len());
+    let mut frames = Vec::new();
+    for (cell, frame) in rows {
+        if let Some(frame) = frame {
+            frames.push(LabeledFrame::new(
+                format!(
+                    "{}x{}x{}/{}",
+                    cell.shape[0], cell.shape[1], cell.shape[2], cell.algorithm
+                ),
+                frame,
+            ));
+        }
+        cells.push(cell);
+    }
+    (cells, frames)
 }
 
 fn get_cv(cells: &[Fig2Cell], nodes: usize, alg: &str) -> f64 {
@@ -245,6 +280,28 @@ mod tests {
             assert!(
                 get_cv(&cells, nodes, "DB") < get_cv(&cells, nodes, "EDN") * 1.15,
                 "DB far above EDN at {nodes}"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_frame_cv_matches_driver_cv() {
+        // Acceptance criterion of the telemetry PR: the frame's op-CV
+        // accumulator sees exactly the per-operation CVs the driver folds
+        // into the cell, so the means agree to floating-point tolerance.
+        let p = quick_params();
+        let spec = TelemetrySpec::default();
+        let (cells, frames) = run_observed(&p, &Runner::sequential(), Some(&spec));
+        assert_eq!(frames.len(), cells.len());
+        for (c, f) in cells.iter().zip(&frames) {
+            assert_eq!(f.frame.op_cv.count, p.runs as u64);
+            let diff = (f.frame.op_cv.mean() - c.cv).abs();
+            assert!(
+                diff < 1e-9,
+                "{}: frame {} vs cell {}",
+                f.label,
+                f.frame.op_cv.mean(),
+                c.cv
             );
         }
     }

@@ -12,12 +12,14 @@
 //! curves visibly live. See EXPERIMENTS.md for the calibration evidence.
 
 use crate::report::Table;
+use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::{NetworkConfig, ReleaseMode};
 use wormcast_sim::{SimDuration, SimRng};
+use wormcast_telemetry::{Observe, TelemetryFrame, TelemetrySpec};
 use wormcast_topology::Mesh;
-use wormcast_workload::{run_mixed_traffic_from, MixedConfig, MixedOutcome, Runner};
+use wormcast_workload::{run_mixed_traffic_observed, MixedConfig, MixedOutcome, Runner};
 
 /// Parameters of a load-sweep experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -88,6 +90,18 @@ pub struct SweepCell {
 /// stream (common random numbers across the four curves). Cells fold in
 /// index order — the result is bit-identical for any `--jobs` count.
 pub fn run(params: &LoadSweepParams, runner: &Runner) -> Vec<SweepCell> {
+    run_observed(params, runner, None).0
+}
+
+/// [`run`] with optional telemetry: each (alg, load) point is one
+/// steady-state simulation whose frame comes back labelled `"<alg>@<load>"`,
+/// sorted by the same `(algorithm, load)` key as the cells. The point's task
+/// index stamps its events' `rep` field.
+pub fn run_observed(
+    params: &LoadSweepParams,
+    runner: &Runner,
+    telemetry: Option<&TelemetrySpec>,
+) -> (Vec<SweepCell>, Vec<LabeledFrame>) {
     let cfg = NetworkConfig::paper_default()
         .with_startup(SimDuration::from_us(params.startup_us))
         .with_release(params.release);
@@ -101,7 +115,7 @@ pub fn run(params: &LoadSweepParams, runner: &Runner) -> Vec<SweepCell> {
                 .map(move |(i, &load)| (alg, i, load))
         })
         .collect();
-    let mut cells = Vec::with_capacity(plan.len());
+    let mut rows: Vec<(SweepCell, Option<TelemetryFrame>)> = Vec::with_capacity(plan.len());
     runner.run(
         plan.len(),
         |t| {
@@ -120,19 +134,35 @@ pub fn run(params: &LoadSweepParams, runner: &Runner) -> Vec<SweepCell> {
                 pattern: wormcast_workload::DestPattern::Uniform,
             };
             let root = SimRng::for_replication(params.seed, i as u64);
-            SweepCell {
-                algorithm: alg.name().to_string(),
-                outcome: run_mixed_traffic_from(&mesh, cfg, &mc, &root),
-            }
+            let observe = telemetry.map(|spec| Observe::new(spec, t as u64));
+            let (outcome, frame) = run_mixed_traffic_observed(&mesh, cfg, &mc, &root, observe);
+            (
+                SweepCell {
+                    algorithm: alg.name().to_string(),
+                    outcome,
+                },
+                frame,
+            )
         },
-        |_, cell| cells.push(cell),
+        |_, row| rows.push(row),
     );
-    cells.sort_by(|a, b| {
+    rows.sort_by(|(a, _), (b, _)| {
         (a.algorithm.clone(), a.outcome.load_per_node_per_ms)
             .partial_cmp(&(b.algorithm.clone(), b.outcome.load_per_node_per_ms))
             .unwrap()
     });
-    cells
+    let mut cells = Vec::with_capacity(rows.len());
+    let mut frames = Vec::new();
+    for (cell, frame) in rows {
+        if let Some(frame) = frame {
+            frames.push(LabeledFrame::new(
+                format!("{}@{}", cell.algorithm, cell.outcome.load_per_node_per_ms),
+                frame,
+            ));
+        }
+        cells.push(cell);
+    }
+    (cells, frames)
 }
 
 fn get<'a>(cells: &'a [SweepCell], alg: &str, load: f64) -> Option<&'a MixedOutcome> {

@@ -27,6 +27,8 @@ pub mod fig34;
 pub mod multicast;
 pub mod report;
 pub mod steps;
+pub mod telemetry;
 
 pub use cli::CommonOpts;
 pub use report::{write_json, Table};
+pub use telemetry::{LabeledFrame, TelemetryReport};

@@ -7,11 +7,15 @@
 //! (single chained path), on an 8×8×8 mesh with 32-flit messages.
 
 use crate::report::{f2, f4, Table};
+use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
 use wormcast_network::NetworkConfig;
 use wormcast_stats::OnlineStats;
+use wormcast_telemetry::{Observe, TelemetrySpec};
 use wormcast_topology::{Mesh, NodeId, Topology};
-use wormcast_workload::{random_destinations, run_single_multicast, MulticastScheme, Runner};
+use wormcast_workload::{
+    random_destinations, run_single_multicast_observed, MulticastScheme, Runner, TelemetryMerge,
+};
 
 /// Parameters of the multicast density sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -62,6 +66,17 @@ pub struct MulticastCell {
 /// replication order, so the result is bit-identical for any `--jobs`
 /// count. Schemes share per-rep seeds (common random sets and sources).
 pub fn run(params: &MulticastParams, runner: &Runner) -> Vec<MulticastCell> {
+    run_observed(params, runner, None).0
+}
+
+/// [`run`] with optional telemetry: per-cell frames (merged in replication
+/// order) come back labelled `"<scheme>/<set size>"`, in the same plan order
+/// as the cells. Events are stamped with the global task index as `rep`.
+pub fn run_observed(
+    params: &MulticastParams,
+    runner: &Runner,
+    telemetry: Option<&TelemetrySpec>,
+) -> (Vec<MulticastCell>, Vec<LabeledFrame>) {
     let mesh = Mesh::new(&params.shape);
     let cfg = NetworkConfig::paper_default();
     let plan: Vec<(MulticastScheme, usize)> = MulticastScheme::ALL
@@ -73,6 +88,7 @@ pub fn run(params: &MulticastParams, runner: &Runner) -> Vec<MulticastCell> {
         .iter()
         .map(|_| (OnlineStats::new(), OnlineStats::new(), OnlineStats::new()))
         .collect();
+    let mut merges: Vec<TelemetryMerge> = plan.iter().map(|_| TelemetryMerge::new()).collect();
     runner.run(
         plan.len() * runs,
         |i| {
@@ -81,25 +97,32 @@ pub fn run(params: &MulticastParams, runner: &Runner) -> Vec<MulticastCell> {
             let seed = params.seed ^ ((m as u64) << 24) ^ (r as u64);
             let src = NodeId((seed % mesh.num_nodes() as u64) as u32);
             let dests = random_destinations(&mesh, src, m, seed);
-            run_single_multicast(&mesh, cfg, scheme, src, &dests, params.length)
+            let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
+            run_single_multicast_observed(&mesh, cfg, scheme, src, &dests, params.length, observe)
         },
-        |i, o| {
+        |i, (o, frame)| {
             let (lats, cvs, over) = &mut acc[i / runs];
             lats.push(o.latency_us);
             cvs.push(o.cv);
             over.push(o.overhead_copies as f64);
+            merges[i / runs].absorb(frame);
         },
     );
-    plan.iter()
-        .zip(&acc)
-        .map(|(&(scheme, m), (lats, cvs, over))| MulticastCell {
+    let mut cells = Vec::with_capacity(plan.len());
+    let mut frames = Vec::new();
+    for ((&(scheme, m), (lats, cvs, over)), merge) in plan.iter().zip(&acc).zip(merges) {
+        if let Some(frame) = merge.finish() {
+            frames.push(LabeledFrame::new(format!("{}/{m}", scheme.name()), frame));
+        }
+        cells.push(MulticastCell {
             scheme: scheme.name().to_string(),
             set_size: m,
             latency_us: lats.mean(),
             cv: cvs.mean(),
             overhead: over.mean(),
-        })
-        .collect()
+        });
+    }
+    (cells, frames)
 }
 
 /// Render the sweep.

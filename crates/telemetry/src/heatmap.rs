@@ -1,0 +1,211 @@
+//! Per-channel / per-node contention heatmap.
+//!
+//! Aggregates, per channel: grant count, total busy time and the maximum
+//! FIFO queue depth ever observed; per node: injection-port grants and
+//! payload deliveries. All state is integer (`u64` picoseconds), so merging
+//! heatmaps from different replications of the *same* topology is exact and
+//! order-independent (adds and maxes commute). The JSON export is sparse —
+//! only channels/nodes that saw traffic appear — which keeps fig-scale
+//! exports small even on 16×16×16 meshes.
+
+use serde::Serialize;
+use wormcast_sim::PS_PER_US;
+
+/// Contention totals over a fixed-size topology.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelHeatmap {
+    /// Per-channel grant counts, indexed by `ChannelId::index()`.
+    grants: Vec<u64>,
+    /// Per-channel busy time in picoseconds.
+    busy_ps: Vec<u64>,
+    /// Per-channel maximum observed FIFO depth (waiters incl. the newest).
+    max_queue: Vec<u64>,
+    /// Scratch: when the channel was last granted (ps), for busy accounting.
+    busy_since: Vec<u64>,
+    /// Per-node injection-port grants.
+    port_grants: Vec<u64>,
+    /// Per-node payload deliveries.
+    deliveries: Vec<u64>,
+}
+
+impl ChannelHeatmap {
+    /// A heatmap over `num_channels` channels and `num_nodes` nodes.
+    pub fn new(num_channels: usize, num_nodes: usize) -> Self {
+        ChannelHeatmap {
+            grants: vec![0; num_channels],
+            busy_ps: vec![0; num_channels],
+            max_queue: vec![0; num_channels],
+            busy_since: vec![0; num_channels],
+            port_grants: vec![0; num_nodes],
+            deliveries: vec![0; num_nodes],
+        }
+    }
+
+    /// Channel `ch` was granted at time `now_ps`.
+    #[inline]
+    pub fn on_grant(&mut self, ch: usize, now_ps: u64) {
+        self.grants[ch] += 1;
+        self.busy_since[ch] = now_ps;
+    }
+
+    /// Channel `ch` was released at time `now_ps`.
+    #[inline]
+    pub fn on_release(&mut self, ch: usize, now_ps: u64) {
+        self.busy_ps[ch] += now_ps.saturating_sub(self.busy_since[ch]);
+    }
+
+    /// A header joined the FIFO of channel `ch`; `queue_len` includes it.
+    #[inline]
+    pub fn on_wait(&mut self, ch: usize, queue_len: usize) {
+        self.max_queue[ch] = self.max_queue[ch].max(queue_len as u64);
+    }
+
+    /// Node `node` was granted an injection port.
+    #[inline]
+    pub fn on_port_grant(&mut self, node: usize) {
+        self.port_grants[node] += 1;
+    }
+
+    /// Node `node` absorbed a payload copy.
+    #[inline]
+    pub fn on_deliver(&mut self, node: usize) {
+        self.deliveries[node] += 1;
+    }
+
+    /// Absorb another heatmap of the same topology (adds + maxes; exact).
+    ///
+    /// # Panics
+    /// If the two heatmaps cover different channel or node counts.
+    pub fn merge(&mut self, other: &ChannelHeatmap) {
+        assert_eq!(self.grants.len(), other.grants.len(), "channel count");
+        assert_eq!(self.port_grants.len(), other.port_grants.len(), "nodes");
+        for (a, b) in self.grants.iter_mut().zip(&other.grants) {
+            *a += b;
+        }
+        for (a, b) in self.busy_ps.iter_mut().zip(&other.busy_ps) {
+            *a += b;
+        }
+        for (a, b) in self.max_queue.iter_mut().zip(&other.max_queue) {
+            *a = (*a).max(*b);
+        }
+        for (a, b) in self.port_grants.iter_mut().zip(&other.port_grants) {
+            *a += b;
+        }
+        for (a, b) in self.deliveries.iter_mut().zip(&other.deliveries) {
+            *a += b;
+        }
+    }
+
+    /// Deepest FIFO seen on any channel.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_queue.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sparse JSON export: only channels/nodes with any activity.
+    pub fn export(&self) -> HeatmapExport {
+        let channels = (0..self.grants.len())
+            .filter(|&i| self.grants[i] > 0 || self.max_queue[i] > 0)
+            .map(|i| ChannelCell {
+                channel: i as u64,
+                grants: self.grants[i],
+                busy_us: self.busy_ps[i] as f64 / PS_PER_US as f64,
+                max_queue: self.max_queue[i],
+            })
+            .collect();
+        let nodes = (0..self.port_grants.len())
+            .filter(|&i| self.port_grants[i] > 0 || self.deliveries[i] > 0)
+            .map(|i| NodeCell {
+                node: i as u64,
+                port_grants: self.port_grants[i],
+                deliveries: self.deliveries[i],
+            })
+            .collect();
+        HeatmapExport {
+            max_queue_depth: self.max_queue_depth(),
+            channels,
+            nodes,
+        }
+    }
+}
+
+/// One active channel in a [`HeatmapExport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ChannelCell {
+    /// `ChannelId::index()` of the channel.
+    pub channel: u64,
+    /// Times the channel was granted.
+    pub grants: u64,
+    /// Total time occupied, microseconds.
+    pub busy_us: f64,
+    /// Deepest FIFO observed on this channel.
+    pub max_queue: u64,
+}
+
+/// One active node in a [`HeatmapExport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct NodeCell {
+    /// `NodeId::index()` of the node.
+    pub node: u64,
+    /// Injection-port grants at this node.
+    pub port_grants: u64,
+    /// Payload copies absorbed by this node.
+    pub deliveries: u64,
+}
+
+/// JSON-exportable view of a [`ChannelHeatmap`].
+#[derive(Debug, Clone, Serialize)]
+pub struct HeatmapExport {
+    /// Deepest FIFO seen anywhere.
+    pub max_queue_depth: u64,
+    /// Active channels only (sparse).
+    pub channels: Vec<ChannelCell>,
+    /// Active nodes only (sparse).
+    pub nodes: Vec<NodeCell>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_time_integrates_grant_release() {
+        let mut h = ChannelHeatmap::new(4, 2);
+        h.on_grant(1, 1_000);
+        h.on_release(1, 4_000);
+        h.on_grant(1, 10_000);
+        h.on_release(1, 11_000);
+        let ex = h.export();
+        assert_eq!(ex.channels.len(), 1);
+        assert_eq!(ex.channels[0].grants, 2);
+        assert!((ex.channels[0].busy_us - 4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_and_maxes() {
+        let mut a = ChannelHeatmap::new(2, 2);
+        a.on_grant(0, 0);
+        a.on_release(0, 100);
+        a.on_wait(0, 3);
+        a.on_port_grant(1);
+        let mut b = ChannelHeatmap::new(2, 2);
+        b.on_grant(0, 0);
+        b.on_release(0, 50);
+        b.on_wait(0, 5);
+        b.on_deliver(1);
+        a.merge(&b);
+        let ex = a.export();
+        assert_eq!(ex.channels[0].grants, 2);
+        assert_eq!(ex.channels[0].max_queue, 5);
+        assert_eq!(ex.max_queue_depth, 5);
+        assert_eq!(ex.nodes.len(), 1);
+        assert_eq!(ex.nodes[0].port_grants, 1);
+        assert_eq!(ex.nodes[0].deliveries, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count")]
+    fn merge_rejects_mismatched_topology() {
+        let mut a = ChannelHeatmap::new(2, 2);
+        a.merge(&ChannelHeatmap::new(3, 2));
+    }
+}

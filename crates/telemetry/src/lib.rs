@@ -1,0 +1,643 @@
+//! `wormcast-telemetry` — the observability layer of the wormcast stack.
+//!
+//! PR 1 decoupled observation from simulation behind
+//! `wormcast_network::MetricsSink`; this crate cashes that in. It provides:
+//!
+//! * [`hist::LatencyHistogram`] — log-scale (HDR-style) latency histograms
+//!   with a fixed bucket layout and pure-integer state, so merging across
+//!   replications is exact and order-independent;
+//! * a phase-decomposing sink (built from [`Collector`]) recording, per
+//!   message: injection→port-grant wait, start-up latency, per-hop channel
+//!   wait, delivery latency and completion latency;
+//! * [`heatmap::ChannelHeatmap`] — per-channel grant counts, busy time and
+//!   max FIFO depth, plus per-node port grants and deliveries;
+//! * [`events::EventLog`] — a byte-budgeted NDJSON event exporter (one line
+//!   per `MetricsSink` callback, lazily serialized) and the flat-JSON
+//!   parser/validator used by schema tests and CI;
+//! * [`manifest::RunManifest`] — run provenance (seed, config, versions,
+//!   wall clock) embedded in every telemetry export.
+//!
+//! # Zero cost when off
+//!
+//! Nothing here touches the engine unless a sink is attached. When no
+//! telemetry is requested, the workload layer runs the exact same code path
+//! as before this crate existed, and experiment outputs are byte-identical.
+//!
+//! # Determinism contract
+//!
+//! A [`TelemetryFrame`] is produced per replication and merged by the
+//! harness **in replication-index order**. Because histogram and heatmap
+//! merges are integer adds/maxes and event logs concatenate in order, the
+//! merged frame — and its JSON export — is byte-identical for any `--jobs`
+//! count. The only nondeterministic datum in an export is
+//! `RunManifest::wall_ms`, which determinism tests zero before comparing.
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod heatmap;
+pub mod hist;
+pub mod manifest;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+use wormcast_network::message::MessageId;
+use wormcast_network::metrics::MetricsSink;
+use wormcast_sim::SimTime;
+use wormcast_topology::{ChannelId, NodeId};
+
+pub use events::{Event, EventKind, EventLog};
+pub use heatmap::{ChannelHeatmap, HeatmapExport};
+pub use hist::{HistogramExport, LatencyHistogram};
+pub use manifest::RunManifest;
+
+/// Default NDJSON byte budget per replication frame (8 MiB).
+pub const TELEMETRY_EVENT_BUDGET_DEFAULT: usize = 8 << 20;
+
+/// What to collect. Constructed once per experiment run from the CLI flags
+/// and shared (by reference) with every replication.
+#[derive(Debug, Clone)]
+pub struct TelemetrySpec {
+    /// Record per-phase latency histograms.
+    pub phases: bool,
+    /// Record the per-channel/per-node contention heatmap.
+    pub heatmap: bool,
+    /// Record the NDJSON event stream.
+    pub events: bool,
+    /// Byte budget for the event stream, **per replication**.
+    pub event_budget: usize,
+}
+
+impl Default for TelemetrySpec {
+    /// Histograms + heatmap, no event stream.
+    fn default() -> Self {
+        TelemetrySpec {
+            phases: true,
+            heatmap: true,
+            events: false,
+            event_budget: TELEMETRY_EVENT_BUDGET_DEFAULT,
+        }
+    }
+}
+
+impl TelemetrySpec {
+    /// Everything on: histograms, heatmap and the NDJSON event stream.
+    pub fn full() -> Self {
+        TelemetrySpec {
+            events: true,
+            ..TelemetrySpec::default()
+        }
+    }
+}
+
+/// A [`TelemetrySpec`] plus the replication index it applies to — the
+/// argument observed workload runs take. `Copy`, so call sites can pass it
+/// through closures freely.
+#[derive(Debug, Clone, Copy)]
+pub struct Observe<'a> {
+    /// What to collect.
+    pub spec: &'a TelemetrySpec,
+    /// Replication index, stamped into every event (`rep` field).
+    pub rep: u64,
+}
+
+impl<'a> Observe<'a> {
+    /// Observe replication `rep` with `spec`.
+    pub fn new(spec: &'a TelemetrySpec, rep: u64) -> Self {
+        Observe { spec, rep }
+    }
+
+    /// A collector for a topology with the given channel and node counts.
+    pub fn collector(&self, num_channels: usize, num_nodes: usize) -> Collector {
+        Collector::new(self.spec, self.rep, num_channels, num_nodes)
+    }
+}
+
+/// Per-message scratch state for phase accounting.
+#[derive(Debug, Clone, Copy)]
+struct MsgState {
+    inject_ps: u64,
+    grant_ps: u64,
+    wait_since: Option<u64>,
+}
+
+/// Per-phase latency histograms.
+///
+/// Phases decompose a message's life: `port_wait` (injection request →
+/// port grant), `startup` (port grant → header enters router), one
+/// `channel_wait` sample per grant that followed a FIFO wait, one
+/// `delivery` sample per payload copy (injection → absorption), and one
+/// `completion` sample per message (injection → tail at final destination).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseHistograms {
+    /// Injection request → injection-port grant.
+    pub port_wait: LatencyHistogram,
+    /// Port grant → start-up latency elapsed.
+    pub startup: LatencyHistogram,
+    /// FIFO join → channel grant (only waits that actually blocked).
+    pub channel_wait: LatencyHistogram,
+    /// Injection request → payload copy absorbed (one sample per copy).
+    pub delivery: LatencyHistogram,
+    /// Injection request → message complete.
+    pub completion: LatencyHistogram,
+}
+
+impl PhaseHistograms {
+    /// Absorb another set (exact, order-independent).
+    pub fn merge(&mut self, other: &PhaseHistograms) {
+        self.port_wait.merge(&other.port_wait);
+        self.startup.merge(&other.startup);
+        self.channel_wait.merge(&other.channel_wait);
+        self.delivery.merge(&other.delivery);
+        self.completion.merge(&other.completion);
+    }
+}
+
+/// Mean accumulator for driver-reported per-operation CVs. Kept as a naive
+/// `(count, sum)` pair so merges are order-independent up to f64 addition
+/// order — which is fixed, because frames merge in replication-index order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CvAccumulator {
+    /// Operations recorded.
+    pub count: u64,
+    /// Sum of per-operation CVs.
+    pub sum: f64,
+}
+
+impl CvAccumulator {
+    /// Record one operation's CV.
+    pub fn record(&mut self, cv: f64) {
+        self.count += 1;
+        self.sum += cv;
+    }
+
+    /// Mean CV (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Absorb another accumulator.
+    pub fn merge(&mut self, other: &CvAccumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// Everything collected about one replication (or, after merging, one
+/// experiment cell).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryFrame {
+    /// Engine-phase latency histograms (from the attached sink).
+    pub phases: PhaseHistograms,
+    /// Driver-side per-destination arrival latencies (what figure CVs are
+    /// computed from), fed by the workload layer.
+    pub arrivals: LatencyHistogram,
+    /// Driver-reported per-operation CV mean; matches the figure drivers'
+    /// reported CV to floating-point tolerance.
+    pub op_cv: CvAccumulator,
+    /// Contention heatmap, when enabled.
+    pub heatmap: Option<ChannelHeatmap>,
+    /// NDJSON event stream, when enabled.
+    pub events: Option<EventLog>,
+    /// Scratch: in-flight message phase state (not exported, not merged).
+    inflight: HashMap<u64, MsgState>,
+}
+
+impl TelemetryFrame {
+    /// Record one per-destination arrival latency (µs) from the driver.
+    pub fn record_arrival_us(&mut self, us: f64) {
+        self.arrivals.record_us(us);
+    }
+
+    /// Record one operation's per-destination CV from the driver.
+    pub fn record_op_cv(&mut self, cv: f64) {
+        self.op_cv.record(cv);
+    }
+
+    /// Absorb another frame. Must be called in replication-index order for
+    /// byte-identical exports (histograms/heatmaps merge exactly in any
+    /// order; the event log concatenates and `op_cv` sums f64s, both of
+    /// which are order-sensitive only in ordering of equal results).
+    pub fn merge(&mut self, other: &TelemetryFrame) {
+        self.phases.merge(&other.phases);
+        self.arrivals.merge(&other.arrivals);
+        self.op_cv.merge(&other.op_cv);
+        match (&mut self.heatmap, &other.heatmap) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, Some(b)) => self.heatmap = Some(b.clone()),
+            _ => {}
+        }
+        match (&mut self.events, &other.events) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, Some(b)) => self.events = Some(b.clone()),
+            _ => {}
+        }
+    }
+
+    /// JSON-exportable view, labelled (labels name experiment cells, e.g.
+    /// `"512/DB"`).
+    pub fn export(&self, label: &str) -> FrameExport {
+        FrameExport {
+            label: label.to_string(),
+            port_wait: self.phases.port_wait.export(),
+            startup: self.phases.startup.export(),
+            channel_wait: self.phases.channel_wait.export(),
+            delivery: self.phases.delivery.export(),
+            completion: self.phases.completion.export(),
+            arrivals: self.arrivals.export(),
+            op_cv_mean: self.op_cv.mean(),
+            op_cv_count: self.op_cv.count,
+            events_retained: self.events.as_ref().map_or(0, |e| e.len() as u64),
+            events_dropped: self.events.as_ref().map_or(0, |e| e.dropped()),
+            heatmap: self.heatmap.as_ref().map(|h| h.export()),
+        }
+    }
+}
+
+/// JSON export of one (possibly merged) [`TelemetryFrame`].
+#[derive(Debug, Clone, Serialize)]
+pub struct FrameExport {
+    /// Cell label (e.g. `"512/DB"`).
+    pub label: String,
+    /// Injection request → port grant.
+    pub port_wait: HistogramExport,
+    /// Port grant → start-up done.
+    pub startup: HistogramExport,
+    /// FIFO join → channel grant.
+    pub channel_wait: HistogramExport,
+    /// Injection → payload copy absorbed.
+    pub delivery: HistogramExport,
+    /// Injection → message complete.
+    pub completion: HistogramExport,
+    /// Driver-side per-destination arrival latencies.
+    pub arrivals: HistogramExport,
+    /// Mean of driver-reported per-operation CVs.
+    pub op_cv_mean: f64,
+    /// Operations behind `op_cv_mean`.
+    pub op_cv_count: u64,
+    /// Events retained in the NDJSON stream.
+    pub events_retained: u64,
+    /// Events dropped by the byte budget.
+    pub events_dropped: u64,
+    /// Contention heatmap, when enabled.
+    pub heatmap: Option<HeatmapExport>,
+}
+
+/// Owner of a replication's [`TelemetryFrame`] while a sink observes into
+/// it.
+///
+/// `Network::add_sink` consumes a `Box<dyn MetricsSink>` with no way to get
+/// it back, so the collector keeps the frame behind an `Arc<Mutex<..>>` and
+/// hands the network a lightweight handle ([`Collector::sink`]). After the
+/// run, [`Collector::finish`] recovers the frame. Within one replication
+/// everything is single-threaded, so the mutex is uncontended.
+#[derive(Debug)]
+pub struct Collector {
+    shared: Arc<Mutex<TelemetryFrame>>,
+    phases: bool,
+    events: bool,
+    rep: u64,
+}
+
+impl Collector {
+    /// A collector for one replication over a topology with the given
+    /// channel and node counts.
+    pub fn new(spec: &TelemetrySpec, rep: u64, num_channels: usize, num_nodes: usize) -> Self {
+        let frame = TelemetryFrame {
+            heatmap: spec
+                .heatmap
+                .then(|| ChannelHeatmap::new(num_channels, num_nodes)),
+            events: spec.events.then(|| EventLog::new(spec.event_budget)),
+            ..TelemetryFrame::default()
+        };
+        Collector {
+            shared: Arc::new(Mutex::new(frame)),
+            phases: spec.phases,
+            events: spec.events,
+            rep,
+        }
+    }
+
+    /// A sink handle to attach with `Network::add_sink`.
+    pub fn sink(&self) -> Box<dyn MetricsSink> {
+        Box::new(CollectorSink {
+            shared: Arc::clone(&self.shared),
+            phases: self.phases,
+            events: self.events,
+            rep: self.rep,
+        })
+    }
+
+    /// Record one per-destination arrival latency (µs) from the driver.
+    pub fn record_arrival_us(&self, us: f64) {
+        self.shared.lock().unwrap().record_arrival_us(us);
+    }
+
+    /// Record one operation's per-destination CV from the driver.
+    pub fn record_op_cv(&self, cv: f64) {
+        self.shared.lock().unwrap().record_op_cv(cv);
+    }
+
+    /// Recover the collected frame. If the network (and thus the sink
+    /// handle) is already dropped this is free; otherwise the frame is
+    /// taken out from under the still-attached handle, which then observes
+    /// into a discarded frame.
+    pub fn finish(self) -> TelemetryFrame {
+        match Arc::try_unwrap(self.shared) {
+            Ok(m) => m.into_inner().unwrap(),
+            Err(arc) => std::mem::take(&mut *arc.lock().unwrap()),
+        }
+    }
+}
+
+/// The `MetricsSink` handle a [`Collector`] attaches to a network.
+struct CollectorSink {
+    shared: Arc<Mutex<TelemetryFrame>>,
+    phases: bool,
+    events: bool,
+    rep: u64,
+}
+
+impl CollectorSink {
+    fn event(&self, now: SimTime, kind: EventKind) -> Event {
+        Event::new(now.as_ps(), kind, self.rep)
+    }
+}
+
+fn push_event(f: &mut TelemetryFrame, e: Event) {
+    if let Some(log) = &mut f.events {
+        log.push(e);
+    }
+}
+
+impl MetricsSink for CollectorSink {
+    fn on_inject(&mut self, now: SimTime, m: MessageId, src: NodeId) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        if self.phases {
+            f.inflight.insert(
+                m.0,
+                MsgState {
+                    inject_ps: now.as_ps(),
+                    grant_ps: now.as_ps(),
+                    wait_since: None,
+                },
+            );
+        }
+        if self.events {
+            let mut e = self.event(now, EventKind::Inject);
+            e.msg = Some(m.0);
+            e.node = Some(src.0);
+            push_event(f, e);
+        }
+    }
+
+    fn on_port_grant(&mut self, now: SimTime, m: MessageId, node: NodeId) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        if self.phases {
+            if let Some(st) = f.inflight.get_mut(&m.0) {
+                st.grant_ps = now.as_ps();
+                let wait = now.as_ps() - st.inject_ps;
+                f.phases.port_wait.record_ps(wait);
+            }
+        }
+        if let Some(h) = &mut f.heatmap {
+            h.on_port_grant(node.index());
+        }
+        if self.events {
+            let mut e = self.event(now, EventKind::PortGrant);
+            e.msg = Some(m.0);
+            e.node = Some(node.0);
+            push_event(f, e);
+        }
+    }
+
+    fn on_startup_done(&mut self, now: SimTime, m: MessageId, node: NodeId) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        if self.phases {
+            if let Some(st) = f.inflight.get(&m.0) {
+                let startup = now.as_ps() - st.grant_ps;
+                f.phases.startup.record_ps(startup);
+            }
+        }
+        if self.events {
+            let mut e = self.event(now, EventKind::StartupDone);
+            e.msg = Some(m.0);
+            e.node = Some(node.0);
+            push_event(f, e);
+        }
+    }
+
+    fn on_header_hop(&mut self, now: SimTime, m: MessageId, at: NodeId, ch: ChannelId) {
+        if !self.events {
+            return;
+        }
+        let mut guard = self.shared.lock().unwrap();
+        let mut e = self.event(now, EventKind::Header);
+        e.msg = Some(m.0);
+        e.node = Some(at.0);
+        e.ch = Some(ch.0);
+        push_event(&mut guard, e);
+    }
+
+    fn on_channel_wait(&mut self, now: SimTime, m: MessageId, ch: ChannelId, queue_len: usize) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        if self.phases {
+            if let Some(st) = f.inflight.get_mut(&m.0) {
+                st.wait_since = Some(now.as_ps());
+            }
+        }
+        if let Some(h) = &mut f.heatmap {
+            h.on_wait(ch.index(), queue_len);
+        }
+        if self.events {
+            let mut e = self.event(now, EventKind::ChannelWait);
+            e.msg = Some(m.0);
+            e.ch = Some(ch.0);
+            e.q = Some(queue_len as u64);
+            push_event(f, e);
+        }
+    }
+
+    fn on_channel_grant(&mut self, now: SimTime, m: MessageId, ch: ChannelId) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        if self.phases {
+            if let Some(st) = f.inflight.get_mut(&m.0) {
+                if let Some(since) = st.wait_since.take() {
+                    let wait = now.as_ps() - since;
+                    f.phases.channel_wait.record_ps(wait);
+                }
+            }
+        }
+        if let Some(h) = &mut f.heatmap {
+            h.on_grant(ch.index(), now.as_ps());
+        }
+        if self.events {
+            let mut e = self.event(now, EventKind::ChannelGrant);
+            e.msg = Some(m.0);
+            e.ch = Some(ch.0);
+            push_event(f, e);
+        }
+    }
+
+    fn on_channel_release(&mut self, now: SimTime, ch: ChannelId) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        if let Some(h) = &mut f.heatmap {
+            h.on_release(ch.index(), now.as_ps());
+        }
+        if self.events {
+            let mut e = self.event(now, EventKind::ChannelRelease);
+            e.ch = Some(ch.0);
+            push_event(f, e);
+        }
+    }
+
+    fn on_deliver(&mut self, now: SimTime, m: MessageId, node: NodeId, flits: u64) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        if self.phases {
+            if let Some(st) = f.inflight.get(&m.0) {
+                let lat = now.as_ps() - st.inject_ps;
+                f.phases.delivery.record_ps(lat);
+            }
+        }
+        if let Some(h) = &mut f.heatmap {
+            h.on_deliver(node.index());
+        }
+        if self.events {
+            let mut e = self.event(now, EventKind::Deliver);
+            e.msg = Some(m.0);
+            e.node = Some(node.0);
+            e.flits = Some(flits);
+            push_event(f, e);
+        }
+    }
+
+    fn on_complete(&mut self, now: SimTime, m: MessageId, node: NodeId) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        if self.phases {
+            if let Some(st) = f.inflight.remove(&m.0) {
+                let lat = now.as_ps() - st.inject_ps;
+                f.phases.completion.record_ps(lat);
+            }
+        }
+        if self.events {
+            let mut e = self.event(now, EventKind::Complete);
+            e.msg = Some(m.0);
+            e.node = Some(node.0);
+            push_event(f, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(sink: &mut dyn MetricsSink) {
+        let m = MessageId(0);
+        sink.on_inject(SimTime::from_ps(0), m, NodeId(0));
+        sink.on_port_grant(SimTime::from_ps(100), m, NodeId(0));
+        sink.on_startup_done(SimTime::from_ps(1_600), m, NodeId(0));
+        sink.on_channel_wait(SimTime::from_ps(1_600), m, ChannelId(1), 2);
+        sink.on_channel_grant(SimTime::from_ps(2_000), m, ChannelId(1));
+        sink.on_header_hop(SimTime::from_ps(2_100), m, NodeId(1), ChannelId(1));
+        sink.on_deliver(SimTime::from_ps(3_000), m, NodeId(1), 100);
+        sink.on_channel_release(SimTime::from_ps(3_100), ChannelId(1));
+        sink.on_complete(SimTime::from_ps(3_000), m, NodeId(1));
+    }
+
+    #[test]
+    fn collector_decomposes_phases() {
+        let spec = TelemetrySpec::full();
+        let collector = Collector::new(&spec, 7, 4, 2);
+        let mut sink = collector.sink();
+        drive(sink.as_mut());
+        drop(sink);
+        let frame = collector.finish();
+        assert_eq!(frame.phases.port_wait.count(), 1);
+        assert!((frame.phases.port_wait.mean_us() - 1e-4).abs() < 1e-12);
+        assert_eq!(frame.phases.startup.count(), 1);
+        assert_eq!(frame.phases.channel_wait.count(), 1);
+        assert!((frame.phases.channel_wait.mean_us() - 4e-4).abs() < 1e-12);
+        assert_eq!(frame.phases.delivery.count(), 1);
+        assert_eq!(frame.phases.completion.count(), 1);
+        let heat = frame.heatmap.as_ref().expect("heatmap enabled");
+        assert_eq!(heat.max_queue_depth(), 2);
+        let log = frame.events.as_ref().expect("events enabled");
+        assert_eq!(log.len(), 9);
+        let stats = events::validate_ndjson(&log.to_ndjson()).expect("valid NDJSON");
+        assert_eq!(stats.lines, 9);
+        assert_eq!(stats.messages, 1);
+        assert!(log.to_ndjson().contains("\"rep\":7"));
+    }
+
+    #[test]
+    fn finish_recovers_frame_even_with_live_sink() {
+        let spec = TelemetrySpec::default();
+        let collector = Collector::new(&spec, 0, 4, 2);
+        let mut sink = collector.sink();
+        drive(sink.as_mut());
+        // Sink still alive: finish() must still return the data.
+        let frame = collector.finish();
+        assert_eq!(frame.phases.completion.count(), 1);
+        drop(sink);
+    }
+
+    #[test]
+    fn frame_merge_combines_everything() {
+        let spec = TelemetrySpec::full();
+        let mk = |rep| {
+            let c = Collector::new(&spec, rep, 4, 2);
+            let mut s = c.sink();
+            drive(s.as_mut());
+            drop(s);
+            let mut f = c.finish();
+            f.record_arrival_us(3.0e-6 * (rep + 1) as f64);
+            f.record_op_cv(0.5);
+            f
+        };
+        let mut a = mk(0);
+        let b = mk(1);
+        a.merge(&b);
+        assert_eq!(a.phases.completion.count(), 2);
+        assert_eq!(a.arrivals.count(), 2);
+        assert_eq!(a.op_cv.count, 2);
+        assert!((a.op_cv.mean() - 0.5).abs() < 1e-15);
+        assert_eq!(a.events.as_ref().unwrap().len(), 18);
+        let ex = a.export("cell");
+        assert_eq!(ex.label, "cell");
+        assert_eq!(ex.events_retained, 18);
+        assert!(ex.heatmap.is_some());
+    }
+
+    #[test]
+    fn disabled_spec_sections_stay_empty() {
+        let spec = TelemetrySpec {
+            phases: true,
+            heatmap: false,
+            events: false,
+            event_budget: 0,
+        };
+        let c = Collector::new(&spec, 0, 4, 2);
+        let mut s = c.sink();
+        drive(s.as_mut());
+        drop(s);
+        let f = c.finish();
+        assert!(f.heatmap.is_none());
+        assert!(f.events.is_none());
+        assert_eq!(f.phases.completion.count(), 1);
+    }
+}

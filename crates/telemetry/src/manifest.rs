@@ -1,0 +1,99 @@
+//! Run provenance.
+//!
+//! A [`RunManifest`] records everything needed to reproduce (and trust) a
+//! telemetry export: the experiment name, algorithms, topology shapes, the
+//! master seed, worker count, payload length, start-up latency, replication
+//! count, the crate version that produced it, and the wall-clock duration.
+//!
+//! The manifest lives in the *telemetry* export (`<name>.telemetry.json`),
+//! never in the figure result JSON: result files must stay byte-identical
+//! across `--jobs` counts and across machines, and `wall_ms` is inherently
+//! nondeterministic. Determinism tests therefore zero `wall_ms` before
+//! comparing exports — see `tests/determinism.rs`.
+
+use serde::Serialize;
+
+/// Schema version of the telemetry export format.
+pub const MANIFEST_SCHEMA: u64 = 1;
+
+/// Provenance record embedded in every telemetry export.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunManifest {
+    /// Telemetry export schema version ([`MANIFEST_SCHEMA`]).
+    pub schema: u64,
+    /// Producing tool (always `"wormcast"`).
+    pub tool: String,
+    /// Crate version that produced the export.
+    pub version: String,
+    /// Experiment driver name (`"fig1"`, `"fig2"`, …).
+    pub experiment: String,
+    /// Algorithms exercised, in driver order.
+    pub algorithms: Vec<String>,
+    /// Topology shapes exercised (e.g. `"8x8x8"`), in driver order.
+    pub topologies: Vec<String>,
+    /// Master RNG seed the replication streams were split from.
+    pub master_seed: u64,
+    /// Worker threads used (`--jobs`; does not affect results).
+    pub jobs: u64,
+    /// Broadcast payload length in flits.
+    pub length_flits: u64,
+    /// Start-up latency in microseconds.
+    pub startup_us: f64,
+    /// Replications per cell.
+    pub runs: u64,
+    /// Wall-clock duration of the run in milliseconds. Nondeterministic;
+    /// zeroed by determinism tests before comparison.
+    pub wall_ms: f64,
+}
+
+impl RunManifest {
+    /// A manifest for `experiment` with every other field defaulted; fill
+    /// the public fields in before exporting.
+    pub fn new(experiment: &str) -> Self {
+        RunManifest {
+            schema: MANIFEST_SCHEMA,
+            tool: "wormcast".to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            experiment: experiment.to_string(),
+            algorithms: Vec::new(),
+            topologies: Vec::new(),
+            master_seed: 0,
+            jobs: 0,
+            length_flits: 0,
+            startup_us: 0.0,
+            runs: 0,
+            wall_ms: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_serializes_with_stable_fields() {
+        let mut m = RunManifest::new("fig1");
+        m.algorithms = vec!["RD".into(), "DB".into()];
+        m.topologies = vec!["8x8x8".into()];
+        m.master_seed = 42;
+        let json = serde_json::to_string(&m).expect("serialize");
+        for key in [
+            "\"schema\"",
+            "\"tool\"",
+            "\"version\"",
+            "\"experiment\"",
+            "\"algorithms\"",
+            "\"topologies\"",
+            "\"master_seed\"",
+            "\"jobs\"",
+            "\"length_flits\"",
+            "\"startup_us\"",
+            "\"runs\"",
+            "\"wall_ms\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"experiment\":\"fig1\""));
+    }
+}

@@ -18,6 +18,7 @@ use wormcast_broadcast::Algorithm;
 use wormcast_network::{NetworkConfig, OpId};
 use wormcast_sim::{DurationDist, Exponential, SimRng, SimTime};
 use wormcast_stats::summarize;
+use wormcast_telemetry::{Observe, TelemetryFrame};
 use wormcast_topology::{Mesh, NodeId, Topology};
 
 /// Outcome of a contended-broadcast CV measurement.
@@ -77,6 +78,38 @@ pub fn run_contended_broadcasts_from(
     broadcast_rate_per_node_per_ms: f64,
     root: &SimRng,
 ) -> ContendedOutcome {
+    run_contended_broadcasts_observed(
+        mesh,
+        cfg,
+        alg,
+        length,
+        runs,
+        broadcast_rate_per_node_per_ms,
+        root,
+        None,
+    )
+    .0
+}
+
+/// [`run_contended_broadcasts_from`] with optional telemetry collection.
+///
+/// With `observe = None` this is the exact unobserved code path. With
+/// `Some`, the attached sink decomposes engine phases, and the driver feeds
+/// every measured operation's per-destination arrival latencies into the
+/// frame's `arrivals` histogram plus its CV into `op_cv` — so the frame's
+/// `op_cv` mean equals the returned [`ContendedOutcome::cv`] up to the
+/// difference between a Welford and a naive mean (≈ 1 ulp).
+#[allow(clippy::too_many_arguments)] // mirrors the 7-arg unobserved entry point
+pub fn run_contended_broadcasts_observed(
+    mesh: &Mesh,
+    cfg: NetworkConfig,
+    alg: Algorithm,
+    length: u64,
+    runs: usize,
+    broadcast_rate_per_node_per_ms: f64,
+    root: &SimRng,
+    observe: Option<Observe<'_>>,
+) -> (ContendedOutcome, Option<TelemetryFrame>) {
     assert!(runs > 0, "need at least one run");
     assert!(
         broadcast_rate_per_node_per_ms > 0.0,
@@ -87,6 +120,11 @@ pub fn run_contended_broadcasts_from(
     let inter =
         Exponential::with_rate_per_ms(broadcast_rate_per_node_per_ms * mesh.num_nodes() as f64);
     let mut net = network_for(alg, mesh.clone(), cfg);
+    let collector = observe.map(|o| {
+        let c = o.collector(mesh.num_channels(), mesh.num_nodes());
+        net.add_sink(c.sink());
+        c
+    });
     let mut trackers: HashMap<OpId, BroadcastTracker> = HashMap::new();
     let mut cvs = Vec::new();
     let mut means = Vec::new();
@@ -131,19 +169,30 @@ pub fn run_contended_broadcasts_from(
                         cvs.push(s.cv());
                         means.push(s.mean());
                         maxes.push(s.max());
+                        if let Some(c) = &collector {
+                            for &l in &lats {
+                                c.record_arrival_us(l);
+                            }
+                            c.record_op_cv(s.cv());
+                        }
                     }
                     trackers.remove(&d.op);
                 }
             }
         }
     }
-    ContendedOutcome {
+    let outcome = ContendedOutcome {
         algorithm: alg.name().to_string(),
         runs: cvs.len(),
         cv: summarize(&cvs).mean(),
         mean_latency_us: summarize(&means).mean(),
         network_latency_us: summarize(&maxes).mean(),
-    }
+    };
+    let frame = collector.map(|c| {
+        drop(net);
+        c.finish()
+    });
+    (outcome, frame)
 }
 
 #[cfg(test)]

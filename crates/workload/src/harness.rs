@@ -24,13 +24,14 @@
 //! buffer. Hence `jobs = 1` and `jobs = N` produce byte-identical results,
 //! which `tests/determinism.rs` locks in.
 
-use crate::single::{run_single_broadcast, BroadcastOutcome};
+use crate::single::{run_single_broadcast_observed, BroadcastOutcome};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use wormcast_broadcast::Algorithm;
 use wormcast_network::NetworkConfig;
 use wormcast_sim::SimRng;
+use wormcast_telemetry::{Observe, TelemetryFrame};
 use wormcast_topology::{Mesh, NodeId, Topology};
 
 /// Everything a replication may depend on besides its spec: its index and
@@ -89,12 +90,64 @@ pub struct BroadcastRep {
     pub length: u64,
 }
 
+impl BroadcastRep {
+    /// Run replication `ctx.index` with optional telemetry collection.
+    ///
+    /// With `observe = None` this is exactly [`Replication::replicate`]
+    /// (no sink attached, identical code path); with `Some`, the returned
+    /// frame carries the replication's phase histograms, heatmap and event
+    /// stream. Callers choose `observe.rep` — stamp it with an identifier
+    /// unique across the *whole* experiment (e.g. the global task index),
+    /// not the per-cell replication index, so `(rep, msg)` pairs stay
+    /// unique in a concatenated NDJSON export.
+    pub fn replicate_observed(
+        &self,
+        ctx: &mut RepContext,
+        observe: Option<Observe<'_>>,
+    ) -> (BroadcastOutcome, Option<TelemetryFrame>) {
+        let mut src_rng = ctx.rng.substream("sources");
+        let source = NodeId(src_rng.index(self.mesh.num_nodes()) as u32);
+        run_single_broadcast_observed(&self.mesh, self.cfg, self.alg, source, self.length, observe)
+    }
+}
+
 impl Replication for BroadcastRep {
     type Output = BroadcastOutcome;
     fn replicate(&self, ctx: &mut RepContext) -> BroadcastOutcome {
-        let mut src_rng = ctx.rng.substream("sources");
-        let source = NodeId(src_rng.index(self.mesh.num_nodes()) as u32);
-        run_single_broadcast(&self.mesh, self.cfg, self.alg, source, self.length)
+        self.replicate_observed(ctx, None).0
+    }
+}
+
+/// Accumulates optional per-replication [`TelemetryFrame`]s during a fold.
+///
+/// The harness folds strictly in replication-index order, so absorbing each
+/// replication's frame as it is folded yields a merged frame that is
+/// byte-identical for any `--jobs` count. Frames are merged pairwise with
+/// [`TelemetryFrame::merge`]; absorbing `None` (telemetry off, or a cell
+/// with no frame) is a no-op.
+#[derive(Debug, Default)]
+pub struct TelemetryMerge {
+    frame: Option<TelemetryFrame>,
+}
+
+impl TelemetryMerge {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        TelemetryMerge::default()
+    }
+
+    /// Absorb the next replication's frame, in fold (index) order.
+    pub fn absorb(&mut self, frame: Option<TelemetryFrame>) {
+        match (&mut self.frame, frame) {
+            (Some(acc), Some(f)) => acc.merge(&f),
+            (acc @ None, Some(f)) => *acc = Some(f),
+            _ => {}
+        }
+    }
+
+    /// The merged frame, if any replication produced one.
+    pub fn finish(self) -> Option<TelemetryFrame> {
+        self.frame
     }
 }
 

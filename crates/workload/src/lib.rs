@@ -29,14 +29,23 @@ pub mod patterns;
 pub mod single;
 pub mod torus;
 
-pub use contended::{run_contended_broadcasts, run_contended_broadcasts_from, ContendedOutcome};
+pub use contended::{
+    run_contended_broadcasts, run_contended_broadcasts_from, run_contended_broadcasts_observed,
+    ContendedOutcome,
+};
 pub use executor::BroadcastTracker;
-pub use harness::{BroadcastRep, RepContext, Replication, Runner};
-pub use mixed::{run_mixed_traffic, run_mixed_traffic_from, MixedConfig, MixedOutcome};
-pub use multicast::{random_destinations, run_single_multicast, MulticastOutcome, MulticastScheme};
+pub use harness::{BroadcastRep, RepContext, Replication, Runner, TelemetryMerge};
+pub use mixed::{
+    run_mixed_traffic, run_mixed_traffic_from, run_mixed_traffic_observed, MixedConfig,
+    MixedOutcome,
+};
+pub use multicast::{
+    random_destinations, run_single_multicast, run_single_multicast_observed, MulticastOutcome,
+    MulticastScheme,
+};
 pub use patterns::DestPattern;
 pub use single::{
-    network_for, routing_for, run_averaged_broadcasts, run_single_broadcast, AveragedOutcome,
-    BroadcastOutcome,
+    network_for, routing_for, run_averaged_broadcasts, run_single_broadcast,
+    run_single_broadcast_observed, AveragedOutcome, BroadcastOutcome,
 };
 pub use torus::{run_torus_broadcast, TorusOutcome};

@@ -17,6 +17,7 @@ use wormcast_network::{MessageSpec, Network, NetworkConfig, OpId, Route};
 use wormcast_routing::{dor_path, CodedPath};
 use wormcast_sim::{DurationDist, Exponential, SimRng, SimTime};
 use wormcast_stats::{BatchMeans, OnlineStats};
+use wormcast_telemetry::{Observe, TelemetryFrame};
 use wormcast_topology::{Mesh, NodeId, Topology};
 
 /// Configuration of one mixed-traffic simulation point.
@@ -102,11 +103,33 @@ pub fn run_mixed_traffic_from(
     mc: &MixedConfig,
     root: &SimRng,
 ) -> MixedOutcome {
+    run_mixed_traffic_observed(mesh, cfg, mc, root, None).0
+}
+
+/// [`run_mixed_traffic_from`] with optional telemetry collection.
+///
+/// With `observe = None` this is the exact unobserved code path. With
+/// `Some`, the attached sink decomposes engine phases across the whole
+/// mixed stream (unicasts included), and each completed broadcast
+/// operation's end-to-end latency is fed to the frame's `arrivals`
+/// histogram (in µs, matching the frame's unit convention).
+pub fn run_mixed_traffic_observed(
+    mesh: &Mesh,
+    cfg: NetworkConfig,
+    mc: &MixedConfig,
+    root: &SimRng,
+    observe: Option<Observe<'_>>,
+) -> (MixedOutcome, Option<TelemetryFrame>) {
     assert!(
         (0.0..=1.0).contains(&mc.broadcast_fraction),
         "broadcast fraction must be a probability"
     );
     let mut net = network_for(mc.algorithm, mesh.clone(), cfg);
+    let collector = observe.map(|o| {
+        let c = o.collector(mesh.num_channels(), mesh.num_nodes());
+        net.add_sink(c.sink());
+        c
+    });
     let adaptive_unicast = matches!(
         mc.algorithm.routing(),
         wormcast_broadcast::RoutingKind::WestFirstAdaptive
@@ -211,6 +234,9 @@ pub fn run_mixed_traffic_from(
                 if tracker.is_complete() {
                     let t0 = bcast_started[&d.op];
                     batch.push(d.delivered_at.since(t0).as_ms());
+                    if let Some(c) = &collector {
+                        c.record_arrival_us(d.delivered_at.since(t0).as_us());
+                    }
                     broadcasts_completed += 1;
                     trackers.remove(&d.op);
                     bcast_started.remove(&d.op);
@@ -242,7 +268,7 @@ pub fn run_mixed_traffic_from(
         }
     };
     let sim_ms = net.now().as_ms().max(1e-9);
-    MixedOutcome {
+    let outcome = MixedOutcome {
         load_per_node_per_ms: mc.load_per_node_per_ms,
         mean_latency_ms: mean,
         ci_half_width_ms: hw,
@@ -251,7 +277,12 @@ pub fn run_mixed_traffic_from(
         saturated,
         broadcasts_completed,
         unicasts_delivered,
-    }
+    };
+    let frame = collector.map(|c| {
+        drop(net);
+        c.finish()
+    });
+    (outcome, frame)
 }
 
 #[cfg(test)]

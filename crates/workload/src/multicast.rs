@@ -9,6 +9,7 @@ use wormcast_broadcast::{Algorithm, BroadcastSchedule};
 use wormcast_network::{NetworkConfig, OpId};
 use wormcast_sim::{SimRng, SimTime};
 use wormcast_stats::summarize;
+use wormcast_telemetry::{Observe, TelemetryFrame};
 use wormcast_topology::{Mesh, NodeId, Topology};
 
 /// Which multicast scheme to run.
@@ -78,6 +79,23 @@ pub fn run_single_multicast(
     dests: &[NodeId],
     length: u64,
 ) -> MulticastOutcome {
+    run_single_multicast_observed(mesh, cfg, scheme, source, dests, length, None).0
+}
+
+/// [`run_single_multicast`] with optional telemetry collection.
+///
+/// With `observe = None` this is the exact unobserved code path; with
+/// `Some`, the sink decomposes engine phases, and the driver feeds the
+/// per-destination arrival latencies and the operation's CV into the frame.
+pub fn run_single_multicast_observed(
+    mesh: &Mesh,
+    cfg: NetworkConfig,
+    scheme: MulticastScheme,
+    source: NodeId,
+    dests: &[NodeId],
+    length: u64,
+    observe: Option<Observe<'_>>,
+) -> (MulticastOutcome, Option<TelemetryFrame>) {
     let schedule = scheme.schedule(mesh, source, dests);
     let extra = wormcast_broadcast::validate_multicast(mesh, &schedule, dests)
         .expect("multicast schedule valid");
@@ -87,6 +105,11 @@ pub fn run_single_multicast(
         _ => Algorithm::Db,
     };
     let mut net = network_for(alg, mesh.clone(), cfg);
+    let collector = observe.map(|o| {
+        let c = o.collector(mesh.num_channels(), mesh.num_nodes());
+        net.add_sink(c.sink());
+        c
+    });
     let mut tracker = MulticastTracker::new(mesh, &schedule, dests, length);
     for spec in tracker.inner.start(SimTime::ZERO) {
         net.inject_at(SimTime::ZERO, spec);
@@ -102,14 +125,23 @@ pub fn run_single_multicast(
     }
     let lats = tracker.dest_latencies_us();
     let s = summarize(&lats);
-    MulticastOutcome {
+    let outcome = MulticastOutcome {
         scheme: scheme.name().to_string(),
         destinations: lats.len(),
         latency_us: s.max(),
         mean_latency_us: s.mean(),
         cv: s.cv(),
         overhead_copies: extra.len(),
-    }
+    };
+    let frame = collector.map(|c| {
+        for &l in &lats {
+            c.record_arrival_us(l);
+        }
+        c.record_op_cv(s.cv());
+        drop(net);
+        c.finish()
+    });
+    (outcome, frame)
 }
 
 /// Wraps [`BroadcastTracker`] with destination-subset completion tracking

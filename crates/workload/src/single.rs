@@ -9,6 +9,7 @@ use wormcast_network::{Network, NetworkConfig, OpId};
 use wormcast_routing::{DimensionOrdered, PlanarWestFirst, RoutingFunction, WestFirst};
 use wormcast_sim::SimTime;
 use wormcast_stats::{summarize, OnlineStats};
+use wormcast_telemetry::{Observe, TelemetryFrame};
 use wormcast_topology::{Mesh, NodeId, Topology};
 
 /// Measured outcome of one single-source broadcast.
@@ -62,9 +63,33 @@ pub fn run_single_broadcast(
     source: NodeId,
     length: u64,
 ) -> BroadcastOutcome {
+    run_single_broadcast_observed(mesh, cfg, alg, source, length, None).0
+}
+
+/// [`run_single_broadcast`] with optional telemetry collection.
+///
+/// With `observe = None` this is the exact code path of the unobserved run
+/// (no sink is attached, so the engine's event fan-out iterates an empty
+/// list); with `Some`, a `wormcast_telemetry::Collector` sink records
+/// per-phase latency histograms, the contention heatmap and the NDJSON
+/// event stream per the spec, and the driver-side per-destination arrival
+/// latencies plus the run's CV are fed into the returned frame.
+pub fn run_single_broadcast_observed(
+    mesh: &Mesh,
+    cfg: NetworkConfig,
+    alg: Algorithm,
+    source: NodeId,
+    length: u64,
+    observe: Option<Observe<'_>>,
+) -> (BroadcastOutcome, Option<TelemetryFrame>) {
     let schedule = alg.schedule(mesh, source);
     debug_assert!(schedule.validate(mesh, alg.ports()).is_ok());
     let mut net = network_for(alg, mesh.clone(), cfg);
+    let collector = observe.map(|o| {
+        let c = o.collector(mesh.num_channels(), mesh.num_nodes());
+        net.add_sink(c.sink());
+        c
+    });
     let mut tracker = BroadcastTracker::new(mesh, &schedule, OpId(0), length);
     for spec in tracker.start(SimTime::ZERO) {
         net.inject_at(SimTime::ZERO, spec);
@@ -80,14 +105,23 @@ pub fn run_single_broadcast(
     }
     let lats = tracker.latencies_us();
     let s = summarize(&lats);
-    BroadcastOutcome {
+    let outcome = BroadcastOutcome {
         algorithm: alg.name().to_string(),
         source,
         network_latency_us: tracker.network_latency_us(),
         mean_latency_us: s.mean(),
         sd_latency_us: s.std_dev(),
         cv: s.cv(),
-    }
+    };
+    let frame = collector.map(|c| {
+        for &l in &lats {
+            c.record_arrival_us(l);
+        }
+        c.record_op_cv(s.cv());
+        drop(net);
+        c.finish()
+    });
+    (outcome, frame)
 }
 
 /// Aggregate of repeated single-source broadcasts from uniformly random

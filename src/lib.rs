@@ -20,6 +20,7 @@
 //! | [`broadcast`] | `wormcast-broadcast` | RD, EDN, DB, AB schedules |
 //! | [`workload`] | `wormcast-workload` | broadcast executor, traffic generators |
 //! | [`stats`] | `wormcast-stats` | CV, batch means, confidence intervals |
+//! | [`telemetry`] | `wormcast-telemetry` | latency histograms, heatmaps, NDJSON events, provenance |
 //! | [`experiments`] | `wormcast-experiments` | the paper's figures and tables |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@ pub use wormcast_network as network;
 pub use wormcast_routing as routing;
 pub use wormcast_sim as sim;
 pub use wormcast_stats as stats;
+pub use wormcast_telemetry as telemetry;
 pub use wormcast_topology as topology;
 pub use wormcast_workload as workload;
 
@@ -58,6 +60,9 @@ pub mod prelude {
     pub use wormcast_routing::{dor_path, CodedPath, ControlField, Path, RoutingFunction};
     pub use wormcast_sim::{SimDuration, SimRng, SimTime};
     pub use wormcast_stats::{summarize, BatchMeans, OnlineStats};
+    pub use wormcast_telemetry::{
+        LatencyHistogram, Observe, RunManifest, TelemetryFrame, TelemetrySpec,
+    };
     pub use wormcast_topology::{Coord, Mesh, NodeId, Plane, Sign, Topology};
     pub use wormcast_workload::{
         random_destinations, run_averaged_broadcasts, run_contended_broadcasts, run_mixed_traffic,

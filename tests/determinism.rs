@@ -10,11 +10,21 @@
 //! strictest end-to-end form of that claim — it covers every field of
 //! every cell, including float formatting.
 
+use wormcast::experiments::telemetry::{events_ndjson, LabeledFrame, TelemetryReport};
 use wormcast::experiments::{fig1, fig2};
 use wormcast::prelude::*;
+use wormcast::telemetry::LatencyHistogram;
 
 fn to_json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("serialize cells")
+}
+
+/// The telemetry export with its only nondeterministic field (the
+/// manifest's wall-clock duration) zeroed, ready for byte comparison.
+fn telemetry_json(name: &str, frames: &[LabeledFrame]) -> String {
+    let mut manifest = wormcast::telemetry::RunManifest::new(name);
+    manifest.wall_ms = 0.0;
+    to_json(&TelemetryReport::new(manifest, frames))
 }
 
 #[test]
@@ -44,6 +54,132 @@ fn fig2_results_are_byte_identical_across_job_counts() {
     let sequential = to_json(&fig2::run(&params, &Runner::new(1)));
     let parallel = to_json(&fig2::run(&params, &Runner::new(4)));
     assert_eq!(sequential, parallel, "fig2 output depends on --jobs");
+}
+
+#[test]
+fn fig1_telemetry_is_byte_identical_across_job_counts() {
+    let params = fig1::Fig1Params {
+        sides: vec![4, 8],
+        length: 64,
+        startup_us: 1.5,
+        runs: 5,
+        seed: 2005,
+    };
+    let spec = TelemetrySpec::full();
+    let (cells_1, frames_1) = fig1::run_observed(&params, &Runner::new(1), Some(&spec));
+    let (cells_4, frames_4) = fig1::run_observed(&params, &Runner::new(4), Some(&spec));
+    // The result JSON stays byte-identical with telemetry enabled — the
+    // collector must never perturb the simulation it observes.
+    assert_eq!(to_json(&cells_1), to_json(&cells_4));
+    // The result JSON also matches an unobserved run bit for bit (zero-cost
+    // contract: attaching sinks changes nothing downstream).
+    assert_eq!(
+        to_json(&cells_1),
+        to_json(&fig1::run(&params, &Runner::new(2)))
+    );
+    // The telemetry export itself (histograms, heatmaps, merged in
+    // replication order) is byte-identical across job counts.
+    assert_eq!(
+        telemetry_json("fig1", &frames_1),
+        telemetry_json("fig1", &frames_4),
+        "fig1 telemetry depends on --jobs"
+    );
+    // And so is the concatenated NDJSON event stream.
+    let (nd_1, dropped_1) = events_ndjson(&frames_1);
+    let (nd_4, dropped_4) = events_ndjson(&frames_4);
+    assert_eq!(nd_1, nd_4, "fig1 event stream depends on --jobs");
+    assert_eq!(dropped_1, dropped_4);
+    assert!(!nd_1.is_empty(), "events were collected");
+}
+
+#[test]
+fn fig2_telemetry_is_byte_identical_across_job_counts() {
+    let params = fig2::Fig2Params {
+        shapes: vec![[4, 4, 4], [4, 4, 16]],
+        length: 64,
+        startup_us: 1.5,
+        runs: 6,
+        broadcast_rate_per_node_per_ms: 1.0,
+        seed: 2005,
+    };
+    let spec = TelemetrySpec::full();
+    let (cells_1, frames_1) = fig2::run_observed(&params, &Runner::new(1), Some(&spec));
+    let (cells_4, frames_4) = fig2::run_observed(&params, &Runner::new(4), Some(&spec));
+    assert_eq!(to_json(&cells_1), to_json(&cells_4));
+    assert_eq!(
+        to_json(&cells_1),
+        to_json(&fig2::run(&params, &Runner::new(2)))
+    );
+    assert_eq!(
+        telemetry_json("fig2", &frames_1),
+        telemetry_json("fig2", &frames_4),
+        "fig2 telemetry depends on --jobs"
+    );
+    let (nd_1, _) = events_ndjson(&frames_1);
+    let (nd_4, _) = events_ndjson(&frames_4);
+    assert_eq!(nd_1, nd_4, "fig2 event stream depends on --jobs");
+}
+
+#[test]
+fn histogram_merge_is_order_independent() {
+    // The fixed bucket layout and integer moments make merges exactly
+    // commutative and associative: any merge tree over the same set of
+    // per-replication histograms yields identical counts and moments.
+    let samples: Vec<u64> = (0..2000u64)
+        .map(|i| i.wrapping_mul(2654435761) % 1_000_000)
+        .collect();
+    let parts: Vec<LatencyHistogram> = samples
+        .chunks(137)
+        .map(|chunk| {
+            let mut h = LatencyHistogram::new();
+            for &s in chunk {
+                h.record_ps(s);
+            }
+            h
+        })
+        .collect();
+    let forward = {
+        let mut acc = LatencyHistogram::new();
+        for p in &parts {
+            acc.merge(p);
+        }
+        acc
+    };
+    let backward = {
+        let mut acc = LatencyHistogram::new();
+        for p in parts.iter().rev() {
+            acc.merge(p);
+        }
+        acc
+    };
+    let pairwise = {
+        // Balanced binary merge tree.
+        let mut layer = parts.clone();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| {
+                    let mut acc = pair[0].clone();
+                    if let Some(b) = pair.get(1) {
+                        acc.merge(b);
+                    }
+                    acc
+                })
+                .collect();
+        }
+        layer.pop().unwrap()
+    };
+    for other in [&backward, &pairwise] {
+        assert_eq!(to_json(&forward.export()), to_json(&other.export()));
+    }
+    let direct = {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record_ps(s);
+        }
+        h
+    };
+    assert_eq!(to_json(&forward.export()), to_json(&direct.export()));
 }
 
 #[test]

@@ -1,0 +1,105 @@
+//! Schema validation for the telemetry NDJSON event stream.
+//!
+//! Contract (documented in DESIGN.md §4.3): every line is a flat JSON
+//! object with keys in fixed order `t_ps, ev, rep, msg, node, ch, q,
+//! flits`; `t_ps` (integer picoseconds), `ev` (event-name string) and `rep`
+//! (integer replication stamp) are always present; timestamps are
+//! non-decreasing per `(rep, msg)` pair. [`validate_ndjson`] checks all of
+//! it, and `ci.sh` runs this suite against a stream freshly produced by the
+//! release `fig1` binary (path handed over via `WORMCAST_EVENTS_FILE`).
+
+use wormcast::experiments::fig1;
+use wormcast::experiments::telemetry::events_ndjson;
+use wormcast::prelude::*;
+use wormcast::telemetry::events::{parse_line, validate_ndjson, Scalar};
+
+fn small_fig1_events() -> String {
+    let params = fig1::Fig1Params {
+        sides: vec![4],
+        length: 32,
+        startup_us: 1.5,
+        runs: 3,
+        seed: 11,
+    };
+    let spec = TelemetrySpec::full();
+    let (_, frames) = fig1::run_observed(&params, &Runner::sequential(), Some(&spec));
+    let (ndjson, dropped) = events_ndjson(&frames);
+    assert_eq!(dropped, 0, "small run must fit the default budget");
+    ndjson
+}
+
+#[test]
+fn generated_stream_validates() {
+    let ndjson = small_fig1_events();
+    let stats = validate_ndjson(&ndjson).expect("stream validates");
+    assert!(stats.lines > 0, "stream is non-empty");
+    assert!(stats.messages > 0, "stream tracks messages");
+}
+
+#[test]
+fn every_line_is_flat_json_with_required_keys() {
+    let ndjson = small_fig1_events();
+    for line in ndjson.lines() {
+        let fields = parse_line(line).expect("line parses");
+        assert_eq!(fields[0].0, "t_ps", "t_ps leads every line");
+        assert_eq!(fields[1].0, "ev");
+        assert_eq!(fields[2].0, "rep");
+        assert!(matches!(fields[0].1, Scalar::U64(_)));
+        assert!(matches!(fields[1].1, Scalar::Str(_)));
+        assert!(matches!(fields[2].1, Scalar::U64(_)));
+    }
+}
+
+#[test]
+fn lifecycle_events_all_appear() {
+    let ndjson = small_fig1_events();
+    for ev in [
+        "inject",
+        "port_grant",
+        "startup_done",
+        "header",
+        "channel_grant",
+        "channel_release",
+        "deliver",
+        "complete",
+    ] {
+        assert!(
+            ndjson.contains(&format!("\"ev\":\"{ev}\"")),
+            "missing lifecycle event {ev}"
+        );
+    }
+}
+
+#[test]
+fn validator_rejects_malformed_streams() {
+    assert!(validate_ndjson("not json\n").is_err());
+    assert!(
+        validate_ndjson("{\"ev\":\"inject\",\"rep\":0}\n").is_err(),
+        "missing t_ps must be rejected"
+    );
+    let backwards = "{\"t_ps\":10,\"ev\":\"inject\",\"rep\":0,\"msg\":1}\n\
+                     {\"t_ps\":5,\"ev\":\"deliver\",\"rep\":0,\"msg\":1}\n";
+    assert!(
+        validate_ndjson(backwards).is_err(),
+        "non-monotone t_ps per (rep, msg) must be rejected"
+    );
+}
+
+/// ci.sh runs the release `fig1` binary with `--events`, then re-runs this
+/// test with `WORMCAST_EVENTS_FILE` pointing at the produced stream — the
+/// end-to-end check that the shipped binaries emit schema-valid NDJSON.
+#[test]
+fn external_events_file_validates_when_provided() {
+    let Ok(path) = std::env::var("WORMCAST_EVENTS_FILE") else {
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read WORMCAST_EVENTS_FILE={path}: {e}"));
+    let stats =
+        validate_ndjson(&text).unwrap_or_else(|e| panic!("{path} failed schema validation: {e}"));
+    assert!(stats.lines > 0, "{path} is empty");
+    println!(
+        "validated {}: {} lines, {} messages",
+        path, stats.lines, stats.messages
+    );
+}
