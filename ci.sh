@@ -49,4 +49,13 @@ echo "==> validating NDJSON event stream schema"
 WORMCAST_EVENTS_FILE="$TDIR/fig1.events.ndjson" \
     run cargo test "${OFFLINE[@]}" -q -p wormcast --test telemetry_schema
 
+# Engine bench smoke: run the engine micro-bench once, then check that both
+# the fresh report and the committed results/BENCH_engine.json parse and
+# still show the active-set engine ahead of the retired classic stepper.
+echo "==> engine bench smoke"
+CRITERION_OUT_JSON="$TDIR/BENCH_engine.json" \
+    run cargo bench "${OFFLINE[@]}" -p wormcast-bench --bench engine
+WORMCAST_BENCH_JSON="$TDIR/BENCH_engine.json" \
+    run cargo test "${OFFLINE[@]}" -q -p wormcast --test bench_report
+
 echo "ci: all gates passed"

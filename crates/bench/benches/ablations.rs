@@ -15,7 +15,7 @@ use wormcast_broadcast::Algorithm;
 use wormcast_network::OpId;
 use wormcast_network::{Network, NetworkConfig, ReleaseMode};
 use wormcast_routing::{OddEven, WestFirst};
-use wormcast_sim::{SimDuration, SimTime};
+use wormcast_sim::SimTime;
 use wormcast_topology::{Mesh, NodeId};
 use wormcast_workload::{run_mixed_traffic, run_single_broadcast, BroadcastTracker, MixedConfig};
 
@@ -25,7 +25,10 @@ fn ablate_startup(c: &mut Criterion) {
     group.sample_size(wormcast_bench::SAMPLE_SIZE);
     let mesh = Mesh::cube(8);
     for ts in [0.15, 1.5] {
-        let cfg = NetworkConfig::paper_default().with_startup(SimDuration::from_us(ts));
+        let cfg = NetworkConfig::builder()
+            .startup_us(ts)
+            .build()
+            .expect("swept start-up latencies are valid");
         let rd = run_single_broadcast(&mesh, cfg, Algorithm::Rd, NodeId(7), 100);
         let db = run_single_broadcast(&mesh, cfg, Algorithm::Db, NodeId(7), 100);
         println!(
@@ -70,7 +73,10 @@ fn ablate_rd_ports(c: &mut Criterion) {
     group.sample_size(wormcast_bench::SAMPLE_SIZE);
     let mesh = Mesh::cube(8);
     for ports in [1usize, 3] {
-        let cfg = NetworkConfig::paper_default().with_ports(ports);
+        let cfg = NetworkConfig::builder()
+            .ports(ports)
+            .build()
+            .expect("swept port counts are valid");
         // Run RD via the raw network so the port override sticks.
         let run = || {
             let schedule = Algorithm::Rd.schedule(&mesh, NodeId(7));
@@ -103,7 +109,10 @@ fn ablate_ab_turn_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_ab_turn_model");
     group.sample_size(wormcast_bench::SAMPLE_SIZE);
     let mesh = Mesh::square(16);
-    let cfg = NetworkConfig::paper_default().with_ports(Algorithm::Ab.ports());
+    let cfg = NetworkConfig::builder()
+        .ports(Algorithm::Ab.ports())
+        .build()
+        .expect("AB's port requirement is valid");
     for (name, rf) in [("west-first", true), ("odd-even", false)] {
         let run = || {
             let schedule = Algorithm::Ab.schedule(&mesh, NodeId(37));
@@ -142,7 +151,10 @@ fn ablate_release_mode(c: &mut Criterion) {
         ("path-holding", ReleaseMode::PathHolding),
         ("facility", ReleaseMode::AfterTailCrossing),
     ] {
-        let cfg = NetworkConfig::paper_default().with_release(mode);
+        let cfg = NetworkConfig::builder()
+            .release(mode)
+            .build()
+            .expect("both release modes are valid");
         let mut mc = MixedConfig::paper(Algorithm::Db, 5.0, 7);
         mc.batch_size = 5;
         mc.batches = 4;
@@ -163,7 +175,10 @@ fn ablate_traffic_pattern(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_traffic_pattern");
     group.sample_size(wormcast_bench::SAMPLE_SIZE);
     let mesh = Mesh::cube(8);
-    let cfg = NetworkConfig::paper_default().with_release(ReleaseMode::AfterTailCrossing);
+    let cfg = NetworkConfig::builder()
+        .release(ReleaseMode::AfterTailCrossing)
+        .build()
+        .expect("facility-queueing baseline is valid");
     for (name, pattern) in [
         ("uniform", DestPattern::Uniform),
         ("transpose", DestPattern::Transpose),

@@ -15,9 +15,11 @@ use wormcast_workload::{
 fn bench_torus(c: &mut Criterion) {
     let mut group = c.benchmark_group("ext_torus_vs_mesh");
     group.sample_size(wormcast_bench::SAMPLE_SIZE);
-    let cfg = NetworkConfig::paper_default()
-        .with_release(ReleaseMode::AfterTailCrossing)
-        .with_ports(6);
+    let cfg = NetworkConfig::builder()
+        .release(ReleaseMode::AfterTailCrossing)
+        .ports(6)
+        .build()
+        .expect("facility-queueing baseline is valid");
     for side in [4u16, 8] {
         let torus = Torus::kary_ncube(side, 3);
         let mesh = Mesh::cube(side);

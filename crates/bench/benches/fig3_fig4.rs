@@ -24,7 +24,10 @@ fn bench_sweep(c: &mut Criterion, name: &str, shape: [u16; 3]) {
     let mut group = c.benchmark_group(name);
     group.sample_size(wormcast_bench::SAMPLE_SIZE);
     let mesh = Mesh::new(&shape);
-    let cfg = NetworkConfig::paper_default().with_release(ReleaseMode::AfterTailCrossing);
+    let cfg = NetworkConfig::builder()
+        .release(ReleaseMode::AfterTailCrossing)
+        .build()
+        .expect("facility-queueing baseline is valid");
     for load in [0.5, 5.0] {
         println!(
             "--- {name} series at load {load} msg/ms/node ({}x{}x{}):",

@@ -1,7 +1,7 @@
 //! **Harness bench** — replication throughput of the parallel `Runner`.
 //!
 //! Runs the same reduced Fig. 1 sweep (8×8×8 mesh, the paper's 100-flit
-//! broadcasts) through `fig1::run` with a 1-worker runner and with one
+//! broadcasts) through `Fig1Params::run` with a 1-worker runner and with one
 //! runner per available core, so the reported element throughput is
 //! replications/second and the two groups give the end-to-end speedup of
 //! `--jobs N` over `--jobs 1` on this machine. Both runners fold in index
@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use wormcast_experiments::fig1::{self, Fig1Params};
+use wormcast_experiments::{fig1::Fig1Params, Experiment};
 use wormcast_workload::Runner;
 
 fn params() -> Fig1Params {
@@ -27,8 +27,8 @@ fn bench_harness(c: &mut Criterion) {
     // 4 algorithms x `runs` replications per invocation.
     let reps = 4 * p.runs as u64;
 
-    let a = fig1::run(&p, &single);
-    let b = fig1::run(&p, &auto);
+    let a = p.run(&single).cells;
+    let b = p.run(&auto).cells;
     let identical = a.len() == b.len()
         && a.iter().zip(&b).all(|(x, y)| {
             x.latency_us.to_bits() == y.latency_us.to_bits()
@@ -48,7 +48,7 @@ fn bench_harness(c: &mut Criterion) {
     for (label, jobs) in [("jobs1", 1usize), ("jobsN", 0)] {
         let runner = Runner::new(jobs);
         group.bench_with_input(BenchmarkId::new(label, runner.jobs()), &runner, |b, r| {
-            b.iter(|| black_box(fig1::run(black_box(&p), r)))
+            b.iter(|| black_box(black_box(&p).run(r).cells))
         });
     }
     group.finish();

@@ -7,6 +7,7 @@
 //! percentile of the network is reached. This is the "erratic variation of
 //! the message arrival times" of the paper's introduction, made visible.
 
+use crate::experiment::{Experiment, Observation, RunOutput};
 use crate::report::{f2, Table};
 use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
@@ -64,40 +65,64 @@ pub struct ArrivalProfile {
     pub sparkline: String,
 }
 
-/// Run one broadcast per algorithm (one harness task each, folded in
-/// algorithm order) and profile the arrivals.
-pub fn run(params: &ArrivalParams, runner: &Runner) -> Vec<ArrivalProfile> {
-    run_observed(params, runner, None).0
+impl Experiment for ArrivalParams {
+    type Cell = ArrivalProfile;
+
+    /// Run one broadcast per algorithm (one harness task each, folded in
+    /// algorithm order) and profile the arrivals.
+    ///
+    /// With telemetry, one frame per algorithm's single broadcast comes
+    /// back labelled with the algorithm's short name, in the same
+    /// (algorithm) order as the profiles. The algorithm's index stamps its
+    /// events' `rep` field.
+    fn run<'a>(&self, obs: impl Into<Observation<'a>>) -> RunOutput<ArrivalProfile> {
+        let obs = obs.into();
+        let (runner, telemetry) = (obs.runner(), obs.telemetry());
+        let mesh = Mesh::new(&self.shape);
+        let cfg = NetworkConfig::paper_default();
+        let source = NodeId(self.source % mesh.num_nodes() as u32);
+        let mut profiles = Vec::with_capacity(Algorithm::ALL.len());
+        let mut frames = Vec::new();
+        runner.run(
+            Algorithm::ALL.len(),
+            |i| {
+                let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
+                profile_one(&mesh, cfg, Algorithm::ALL[i], source, self, observe)
+            },
+            |i, (p, frame)| {
+                if let Some(frame) = frame {
+                    frames.push(LabeledFrame::new(Algorithm::ALL[i].name(), frame));
+                }
+                profiles.push(p);
+            },
+        );
+        RunOutput {
+            cells: profiles,
+            frames,
+        }
+    }
 }
 
-/// [`run`] with optional telemetry: one frame per algorithm's single
-/// broadcast, labelled with the algorithm's short name, in the same
-/// (algorithm) order as the profiles. The algorithm's index stamps its
-/// events' `rep` field.
+/// Run one broadcast per algorithm and profile the arrivals.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ArrivalParams::run` via the `Experiment` trait"
+)]
+pub fn run(params: &ArrivalParams, runner: &Runner) -> Vec<ArrivalProfile> {
+    Experiment::run(params, runner).cells
+}
+
+/// [`run`] with optional telemetry.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ArrivalParams::run` via the `Experiment` trait"
+)]
 pub fn run_observed(
     params: &ArrivalParams,
     runner: &Runner,
     telemetry: Option<&TelemetrySpec>,
 ) -> (Vec<ArrivalProfile>, Vec<LabeledFrame>) {
-    let mesh = Mesh::new(&params.shape);
-    let cfg = NetworkConfig::paper_default();
-    let source = NodeId(params.source % mesh.num_nodes() as u32);
-    let mut profiles = Vec::with_capacity(Algorithm::ALL.len());
-    let mut frames = Vec::new();
-    runner.run(
-        Algorithm::ALL.len(),
-        |i| {
-            let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
-            profile_one(&mesh, cfg, Algorithm::ALL[i], source, params, observe)
-        },
-        |i, (p, frame)| {
-            if let Some(frame) = frame {
-                frames.push(LabeledFrame::new(Algorithm::ALL[i].name(), frame));
-            }
-            profiles.push(p);
-        },
-    );
-    (profiles, frames)
+    Experiment::run(params, (runner, telemetry)).into_parts()
 }
 
 fn profile_one(
@@ -235,7 +260,7 @@ mod tests {
 
     #[test]
     fn profiles_are_ordered_and_complete() {
-        let profiles = run(&quick(), &Runner::sequential());
+        let profiles = quick().run(&Runner::sequential()).cells;
         assert_eq!(profiles.len(), 4);
         for p in &profiles {
             assert!(p.p50_us <= p.p95_us);
@@ -249,7 +274,7 @@ mod tests {
 
     #[test]
     fn ab_tail_is_tighter_than_rd() {
-        let profiles = run(&quick(), &Runner::sequential());
+        let profiles = quick().run(&Runner::sequential()).cells;
         let get = |name: &str| profiles.iter().find(|p| p.algorithm == name).unwrap();
         // The step structure bounds the spread: AB's worst arrival lands far
         // earlier than RD's.
@@ -258,7 +283,7 @@ mod tests {
 
     #[test]
     fn per_step_counts_match_step_structure() {
-        let profiles = run(&quick(), &Runner::sequential());
+        let profiles = quick().run(&Runner::sequential()).cells;
         let ab = profiles.iter().find(|p| p.algorithm == "AB").unwrap();
         assert!(ab.per_step.len() <= 3);
         let rd = profiles.iter().find(|p| p.algorithm == "RD").unwrap();
@@ -274,7 +299,7 @@ mod tests {
     #[test]
     fn tables_render() {
         let params = quick();
-        let profiles = run(&params, &Runner::sequential());
+        let profiles = params.run(&Runner::sequential()).cells;
         assert!(table(&profiles, &params).render().contains("AB"));
         assert!(step_table(&profiles).render().contains("s1"));
     }

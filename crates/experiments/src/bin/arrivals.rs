@@ -5,7 +5,7 @@
 //! Usage: `arrivals [--out DIR] [--length F] [--seed SRC] [--jobs N]
 //! [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{arrivals, telemetry, CommonOpts};
+use wormcast_experiments::{arrivals, telemetry, CommonOpts, Experiment};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -18,7 +18,8 @@ fn main() {
     }
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
-    let (profiles, frames) = arrivals::run_observed(&params, &opts.runner(), spec.as_ref());
+    let runner = opts.runner();
+    let (profiles, frames) = params.run((&runner, spec.as_ref())).into_parts();
     let wall = t0.elapsed();
     println!("{}", arrivals::table(&profiles, &params).render());
     println!("{}", arrivals::step_table(&profiles).render());

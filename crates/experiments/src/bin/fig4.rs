@@ -4,7 +4,7 @@
 //! Usage: `fig4 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]
 //! [--jobs N] [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{fig34, telemetry, CommonOpts};
+use wormcast_experiments::{fig34, telemetry, CommonOpts, Experiment};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -25,7 +25,8 @@ fn main() {
     }
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
-    let (cells, frames) = fig34::run_observed(&params, &opts.runner(), spec.as_ref());
+    let runner = opts.runner();
+    let (cells, frames) = params.run((&runner, spec.as_ref())).into_parts();
     let wall = t0.elapsed();
     println!("{}", fig34::table(&cells, &params, "Fig. 4").render());
     let bad = fig34::check_claims(&cells, &params);

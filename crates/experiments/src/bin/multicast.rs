@@ -4,7 +4,7 @@
 //! Usage: `multicast [--quick] [--out DIR] [--seed N] [--length F] [--jobs N]
 //! [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{multicast, telemetry, CommonOpts};
+use wormcast_experiments::{multicast, telemetry, CommonOpts, Experiment};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -21,7 +21,8 @@ fn main() {
     }
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
-    let (cells, frames) = multicast::run_observed(&params, &opts.runner(), spec.as_ref());
+    let runner = opts.runner();
+    let (cells, frames) = params.run((&runner, spec.as_ref())).into_parts();
     let wall = t0.elapsed();
     println!("{}", multicast::table(&cells, &params).render());
     let bad = multicast::check_claims(&cells);

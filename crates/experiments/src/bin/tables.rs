@@ -4,7 +4,7 @@
 //! Usage: `tables [--quick] [--out DIR] [--seed N] [--ts US] [--length F]
 //! [--jobs N] [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{fig2, telemetry, CommonOpts};
+use wormcast_experiments::{fig2, telemetry, CommonOpts, Experiment};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -23,7 +23,8 @@ fn main() {
     }
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
-    let (cells, frames) = fig2::run_observed(&params, &opts.runner(), spec.as_ref());
+    let runner = opts.runner();
+    let (cells, frames) = params.run((&runner, spec.as_ref())).into_parts();
     let wall = t0.elapsed();
     println!(
         "{}",

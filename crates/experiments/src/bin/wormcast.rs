@@ -19,7 +19,7 @@
 //! `--length`, `--ts` and `--seed`) with the engine's bounded trace enabled
 //! and writes the trace as NDJSON to PATH, then exits.
 
-use wormcast_experiments::{fig1, fig2, fig34, steps, telemetry, CommonOpts};
+use wormcast_experiments::{fig1, fig2, fig34, steps, telemetry, CommonOpts, Experiment};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -98,7 +98,7 @@ fn main() {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
-                let (cells, frames) = fig1::run_observed(&p, &runner, spec.as_ref());
+                let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
                 let wall = t0.elapsed();
                 println!("{}", fig1::table(&cells, &p).render());
                 report_claims(&fig1::check_claims(&cells));
@@ -132,7 +132,7 @@ fn main() {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
-                let (cells, frames) = fig2::run_observed(&p, &runner, spec.as_ref());
+                let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
                 let wall = t0.elapsed();
                 if sel == "fig2" {
                     println!("{}", fig2::fig2_table(&cells, &p).render());
@@ -181,7 +181,7 @@ fn main() {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
-                let (cells, frames) = fig34::run_observed(&p, &runner, spec.as_ref());
+                let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
                 let wall = t0.elapsed();
                 let caption = if sel == "fig3" { "Fig. 3" } else { "Fig. 4" };
                 println!("{}", fig34::table(&cells, &p, caption).render());
@@ -210,8 +210,7 @@ fn main() {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
-                let (profiles, frames) =
-                    wormcast_experiments::arrivals::run_observed(&p, &runner, spec.as_ref());
+                let (profiles, frames) = p.run((&runner, spec.as_ref())).into_parts();
                 let wall = t0.elapsed();
                 println!(
                     "{}",
@@ -240,8 +239,7 @@ fn main() {
                     p.seed = s;
                 }
                 let t0 = std::time::Instant::now();
-                let (cells, frames) =
-                    wormcast_experiments::multicast::run_observed(&p, &runner, spec.as_ref());
+                let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
                 let wall = t0.elapsed();
                 println!(
                     "{}",
@@ -276,15 +274,18 @@ fn main() {
 fn dump_trace(opts: &CommonOpts, path: &std::path::Path) {
     use wormcast_broadcast::Algorithm;
     use wormcast_network::{NetworkConfig, OpId};
-    use wormcast_sim::{SimDuration, SimTime};
+    use wormcast_sim::SimTime;
     use wormcast_topology::{Mesh, NodeId, Topology};
     use wormcast_workload::{network_for, BroadcastTracker};
 
     let mesh = Mesh::cube(8);
-    let mut cfg = NetworkConfig::paper_default();
+    let mut b = NetworkConfig::builder();
     if let Some(ts) = opts.startup_us {
-        cfg = cfg.with_startup(SimDuration::from_us(ts));
+        b = b.startup_us(ts);
     }
+    let cfg = b
+        .build()
+        .expect("--ts start-up latency must be a valid duration");
     let length = opts.length.unwrap_or(100);
     let source = NodeId((opts.seed.unwrap_or(0) % mesh.num_nodes() as u64) as u32);
     let alg = Algorithm::Db;

@@ -3,12 +3,12 @@
 //! start-up latency Ts = 1.5 µs (with the Ts = 0.15 µs variant of §3.1
 //! available as a parameter), network sizes 64–4096 nodes.
 
+use crate::experiment::{Experiment, Observation, RunOutput};
 use crate::report::{f2, Table};
 use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::NetworkConfig;
-use wormcast_sim::SimDuration;
 use wormcast_stats::OnlineStats;
 use wormcast_telemetry::{Observe, TelemetrySpec};
 use wormcast_topology::{Mesh, Topology};
@@ -57,97 +57,121 @@ pub struct Fig1Cell {
     pub mean_node_latency_us: f64,
 }
 
-/// Run the Fig. 1 experiment on `runner`'s workers.
-///
-/// The grid is flattened to replication granularity — every (side, alg, rep)
-/// triple is one independent harness task — so worker threads stay balanced
-/// even when the 4096-node cells dwarf the 64-node ones. Per-cell aggregates
-/// fold in replication order, so the result is bit-identical for any
-/// `--jobs` count.
-pub fn run(params: &Fig1Params, runner: &Runner) -> Vec<Fig1Cell> {
-    run_observed(params, runner, None).0
+impl Experiment for Fig1Params {
+    type Cell = Fig1Cell;
+
+    /// Run the Fig. 1 experiment.
+    ///
+    /// The grid is flattened to replication granularity — every (side, alg,
+    /// rep) triple is one independent harness task — so worker threads stay
+    /// balanced even when the 4096-node cells dwarf the 64-node ones.
+    /// Per-cell aggregates fold in replication order, so the result is
+    /// bit-identical for any `--jobs` count.
+    ///
+    /// With telemetry, every replication attaches a collector sink and the
+    /// per-cell frames (merged in replication order) come back labelled
+    /// `"<nodes>/<alg>"`, sorted by the same `(nodes, algorithm)` key as the
+    /// cells so frame *k* describes cell *k*. Events are stamped with the
+    /// global task index as `rep`, so `(rep, msg)` pairs are unique across
+    /// the whole export.
+    fn run<'a>(&self, obs: impl Into<Observation<'a>>) -> RunOutput<Fig1Cell> {
+        let obs = obs.into();
+        let (runner, telemetry) = (obs.runner(), obs.telemetry());
+        let cfg = NetworkConfig::builder()
+            .startup_us(self.startup_us)
+            .build()
+            .expect("Fig1Params start-up latency must be a valid duration");
+        // One replication spec per (side, alg) cell. Algorithms at the same
+        // size share a master seed, so replication r draws the same source
+        // for all four algorithms (common random numbers).
+        let plan: Vec<(u16, u64, BroadcastRep)> = self
+            .sides
+            .iter()
+            .flat_map(|&side| {
+                Algorithm::ALL.iter().map(move |&alg| {
+                    let spec = BroadcastRep {
+                        mesh: Mesh::cube(side),
+                        cfg,
+                        alg,
+                        length: self.length,
+                    };
+                    (side, self.seed ^ (side as u64) << 8, spec)
+                })
+            })
+            .collect();
+        let runs = self.runs.max(1);
+        let mut acc: Vec<(OnlineStats, OnlineStats)> = plan
+            .iter()
+            .map(|_| (OnlineStats::new(), OnlineStats::new()))
+            .collect();
+        let mut merges: Vec<TelemetryMerge> = plan.iter().map(|_| TelemetryMerge::new()).collect();
+        runner.run(
+            plan.len() * runs,
+            |i| {
+                let (_, master, spec) = &plan[i / runs];
+                let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
+                spec.replicate_observed(&mut RepContext::new(*master, i % runs), observe)
+            },
+            |i, (o, frame)| {
+                let (net, node) = &mut acc[i / runs];
+                net.push(o.network_latency_us);
+                node.push(o.mean_latency_us);
+                merges[i / runs].absorb(frame);
+            },
+        );
+        let mut rows: Vec<(Fig1Cell, TelemetryMerge)> = plan
+            .iter()
+            .zip(&acc)
+            .zip(merges)
+            .map(|(((side, _, spec), (net, node)), merge)| {
+                (
+                    Fig1Cell {
+                        nodes: spec.mesh.num_nodes(),
+                        side: *side,
+                        algorithm: spec.alg.name().to_string(),
+                        latency_us: net.mean(),
+                        mean_node_latency_us: node.mean(),
+                    },
+                    merge,
+                )
+            })
+            .collect();
+        rows.sort_by_key(|(c, _)| (c.nodes, c.algorithm.clone()));
+        let mut cells = Vec::with_capacity(rows.len());
+        let mut frames = Vec::new();
+        for (cell, merge) in rows {
+            if let Some(frame) = merge.finish() {
+                frames.push(LabeledFrame::new(
+                    format!("{}/{}", cell.nodes, cell.algorithm),
+                    frame,
+                ));
+            }
+            cells.push(cell);
+        }
+        RunOutput { cells, frames }
+    }
 }
 
-/// [`run`] with optional telemetry: when `telemetry` is `Some`, every
-/// replication attaches a collector sink and the per-cell frames (merged in
-/// replication order) come back labelled `"<nodes>/<alg>"`, sorted by the
-/// same `(nodes, algorithm)` key as the cells so frame *k* describes cell
-/// *k*. Events are stamped with the global task index as `rep`, so
-/// `(rep, msg)` pairs are unique across the whole export.
+/// Run the Fig. 1 experiment on `runner`'s workers.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Fig1Params::run` via the `Experiment` trait"
+)]
+pub fn run(params: &Fig1Params, runner: &Runner) -> Vec<Fig1Cell> {
+    Experiment::run(params, runner).cells
+}
+
+/// [`run`] with optional telemetry.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Fig1Params::run` via the `Experiment` trait"
+)]
 pub fn run_observed(
     params: &Fig1Params,
     runner: &Runner,
     telemetry: Option<&TelemetrySpec>,
 ) -> (Vec<Fig1Cell>, Vec<LabeledFrame>) {
-    let cfg = NetworkConfig::paper_default().with_startup(SimDuration::from_us(params.startup_us));
-    // One replication spec per (side, alg) cell. Algorithms at the same size
-    // share a master seed, so replication r draws the same source for all
-    // four algorithms (common random numbers).
-    let plan: Vec<(u16, u64, BroadcastRep)> = params
-        .sides
-        .iter()
-        .flat_map(|&side| {
-            Algorithm::ALL.iter().map(move |&alg| {
-                let spec = BroadcastRep {
-                    mesh: Mesh::cube(side),
-                    cfg,
-                    alg,
-                    length: params.length,
-                };
-                (side, params.seed ^ (side as u64) << 8, spec)
-            })
-        })
-        .collect();
-    let runs = params.runs.max(1);
-    let mut acc: Vec<(OnlineStats, OnlineStats)> = plan
-        .iter()
-        .map(|_| (OnlineStats::new(), OnlineStats::new()))
-        .collect();
-    let mut merges: Vec<TelemetryMerge> = plan.iter().map(|_| TelemetryMerge::new()).collect();
-    runner.run(
-        plan.len() * runs,
-        |i| {
-            let (_, master, spec) = &plan[i / runs];
-            let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
-            spec.replicate_observed(&mut RepContext::new(*master, i % runs), observe)
-        },
-        |i, (o, frame)| {
-            let (net, node) = &mut acc[i / runs];
-            net.push(o.network_latency_us);
-            node.push(o.mean_latency_us);
-            merges[i / runs].absorb(frame);
-        },
-    );
-    let mut rows: Vec<(Fig1Cell, TelemetryMerge)> = plan
-        .iter()
-        .zip(&acc)
-        .zip(merges)
-        .map(|(((side, _, spec), (net, node)), merge)| {
-            (
-                Fig1Cell {
-                    nodes: spec.mesh.num_nodes(),
-                    side: *side,
-                    algorithm: spec.alg.name().to_string(),
-                    latency_us: net.mean(),
-                    mean_node_latency_us: node.mean(),
-                },
-                merge,
-            )
-        })
-        .collect();
-    rows.sort_by_key(|(c, _)| (c.nodes, c.algorithm.clone()));
-    let mut cells = Vec::with_capacity(rows.len());
-    let mut frames = Vec::new();
-    for (cell, merge) in rows {
-        if let Some(frame) = merge.finish() {
-            frames.push(LabeledFrame::new(
-                format!("{}/{}", cell.nodes, cell.algorithm),
-                frame,
-            ));
-        }
-        cells.push(cell);
-    }
-    (cells, frames)
+    Experiment::run(params, (runner, telemetry)).into_parts()
 }
 
 /// Render the result in the paper's layout: one row per network size, one
@@ -256,7 +280,7 @@ mod tests {
     #[test]
     fn produces_full_grid() {
         let p = quick_params();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         assert_eq!(cells.len(), 2 * 4);
         for c in &cells {
             assert!(c.latency_us > 0.0);
@@ -267,7 +291,7 @@ mod tests {
     #[test]
     fn claims_hold_on_small_sizes() {
         let p = quick_params();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         let bad = check_claims(&cells);
         assert!(bad.is_empty(), "violated: {bad:?}");
     }
@@ -275,7 +299,7 @@ mod tests {
     #[test]
     fn table_has_row_per_size() {
         let p = quick_params();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         let t = table(&cells, &p);
         assert_eq!(t.rows.len(), 2);
         assert!(t.render().contains("64"));
@@ -285,9 +309,9 @@ mod tests {
     #[test]
     fn observed_run_matches_plain_run_and_labels_frames() {
         let p = quick_params();
-        let plain = run(&p, &Runner::sequential());
+        let plain = p.run(&Runner::sequential()).cells;
         let spec = TelemetrySpec::default();
-        let (cells, frames) = run_observed(&p, &Runner::sequential(), Some(&spec));
+        let (cells, frames) = p.run((&Runner::sequential(), &spec)).into_parts();
         assert_eq!(cells.len(), plain.len());
         for (a, b) in cells.iter().zip(&plain) {
             assert_eq!(a.latency_us.to_bits(), b.latency_us.to_bits());
@@ -307,8 +331,8 @@ mod tests {
     #[test]
     fn grid_is_job_count_invariant() {
         let p = quick_params();
-        let a = run(&p, &Runner::new(1));
-        let b = run(&p, &Runner::new(4));
+        let a = p.run(&Runner::new(1)).cells;
+        let b = p.run(&Runner::new(4)).cells;
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.algorithm, y.algorithm);

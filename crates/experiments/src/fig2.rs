@@ -16,12 +16,13 @@
 //! `broadcast_rate_per_node_per_ms` high for strong contention or low to
 //! approach the idle-network limit.
 
+use crate::experiment::{Experiment, Observation, RunOutput};
 use crate::report::{f2, f4, Table};
 use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::NetworkConfig;
-use wormcast_sim::{SimDuration, SimRng};
+use wormcast_sim::SimRng;
 use wormcast_telemetry::{Observe, TelemetryFrame, TelemetrySpec};
 use wormcast_topology::{Mesh, Topology};
 use wormcast_workload::{run_contended_broadcasts_observed, Runner};
@@ -70,82 +71,106 @@ pub struct Fig2Cell {
     pub cv: f64,
 }
 
-/// Run the Fig. 2 experiment on `runner`'s workers.
-///
-/// Each (shape, alg) cell is one steady-state simulation and therefore one
-/// harness task (the contended runs inside a cell overlap in one shared
-/// network and cannot be split). Algorithms at the same shape draw from the
-/// same replication stream, so all four see the same operation arrivals and
-/// sources (common random numbers). Cells fold in index order — the result
-/// is bit-identical for any `--jobs` count.
-pub fn run(params: &Fig2Params, runner: &Runner) -> Vec<Fig2Cell> {
-    run_observed(params, runner, None).0
+impl Experiment for Fig2Params {
+    type Cell = Fig2Cell;
+
+    /// Run the Fig. 2 experiment.
+    ///
+    /// Each (shape, alg) cell is one steady-state simulation and therefore
+    /// one harness task (the contended runs inside a cell overlap in one
+    /// shared network and cannot be split). Algorithms at the same shape
+    /// draw from the same replication stream, so all four see the same
+    /// operation arrivals and sources (common random numbers). Cells fold
+    /// in index order — the result is bit-identical for any `--jobs` count.
+    ///
+    /// With telemetry, each cell's single-simulation frame needs no merging
+    /// — it comes back labelled `"<W>x<H>x<D>/<alg>"`, sorted by the same
+    /// `(nodes, algorithm)` key as the cells. The cell's task index stamps
+    /// its events' `rep` field, and the frame's `op_cv` accumulator tracks
+    /// exactly the per-operation CVs the driver averages into
+    /// [`Fig2Cell::cv`].
+    fn run<'a>(&self, obs: impl Into<Observation<'a>>) -> RunOutput<Fig2Cell> {
+        let obs = obs.into();
+        let (runner, telemetry) = (obs.runner(), obs.telemetry());
+        let cfg = NetworkConfig::builder()
+            .startup_us(self.startup_us)
+            .build()
+            .expect("Fig2Params start-up latency must be a valid duration");
+        let plan: Vec<([u16; 3], Algorithm)> = self
+            .shapes
+            .iter()
+            .flat_map(|&shape| Algorithm::ALL.iter().map(move |&alg| (shape, alg)))
+            .collect();
+        let algs = Algorithm::ALL.len();
+        let mut rows: Vec<(Fig2Cell, Option<TelemetryFrame>)> = Vec::with_capacity(plan.len());
+        runner.run(
+            plan.len(),
+            |i| {
+                let (shape, alg) = plan[i];
+                let mesh = Mesh::new(&shape);
+                let root = SimRng::for_replication(self.seed, (i / algs) as u64);
+                let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
+                let (o, frame) = run_contended_broadcasts_observed(
+                    &mesh,
+                    cfg,
+                    alg,
+                    self.length,
+                    self.runs,
+                    self.broadcast_rate_per_node_per_ms,
+                    &root,
+                    observe,
+                );
+                (
+                    Fig2Cell {
+                        shape,
+                        nodes: mesh.num_nodes(),
+                        algorithm: alg.name().to_string(),
+                        cv: o.cv,
+                    },
+                    frame,
+                )
+            },
+            |_, row| rows.push(row),
+        );
+        rows.sort_by_key(|(c, _)| (c.nodes, c.algorithm.clone()));
+        let mut cells = Vec::with_capacity(rows.len());
+        let mut frames = Vec::new();
+        for (cell, frame) in rows {
+            if let Some(frame) = frame {
+                frames.push(LabeledFrame::new(
+                    format!(
+                        "{}x{}x{}/{}",
+                        cell.shape[0], cell.shape[1], cell.shape[2], cell.algorithm
+                    ),
+                    frame,
+                ));
+            }
+            cells.push(cell);
+        }
+        RunOutput { cells, frames }
+    }
 }
 
-/// [`run`] with optional telemetry: each (shape, alg) cell is one
-/// steady-state simulation, so its frame needs no merging — it comes back
-/// labelled `"<W>x<H>x<D>/<alg>"`, sorted by the same `(nodes, algorithm)`
-/// key as the cells. The cell's task index stamps its events' `rep` field,
-/// and the frame's `op_cv` accumulator tracks exactly the per-operation CVs
-/// the driver averages into [`Fig2Cell::cv`].
+/// Run the Fig. 2 experiment on `runner`'s workers.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Fig2Params::run` via the `Experiment` trait"
+)]
+pub fn run(params: &Fig2Params, runner: &Runner) -> Vec<Fig2Cell> {
+    Experiment::run(params, runner).cells
+}
+
+/// [`run`] with optional telemetry.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Fig2Params::run` via the `Experiment` trait"
+)]
 pub fn run_observed(
     params: &Fig2Params,
     runner: &Runner,
     telemetry: Option<&TelemetrySpec>,
 ) -> (Vec<Fig2Cell>, Vec<LabeledFrame>) {
-    let cfg = NetworkConfig::paper_default().with_startup(SimDuration::from_us(params.startup_us));
-    let plan: Vec<([u16; 3], Algorithm)> = params
-        .shapes
-        .iter()
-        .flat_map(|&shape| Algorithm::ALL.iter().map(move |&alg| (shape, alg)))
-        .collect();
-    let algs = Algorithm::ALL.len();
-    let mut rows: Vec<(Fig2Cell, Option<TelemetryFrame>)> = Vec::with_capacity(plan.len());
-    runner.run(
-        plan.len(),
-        |i| {
-            let (shape, alg) = plan[i];
-            let mesh = Mesh::new(&shape);
-            let root = SimRng::for_replication(params.seed, (i / algs) as u64);
-            let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
-            let (o, frame) = run_contended_broadcasts_observed(
-                &mesh,
-                cfg,
-                alg,
-                params.length,
-                params.runs,
-                params.broadcast_rate_per_node_per_ms,
-                &root,
-                observe,
-            );
-            (
-                Fig2Cell {
-                    shape,
-                    nodes: mesh.num_nodes(),
-                    algorithm: alg.name().to_string(),
-                    cv: o.cv,
-                },
-                frame,
-            )
-        },
-        |_, row| rows.push(row),
-    );
-    rows.sort_by_key(|(c, _)| (c.nodes, c.algorithm.clone()));
-    let mut cells = Vec::with_capacity(rows.len());
-    let mut frames = Vec::new();
-    for (cell, frame) in rows {
-        if let Some(frame) = frame {
-            frames.push(LabeledFrame::new(
-                format!(
-                    "{}x{}x{}/{}",
-                    cell.shape[0], cell.shape[1], cell.shape[2], cell.algorithm
-                ),
-                frame,
-            ));
-        }
-        cells.push(cell);
-    }
-    (cells, frames)
+    Experiment::run(params, (runner, telemetry)).into_parts()
 }
 
 fn get_cv(cells: &[Fig2Cell], nodes: usize, alg: &str) -> f64 {
@@ -264,7 +289,7 @@ mod tests {
         // at 64/256 nodes we check the unconditional part: AB lowest,
         // DB below EDN.
         let p = quick_params();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         assert_eq!(cells.len(), 8);
         for shape in &p.shapes {
             let nodes: usize = shape.iter().map(|&d| d as usize).product();
@@ -291,7 +316,7 @@ mod tests {
         // into the cell, so the means agree to floating-point tolerance.
         let p = quick_params();
         let spec = TelemetrySpec::default();
-        let (cells, frames) = run_observed(&p, &Runner::sequential(), Some(&spec));
+        let (cells, frames) = p.run((&Runner::sequential(), &spec)).into_parts();
         assert_eq!(frames.len(), cells.len());
         for (c, f) in cells.iter().zip(&frames) {
             assert_eq!(f.frame.op_cv.count, p.runs as u64);
@@ -309,7 +334,7 @@ mod tests {
     #[test]
     fn improvement_tables_render() {
         let p = quick_params();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         let t1 = improvement_table(&cells, &p, "DB");
         let t2 = improvement_table(&cells, &p, "AB");
         assert!(t1.render().contains("4x4x4"));
@@ -320,7 +345,7 @@ mod tests {
     #[test]
     fn ab_improvements_are_positive() {
         let p = quick_params();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         for shape in &p.shapes {
             let nodes: usize = shape.iter().map(|&d| d as usize).product();
             for other in ["RD", "EDN"] {

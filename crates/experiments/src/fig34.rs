@@ -11,12 +11,13 @@
 //! which places the sweep in the congestion region where the published
 //! curves visibly live. See EXPERIMENTS.md for the calibration evidence.
 
+use crate::experiment::{Experiment, Observation, RunOutput};
 use crate::report::Table;
 use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::{NetworkConfig, ReleaseMode};
-use wormcast_sim::{SimDuration, SimRng};
+use wormcast_sim::SimRng;
 use wormcast_telemetry::{Observe, TelemetryFrame, TelemetrySpec};
 use wormcast_topology::Mesh;
 use wormcast_workload::{run_mixed_traffic_observed, MixedConfig, MixedOutcome, Runner};
@@ -83,86 +84,108 @@ pub struct SweepCell {
     pub outcome: MixedOutcome,
 }
 
-/// Run a load sweep for all four algorithms on `runner`'s workers.
-///
-/// Each (alg, load) point is one steady-state simulation and therefore one
-/// harness task. Algorithms at the same load draw from the same replication
-/// stream (common random numbers across the four curves). Cells fold in
-/// index order — the result is bit-identical for any `--jobs` count.
-pub fn run(params: &LoadSweepParams, runner: &Runner) -> Vec<SweepCell> {
-    run_observed(params, runner, None).0
+impl Experiment for LoadSweepParams {
+    type Cell = SweepCell;
+
+    /// Run a load sweep for all four algorithms.
+    ///
+    /// Each (alg, load) point is one steady-state simulation and therefore
+    /// one harness task. Algorithms at the same load draw from the same
+    /// replication stream (common random numbers across the four curves).
+    /// Cells fold in index order — the result is bit-identical for any
+    /// `--jobs` count.
+    ///
+    /// With telemetry, each point's frame comes back labelled
+    /// `"<alg>@<load>"`, sorted by the same `(algorithm, load)` key as the
+    /// cells. The point's task index stamps its events' `rep` field.
+    fn run<'a>(&self, obs: impl Into<Observation<'a>>) -> RunOutput<SweepCell> {
+        let obs = obs.into();
+        let (runner, telemetry) = (obs.runner(), obs.telemetry());
+        let cfg = NetworkConfig::builder()
+            .startup_us(self.startup_us)
+            .release(self.release)
+            .build()
+            .expect("LoadSweepParams start-up latency must be a valid duration");
+        let plan: Vec<(Algorithm, usize, f64)> = Algorithm::ALL
+            .iter()
+            .flat_map(|&alg| {
+                self.loads
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, &load)| (alg, i, load))
+            })
+            .collect();
+        let mut rows: Vec<(SweepCell, Option<TelemetryFrame>)> = Vec::with_capacity(plan.len());
+        runner.run(
+            plan.len(),
+            |t| {
+                let (alg, i, load) = plan[t];
+                let mesh = Mesh::new(&self.shape);
+                let mc = MixedConfig {
+                    algorithm: alg,
+                    load_per_node_per_ms: load,
+                    broadcast_fraction: 0.1,
+                    length: self.length,
+                    batch_size: self.batch_size,
+                    batches: self.batches,
+                    seed: self.seed,
+                    max_sim_ms: self.max_sim_ms,
+                    max_arrivals: 150_000,
+                    pattern: wormcast_workload::DestPattern::Uniform,
+                };
+                let root = SimRng::for_replication(self.seed, i as u64);
+                let observe = telemetry.map(|spec| Observe::new(spec, t as u64));
+                let (outcome, frame) = run_mixed_traffic_observed(&mesh, cfg, &mc, &root, observe);
+                (
+                    SweepCell {
+                        algorithm: alg.name().to_string(),
+                        outcome,
+                    },
+                    frame,
+                )
+            },
+            |_, row| rows.push(row),
+        );
+        rows.sort_by(|(a, _), (b, _)| {
+            (a.algorithm.clone(), a.outcome.load_per_node_per_ms)
+                .partial_cmp(&(b.algorithm.clone(), b.outcome.load_per_node_per_ms))
+                .unwrap()
+        });
+        let mut cells = Vec::with_capacity(rows.len());
+        let mut frames = Vec::new();
+        for (cell, frame) in rows {
+            if let Some(frame) = frame {
+                frames.push(LabeledFrame::new(
+                    format!("{}@{}", cell.algorithm, cell.outcome.load_per_node_per_ms),
+                    frame,
+                ));
+            }
+            cells.push(cell);
+        }
+        RunOutput { cells, frames }
+    }
 }
 
-/// [`run`] with optional telemetry: each (alg, load) point is one
-/// steady-state simulation whose frame comes back labelled `"<alg>@<load>"`,
-/// sorted by the same `(algorithm, load)` key as the cells. The point's task
-/// index stamps its events' `rep` field.
+/// Run a load sweep for all four algorithms on `runner`'s workers.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `LoadSweepParams::run` via the `Experiment` trait"
+)]
+pub fn run(params: &LoadSweepParams, runner: &Runner) -> Vec<SweepCell> {
+    Experiment::run(params, runner).cells
+}
+
+/// [`run`] with optional telemetry.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `LoadSweepParams::run` via the `Experiment` trait"
+)]
 pub fn run_observed(
     params: &LoadSweepParams,
     runner: &Runner,
     telemetry: Option<&TelemetrySpec>,
 ) -> (Vec<SweepCell>, Vec<LabeledFrame>) {
-    let cfg = NetworkConfig::paper_default()
-        .with_startup(SimDuration::from_us(params.startup_us))
-        .with_release(params.release);
-    let plan: Vec<(Algorithm, usize, f64)> = Algorithm::ALL
-        .iter()
-        .flat_map(|&alg| {
-            params
-                .loads
-                .iter()
-                .enumerate()
-                .map(move |(i, &load)| (alg, i, load))
-        })
-        .collect();
-    let mut rows: Vec<(SweepCell, Option<TelemetryFrame>)> = Vec::with_capacity(plan.len());
-    runner.run(
-        plan.len(),
-        |t| {
-            let (alg, i, load) = plan[t];
-            let mesh = Mesh::new(&params.shape);
-            let mc = MixedConfig {
-                algorithm: alg,
-                load_per_node_per_ms: load,
-                broadcast_fraction: 0.1,
-                length: params.length,
-                batch_size: params.batch_size,
-                batches: params.batches,
-                seed: params.seed,
-                max_sim_ms: params.max_sim_ms,
-                max_arrivals: 150_000,
-                pattern: wormcast_workload::DestPattern::Uniform,
-            };
-            let root = SimRng::for_replication(params.seed, i as u64);
-            let observe = telemetry.map(|spec| Observe::new(spec, t as u64));
-            let (outcome, frame) = run_mixed_traffic_observed(&mesh, cfg, &mc, &root, observe);
-            (
-                SweepCell {
-                    algorithm: alg.name().to_string(),
-                    outcome,
-                },
-                frame,
-            )
-        },
-        |_, row| rows.push(row),
-    );
-    rows.sort_by(|(a, _), (b, _)| {
-        (a.algorithm.clone(), a.outcome.load_per_node_per_ms)
-            .partial_cmp(&(b.algorithm.clone(), b.outcome.load_per_node_per_ms))
-            .unwrap()
-    });
-    let mut cells = Vec::with_capacity(rows.len());
-    let mut frames = Vec::new();
-    for (cell, frame) in rows {
-        if let Some(frame) = frame {
-            frames.push(LabeledFrame::new(
-                format!("{}@{}", cell.algorithm, cell.outcome.load_per_node_per_ms),
-                frame,
-            ));
-        }
-        cells.push(cell);
-    }
-    (cells, frames)
+    Experiment::run(params, (runner, telemetry)).into_parts()
 }
 
 fn get<'a>(cells: &'a [SweepCell], alg: &str, load: f64) -> Option<&'a MixedOutcome> {
@@ -287,7 +310,7 @@ mod tests {
     #[test]
     fn sweep_produces_grid() {
         let p = quick_params();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         assert_eq!(cells.len(), 2 * 4);
         for c in &cells {
             assert!(c.outcome.mean_latency_ms.is_finite() || c.outcome.saturated);
@@ -297,7 +320,7 @@ mod tests {
     #[test]
     fn table_renders_all_loads() {
         let p = quick_params();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         let t = table(&cells, &p, "quick");
         assert_eq!(t.rows.len(), 2);
     }
@@ -305,7 +328,7 @@ mod tests {
     #[test]
     fn light_load_latencies_are_sane() {
         let p = quick_params();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         for alg in ["RD", "EDN", "DB", "AB"] {
             let o = get(&cells, alg, 0.5).unwrap();
             assert!(!o.saturated, "{alg} saturated at 0.5 on a 64-node mesh");

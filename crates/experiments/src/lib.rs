@@ -11,16 +11,22 @@
 //! | [`multicast`] | §4 future work | UM/CM/SP multicast density sweep |
 //! | [`arrivals`] | §3.2 widened | per-destination arrival percentiles & histograms |
 //!
-//! Each module exposes `run` (produce cells), `table` (render the paper's
-//! layout) and, where the paper makes qualitative claims, `check_claims`
-//! (verify the shape of the result programmatically). Binaries `fig1`,
-//! `fig2`, `fig3`, `fig4`, `steps` and the umbrella `wormcast` print the
-//! tables and optionally persist JSON via `--out DIR`.
+//! Each experiment's parameter struct implements the [`Experiment`] trait:
+//! `params.run(&runner)` produces the result cells, and
+//! `params.run((&runner, &telemetry_spec))` additionally collects telemetry
+//! frames (see [`Observation`] for the accepted shorthands). Modules also
+//! expose `table` (render the paper's layout) and, where the paper makes
+//! qualitative claims, `check_claims` (verify the shape of the result
+//! programmatically); the old free `run`/`run_observed` pairs remain as
+//! deprecated shims for one release. Binaries `fig1`, `fig2`, `fig3`,
+//! `fig4`, `steps` and the umbrella `wormcast` print the tables and
+//! optionally persist JSON via `--out DIR`.
 
 #![warn(missing_docs)]
 
 pub mod arrivals;
 pub mod cli;
+pub mod experiment;
 pub mod fig1;
 pub mod fig2;
 pub mod fig34;
@@ -30,5 +36,6 @@ pub mod steps;
 pub mod telemetry;
 
 pub use cli::CommonOpts;
+pub use experiment::{Experiment, Observation, RunOutput};
 pub use report::{write_json, Table};
 pub use telemetry::{LabeledFrame, TelemetryReport};

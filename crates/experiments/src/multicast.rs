@@ -6,6 +6,7 @@
 //! (unicast recursive doubling), CM (coded-path, DB-style backbone) and SP
 //! (single chained path), on an 8×8×8 mesh with 32-flit messages.
 
+use crate::experiment::{Experiment, Observation, RunOutput};
 use crate::report::{f2, f4, Table};
 use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
@@ -59,70 +60,91 @@ pub struct MulticastCell {
     pub overhead: f64,
 }
 
-/// Run the sweep on `runner`'s workers.
-///
-/// Flattened to replication granularity: every (scheme, set size, rep)
-/// triple is one harness task; per-cell streaming aggregates fold in
-/// replication order, so the result is bit-identical for any `--jobs`
-/// count. Schemes share per-rep seeds (common random sets and sources).
-pub fn run(params: &MulticastParams, runner: &Runner) -> Vec<MulticastCell> {
-    run_observed(params, runner, None).0
+impl Experiment for MulticastParams {
+    type Cell = MulticastCell;
+
+    /// Run the multicast density sweep.
+    ///
+    /// Flattened to replication granularity: every (scheme, set size, rep)
+    /// triple is one harness task; per-cell streaming aggregates fold in
+    /// replication order, so the result is bit-identical for any `--jobs`
+    /// count. Schemes share per-rep seeds (common random sets and sources).
+    ///
+    /// With telemetry, per-cell frames (merged in replication order) come
+    /// back labelled `"<scheme>/<set size>"`, in the same plan order as the
+    /// cells. Events are stamped with the global task index as `rep`.
+    fn run<'a>(&self, obs: impl Into<Observation<'a>>) -> RunOutput<MulticastCell> {
+        let obs = obs.into();
+        let (runner, telemetry) = (obs.runner(), obs.telemetry());
+        let mesh = Mesh::new(&self.shape);
+        let cfg = NetworkConfig::paper_default();
+        let plan: Vec<(MulticastScheme, usize)> = MulticastScheme::ALL
+            .iter()
+            .flat_map(|&scheme| self.set_sizes.iter().map(move |&m| (scheme, m)))
+            .collect();
+        let runs = self.runs.max(1);
+        let mut acc: Vec<(OnlineStats, OnlineStats, OnlineStats)> = plan
+            .iter()
+            .map(|_| (OnlineStats::new(), OnlineStats::new(), OnlineStats::new()))
+            .collect();
+        let mut merges: Vec<TelemetryMerge> = plan.iter().map(|_| TelemetryMerge::new()).collect();
+        runner.run(
+            plan.len() * runs,
+            |i| {
+                let (scheme, m) = plan[i / runs];
+                let r = i % runs;
+                let seed = self.seed ^ ((m as u64) << 24) ^ (r as u64);
+                let src = NodeId((seed % mesh.num_nodes() as u64) as u32);
+                let dests = random_destinations(&mesh, src, m, seed);
+                let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
+                run_single_multicast_observed(&mesh, cfg, scheme, src, &dests, self.length, observe)
+            },
+            |i, (o, frame)| {
+                let (lats, cvs, over) = &mut acc[i / runs];
+                lats.push(o.latency_us);
+                cvs.push(o.cv);
+                over.push(o.overhead_copies as f64);
+                merges[i / runs].absorb(frame);
+            },
+        );
+        let mut cells = Vec::with_capacity(plan.len());
+        let mut frames = Vec::new();
+        for ((&(scheme, m), (lats, cvs, over)), merge) in plan.iter().zip(&acc).zip(merges) {
+            if let Some(frame) = merge.finish() {
+                frames.push(LabeledFrame::new(format!("{}/{m}", scheme.name()), frame));
+            }
+            cells.push(MulticastCell {
+                scheme: scheme.name().to_string(),
+                set_size: m,
+                latency_us: lats.mean(),
+                cv: cvs.mean(),
+                overhead: over.mean(),
+            });
+        }
+        RunOutput { cells, frames }
+    }
 }
 
-/// [`run`] with optional telemetry: per-cell frames (merged in replication
-/// order) come back labelled `"<scheme>/<set size>"`, in the same plan order
-/// as the cells. Events are stamped with the global task index as `rep`.
+/// Run the sweep on `runner`'s workers.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `MulticastParams::run` via the `Experiment` trait"
+)]
+pub fn run(params: &MulticastParams, runner: &Runner) -> Vec<MulticastCell> {
+    Experiment::run(params, runner).cells
+}
+
+/// [`run`] with optional telemetry.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `MulticastParams::run` via the `Experiment` trait"
+)]
 pub fn run_observed(
     params: &MulticastParams,
     runner: &Runner,
     telemetry: Option<&TelemetrySpec>,
 ) -> (Vec<MulticastCell>, Vec<LabeledFrame>) {
-    let mesh = Mesh::new(&params.shape);
-    let cfg = NetworkConfig::paper_default();
-    let plan: Vec<(MulticastScheme, usize)> = MulticastScheme::ALL
-        .iter()
-        .flat_map(|&scheme| params.set_sizes.iter().map(move |&m| (scheme, m)))
-        .collect();
-    let runs = params.runs.max(1);
-    let mut acc: Vec<(OnlineStats, OnlineStats, OnlineStats)> = plan
-        .iter()
-        .map(|_| (OnlineStats::new(), OnlineStats::new(), OnlineStats::new()))
-        .collect();
-    let mut merges: Vec<TelemetryMerge> = plan.iter().map(|_| TelemetryMerge::new()).collect();
-    runner.run(
-        plan.len() * runs,
-        |i| {
-            let (scheme, m) = plan[i / runs];
-            let r = i % runs;
-            let seed = params.seed ^ ((m as u64) << 24) ^ (r as u64);
-            let src = NodeId((seed % mesh.num_nodes() as u64) as u32);
-            let dests = random_destinations(&mesh, src, m, seed);
-            let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
-            run_single_multicast_observed(&mesh, cfg, scheme, src, &dests, params.length, observe)
-        },
-        |i, (o, frame)| {
-            let (lats, cvs, over) = &mut acc[i / runs];
-            lats.push(o.latency_us);
-            cvs.push(o.cv);
-            over.push(o.overhead_copies as f64);
-            merges[i / runs].absorb(frame);
-        },
-    );
-    let mut cells = Vec::with_capacity(plan.len());
-    let mut frames = Vec::new();
-    for ((&(scheme, m), (lats, cvs, over)), merge) in plan.iter().zip(&acc).zip(merges) {
-        if let Some(frame) = merge.finish() {
-            frames.push(LabeledFrame::new(format!("{}/{m}", scheme.name()), frame));
-        }
-        cells.push(MulticastCell {
-            scheme: scheme.name().to_string(),
-            set_size: m,
-            latency_us: lats.mean(),
-            cv: cvs.mean(),
-            overhead: over.mean(),
-        });
-    }
-    (cells, frames)
+    Experiment::run(params, (runner, telemetry)).into_parts()
 }
 
 /// Render the sweep.
@@ -207,7 +229,7 @@ mod tests {
     #[test]
     fn sweep_covers_grid() {
         let p = quick();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         assert_eq!(cells.len(), 3 * 3);
         for c in &cells {
             assert!(c.latency_us > 0.0, "{} at {}", c.scheme, c.set_size);
@@ -217,7 +239,7 @@ mod tests {
     #[test]
     fn sp_grows_with_density() {
         let p = quick();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         let get = |m: usize| {
             cells
                 .iter()
@@ -231,7 +253,7 @@ mod tests {
     #[test]
     fn table_renders() {
         let p = quick();
-        let cells = run(&p, &Runner::sequential());
+        let cells = p.run(&Runner::sequential()).cells;
         let t = table(&cells, &p);
         assert_eq!(t.rows.len(), 3);
     }

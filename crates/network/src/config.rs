@@ -1,6 +1,9 @@
-//! Simulator configuration: the paper's hardware constants.
+//! Simulator configuration: the paper's hardware constants, and the
+//! validating builder that constructs configurations (and whole
+//! simulations) from them.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use wormcast_sim::SimDuration;
 
 /// When a message's channels are given back.
@@ -46,6 +49,29 @@ pub struct NetworkConfig {
 }
 
 impl NetworkConfig {
+    /// Start building a configuration from the paper's baseline constants.
+    /// Every setter overrides one knob; [`NetworkConfigBuilder::build`]
+    /// validates the combination instead of panicking deep inside the
+    /// engine, and [`NetworkConfigBuilder::mesh`] upgrades the builder into
+    /// a whole-simulation builder:
+    ///
+    /// ```
+    /// use wormcast_network::NetworkConfig;
+    /// # fn main() -> Result<(), wormcast_network::ConfigError> {
+    /// let sim = NetworkConfig::builder()
+    ///     .mesh(8, 8, 8)
+    ///     .startup_us(0.15)
+    ///     .flit_us(0.003)
+    ///     .build()?;
+    /// assert_eq!(sim.config().startup.as_us(), 0.15);
+    /// assert_eq!(sim.topology().dims(), &[8, 8, 8]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder() -> NetworkConfigBuilder {
+        NetworkConfigBuilder::default()
+    }
+
     /// The paper's baseline: Ts = 1.5 µs, β = 0.003 µs, one routing cycle per
     /// hop, and a generous 6-port (all-port, one per mesh direction in 3D)
     /// injection model.
@@ -109,6 +135,139 @@ impl NetworkConfig {
     }
 }
 
+/// Why a configuration (or simulation) could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A duration knob was negative, NaN, or infinite.
+    BadDuration {
+        /// Which knob (`"startup"`, `"flit_time"`, `"routing_delay"`).
+        field: &'static str,
+    },
+    /// The per-flit transmission time must be strictly positive: with
+    /// β = 0 every body drains instantly and the wormhole pipeline
+    /// degenerates.
+    ZeroFlitTime,
+    /// A node needs at least one injection port.
+    ZeroPorts,
+    /// Every mesh dimension must be at least 1.
+    EmptyMeshDimension,
+    /// The requested mesh exceeds the engine's u32 node-id space.
+    MeshTooLarge,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadDuration { field } => {
+                write!(f, "{field} must be a finite, non-negative time")
+            }
+            ConfigError::ZeroFlitTime => write!(f, "flit_time must be positive"),
+            ConfigError::ZeroPorts => write!(f, "a node needs at least one injection port"),
+            ConfigError::EmptyMeshDimension => {
+                write!(f, "every mesh dimension must be at least 1")
+            }
+            ConfigError::MeshTooLarge => write!(f, "mesh node count overflows u32 ids"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`NetworkConfig`], started by
+/// [`NetworkConfig::builder`]. Defaults to the paper's baseline constants;
+/// [`NetworkConfigBuilder::build`] checks the combination and returns a
+/// [`ConfigError`] instead of letting a bad value panic mid-simulation.
+/// [`NetworkConfigBuilder::mesh`] turns it into a
+/// [`SimulationBuilder`](crate::simulation::SimulationBuilder).
+#[derive(Debug, Clone)]
+pub struct NetworkConfigBuilder {
+    pub(crate) startup_us: f64,
+    pub(crate) flit_us: f64,
+    pub(crate) routing_delay_us: f64,
+    pub(crate) ports: usize,
+    pub(crate) release: ReleaseMode,
+    pub(crate) check_invariants: bool,
+}
+
+impl Default for NetworkConfigBuilder {
+    fn default() -> Self {
+        NetworkConfigBuilder {
+            startup_us: 1.5,
+            flit_us: 0.003,
+            routing_delay_us: 0.003,
+            ports: 6,
+            release: ReleaseMode::PathHolding,
+            check_invariants: false,
+        }
+    }
+}
+
+impl NetworkConfigBuilder {
+    /// Message start-up latency Ts in microseconds (paper: 1.5 or 0.15).
+    pub fn startup_us(mut self, us: f64) -> Self {
+        self.startup_us = us;
+        self
+    }
+
+    /// Per-flit channel transmission time β in microseconds (paper: 0.003).
+    pub fn flit_us(mut self, us: f64) -> Self {
+        self.flit_us = us;
+        self
+    }
+
+    /// Routing-decision delay per hop in microseconds.
+    pub fn routing_delay_us(mut self, us: f64) -> Self {
+        self.routing_delay_us = us;
+        self
+    }
+
+    /// Injection ports per node.
+    pub fn ports(mut self, ports: usize) -> Self {
+        self.ports = ports;
+        self
+    }
+
+    /// Channel-release discipline.
+    pub fn release(mut self, mode: ReleaseMode) -> Self {
+        self.release = mode;
+        self
+    }
+
+    /// Run engine invariant checks even in release builds.
+    pub fn invariant_checks(mut self, on: bool) -> Self {
+        self.check_invariants = on;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<NetworkConfig, ConfigError> {
+        fn duration(us: f64, field: &'static str) -> Result<SimDuration, ConfigError> {
+            if !us.is_finite() || us < 0.0 {
+                return Err(ConfigError::BadDuration { field });
+            }
+            Ok(SimDuration::from_us(us))
+        }
+        let startup = duration(self.startup_us, "startup")?;
+        let flit_time = duration(self.flit_us, "flit_time")?;
+        let routing_delay = duration(self.routing_delay_us, "routing_delay")?;
+        if flit_time == SimDuration::ZERO {
+            return Err(ConfigError::ZeroFlitTime);
+        }
+        if self.ports == 0 {
+            return Err(ConfigError::ZeroPorts);
+        }
+        Ok(NetworkConfig {
+            startup,
+            flit_time,
+            routing_delay,
+            inject_ports: self.ports,
+            release: self.release,
+            check_invariants: self.check_invariants,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +297,73 @@ mod tests {
     #[should_panic(expected = "at least one injection port")]
     fn zero_ports_rejected() {
         let _ = NetworkConfig::paper_default().with_ports(0);
+    }
+
+    #[test]
+    fn builder_defaults_match_paper_baseline() {
+        let b = NetworkConfig::builder().build().unwrap();
+        let p = NetworkConfig::paper_default();
+        assert_eq!(b.startup, p.startup);
+        assert_eq!(b.flit_time, p.flit_time);
+        assert_eq!(b.routing_delay, p.routing_delay);
+        assert_eq!(b.inject_ports, p.inject_ports);
+        assert_eq!(b.release, p.release);
+        assert_eq!(b.check_invariants, p.check_invariants);
+    }
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let c = NetworkConfig::builder()
+            .startup_us(0.15)
+            .flit_us(0.004)
+            .routing_delay_us(0.002)
+            .ports(2)
+            .release(ReleaseMode::AfterTailCrossing)
+            .invariant_checks(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.startup.as_ps(), 150_000);
+        assert_eq!(c.flit_time.as_ps(), 4_000);
+        assert_eq!(c.routing_delay.as_ps(), 2_000);
+        assert_eq!(c.inject_ports, 2);
+        assert_eq!(c.release, ReleaseMode::AfterTailCrossing);
+        assert!(c.check_invariants);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        assert_eq!(
+            NetworkConfig::builder().ports(0).build().unwrap_err(),
+            ConfigError::ZeroPorts
+        );
+        assert_eq!(
+            NetworkConfig::builder().flit_us(0.0).build().unwrap_err(),
+            ConfigError::ZeroFlitTime
+        );
+        assert_eq!(
+            NetworkConfig::builder()
+                .startup_us(-1.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadDuration { field: "startup" }
+        );
+        assert_eq!(
+            NetworkConfig::builder()
+                .flit_us(f64::NAN)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadDuration { field: "flit_time" }
+        );
+        assert_eq!(
+            NetworkConfig::builder()
+                .routing_delay_us(f64::INFINITY)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadDuration {
+                field: "routing_delay"
+            }
+        );
+        // Errors display something actionable.
+        assert!(ConfigError::ZeroPorts.to_string().contains("port"));
     }
 }

@@ -26,6 +26,27 @@
 //! take the first free candidate; if all candidates are busy they wait on
 //! the one with the shortest queue (ties broken in preference order). This
 //! is the standard "select function" formulation of turn-model adaptivity.
+//!
+//! ## Scheduling and data layout
+//!
+//! The hot path is organised around *active sets* so that one simulation
+//! step costs O(active work), independent of mesh size:
+//!
+//! * The future-event list is a [`CalendarWheel`] keyed by the event's
+//!   cycle, with the exact deterministic `(time, insertion-seq)` ordering
+//!   of the reference [`EventQueue`](wormcast_sim::EventQueue) — proven
+//!   equivalent by the differential tests against [`crate::classic`].
+//! * Message, channel, and port hot state live in struct-of-arrays arenas
+//!   indexed by stable integer ids; nothing is allocated per hop or per
+//!   cycle. The channels a message holds form an intrusive singly-linked
+//!   list threaded through the channel arena (a channel has at most one
+//!   holder, so one `next` slot per channel suffices), and each channel's
+//!   FIFO of blocked headers is threaded through the message arena the same
+//!   way.
+//! * Failed channels sit in a bitmap [`ActiveSet`], not a hash set.
+//!
+//! The pre-overhaul engine is retained as [`crate::classic`] for
+//! differential testing and benchmarking only.
 
 use crate::config::{NetworkConfig, ReleaseMode};
 use crate::message::{Delivery, MessageId, MessageSpec, Route};
@@ -33,59 +54,122 @@ use crate::metrics::{CountersSink, MetricsSink, TraceSink, UtilizationSink};
 use crate::trace::Trace;
 use std::collections::VecDeque;
 use wormcast_routing::{RoutingFunction, SimTopology};
-use wormcast_sim::{EventQueue, SimTime};
+use wormcast_sim::{ActiveSet, CalendarWheel, SimTime};
 use wormcast_topology::{ChannelId, Mesh, NodeId, Sign};
 
 pub use crate::metrics::Counters;
 
+/// Sentinel for "no id" in the intrusive arena links.
+const NONE: u32 = u32::MAX;
+
 #[derive(Debug)]
 enum Ev {
     /// Injection request reaches the source PE: contend for a port.
-    Arrive(MessageId),
+    Arrive(u32),
     /// Start-up latency has elapsed; the header takes its first hop.
-    StartupDone(MessageId),
-    /// Header finished crossing `crossing` and is at the next router.
-    Header(MessageId),
+    StartupDone(u32),
+    /// Header finished crossing its channel and is at the next router.
+    Header(u32),
     /// Body fully arrived at a receiver node.
-    Deliver(MessageId, NodeId),
+    Deliver(u32, NodeId),
     /// Tail arrived at the final destination: release the whole path.
-    Complete(MessageId),
+    Complete(u32),
     /// The tail has left the source PE: free one injection port.
     PortRelease(NodeId),
     /// The tail has drained across one channel (facility-queueing mode).
     ReleaseOne(ChannelId),
 }
 
-struct Chan {
-    busy: Option<MessageId>,
-    waiters: VecDeque<MessageId>,
-}
-
-struct Port {
-    free: usize,
-    waiters: VecDeque<MessageId>,
-}
-
-struct Msg {
-    spec: MessageSpec,
-    requested_at: SimTime,
+/// Struct-of-arrays message state, indexed by message id. The cold
+/// [`MessageSpec`] (route, payload description) stays one struct per
+/// message; everything the stepper touches per event is a flat column.
+#[derive(Default)]
+struct MsgArena {
+    spec: Vec<MessageSpec>,
+    requested_at: Vec<SimTime>,
     /// Node the header currently occupies.
-    cur: NodeId,
+    cur: Vec<NodeId>,
     /// Direction of the hop that brought the header to `cur`.
-    prev: Option<(usize, Sign)>,
-    /// Channels held, in acquisition order (path-holding mode only).
-    held: Vec<ChannelId>,
+    prev: Vec<Option<(usize, Sign)>>,
     /// Number of channels crossed so far.
-    hops_taken: u32,
+    hops_taken: Vec<u32>,
     /// Index of the next hop for fixed routes.
-    next_fixed: usize,
-    /// Channel the header is currently crossing.
-    crossing: Option<ChannelId>,
-    /// Channel whose queue the header is waiting in.
-    waiting_on: Option<ChannelId>,
-    /// Delivery mask for fixed routes, aligned with path nodes.
-    deliver_mask: Vec<bool>,
-    done: bool,
+    next_fixed: Vec<u32>,
+    /// Raw id of the channel the header is currently crossing, or `NONE`.
+    crossing: Vec<u32>,
+    /// Raw id of the channel whose queue the header waits in, or `NONE`.
+    waiting_on: Vec<u32>,
+    /// First / last channel of the held path (acquisition order), or
+    /// `NONE`; links live in [`ChanArena::held_next`].
+    held_head: Vec<u32>,
+    held_tail: Vec<u32>,
+    /// Next message in whatever FIFO (channel or port) this one waits in.
+    next_waiter: Vec<u32>,
+    done: Vec<bool>,
+}
+
+impl MsgArena {
+    fn push(&mut self, requested_at: SimTime, spec: MessageSpec) -> u32 {
+        let id = self.spec.len();
+        assert!(id < NONE as usize, "message arena exhausted");
+        self.spec.push(spec);
+        self.requested_at.push(requested_at);
+        self.cur.push(self.spec[id].src);
+        self.prev.push(None);
+        self.hops_taken.push(0);
+        self.next_fixed.push(0);
+        self.crossing.push(NONE);
+        self.waiting_on.push(NONE);
+        self.held_head.push(NONE);
+        self.held_tail.push(NONE);
+        self.next_waiter.push(NONE);
+        self.done.push(false);
+        id as u32
+    }
+}
+
+/// Struct-of-arrays channel state, indexed by [`ChannelId`].
+struct ChanArena {
+    /// Message holding the channel, or `NONE`.
+    busy: Vec<u32>,
+    /// FIFO of blocked headers: head/tail message ids, links in
+    /// [`MsgArena::next_waiter`].
+    waiter_head: Vec<u32>,
+    waiter_tail: Vec<u32>,
+    waiters_len: Vec<u32>,
+    /// Next channel in the *holder's* held-path list (a channel has at most
+    /// one holder, so the link can live here instead of in a per-message
+    /// `Vec`).
+    held_next: Vec<u32>,
+}
+
+impl ChanArena {
+    fn new(n: usize) -> Self {
+        ChanArena {
+            busy: vec![NONE; n],
+            waiter_head: vec![NONE; n],
+            waiter_tail: vec![NONE; n],
+            waiters_len: vec![0; n],
+            held_next: vec![NONE; n],
+        }
+    }
+}
+
+/// Struct-of-arrays injection-port state, indexed by [`NodeId`].
+struct PortArena {
+    free: Vec<u32>,
+    waiter_head: Vec<u32>,
+    waiter_tail: Vec<u32>,
+}
+
+impl PortArena {
+    fn new(n: usize, ports_per_node: usize) -> Self {
+        PortArena {
+            free: vec![ports_per_node as u32; n],
+            waiter_head: vec![NONE; n],
+            waiter_tail: vec![NONE; n],
+        }
+    }
 }
 
 /// A simulated wormhole-switched network over topology `T` (a mesh by
@@ -121,10 +205,10 @@ pub struct Network<T: SimTopology = Mesh> {
     topo: T,
     cfg: NetworkConfig,
     rf: Box<dyn RoutingFunction<T>>,
-    queue: EventQueue<Ev>,
-    msgs: Vec<Msg>,
-    channels: Vec<Chan>,
-    ports: Vec<Port>,
+    wheel: CalendarWheel<Ev>,
+    msgs: MsgArena,
+    chans: ChanArena,
+    ports: PortArena,
     outbox: VecDeque<Delivery>,
     /// Built-in observers (see [`crate::metrics`]): the engine emits events,
     /// these sinks aggregate them. Kept as concrete fields so the historical
@@ -135,40 +219,29 @@ pub struct Network<T: SimTopology = Mesh> {
     /// User-attached observers.
     extra_sinks: Vec<Box<dyn MetricsSink>>,
     /// Channels disabled by fault injection (never granted again).
-    failed: std::collections::HashSet<ChannelId>,
+    failed: ActiveSet,
 }
 
 impl<T: SimTopology> Network<T> {
     /// Create a network over `topo` with the given configuration and the
     /// routing function used by adaptive messages.
     pub fn new(topo: T, cfg: NetworkConfig, rf: Box<dyn RoutingFunction<T>>) -> Self {
-        let channels = (0..topo.num_channels())
-            .map(|_| Chan {
-                busy: None,
-                waiters: VecDeque::new(),
-            })
-            .collect();
-        let ports = (0..topo.num_nodes())
-            .map(|_| Port {
-                free: cfg.inject_ports,
-                waiters: VecDeque::new(),
-            })
-            .collect();
         let num_channels = topo.num_channels();
+        let num_nodes = topo.num_nodes();
         Network {
+            chans: ChanArena::new(num_channels),
+            ports: PortArena::new(num_nodes, cfg.inject_ports),
             topo,
             cfg,
             rf,
-            queue: EventQueue::new(),
-            msgs: Vec::new(),
-            channels,
-            ports,
+            wheel: CalendarWheel::new(),
+            msgs: MsgArena::default(),
             outbox: VecDeque::new(),
             sink_counters: CountersSink::default(),
             sink_util: UtilizationSink::new(num_channels),
             sink_trace: TraceSink::default(),
             extra_sinks: Vec::new(),
-            failed: std::collections::HashSet::new(),
+            failed: ActiveSet::new(num_channels),
         }
     }
 
@@ -210,15 +283,15 @@ impl<T: SimTopology> Network<T> {
     /// as fault-injection studies do at step boundaries).
     pub fn fail_channel(&mut self, ch: ChannelId) {
         assert!(
-            self.channels[ch.index()].busy.is_none(),
+            self.chans.busy[ch.index()] == NONE,
             "cannot fail an occupied channel"
         );
-        self.failed.insert(ch);
+        self.failed.insert(ch.index());
     }
 
     /// Whether a channel has been failed.
     pub fn is_failed(&self, ch: ChannelId) -> bool {
-        self.failed.contains(&ch)
+        self.failed.contains(ch.index())
     }
 
     /// The topology being simulated.
@@ -233,7 +306,7 @@ impl<T: SimTopology> Network<T> {
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.wheel.now()
     }
 
     /// Aggregate counters.
@@ -254,39 +327,31 @@ impl<T: SimTopology> Network<T> {
     /// self, or a fixed route that does not start at `spec.src`.
     pub fn inject_at(&mut self, at: SimTime, spec: MessageSpec) -> MessageId {
         assert!(spec.length > 0, "messages need at least one flit");
-        let deliver_mask = match &spec.route {
+        match &spec.route {
             Route::Fixed(cp) => {
                 assert_eq!(cp.src(), spec.src, "fixed route must start at src");
-                cp.deliver_mask().to_vec()
             }
             Route::Adaptive { dst } => {
                 assert_ne!(*dst, spec.src, "adaptive route to self");
-                Vec::new()
             }
-        };
-        let id = MessageId(self.msgs.len() as u64);
-        self.msgs.push(Msg {
-            cur: spec.src,
-            requested_at: at,
-            prev: None,
-            held: Vec::new(),
-            hops_taken: 0,
-            next_fixed: 0,
-            crossing: None,
-            waiting_on: None,
-            deliver_mask,
-            done: false,
-            spec,
-        });
-        let src = self.msgs[id.index()].spec.src;
-        self.emit(|s| s.on_inject(at, id, src));
-        self.queue.schedule(at, Ev::Arrive(id));
-        id
+        }
+        let src = spec.src;
+        let m = self.msgs.push(at, spec);
+        self.emit(|s| s.on_inject(at, MessageId(m as u64), src));
+        self.wheel.schedule(at, Ev::Arrive(m));
+        MessageId(m as u64)
     }
 
     /// Take all deliveries recorded so far.
     pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
         self.outbox.drain(..).collect()
+    }
+
+    /// Append all deliveries recorded so far to `out`, reusing the caller's
+    /// buffer — the allocation-free form of [`Network::drain_deliveries`]
+    /// for drivers that poll every step.
+    pub fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
+        out.extend(self.outbox.drain(..));
     }
 
     /// Process events until a delivery is produced or no events remain.
@@ -309,7 +374,7 @@ impl<T: SimTopology> Network<T> {
     /// Process events with timestamps ≤ `until` (useful for time-sliced
     /// workload drivers).
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
+        while let Some(t) = self.wheel.peek_time() {
             if t > until {
                 break;
             }
@@ -321,12 +386,12 @@ impl<T: SimTopology> Network<T> {
     /// inject externally generated arrivals before simulated time passes
     /// them.
     pub fn next_event_time(&mut self) -> Option<SimTime> {
-        self.queue.peek_time()
+        self.wheel.peek_time()
     }
 
     /// Process a single event. Returns false when no events remain.
     pub fn step(&mut self) -> bool {
-        let Some((now, ev)) = self.queue.pop() else {
+        let Some((now, ev)) = self.wheel.pop() else {
             return false;
         };
         match ev {
@@ -341,211 +406,297 @@ impl<T: SimTopology> Network<T> {
         true
     }
 
-    fn on_arrive(&mut self, now: SimTime, m: MessageId) {
-        let src = self.msgs[m.index()].spec.src;
-        let port = &mut self.ports[src.index()];
-        if port.free > 0 {
-            port.free -= 1;
-            let ts = if self.msgs[m.index()].spec.charge_startup {
-                self.cfg.startup
-            } else {
-                wormcast_sim::SimDuration::ZERO
-            };
-            self.emit(|s| s.on_port_grant(now, m, src));
-            self.queue.schedule(now + ts, Ev::StartupDone(m));
+    /// Append `m` to channel `ch`'s FIFO of blocked headers.
+    fn push_chan_waiter(&mut self, ch: usize, m: u32) {
+        self.msgs.next_waiter[m as usize] = NONE;
+        let tail = self.chans.waiter_tail[ch];
+        if tail == NONE {
+            self.chans.waiter_head[ch] = m;
         } else {
-            port.waiters.push_back(m);
+            self.msgs.next_waiter[tail as usize] = m;
+        }
+        self.chans.waiter_tail[ch] = m;
+        self.chans.waiters_len[ch] += 1;
+    }
+
+    /// Pop the head of channel `ch`'s FIFO, if any.
+    fn pop_chan_waiter(&mut self, ch: usize) -> Option<u32> {
+        let head = self.chans.waiter_head[ch];
+        if head == NONE {
+            return None;
+        }
+        let next = self.msgs.next_waiter[head as usize];
+        self.chans.waiter_head[ch] = next;
+        if next == NONE {
+            self.chans.waiter_tail[ch] = NONE;
+        }
+        self.chans.waiters_len[ch] -= 1;
+        Some(head)
+    }
+
+    /// Append `m` to node `node`'s injection-port FIFO.
+    fn push_port_waiter(&mut self, node: usize, m: u32) {
+        self.msgs.next_waiter[m as usize] = NONE;
+        let tail = self.ports.waiter_tail[node];
+        if tail == NONE {
+            self.ports.waiter_head[node] = m;
+        } else {
+            self.msgs.next_waiter[tail as usize] = m;
+        }
+        self.ports.waiter_tail[node] = m;
+    }
+
+    /// Pop the head of node `node`'s injection-port FIFO, if any.
+    fn pop_port_waiter(&mut self, node: usize) -> Option<u32> {
+        let head = self.ports.waiter_head[node];
+        if head == NONE {
+            return None;
+        }
+        let next = self.msgs.next_waiter[head as usize];
+        self.ports.waiter_head[node] = next;
+        if next == NONE {
+            self.ports.waiter_tail[node] = NONE;
+        }
+        Some(head)
+    }
+
+    /// Charge start-up latency (if the spec asks for it) and schedule the
+    /// first header hop.
+    fn start_after_grant(&mut self, now: SimTime, m: u32, node: NodeId) {
+        let ts = if self.msgs.spec[m as usize].charge_startup {
+            self.cfg.startup
+        } else {
+            wormcast_sim::SimDuration::ZERO
+        };
+        self.emit(|s| s.on_port_grant(now, MessageId(m as u64), node));
+        self.wheel.schedule(now + ts, Ev::StartupDone(m));
+    }
+
+    fn on_arrive(&mut self, now: SimTime, m: u32) {
+        let src = self.msgs.spec[m as usize].src;
+        if self.ports.free[src.index()] > 0 {
+            self.ports.free[src.index()] -= 1;
+            self.start_after_grant(now, m, src);
+        } else {
+            self.push_port_waiter(src.index(), m);
         }
     }
 
     fn on_port_release(&mut self, now: SimTime, node: NodeId) {
-        let port = &mut self.ports[node.index()];
-        if let Some(m) = port.waiters.pop_front() {
+        if let Some(m) = self.pop_port_waiter(node.index()) {
             // Port passes straight to the next waiter.
-            let ts = if self.msgs[m.index()].spec.charge_startup {
-                self.cfg.startup
-            } else {
-                wormcast_sim::SimDuration::ZERO
-            };
-            self.emit(|s| s.on_port_grant(now, m, node));
-            self.queue.schedule(now + ts, Ev::StartupDone(m));
+            self.start_after_grant(now, m, node);
         } else {
-            port.free += 1;
+            self.ports.free[node.index()] += 1;
         }
     }
 
-    fn on_startup_done(&mut self, now: SimTime, m: MessageId) {
-        let node = self.msgs[m.index()].cur;
-        self.emit(|s| s.on_startup_done(now, m, node));
+    fn on_startup_done(&mut self, now: SimTime, m: u32) {
+        let node = self.msgs.cur[m as usize];
+        self.emit(|s| s.on_startup_done(now, MessageId(m as u64), node));
         self.advance_header(now, m);
     }
 
-    fn on_header(&mut self, now: SimTime, m: MessageId) {
-        let msg = &mut self.msgs[m.index()];
-        let ch = msg
-            .crossing
-            .take()
-            .expect("Header event without a crossing channel");
+    fn on_header(&mut self, now: SimTime, m: u32) {
+        let i = m as usize;
+        let ch_raw = self.msgs.crossing[i];
+        debug_assert!(ch_raw != NONE, "Header event without a crossing channel");
+        self.msgs.crossing[i] = NONE;
+        let ch = ChannelId(ch_raw);
         let (from, to) = self.topo.channel_endpoints(ch);
-        debug_assert_eq!(from, msg.cur, "header crossed a channel it was not at");
+        debug_assert_eq!(
+            from, self.msgs.cur[i],
+            "header crossed a channel it was not at"
+        );
         let (dim, sign) = self.topo.hop_direction(ch);
-        msg.cur = to;
-        msg.prev = Some((dim, sign));
-        let first_hop = msg.hops_taken == 0;
-        msg.hops_taken += 1;
-        let body = self.cfg.body_time(msg.spec.length);
+        self.msgs.cur[i] = to;
+        self.msgs.prev[i] = Some((dim, sign));
+        let first_hop = self.msgs.hops_taken[i] == 0;
+        self.msgs.hops_taken[i] += 1;
+        let body = self.cfg.body_time(self.msgs.spec[i].length);
         match self.cfg.release {
-            ReleaseMode::PathHolding => msg.held.push(ch),
+            ReleaseMode::PathHolding => {
+                // Append to the held-path list in acquisition order.
+                let tail = self.msgs.held_tail[i];
+                if tail == NONE {
+                    self.msgs.held_head[i] = ch_raw;
+                } else {
+                    self.chans.held_next[tail as usize] = ch_raw;
+                }
+                self.msgs.held_tail[i] = ch_raw;
+                self.chans.held_next[ch.index()] = NONE;
+            }
             ReleaseMode::AfterTailCrossing => {
                 // The tail finishes crossing one body-time after the header;
                 // then the channel frees regardless of downstream progress
                 // (virtual cut-through buffering).
-                self.queue.schedule(now + body, Ev::ReleaseOne(ch));
+                self.wheel.schedule(now + body, Ev::ReleaseOne(ch));
             }
         }
         if first_hop {
             // Tail leaves the source one body-time after the header crossed
             // the first channel; free the injection port then.
-            let src = self.msgs[m.index()].spec.src;
-            self.queue.schedule(now + body, Ev::PortRelease(src));
+            let src = self.msgs.spec[i].src;
+            self.wheel.schedule(now + body, Ev::PortRelease(src));
         }
-        self.emit(|s| s.on_header_hop(now, m, to, ch));
+        self.emit(|s| s.on_header_hop(now, MessageId(m as u64), to, ch));
         self.advance_header(now, m);
     }
 
-    /// Header is settled at `msg.cur`: absorb if a receiver, complete if
-    /// final, otherwise contend for the next channel.
-    fn advance_header(&mut self, now: SimTime, m: MessageId) {
-        let body = self.cfg.body_time(self.msgs[m.index()].spec.length);
-        let (is_receiver, is_final) = {
-            let msg = &self.msgs[m.index()];
-            match &msg.spec.route {
-                Route::Fixed(cp) => {
-                    let idx = msg.next_fixed; // nodes visited == hops taken
-                    let fin = idx == cp.path.hops.len();
-                    (msg.deliver_mask[idx], fin)
-                }
-                Route::Adaptive { dst } => {
-                    let fin = msg.cur == *dst;
-                    (fin, fin)
-                }
+    /// Header is settled at the message's current node: absorb if a
+    /// receiver, complete if final, otherwise contend for the next channel.
+    fn advance_header(&mut self, now: SimTime, m: u32) {
+        let i = m as usize;
+        let body = self.cfg.body_time(self.msgs.spec[i].length);
+        let (is_receiver, is_final) = match &self.msgs.spec[i].route {
+            Route::Fixed(cp) => {
+                let idx = self.msgs.next_fixed[i] as usize; // nodes visited == hops taken
+                (cp.deliver_mask()[idx], idx == cp.path.hops.len())
+            }
+            Route::Adaptive { dst } => {
+                let fin = self.msgs.cur[i] == *dst;
+                (fin, fin)
             }
         };
         if is_receiver {
-            let node = self.msgs[m.index()].cur;
-            self.queue.schedule(now + body, Ev::Deliver(m, node));
+            let node = self.msgs.cur[i];
+            self.wheel.schedule(now + body, Ev::Deliver(m, node));
         }
         if is_final {
-            self.queue.schedule(now + body, Ev::Complete(m));
+            self.wheel.schedule(now + body, Ev::Complete(m));
             return;
         }
-        // Choose the next channel.
-        let next = {
-            let msg = &self.msgs[m.index()];
-            match &msg.spec.route {
-                Route::Fixed(cp) => vec![cp.path.hops[msg.next_fixed]],
-                Route::Adaptive { dst } => {
-                    let cands =
-                        self.rf
-                            .candidates(&self.topo, msg.spec.src, msg.cur, msg.prev, *dst);
-                    assert!(
-                        !cands.is_empty(),
-                        "routing function dead-ended at {} toward {}",
-                        msg.cur,
-                        dst
-                    );
-                    cands
-                }
+        // Choose the next channel. Fixed routes have exactly one candidate,
+        // read straight off the coded path — no per-hop allocation.
+        if let Route::Fixed(cp) = &self.msgs.spec[i].route {
+            let ch = cp.path.hops[self.msgs.next_fixed[i] as usize];
+            if !self.failed.contains(ch.index()) && self.chans.busy[ch.index()] == NONE {
+                self.grant(now, m, ch);
+            } else {
+                self.wait_on(now, m, ch);
             }
+            return;
+        }
+        let Route::Adaptive { dst } = self.msgs.spec[i].route else {
+            unreachable!("fixed handled above");
         };
-        // Fault injection: adaptive messages route around failed channels
-        // when a live candidate exists; otherwise (and for fixed paths
-        // crossing a failed link) the message stalls on a dead channel.
-        let live: Vec<ChannelId> = next
+        let cands = self.rf.candidates(
+            &self.topo,
+            self.msgs.spec[i].src,
+            self.msgs.cur[i],
+            self.msgs.prev[i],
+            dst,
+        );
+        assert!(
+            !cands.is_empty(),
+            "routing function dead-ended at {} toward {}",
+            self.msgs.cur[i],
+            dst
+        );
+        // First free live candidate wins (preference order).
+        if let Some(&ch) = cands
             .iter()
-            .copied()
-            .filter(|c| !self.failed.contains(c))
-            .collect();
-        let pick_from: &[ChannelId] = if live.is_empty() { &next } else { &live };
-        // First free candidate wins.
-        if let Some(&ch) = pick_from
-            .iter()
-            .find(|&&c| self.channels[c.index()].busy.is_none() && !self.failed.contains(&c))
+            .find(|&&c| !self.failed.contains(c.index()) && self.chans.busy[c.index()] == NONE)
         {
             self.grant(now, m, ch);
             return;
         }
         // All busy (or failed): wait on the candidate with the shortest
-        // queue.
-        let &wait_ch = pick_from
-            .iter()
-            .min_by_key(|&&c| self.channels[c.index()].waiters.len())
-            .expect("candidates nonempty");
-        self.channels[wait_ch.index()].waiters.push_back(m);
-        self.msgs[m.index()].waiting_on = Some(wait_ch);
-        let queue_len = self.channels[wait_ch.index()].waiters.len();
-        self.emit(|s| s.on_channel_wait(now, m, wait_ch, queue_len));
+        // queue, considering only live candidates when any survive (fault
+        // routing); with no live alternative the message stalls on a dead
+        // link. First minimal wins, preserving preference-order ties.
+        let any_live = cands.iter().any(|c| !self.failed.contains(c.index()));
+        let mut wait_ch = None;
+        let mut best_len = u32::MAX;
+        for &c in &cands {
+            if any_live && self.failed.contains(c.index()) {
+                continue;
+            }
+            let len = self.chans.waiters_len[c.index()];
+            if len < best_len {
+                best_len = len;
+                wait_ch = Some(c);
+            }
+        }
+        self.wait_on(now, m, wait_ch.expect("candidates nonempty"));
+    }
+
+    /// Queue `m` on busy (or dead) channel `ch`.
+    fn wait_on(&mut self, now: SimTime, m: u32, ch: ChannelId) {
+        self.push_chan_waiter(ch.index(), m);
+        self.msgs.waiting_on[m as usize] = ch.0;
+        let queue_len = self.chans.waiters_len[ch.index()] as usize;
+        self.emit(|s| s.on_channel_wait(now, MessageId(m as u64), ch, queue_len));
     }
 
     /// Give channel `ch` to message `m` and start the crossing.
-    fn grant(&mut self, now: SimTime, m: MessageId, ch: ChannelId) {
-        let chan = &mut self.channels[ch.index()];
-        debug_assert!(chan.busy.is_none(), "granting a busy channel");
-        chan.busy = Some(m);
-        let msg = &mut self.msgs[m.index()];
-        msg.crossing = Some(ch);
-        msg.waiting_on = None;
-        if matches!(msg.spec.route, Route::Fixed(_)) {
-            msg.next_fixed += 1;
+    fn grant(&mut self, now: SimTime, m: u32, ch: ChannelId) {
+        let i = m as usize;
+        debug_assert!(
+            self.chans.busy[ch.index()] == NONE,
+            "granting a busy channel"
+        );
+        self.chans.busy[ch.index()] = m;
+        self.msgs.crossing[i] = ch.0;
+        self.msgs.waiting_on[i] = NONE;
+        if matches!(self.msgs.spec[i].route, Route::Fixed(_)) {
+            self.msgs.next_fixed[i] += 1;
         }
-        self.emit(|s| s.on_channel_grant(now, m, ch));
-        self.queue
+        self.emit(|s| s.on_channel_grant(now, MessageId(m as u64), ch));
+        self.wheel
             .schedule(now + self.cfg.hop_time(), Ev::Header(m));
     }
 
-    fn on_deliver(&mut self, now: SimTime, m: MessageId, node: NodeId) {
-        let flits = self.msgs[m.index()].spec.length;
-        self.emit(|s| s.on_deliver(now, m, node, flits));
-        let msg = &self.msgs[m.index()];
+    fn on_deliver(&mut self, now: SimTime, m: u32, node: NodeId) {
+        let i = m as usize;
+        let flits = self.msgs.spec[i].length;
+        self.emit(|s| s.on_deliver(now, MessageId(m as u64), node, flits));
         self.outbox.push_back(Delivery {
-            message: m,
-            op: msg.spec.op,
-            tag: msg.spec.tag,
+            message: MessageId(m as u64),
+            op: self.msgs.spec[i].op,
+            tag: self.msgs.spec[i].tag,
             node,
-            src: msg.spec.src,
-            requested_at: msg.requested_at,
+            src: self.msgs.spec[i].src,
+            requested_at: self.msgs.requested_at[i],
             delivered_at: now,
         });
     }
 
-    fn on_complete(&mut self, now: SimTime, m: MessageId) {
-        let held = std::mem::take(&mut self.msgs[m.index()].held);
+    fn on_complete(&mut self, now: SimTime, m: u32) {
+        let i = m as usize;
+        let mut ch = self.msgs.held_head[i];
+        self.msgs.held_head[i] = NONE;
+        self.msgs.held_tail[i] = NONE;
         if self.cfg.release == ReleaseMode::PathHolding {
             // Zero-hop routes are rejected at construction, so a completing
             // message always holds at least its first channel here.
             assert!(
-                !held.is_empty(),
+                ch != NONE,
                 "message completed without traversing any channel"
             );
         }
-        for ch in held {
-            self.release(now, ch);
+        // Release the path in acquisition order. Read each link before
+        // releasing: a release may grant the channel onward, and the new
+        // holder will relink `held_next` when its header crosses.
+        while ch != NONE {
+            let next = self.chans.held_next[ch as usize];
+            self.release(now, ChannelId(ch));
+            ch = next;
         }
-        let msg = &mut self.msgs[m.index()];
-        msg.done = true;
-        let node = msg.cur;
-        self.emit(|s| s.on_complete(now, m, node));
+        self.msgs.done[i] = true;
+        let node = self.msgs.cur[i];
+        self.emit(|s| s.on_complete(now, MessageId(m as u64), node));
     }
 
     /// Release a channel and hand it to the first waiter, if any.
     fn release(&mut self, now: SimTime, ch: ChannelId) {
-        self.channels[ch.index()].busy = None;
+        self.chans.busy[ch.index()] = NONE;
         self.emit(|s| s.on_channel_release(now, ch));
-        if self.failed.contains(&ch) {
+        if self.failed.contains(ch.index()) {
             // A channel failed while draining stays dead: waiters stall.
             return;
         }
-        if let Some(m) = self.channels[ch.index()].waiters.pop_front() {
+        if let Some(m) = self.pop_chan_waiter(ch.index()) {
             self.grant(now, m, ch);
         }
     }
@@ -559,7 +710,7 @@ impl<T: SimTopology> Network<T> {
 
     /// Current queue length per channel (headers waiting).
     pub fn channel_queue_lengths(&self) -> Vec<usize> {
-        self.channels.iter().map(|c| c.waiters.len()).collect()
+        self.chans.waiters_len.iter().map(|&l| l as usize).collect()
     }
 
     /// Sanity probe for tests: no channel is held by a completed message and
@@ -577,19 +728,21 @@ impl<T: SimTopology> Network<T> {
 
     /// [`Network::check_invariants`], unconditionally.
     pub fn force_check_invariants(&self) {
-        for (i, chan) in self.channels.iter().enumerate() {
-            if let Some(m) = chan.busy {
+        for i in 0..self.chans.busy.len() {
+            let holder = self.chans.busy[i];
+            if holder != NONE {
                 assert!(
-                    !self.msgs[m.index()].done,
+                    !self.msgs.done[holder as usize],
                     "channel c{i} held by completed message"
                 );
             }
-            for &w in &chan.waiters {
+            let mut w = self.chans.waiter_head[i];
+            while w != NONE {
                 assert_eq!(
-                    self.msgs[w.index()].waiting_on,
-                    Some(ChannelId(i as u32)),
+                    self.msgs.waiting_on[w as usize], i as u32,
                     "waiter/channel bookkeeping mismatch"
                 );
+                w = self.msgs.next_waiter[w as usize];
             }
         }
     }

@@ -8,16 +8,20 @@
 
 #![warn(missing_docs)]
 
+#[doc(hidden)]
+pub mod classic;
 pub mod config;
 pub mod engine;
 pub mod message;
 pub mod metrics;
+pub mod simulation;
 pub mod trace;
 
-pub use config::{NetworkConfig, ReleaseMode};
+pub use config::{ConfigError, NetworkConfig, NetworkConfigBuilder, ReleaseMode};
 pub use engine::Network;
 pub use message::{Delivery, MessageId, MessageSpec, OpId, Route};
 pub use metrics::{Counters, CountersSink, MetricsSink, TraceSink, UtilizationSink};
+pub use simulation::{Simulation, SimulationBuilder};
 pub use trace::{Trace, TraceKind, TraceRecord};
 
 #[cfg(test)]

@@ -7,6 +7,11 @@
 //! * [`time`] — integer-picosecond simulated time ([`SimTime`], [`SimDuration`]);
 //! * [`queue`] — the future-event list ([`EventQueue`]) with deterministic
 //!   FIFO tie-breaking, so runs are bit-reproducible;
+//! * [`wheel`] — the calendar wheel ([`CalendarWheel`]): the same
+//!   deterministic ordering at O(1) amortized cost, used by the network
+//!   engine's hot path (no cancellation);
+//! * [`active_set`] — bitmap index sets ([`ActiveSet`]) for dense id
+//!   worklists;
 //! * [`rng`] — seeded, labelled random substreams ([`SimRng`]);
 //! * [`dist`] — the sampling distributions the workloads need.
 //!
@@ -31,14 +36,18 @@
 
 #![warn(missing_docs)]
 
+pub mod active_set;
 pub mod dist;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
+pub use active_set::ActiveSet;
 pub use dist::{
     BimodalLength, ChoiceLength, DurationDist, Exponential, Fixed, FixedLength, LengthDist,
 };
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime, PS_PER_MS, PS_PER_US};
+pub use wheel::CalendarWheel;

@@ -131,6 +131,8 @@ pub fn run_contended_broadcasts_observed(
     let mut maxes = Vec::new();
     let mut next_launch = SimTime::ZERO;
     let mut launched: u64 = 0;
+    // Reused delivery buffer: drained into, never reallocated per step.
+    let mut deliveries: Vec<wormcast_network::Delivery> = Vec::new();
     // Launch enough operations that `runs` of them complete under load;
     // trailing operations keep the network busy while the measured ones
     // finish.
@@ -157,9 +159,11 @@ pub fn run_contended_broadcasts_observed(
             );
             break;
         }
-        for d in net.drain_deliveries() {
+        deliveries.clear();
+        net.drain_deliveries_into(&mut deliveries);
+        for d in &deliveries {
             if let Some(tracker) = trackers.get_mut(&d.op) {
-                for spec in tracker.on_delivery(&d) {
+                for spec in tracker.on_delivery(d) {
                     net.inject_at(d.delivered_at, spec);
                 }
                 if tracker.is_complete() {

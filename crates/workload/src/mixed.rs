@@ -13,7 +13,7 @@ use crate::single::network_for;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use wormcast_broadcast::Algorithm;
-use wormcast_network::{MessageSpec, Network, NetworkConfig, OpId, Route};
+use wormcast_network::{MessageSpec, NetworkConfig, OpId, Route, Simulation};
 use wormcast_routing::{dor_path, CodedPath};
 use wormcast_sim::{DurationDist, Exponential, SimRng, SimTime};
 use wormcast_stats::{BatchMeans, OnlineStats};
@@ -154,8 +154,11 @@ pub fn run_mixed_traffic_observed(
     let horizon = SimTime::from_ms(mc.max_sim_ms);
     let mut next_arrival = SimTime::ZERO + interarrival.sample(&mut arrivals_rng);
     let target_batches = mc.batches;
+    // Reused across steps: the engine appends into this buffer instead of
+    // allocating a fresh Vec per polling iteration.
+    let mut deliveries: Vec<wormcast_network::Delivery> = Vec::new();
 
-    let inject_arrival = |net: &mut Network,
+    let inject_arrival = |net: &mut Simulation,
                           trackers: &mut HashMap<OpId, BroadcastTracker>,
                           bcast_started: &mut HashMap<OpId, SimTime>,
                           next_op: &mut u64,
@@ -225,9 +228,11 @@ pub fn run_mixed_traffic_observed(
             // done.
             break;
         }
-        for d in net.drain_deliveries() {
+        deliveries.clear();
+        net.drain_deliveries_into(&mut deliveries);
+        for d in &deliveries {
             if let Some(tracker) = trackers.get_mut(&d.op) {
-                let follow = tracker.on_delivery(&d);
+                let follow = tracker.on_delivery(d);
                 for spec in follow {
                     net.inject_at(d.delivered_at, spec);
                 }

@@ -5,7 +5,7 @@ use crate::executor::BroadcastTracker;
 use crate::harness::{BroadcastRep, Runner};
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::{Algorithm, RoutingKind};
-use wormcast_network::{Network, NetworkConfig, OpId};
+use wormcast_network::{NetworkConfig, OpId, Simulation};
 use wormcast_routing::{DimensionOrdered, PlanarWestFirst, RoutingFunction, WestFirst};
 use wormcast_sim::SimTime;
 use wormcast_stats::{summarize, OnlineStats};
@@ -43,11 +43,11 @@ pub fn routing_for(alg: Algorithm, mesh: &Mesh) -> Box<dyn RoutingFunction> {
     }
 }
 
-/// Build a fresh network configured for `alg` (injection ports set to the
-/// algorithm's router model).
-pub fn network_for(alg: Algorithm, mesh: Mesh, cfg: NetworkConfig) -> Network {
+/// Build a fresh simulation configured for `alg` (injection ports set to
+/// the algorithm's router model).
+pub fn network_for(alg: Algorithm, mesh: Mesh, cfg: NetworkConfig) -> Simulation {
     let rf = routing_for(alg, &mesh);
-    Network::new(mesh, cfg.with_ports(alg.ports()), rf)
+    Simulation::over(mesh, cfg.with_ports(alg.ports()), rf)
 }
 
 /// Run one single-source broadcast of `length` flits from `source` on an
@@ -181,7 +181,6 @@ pub fn run_averaged_broadcasts(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wormcast_sim::SimDuration;
 
     fn cfg() -> NetworkConfig {
         NetworkConfig::paper_default()
@@ -307,7 +306,10 @@ mod tests {
         // From a corner source on 4x4x4 with L=1 flit and tiny Ts the
         // network latency is bounded by steps * (Ts + path·hop + body).
         let m = Mesh::cube(4);
-        let c = NetworkConfig::paper_default().with_startup(SimDuration::from_us(0.0));
+        let c = NetworkConfig::builder()
+            .startup_us(0.0)
+            .build()
+            .expect("zero start-up is valid");
         let o = run_single_broadcast(&m, c, Algorithm::Db, NodeId(0), 1);
         // All paths ≤ 6+6 hops; four pipelined steps of ≤ 12 hops each.
         let bound = 4.0 * (12.0 * 0.006 + 0.003) + 0.1;

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use wormcast_broadcast::{torus_ring_broadcast, ExtSchedule};
-use wormcast_network::{MessageSpec, Network, NetworkConfig, OpId, ReleaseMode, Route};
+use wormcast_network::{MessageSpec, NetworkConfig, OpId, ReleaseMode, Route, Simulation};
 use wormcast_sim::SimTime;
 use wormcast_stats::summarize;
 use wormcast_topology::{NodeId, Topology, Torus};
@@ -51,8 +51,8 @@ pub fn run_torus_broadcast(
         .analytic_latency(cfg.startup, cfg.hop_time(), cfg.flit_time, length)
         .as_us();
 
-    let mut net: Network<Torus> =
-        Network::new(torus.clone(), cfg, Box::new(wormcast_routing::TorusDor));
+    let mut net: Simulation<Torus> =
+        Simulation::over(torus.clone(), cfg, Box::new(wormcast_routing::TorusDor));
     let mut tracker = ExtTracker::new(torus, &schedule, length);
     for spec in tracker.start(SimTime::ZERO) {
         net.inject_at(SimTime::ZERO, spec);
@@ -155,9 +155,11 @@ mod tests {
     use wormcast_topology::Mesh;
 
     fn facility() -> NetworkConfig {
-        NetworkConfig::paper_default()
-            .with_release(ReleaseMode::AfterTailCrossing)
-            .with_ports(6)
+        NetworkConfig::builder()
+            .release(ReleaseMode::AfterTailCrossing)
+            .ports(6)
+            .build()
+            .expect("facility-queueing baseline is valid")
     }
 
     #[test]
@@ -185,7 +187,10 @@ mod tests {
         let m = Mesh::cube(8);
         let mo = crate::single::run_single_broadcast(
             &m,
-            NetworkConfig::paper_default().with_release(ReleaseMode::AfterTailCrossing),
+            NetworkConfig::builder()
+                .release(ReleaseMode::AfterTailCrossing)
+                .build()
+                .expect("facility-queueing baseline is valid"),
             Algorithm::Db,
             NodeId(0),
             100,

@@ -14,11 +14,13 @@
 //! ```
 
 use wormcast::prelude::*;
-use wormcast::workload::run_mixed_traffic;
 
 fn main() {
     let mesh = Mesh::cube(8);
-    let cfg = NetworkConfig::paper_default().with_release(ReleaseMode::AfterTailCrossing);
+    let cfg = NetworkConfig::builder()
+        .release(ReleaseMode::AfterTailCrossing)
+        .build()
+        .expect("facility-queueing baseline is valid");
 
     println!("barrier release under 90/10 mixed traffic, 8x8x8 mesh\n");
     println!(

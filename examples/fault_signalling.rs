@@ -12,7 +12,6 @@
 //! ```
 
 use wormcast::prelude::*;
-use wormcast::routing::{DimensionOrdered, WestFirst};
 
 fn main() {
     let mesh = Mesh::square(8);

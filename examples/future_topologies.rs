@@ -10,10 +10,7 @@
 //! cargo run --release --example future_topologies
 //! ```
 
-use wormcast::broadcast::{ghc_broadcast, torus_ring_broadcast, Algorithm};
 use wormcast::prelude::*;
-use wormcast::topology::{GeneralizedHypercube, Torus};
-use wormcast::workload::run_torus_broadcast;
 
 fn main() {
     let cfg = NetworkConfig::paper_default();
@@ -40,9 +37,11 @@ fn main() {
     let torus = Torus::kary_ncube(8, 3);
     let tsched = torus_ring_broadcast(&torus, NodeId(91));
     tsched.validate(&torus).expect("torus schedule covers all");
-    let tcfg = cfg
-        .with_release(ReleaseMode::AfterTailCrossing)
-        .with_ports(6);
+    let tcfg = NetworkConfig::builder()
+        .release(ReleaseMode::AfterTailCrossing)
+        .ports(6)
+        .build()
+        .expect("facility-queueing baseline is valid");
     let tsim = run_torus_broadcast(&torus, tcfg, NodeId(91), L);
     println!(
         "{:<26} {:>6} steps  {:>9.2} us  (simulated; analytic {:.2})",

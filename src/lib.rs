@@ -52,18 +52,33 @@ pub use wormcast_topology as topology;
 pub use wormcast_workload as workload;
 
 /// The names most programs need, in one import.
+///
+/// Covers the unified simulation API (`Simulation`,
+/// `NetworkConfig::builder()`), the [`Experiment`](crate::experiments::Experiment)
+/// trait over the paper's figures, the four broadcast algorithms (via
+/// [`Algorithm`](crate::broadcast::Algorithm)), the telemetry
+/// [`Collector`](crate::telemetry::Collector), and the workload drivers.
+/// Every example under `examples/` compiles from this import alone.
 pub mod prelude {
-    pub use wormcast_broadcast::{Algorithm, BroadcastSchedule, RoutingKind};
-    pub use wormcast_network::{
-        Delivery, MessageSpec, Network, NetworkConfig, OpId, ReleaseMode, Route, TraceKind,
+    pub use wormcast_broadcast::{
+        ghc_broadcast, torus_ring_broadcast, Algorithm, BroadcastSchedule, ExtSchedule, RoutingKind,
     };
-    pub use wormcast_routing::{dor_path, CodedPath, ControlField, Path, RoutingFunction};
+    pub use wormcast_experiments::{Experiment, Observation, RunOutput};
+    pub use wormcast_network::{
+        ConfigError, Delivery, MessageSpec, Network, NetworkConfig, NetworkConfigBuilder, OpId,
+        ReleaseMode, Route, Simulation, SimulationBuilder, TraceKind,
+    };
+    pub use wormcast_routing::{
+        dor_path, CodedPath, ControlField, DimensionOrdered, Path, RoutingFunction, WestFirst,
+    };
     pub use wormcast_sim::{SimDuration, SimRng, SimTime};
     pub use wormcast_stats::{summarize, BatchMeans, OnlineStats};
     pub use wormcast_telemetry::{
-        LatencyHistogram, Observe, RunManifest, TelemetryFrame, TelemetrySpec,
+        Collector, LatencyHistogram, Observe, RunManifest, TelemetryFrame, TelemetrySpec,
     };
-    pub use wormcast_topology::{Coord, Mesh, NodeId, Plane, Sign, Topology};
+    pub use wormcast_topology::{
+        Coord, GeneralizedHypercube, Mesh, NodeId, Plane, Sign, Topology, Torus,
+    };
     pub use wormcast_workload::{
         random_destinations, run_averaged_broadcasts, run_contended_broadcasts, run_mixed_traffic,
         run_single_broadcast, run_single_multicast, run_torus_broadcast, BroadcastRep,

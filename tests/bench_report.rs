@@ -1,0 +1,99 @@
+//! Validates the engine micro-bench report: the committed
+//! `results/BENCH_engine.json` (and, when `WORMCAST_BENCH_JSON` points at a
+//! freshly generated report, that file too — the ci.sh bench-smoke path)
+//! must parse as the vendored Criterion schema and contain the
+//! classic-vs-active-set comparison the engine rewrite is judged by.
+//!
+//! The vendored serde facade cannot deserialize, so this uses a scanner
+//! matched to the report's fixed machine-generated shape: a JSON array with
+//! one flat record per line carrying `id`, `mean_ns`, `min_ns`, `max_ns`,
+//! `samples` and `throughput`.
+
+use std::path::Path;
+
+#[derive(Debug)]
+struct BenchRecord {
+    id: String,
+    mean_ns: f64,
+    samples: u64,
+}
+
+/// Pull `"key": <value>` out of one record line, up to the next `,` or `}`.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn parse_report(path: &Path) -> Vec<BenchRecord> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{}: unreadable bench report: {e}", path.display()));
+    let trimmed = text.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "{}: report is not a JSON array",
+        path.display()
+    );
+    let mut records = Vec::new();
+    for line in text.lines().filter(|l| l.contains("\"id\":")) {
+        let id = field(line, "id")
+            .and_then(|v| v.strip_prefix('"'))
+            .and_then(|v| v.strip_suffix('"'))
+            .unwrap_or_else(|| panic!("{}: record without string id: {line}", path.display()))
+            .to_string();
+        let mean_ns: f64 = field(line, "mean_ns")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{id}: mean_ns is not a number"));
+        let samples: u64 = field(line, "samples")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{id}: samples is not an integer"));
+        records.push(BenchRecord {
+            id,
+            mean_ns,
+            samples,
+        });
+    }
+    assert!(!records.is_empty(), "{}: empty report", path.display());
+    records
+}
+
+fn validate(path: &Path) {
+    let records = parse_report(path);
+    for r in &records {
+        assert!(r.mean_ns > 0.0, "{}: non-positive mean", r.id);
+        assert!(r.samples > 0, "{}: no samples", r.id);
+    }
+    let mean_of = |needle: &str| {
+        records
+            .iter()
+            .find(|r| r.id.contains(needle))
+            .map(|r| r.mean_ns)
+    };
+    let classic = mean_of("engine_compare/mixed_8x8x8_0.03_classic_heap")
+        .expect("report carries the classic-engine baseline");
+    let active = mean_of("engine_compare/mixed_8x8x8_0.03_active_set")
+        .expect("report carries the active-set measurement");
+    // Guard against regressions that make the rewrite pointless; the
+    // committed report documents the actual measured ratio.
+    assert!(
+        active < classic,
+        "active-set engine slower than the classic heap stepper \
+         ({active:.0} ns vs {classic:.0} ns)"
+    );
+}
+
+#[test]
+fn committed_engine_bench_report_is_valid() {
+    validate(&Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_engine.json"));
+}
+
+#[test]
+fn env_provided_bench_report_is_valid() {
+    // Set by ci.sh's bench smoke to the just-generated report; absent in a
+    // plain `cargo test` run.
+    if let Ok(path) = std::env::var("WORMCAST_BENCH_JSON") {
+        validate(Path::new(&path));
+    }
+}

@@ -36,8 +36,8 @@ fn fig1_results_are_byte_identical_across_job_counts() {
         runs: 5,
         seed: 2005,
     };
-    let sequential = to_json(&fig1::run(&params, &Runner::new(1)));
-    let parallel = to_json(&fig1::run(&params, &Runner::new(4)));
+    let sequential = to_json(&params.run(&Runner::new(1)).cells);
+    let parallel = to_json(&params.run(&Runner::new(4)).cells);
     assert_eq!(sequential, parallel, "fig1 output depends on --jobs");
 }
 
@@ -51,8 +51,8 @@ fn fig2_results_are_byte_identical_across_job_counts() {
         broadcast_rate_per_node_per_ms: 1.0,
         seed: 2005,
     };
-    let sequential = to_json(&fig2::run(&params, &Runner::new(1)));
-    let parallel = to_json(&fig2::run(&params, &Runner::new(4)));
+    let sequential = to_json(&params.run(&Runner::new(1)).cells);
+    let parallel = to_json(&params.run(&Runner::new(4)).cells);
     assert_eq!(sequential, parallel, "fig2 output depends on --jobs");
 }
 
@@ -66,8 +66,8 @@ fn fig1_telemetry_is_byte_identical_across_job_counts() {
         seed: 2005,
     };
     let spec = TelemetrySpec::full();
-    let (cells_1, frames_1) = fig1::run_observed(&params, &Runner::new(1), Some(&spec));
-    let (cells_4, frames_4) = fig1::run_observed(&params, &Runner::new(4), Some(&spec));
+    let (cells_1, frames_1) = params.run((&Runner::new(1), &spec)).into_parts();
+    let (cells_4, frames_4) = params.run((&Runner::new(4), &spec)).into_parts();
     // The result JSON stays byte-identical with telemetry enabled — the
     // collector must never perturb the simulation it observes.
     assert_eq!(to_json(&cells_1), to_json(&cells_4));
@@ -75,7 +75,7 @@ fn fig1_telemetry_is_byte_identical_across_job_counts() {
     // contract: attaching sinks changes nothing downstream).
     assert_eq!(
         to_json(&cells_1),
-        to_json(&fig1::run(&params, &Runner::new(2)))
+        to_json(&params.run(&Runner::new(2)).cells)
     );
     // The telemetry export itself (histograms, heatmaps, merged in
     // replication order) is byte-identical across job counts.
@@ -103,12 +103,12 @@ fn fig2_telemetry_is_byte_identical_across_job_counts() {
         seed: 2005,
     };
     let spec = TelemetrySpec::full();
-    let (cells_1, frames_1) = fig2::run_observed(&params, &Runner::new(1), Some(&spec));
-    let (cells_4, frames_4) = fig2::run_observed(&params, &Runner::new(4), Some(&spec));
+    let (cells_1, frames_1) = params.run((&Runner::new(1), &spec)).into_parts();
+    let (cells_4, frames_4) = params.run((&Runner::new(4), &spec)).into_parts();
     assert_eq!(to_json(&cells_1), to_json(&cells_4));
     assert_eq!(
         to_json(&cells_1),
-        to_json(&fig2::run(&params, &Runner::new(2)))
+        to_json(&params.run(&Runner::new(2)).cells)
     );
     assert_eq!(
         telemetry_json("fig2", &frames_1),
@@ -196,9 +196,9 @@ fn seed_changes_results_and_reruns_do_not() {
         ..base.clone()
     };
     let runner = Runner::new(2);
-    let a = to_json(&fig1::run(&base, &runner));
-    let b = to_json(&fig1::run(&base, &runner));
-    let c = to_json(&fig1::run(&reseeded, &runner));
+    let a = to_json(&base.run(&runner).cells);
+    let b = to_json(&base.run(&runner).cells);
+    let c = to_json(&reseeded.run(&runner).cells);
     assert_eq!(a, b, "same seed must reproduce exactly");
     assert_ne!(a, c, "different seeds must actually change the draw");
 }

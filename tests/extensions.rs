@@ -8,9 +8,11 @@ use wormcast::topology::{GeneralizedHypercube, Torus};
 
 #[test]
 fn torus_simulation_agrees_with_analytic_model_across_shapes() {
-    let cfg = NetworkConfig::paper_default()
-        .with_release(ReleaseMode::AfterTailCrossing)
-        .with_ports(6);
+    let cfg = NetworkConfig::builder()
+        .release(ReleaseMode::AfterTailCrossing)
+        .ports(6)
+        .build()
+        .expect("facility-queueing baseline is valid");
     for dims in [[4u16, 4, 4], [8, 8, 8], [3, 5, 7]] {
         let t = Torus::new(&dims);
         let o = run_torus_broadcast(&t, cfg, NodeId(1), 64);
@@ -28,7 +30,10 @@ fn torus_simulation_agrees_with_analytic_model_across_shapes() {
 fn torus_ring_broadcast_beats_every_mesh_algorithm() {
     // §4's conjecture, checked: on 512 nodes the 3-step ring scheme beats
     // all four mesh algorithms at L = 100 flits.
-    let cfg = NetworkConfig::paper_default().with_release(ReleaseMode::AfterTailCrossing);
+    let cfg = NetworkConfig::builder()
+        .release(ReleaseMode::AfterTailCrossing)
+        .build()
+        .expect("facility-queueing baseline is valid");
     let torus = Torus::kary_ncube(8, 3);
     let t = run_torus_broadcast(&torus, cfg.with_ports(6), NodeId(0), 100);
     let mesh = Mesh::cube(8);
@@ -112,7 +117,10 @@ fn fault_injection_reroutes_adaptive_broadcast_legs() {
     use wormcast::routing::PlanarWestFirst;
     use wormcast::workload::BroadcastTracker;
     let mesh = Mesh::cube(4);
-    let cfg = NetworkConfig::paper_default().with_ports(6);
+    let cfg = NetworkConfig::builder()
+        .ports(6)
+        .build()
+        .expect("six ports are valid");
     let mut net = Network::new(mesh.clone(), cfg, Box::new(PlanarWestFirst));
     // Fail a Z channel no AB message needs (AB's Z relays run at corners):
     // an interior +Y link in the source plane that the adaptive legs can

@@ -30,7 +30,7 @@ fn fig1_scalability_claims_hold_at_reduced_scale() {
         runs: 6,
         seed: 77,
     };
-    let cells = fig1::run(&params, &Runner::default());
+    let cells = params.run(&Runner::default()).cells;
     let bad = fig1::check_claims(&cells);
     assert!(bad.is_empty(), "Fig. 1 claims violated: {bad:?}");
 }
@@ -47,7 +47,7 @@ fn fig1_low_startup_variant_preserves_ordering() {
             runs: 4,
             seed: 3,
         };
-        let cells = fig1::run(&params, &Runner::default());
+        let cells = params.run(&Runner::default()).cells;
         cells
             .iter()
             .find(|c| c.algorithm == alg.name())
@@ -88,7 +88,7 @@ fn fig2_cv_orderings_hold_at_reduced_scale() {
         broadcast_rate_per_node_per_ms: 0.7,
         seed: 5,
     };
-    let cells = fig2::run(&params, &Runner::default());
+    let cells = params.run(&Runner::default()).cells;
     let bad = fig2::check_claims(&cells);
     assert!(bad.is_empty(), "Fig. 2 claims violated: {bad:?}");
 }
@@ -106,7 +106,7 @@ fn fig3_load_sweep_claims_hold_at_reduced_scale() {
         release: ReleaseMode::AfterTailCrossing,
         seed: 5,
     };
-    let cells = fig34::run(&params, &Runner::default());
+    let cells = params.run(&Runner::default()).cells;
     let bad = fig34::check_claims(&cells, &params);
     assert!(bad.is_empty(), "Fig. 3 claims violated: {bad:?}");
 }
@@ -120,8 +120,8 @@ fn deterministic_experiments_are_reproducible() {
         runs: 3,
         seed: 123,
     };
-    let a = fig1::run(&p, &Runner::new(1));
-    let b = fig1::run(&p, &Runner::new(3));
+    let a = p.run(&Runner::new(1)).cells;
+    let b = p.run(&Runner::new(3)).cells;
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.latency_us, y.latency_us);
         assert_eq!(x.algorithm, y.algorithm);

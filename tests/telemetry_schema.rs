@@ -22,7 +22,7 @@ fn small_fig1_events() -> String {
         seed: 11,
     };
     let spec = TelemetrySpec::full();
-    let (_, frames) = fig1::run_observed(&params, &Runner::sequential(), Some(&spec));
+    let (_, frames) = params.run((&Runner::sequential(), &spec)).into_parts();
     let (ndjson, dropped) = events_ndjson(&frames);
     assert_eq!(dropped, 0, "small run must fit the default budget");
     ndjson
