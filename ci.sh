@@ -49,6 +49,29 @@ echo "==> validating NDJSON event stream schema"
 WORMCAST_EVENTS_FILE="$TDIR/fig1.events.ndjson" \
     run cargo test "${OFFLINE[@]}" -q -p wormcast --test telemetry_schema
 
+# Fault-injection smoke: run the quick fault sweep twice at different job
+# counts, demand byte-identical JSON (the determinism contract covers the
+# fault plans), then validate the schema against the produced file.
+echo "==> fault-injection smoke"
+run ./target/release/faults --quick --seed 7 --jobs 1 --out "$TDIR/f1"
+run ./target/release/faults --quick --seed 7 --jobs 4 --out "$TDIR/f4"
+[ -s "$TDIR/f1/faults.json" ] || {
+    echo "ci: faults.json missing or empty" >&2
+    exit 1
+}
+run cmp "$TDIR/f1/faults.json" "$TDIR/f4/faults.json" || {
+    echo "ci: faults.json differs across --jobs counts" >&2
+    exit 1
+}
+for key in '"rate":' '"delivery_ratio":' '"link_failures":'; do
+    grep -q "$key" "$TDIR/f1/faults.json" || {
+        echo "ci: faults.json missing key $key" >&2
+        exit 1
+    }
+done
+WORMCAST_FAULTS_FILE="$TDIR/f1/faults.json" \
+    run cargo test "${OFFLINE[@]}" -q -p wormcast --test faults_schema
+
 # Engine bench smoke: run the engine micro-bench once, then check that both
 # the fresh report and the committed results/BENCH_engine.json parse and
 # still show the active-set engine ahead of the retired classic stepper.

@@ -16,9 +16,9 @@ use wormcast_broadcast::Algorithm;
 use wormcast_network::{NetworkConfig, OpId};
 use wormcast_sim::SimTime;
 use wormcast_stats::{Histogram, Quantiles};
-use wormcast_telemetry::{Observe, TelemetryFrame, TelemetrySpec};
+use wormcast_telemetry::{Observe, TelemetryFrame};
 use wormcast_topology::{Mesh, NodeId, Topology};
-use wormcast_workload::{network_for, BroadcastTracker, Runner};
+use wormcast_workload::{network_for, BroadcastTracker};
 
 /// Parameters for the arrival-profile experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -101,28 +101,6 @@ impl Experiment for ArrivalParams {
             frames,
         }
     }
-}
-
-/// Run one broadcast per algorithm and profile the arrivals.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ArrivalParams::run` via the `Experiment` trait"
-)]
-pub fn run(params: &ArrivalParams, runner: &Runner) -> Vec<ArrivalProfile> {
-    Experiment::run(params, runner).cells
-}
-
-/// [`run`] with optional telemetry.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ArrivalParams::run` via the `Experiment` trait"
-)]
-pub fn run_observed(
-    params: &ArrivalParams,
-    runner: &Runner,
-    telemetry: Option<&TelemetrySpec>,
-) -> (Vec<ArrivalProfile>, Vec<LabeledFrame>) {
-    Experiment::run(params, (runner, telemetry)).into_parts()
 }
 
 fn profile_one(
@@ -248,6 +226,7 @@ pub fn step_table(profiles: &[ArrivalProfile]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wormcast_workload::Runner;
 
     fn quick() -> ArrivalParams {
         ArrivalParams {

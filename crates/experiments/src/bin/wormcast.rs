@@ -1,13 +1,14 @@
 //! Umbrella experiment runner: regenerate every table and figure of the
 //! paper in one command.
 //!
-//! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig2|tables|fig3|fig4|arrivals|multicast]...
+//! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig2|tables|fig3|fig4|arrivals|multicast|faults]...
 //!                  [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]
 //!                  [--telemetry DIR] [--events PATH] [--trace-dump PATH]`
 //!
 //! With no selector (or `all`), runs the full suite: the §2 step identities,
 //! Fig. 1 (plus the Ts = 0.15 µs variant), Fig. 2, Tables 1–2, Figs. 3–4,
-//! the node-level arrival profiles and the multicast extension.
+//! the node-level arrival profiles, the multicast extension and the fault
+//! sweep.
 //!
 //! `--telemetry DIR` writes one `<sel>.telemetry.json` per experiment run;
 //! `--events PATH` writes one NDJSON stream per experiment, the selector
@@ -39,6 +40,7 @@ fn main() {
             "fig4",
             "arrivals",
             "multicast",
+            "faults",
         ]
         .into_iter()
         .map(String::from)
@@ -257,9 +259,53 @@ fn main() {
                     telemetry::write_outputs(&topts(sel), sel, m, &frames);
                 }
             }
+            "faults" => {
+                let mut p = wormcast_experiments::faults::FaultsParams::default();
+                if opts.quick {
+                    p.side = 4;
+                    p.runs = 4;
+                    p.rates = vec![0.0, 0.05];
+                }
+                if let Some(s) = opts.seed {
+                    p.seed = s;
+                }
+                if let Some(l) = opts.length {
+                    p.length = l;
+                }
+                let t0 = std::time::Instant::now();
+                let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
+                let wall = t0.elapsed();
+                println!(
+                    "{}",
+                    wormcast_experiments::faults::table(&cells, &p).render()
+                );
+                println!(
+                    "{}",
+                    wormcast_experiments::faults::reliability_table(&cells).render()
+                );
+                report_claims(&wormcast_experiments::faults::check_claims(&cells));
+                out("faults", &cells);
+                if spec.is_some() {
+                    let mut m = telemetry::manifest(
+                        sel,
+                        &opts,
+                        p.seed,
+                        p.length,
+                        p.startup_us,
+                        p.runs,
+                        wall,
+                    );
+                    m.algorithms = cells.iter().map(|c| c.algorithm.clone()).collect();
+                    m.algorithms.sort();
+                    m.algorithms.dedup();
+                    m.topologies = vec![format!("{s}x{s}x{s}", s = p.side)];
+                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown experiment '{other}' (steps, fig1, fig1-lowts, fig2, tables,                      fig3, fig4, arrivals, multicast, all)"
+                    "unknown experiment '{other}' (steps, fig1, fig1-lowts, fig2, tables, \
+                     fig3, fig4, arrivals, multicast, faults, all)"
                 );
                 std::process::exit(2);
             }

@@ -10,9 +10,9 @@ use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::NetworkConfig;
 use wormcast_stats::OnlineStats;
-use wormcast_telemetry::{Observe, TelemetrySpec};
+use wormcast_telemetry::Observe;
 use wormcast_topology::{Mesh, Topology};
-use wormcast_workload::{BroadcastRep, RepContext, Runner, TelemetryMerge};
+use wormcast_workload::{BroadcastRep, RepContext, TelemetryMerge};
 
 /// Parameters of the Fig. 1 sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -152,28 +152,6 @@ impl Experiment for Fig1Params {
     }
 }
 
-/// Run the Fig. 1 experiment on `runner`'s workers.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Fig1Params::run` via the `Experiment` trait"
-)]
-pub fn run(params: &Fig1Params, runner: &Runner) -> Vec<Fig1Cell> {
-    Experiment::run(params, runner).cells
-}
-
-/// [`run`] with optional telemetry.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Fig1Params::run` via the `Experiment` trait"
-)]
-pub fn run_observed(
-    params: &Fig1Params,
-    runner: &Runner,
-    telemetry: Option<&TelemetrySpec>,
-) -> (Vec<Fig1Cell>, Vec<LabeledFrame>) {
-    Experiment::run(params, (runner, telemetry)).into_parts()
-}
-
 /// Render the result in the paper's layout: one row per network size, one
 /// column per algorithm (latency in µs).
 pub fn table(cells: &[Fig1Cell], params: &Fig1Params) -> Table {
@@ -266,6 +244,8 @@ pub fn check_claims(cells: &[Fig1Cell]) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wormcast_telemetry::TelemetrySpec;
+    use wormcast_workload::Runner;
 
     fn quick_params() -> Fig1Params {
         Fig1Params {

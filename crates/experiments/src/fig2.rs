@@ -23,9 +23,9 @@ use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::NetworkConfig;
 use wormcast_sim::SimRng;
-use wormcast_telemetry::{Observe, TelemetryFrame, TelemetrySpec};
+use wormcast_telemetry::{Observe, TelemetryFrame};
 use wormcast_topology::{Mesh, Topology};
-use wormcast_workload::{run_contended_broadcasts_observed, Runner};
+use wormcast_workload::run_contended_broadcasts_observed;
 
 /// Parameters of the Fig. 2 / Tables 1–2 sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -151,28 +151,6 @@ impl Experiment for Fig2Params {
     }
 }
 
-/// Run the Fig. 2 experiment on `runner`'s workers.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Fig2Params::run` via the `Experiment` trait"
-)]
-pub fn run(params: &Fig2Params, runner: &Runner) -> Vec<Fig2Cell> {
-    Experiment::run(params, runner).cells
-}
-
-/// [`run`] with optional telemetry.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Fig2Params::run` via the `Experiment` trait"
-)]
-pub fn run_observed(
-    params: &Fig2Params,
-    runner: &Runner,
-    telemetry: Option<&TelemetrySpec>,
-) -> (Vec<Fig2Cell>, Vec<LabeledFrame>) {
-    Experiment::run(params, (runner, telemetry)).into_parts()
-}
-
 fn get_cv(cells: &[Fig2Cell], nodes: usize, alg: &str) -> f64 {
     cells
         .iter()
@@ -270,6 +248,8 @@ pub fn check_claims(cells: &[Fig2Cell]) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wormcast_telemetry::TelemetrySpec;
+    use wormcast_workload::Runner;
 
     fn quick_params() -> Fig2Params {
         Fig2Params {

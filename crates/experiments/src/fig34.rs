@@ -18,9 +18,9 @@ use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::{NetworkConfig, ReleaseMode};
 use wormcast_sim::SimRng;
-use wormcast_telemetry::{Observe, TelemetryFrame, TelemetrySpec};
+use wormcast_telemetry::{Observe, TelemetryFrame};
 use wormcast_topology::Mesh;
-use wormcast_workload::{run_mixed_traffic_observed, MixedConfig, MixedOutcome, Runner};
+use wormcast_workload::{run_mixed_traffic_observed, MixedConfig, MixedOutcome};
 
 /// Parameters of a load-sweep experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -166,28 +166,6 @@ impl Experiment for LoadSweepParams {
     }
 }
 
-/// Run a load sweep for all four algorithms on `runner`'s workers.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `LoadSweepParams::run` via the `Experiment` trait"
-)]
-pub fn run(params: &LoadSweepParams, runner: &Runner) -> Vec<SweepCell> {
-    Experiment::run(params, runner).cells
-}
-
-/// [`run`] with optional telemetry.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `LoadSweepParams::run` via the `Experiment` trait"
-)]
-pub fn run_observed(
-    params: &LoadSweepParams,
-    runner: &Runner,
-    telemetry: Option<&TelemetrySpec>,
-) -> (Vec<SweepCell>, Vec<LabeledFrame>) {
-    Experiment::run(params, (runner, telemetry)).into_parts()
-}
-
 fn get<'a>(cells: &'a [SweepCell], alg: &str, load: f64) -> Option<&'a MixedOutcome> {
     cells
         .iter()
@@ -292,6 +270,7 @@ pub fn check_claims(cells: &[SweepCell], params: &LoadSweepParams) -> Vec<String
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wormcast_workload::Runner;
 
     fn quick_params() -> LoadSweepParams {
         LoadSweepParams {

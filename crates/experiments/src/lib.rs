@@ -10,6 +10,7 @@
 //! | [`steps`] | §2 identities | step counts vs closed forms |
 //! | [`multicast`] | §4 future work | UM/CM/SP multicast density sweep |
 //! | [`arrivals`] | §3.2 widened | per-destination arrival percentiles & histograms |
+//! | [`faults`] | beyond the paper | delivery ratio vs link fault rate |
 //!
 //! Each experiment's parameter struct implements the [`Experiment`] trait:
 //! `params.run(&runner)` produces the result cells, and
@@ -17,16 +18,16 @@
 //! frames (see [`Observation`] for the accepted shorthands). Modules also
 //! expose `table` (render the paper's layout) and, where the paper makes
 //! qualitative claims, `check_claims` (verify the shape of the result
-//! programmatically); the old free `run`/`run_observed` pairs remain as
-//! deprecated shims for one release. Binaries `fig1`, `fig2`, `fig3`,
-//! `fig4`, `steps` and the umbrella `wormcast` print the tables and
-//! optionally persist JSON via `--out DIR`.
+//! programmatically). Binaries `fig1`, `fig2`, `fig3`, `fig4`, `steps`,
+//! `faults` and the umbrella `wormcast` print the tables and optionally
+//! persist JSON via `--out DIR`.
 
 #![warn(missing_docs)]
 
 pub mod arrivals;
 pub mod cli;
 pub mod experiment;
+pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig34;

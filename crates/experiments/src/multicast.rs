@@ -12,10 +12,10 @@ use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
 use wormcast_network::NetworkConfig;
 use wormcast_stats::OnlineStats;
-use wormcast_telemetry::{Observe, TelemetrySpec};
+use wormcast_telemetry::Observe;
 use wormcast_topology::{Mesh, NodeId, Topology};
 use wormcast_workload::{
-    random_destinations, run_single_multicast_observed, MulticastScheme, Runner, TelemetryMerge,
+    random_destinations, run_single_multicast_observed, MulticastScheme, TelemetryMerge,
 };
 
 /// Parameters of the multicast density sweep.
@@ -125,28 +125,6 @@ impl Experiment for MulticastParams {
     }
 }
 
-/// Run the sweep on `runner`'s workers.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `MulticastParams::run` via the `Experiment` trait"
-)]
-pub fn run(params: &MulticastParams, runner: &Runner) -> Vec<MulticastCell> {
-    Experiment::run(params, runner).cells
-}
-
-/// [`run`] with optional telemetry.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `MulticastParams::run` via the `Experiment` trait"
-)]
-pub fn run_observed(
-    params: &MulticastParams,
-    runner: &Runner,
-    telemetry: Option<&TelemetrySpec>,
-) -> (Vec<MulticastCell>, Vec<LabeledFrame>) {
-    Experiment::run(params, (runner, telemetry)).into_parts()
-}
-
 /// Render the sweep.
 pub fn table(cells: &[MulticastCell], params: &MulticastParams) -> Table {
     let mut t = Table::new(
@@ -215,6 +193,7 @@ pub fn check_claims(cells: &[MulticastCell]) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wormcast_workload::Runner;
 
     fn quick() -> MulticastParams {
         MulticastParams {

@@ -46,6 +46,14 @@ pub struct NetworkConfig {
     /// builds. Debug builds always check; release builds skip the O(network)
     /// walk unless this is set.
     pub check_invariants: bool,
+    /// Delivery watchdog timeout: a message that waits on a channel without
+    /// making progress for this long is declared **stalled** — its held
+    /// resources are released, its remaining destinations are counted as
+    /// undelivered, and the simulation keeps going instead of wedging.
+    /// [`SimDuration::ZERO`] (the default) disables the watchdog; when
+    /// enabled it should comfortably exceed the longest body-drain time so
+    /// legitimate backpressure is never reaped.
+    pub watchdog: SimDuration,
 }
 
 impl NetworkConfig {
@@ -83,6 +91,7 @@ impl NetworkConfig {
             inject_ports: 6,
             release: ReleaseMode::PathHolding,
             check_invariants: false,
+            watchdog: SimDuration::ZERO,
         }
     }
 
@@ -120,6 +129,13 @@ impl NetworkConfig {
     /// [`NetworkConfig::check_invariants`] field).
     pub fn with_invariant_checks(mut self, on: bool) -> Self {
         self.check_invariants = on;
+        self
+    }
+
+    /// Override the delivery-watchdog timeout (see the
+    /// [`NetworkConfig::watchdog`] field; `ZERO` disables it).
+    pub fn with_watchdog(mut self, timeout: SimDuration) -> Self {
+        self.watchdog = timeout;
         self
     }
 
@@ -188,6 +204,7 @@ pub struct NetworkConfigBuilder {
     pub(crate) ports: usize,
     pub(crate) release: ReleaseMode,
     pub(crate) check_invariants: bool,
+    pub(crate) watchdog_us: f64,
 }
 
 impl Default for NetworkConfigBuilder {
@@ -199,6 +216,7 @@ impl Default for NetworkConfigBuilder {
             ports: 6,
             release: ReleaseMode::PathHolding,
             check_invariants: false,
+            watchdog_us: 0.0,
         }
     }
 }
@@ -240,6 +258,12 @@ impl NetworkConfigBuilder {
         self
     }
 
+    /// Delivery-watchdog timeout in microseconds (0 disables it).
+    pub fn watchdog_us(mut self, us: f64) -> Self {
+        self.watchdog_us = us;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<NetworkConfig, ConfigError> {
         fn duration(us: f64, field: &'static str) -> Result<SimDuration, ConfigError> {
@@ -251,6 +275,7 @@ impl NetworkConfigBuilder {
         let startup = duration(self.startup_us, "startup")?;
         let flit_time = duration(self.flit_us, "flit_time")?;
         let routing_delay = duration(self.routing_delay_us, "routing_delay")?;
+        let watchdog = duration(self.watchdog_us, "watchdog")?;
         if flit_time == SimDuration::ZERO {
             return Err(ConfigError::ZeroFlitTime);
         }
@@ -264,6 +289,7 @@ impl NetworkConfigBuilder {
             inject_ports: self.ports,
             release: self.release,
             check_invariants: self.check_invariants,
+            watchdog,
         })
     }
 }
@@ -309,6 +335,23 @@ mod tests {
         assert_eq!(b.inject_ports, p.inject_ports);
         assert_eq!(b.release, p.release);
         assert_eq!(b.check_invariants, p.check_invariants);
+        assert_eq!(b.watchdog, p.watchdog);
+        assert_eq!(p.watchdog, SimDuration::ZERO, "watchdog off by default");
+    }
+
+    #[test]
+    fn watchdog_knob_round_trips() {
+        let c = NetworkConfig::builder().watchdog_us(25.0).build().unwrap();
+        assert_eq!(c.watchdog.as_ps(), 25_000_000);
+        let d = NetworkConfig::paper_default().with_watchdog(SimDuration::from_us(3.0));
+        assert_eq!(d.watchdog.as_ps(), 3_000_000);
+        assert_eq!(
+            NetworkConfig::builder()
+                .watchdog_us(-2.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadDuration { field: "watchdog" }
+        );
     }
 
     #[test]

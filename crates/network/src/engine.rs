@@ -49,6 +49,7 @@
 //! differential testing and benchmarking only.
 
 use crate::config::{NetworkConfig, ReleaseMode};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::message::{Delivery, MessageId, MessageSpec, Route};
 use crate::metrics::{CountersSink, MetricsSink, TraceSink, UtilizationSink};
 use crate::trace::Trace;
@@ -78,6 +79,13 @@ enum Ev {
     PortRelease(NodeId),
     /// The tail has drained across one channel (facility-queueing mode).
     ReleaseOne(ChannelId),
+    /// A scheduled fault takes the channel down.
+    LinkDown(ChannelId),
+    /// A scheduled fault restores the channel.
+    LinkUp(ChannelId),
+    /// Delivery watchdog: if the message still waits with the recorded hop
+    /// count (no progress for a whole timeout), declare it stalled.
+    StallCheck(u32, u32),
 }
 
 /// Struct-of-arrays message state, indexed by message id. The cold
@@ -106,6 +114,9 @@ struct MsgArena {
     /// Next message in whatever FIFO (channel or port) this one waits in.
     next_waiter: Vec<u32>,
     done: Vec<bool>,
+    /// Whether a `StallCheck` event is already pending for this message
+    /// (at most one outstanding check per message).
+    stall_armed: Vec<bool>,
 }
 
 impl MsgArena {
@@ -124,6 +135,7 @@ impl MsgArena {
         self.held_tail.push(NONE);
         self.next_waiter.push(NONE);
         self.done.push(false);
+        self.stall_armed.push(false);
         id as u32
     }
 }
@@ -294,6 +306,21 @@ impl<T: SimTopology> Network<T> {
         self.failed.contains(ch.index())
     }
 
+    /// Schedule every event of a [`FaultPlan`] on the simulation clock.
+    /// Unlike [`Network::fail_channel`], planned transitions may hit
+    /// occupied channels mid-flight: the current crossing drains (the flits
+    /// are already in the pipeline), the channel then stays down until a
+    /// matching `LinkUp`, and each applied transition is emitted to the
+    /// metrics sinks. Call before running; event times are absolute.
+    pub fn schedule_faults(&mut self, plan: &FaultPlan) {
+        for e in plan.events() {
+            match e.kind {
+                FaultKind::LinkDown(ch) => self.wheel.schedule(e.at, Ev::LinkDown(ch)),
+                FaultKind::LinkUp(ch) => self.wheel.schedule(e.at, Ev::LinkUp(ch)),
+            }
+        }
+    }
+
     /// The topology being simulated.
     pub fn topology(&self) -> &T {
         &self.topo
@@ -314,10 +341,10 @@ impl<T: SimTopology> Network<T> {
         self.sink_counters.counters()
     }
 
-    /// Messages injected but not yet fully completed.
+    /// Messages injected but not yet fully completed or reaped as stalled.
     pub fn in_flight(&self) -> u64 {
         let c = self.counters();
-        c.injected - c.completed
+        c.injected - c.completed - c.stalled
     }
 
     /// Request injection of `spec` at absolute time `at` (≥ now).
@@ -402,6 +429,9 @@ impl<T: SimTopology> Network<T> {
             Ev::Complete(m) => self.on_complete(now, m),
             Ev::PortRelease(node) => self.on_port_release(now, node),
             Ev::ReleaseOne(ch) => self.release(now, ch),
+            Ev::LinkDown(ch) => self.on_link_down(now, ch),
+            Ev::LinkUp(ch) => self.on_link_up(now, ch),
+            Ev::StallCheck(m, hops) => self.on_stall_check(now, m, hops),
         }
         true
     }
@@ -417,6 +447,32 @@ impl<T: SimTopology> Network<T> {
         }
         self.chans.waiter_tail[ch] = m;
         self.chans.waiters_len[ch] += 1;
+    }
+
+    /// Unlink message `m` from anywhere in channel `ch`'s FIFO (watchdog
+    /// reaping; O(queue length), only on the stall path).
+    fn remove_chan_waiter(&mut self, ch: usize, m: u32) {
+        let mut prev = NONE;
+        let mut cur = self.chans.waiter_head[ch];
+        while cur != NONE {
+            let next = self.msgs.next_waiter[cur as usize];
+            if cur == m {
+                if prev == NONE {
+                    self.chans.waiter_head[ch] = next;
+                } else {
+                    self.msgs.next_waiter[prev as usize] = next;
+                }
+                if next == NONE {
+                    self.chans.waiter_tail[ch] = prev;
+                }
+                self.msgs.next_waiter[m as usize] = NONE;
+                self.chans.waiters_len[ch] -= 1;
+                return;
+            }
+            prev = cur;
+            cur = next;
+        }
+        panic!("message m{m} not found in channel c{ch} wait queue");
     }
 
     /// Pop the head of channel `ch`'s FIFO, if any.
@@ -593,11 +649,19 @@ impl<T: SimTopology> Network<T> {
             self.msgs.cur[i],
             dst
         );
+        // A header that steers onto a live candidate while at least one
+        // candidate is dead has re-routed around the fault.
+        let dodging =
+            !self.failed.is_empty() && cands.iter().any(|c| self.failed.contains(c.index()));
         // First free live candidate wins (preference order).
         if let Some(&ch) = cands
             .iter()
             .find(|&&c| !self.failed.contains(c.index()) && self.chans.busy[c.index()] == NONE)
         {
+            if dodging {
+                let at = self.msgs.cur[i];
+                self.emit(|s| s.on_reroute(now, MessageId(m as u64), at));
+            }
             self.grant(now, m, ch);
             return;
         }
@@ -606,6 +670,10 @@ impl<T: SimTopology> Network<T> {
         // routing); with no live alternative the message stalls on a dead
         // link. First minimal wins, preserving preference-order ties.
         let any_live = cands.iter().any(|c| !self.failed.contains(c.index()));
+        if dodging && any_live {
+            let at = self.msgs.cur[i];
+            self.emit(|s| s.on_reroute(now, MessageId(m as u64), at));
+        }
         let mut wait_ch = None;
         let mut best_len = u32::MAX;
         for &c in &cands {
@@ -627,6 +695,15 @@ impl<T: SimTopology> Network<T> {
         self.msgs.waiting_on[m as usize] = ch.0;
         let queue_len = self.chans.waiters_len[ch.index()] as usize;
         self.emit(|s| s.on_channel_wait(now, MessageId(m as u64), ch, queue_len));
+        if self.cfg.watchdog != wormcast_sim::SimDuration::ZERO
+            && !self.msgs.stall_armed[m as usize]
+        {
+            self.msgs.stall_armed[m as usize] = true;
+            self.wheel.schedule(
+                now + self.cfg.watchdog,
+                Ev::StallCheck(m, self.msgs.hops_taken[m as usize]),
+            );
+        }
     }
 
     /// Give channel `ch` to message `m` and start the crossing.
@@ -699,6 +776,90 @@ impl<T: SimTopology> Network<T> {
         if let Some(m) = self.pop_chan_waiter(ch.index()) {
             self.grant(now, m, ch);
         }
+    }
+
+    /// A scheduled `LinkDown` takes effect. Idempotent: re-failing a dead
+    /// channel (e.g. a node failure overlapping a link failure) is a no-op.
+    /// If a message is mid-crossing the flits drain normally; the channel
+    /// simply stops being granted once released.
+    fn on_link_down(&mut self, now: SimTime, ch: ChannelId) {
+        if self.failed.insert(ch.index()) {
+            self.emit(|s| s.on_link_failed(now, ch));
+        }
+    }
+
+    /// A scheduled `LinkUp` takes effect: the channel rejoins the network
+    /// and, if idle, is handed to the head of its wait queue.
+    fn on_link_up(&mut self, now: SimTime, ch: ChannelId) {
+        if self.failed.remove(ch.index()) {
+            self.emit(|s| s.on_link_restored(now, ch));
+            if self.chans.busy[ch.index()] == NONE {
+                if let Some(m) = self.pop_chan_waiter(ch.index()) {
+                    self.grant(now, m, ch);
+                }
+            }
+        }
+    }
+
+    /// Delivery watchdog probe for message `m`, armed when it last joined a
+    /// wait queue with `hops` channels crossed. If the header has moved (or
+    /// finished) since, the check re-arms or retires; a header still waiting
+    /// with the same hop count has made no progress for a full timeout and
+    /// is reaped.
+    fn on_stall_check(&mut self, now: SimTime, m: u32, hops: u32) {
+        let i = m as usize;
+        self.msgs.stall_armed[i] = false;
+        if self.msgs.done[i] || self.msgs.waiting_on[i] == NONE {
+            return; // finished, or crossing: the next wait re-arms
+        }
+        if self.msgs.hops_taken[i] != hops {
+            // Progressed to a later queue: give it a fresh timeout.
+            self.msgs.stall_armed[i] = true;
+            self.wheel.schedule(
+                now + self.cfg.watchdog,
+                Ev::StallCheck(m, self.msgs.hops_taken[i]),
+            );
+            return;
+        }
+        self.kill_stalled(now, m);
+    }
+
+    /// Reap a stalled message: dequeue it, release everything it holds so
+    /// the rest of the network degrades instead of wedging, and account the
+    /// destinations its header never reached as undelivered. Receivers the
+    /// header already passed keep their copies (the body had drained into
+    /// them before the stall).
+    fn kill_stalled(&mut self, now: SimTime, m: u32) {
+        let i = m as usize;
+        let waiting = self.msgs.waiting_on[i];
+        debug_assert!(waiting != NONE, "reaping a message that is not waiting");
+        self.remove_chan_waiter(waiting as usize, m);
+        self.msgs.waiting_on[i] = NONE;
+        let undelivered = match &self.msgs.spec[i].route {
+            Route::Fixed(cp) => {
+                let next = self.msgs.next_fixed[i] as usize;
+                cp.deliver_mask()[next + 1..].iter().filter(|&&r| r).count() as u64
+            }
+            Route::Adaptive { .. } => 1,
+        };
+        // Release the held path exactly as completion would.
+        let mut ch = self.msgs.held_head[i];
+        self.msgs.held_head[i] = NONE;
+        self.msgs.held_tail[i] = NONE;
+        while ch != NONE {
+            let next = self.chans.held_next[ch as usize];
+            self.release(now, ChannelId(ch));
+            ch = next;
+        }
+        if self.msgs.hops_taken[i] == 0 {
+            // The tail never left the source, so no PortRelease is pending;
+            // free the injection port here.
+            let src = self.msgs.spec[i].src;
+            self.on_port_release(now, src);
+        }
+        self.msgs.done[i] = true;
+        let node = self.msgs.cur[i];
+        self.emit(|s| s.on_stalled(now, MessageId(m as u64), node, undelivered));
     }
 
     /// Fraction of elapsed simulated time each channel has been occupied.

@@ -12,6 +12,7 @@
 pub mod classic;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod simulation;
@@ -19,6 +20,7 @@ pub mod trace;
 
 pub use config::{ConfigError, NetworkConfig, NetworkConfigBuilder, ReleaseMode};
 pub use engine::Network;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use message::{Delivery, MessageId, MessageSpec, OpId, Route};
 pub use metrics::{Counters, CountersSink, MetricsSink, TraceSink, UtilizationSink};
 pub use simulation::{Simulation, SimulationBuilder};

@@ -46,6 +46,16 @@ pub trait MetricsSink: Send {
     fn on_deliver(&mut self, now: SimTime, m: MessageId, node: NodeId, flits: u64) {}
     /// The tail arrived at the final destination; the message is done.
     fn on_complete(&mut self, now: SimTime, m: MessageId, node: NodeId) {}
+    /// Channel `ch` went down (scheduled fault took effect).
+    fn on_link_failed(&mut self, now: SimTime, ch: ChannelId) {}
+    /// Channel `ch` came back up (end of a transient outage).
+    fn on_link_restored(&mut self, now: SimTime, ch: ChannelId) {}
+    /// An adaptive header at `at` steered around at least one faulted
+    /// candidate channel (a successful in-flight re-route).
+    fn on_reroute(&mut self, now: SimTime, m: MessageId, at: NodeId) {}
+    /// The delivery watchdog declared message `m` stalled at `at`;
+    /// `undelivered` destinations will never receive it.
+    fn on_stalled(&mut self, now: SimTime, m: MessageId, at: NodeId, undelivered: u64) {}
 }
 
 /// Aggregate counters for throughput accounting.
@@ -59,6 +69,16 @@ pub struct Counters {
     pub deliveries: u64,
     /// Total flits delivered across all copies.
     pub flits_delivered: u64,
+    /// Messages reaped by the delivery watchdog (never completed).
+    pub stalled: u64,
+    /// Destination copies lost to stalled messages.
+    pub undelivered: u64,
+    /// In-flight adaptive re-routes around faulted channels.
+    pub reroutes: u64,
+    /// Link-down transitions that took effect.
+    pub link_failures: u64,
+    /// Link-up transitions that took effect.
+    pub link_restores: u64,
 }
 
 /// Maintains [`Counters`] from the event stream.
@@ -84,6 +104,19 @@ impl MetricsSink for CountersSink {
     }
     fn on_complete(&mut self, _now: SimTime, _m: MessageId, _node: NodeId) {
         self.counters.completed += 1;
+    }
+    fn on_link_failed(&mut self, _now: SimTime, _ch: ChannelId) {
+        self.counters.link_failures += 1;
+    }
+    fn on_link_restored(&mut self, _now: SimTime, _ch: ChannelId) {
+        self.counters.link_restores += 1;
+    }
+    fn on_reroute(&mut self, _now: SimTime, _m: MessageId, _at: NodeId) {
+        self.counters.reroutes += 1;
+    }
+    fn on_stalled(&mut self, _now: SimTime, _m: MessageId, _at: NodeId, undelivered: u64) {
+        self.counters.stalled += 1;
+        self.counters.undelivered += undelivered;
     }
 }
 
@@ -213,6 +246,21 @@ mod tests {
         assert_eq!(c.completed, 1);
         assert_eq!(c.deliveries, 2);
         assert_eq!(c.flits_delivered, 128);
+    }
+
+    #[test]
+    fn counters_sink_tracks_reliability_events() {
+        let mut s = CountersSink::default();
+        s.on_link_failed(SimTime::ZERO, ChannelId(3));
+        s.on_link_restored(SimTime::from_us(5.0), ChannelId(3));
+        s.on_reroute(SimTime::from_us(1.0), MessageId(0), NodeId(4));
+        s.on_stalled(SimTime::from_us(9.0), MessageId(1), NodeId(2), 3);
+        let c = s.counters();
+        assert_eq!(c.link_failures, 1);
+        assert_eq!(c.link_restores, 1);
+        assert_eq!(c.reroutes, 1);
+        assert_eq!(c.stalled, 1);
+        assert_eq!(c.undelivered, 3);
     }
 
     #[test]

@@ -720,6 +720,198 @@ mod trace_and_faults {
         assert!(net.in_flight() > 0, "the faulted branch is still stuck");
     }
 
+    #[test]
+    fn watchdog_reaps_unreachable_destination() {
+        // The acceptance test for the delivery watchdog: a broadcast whose
+        // destination sits behind a dead link is *detected* (recorded as
+        // stalled with its lost destination counted) rather than wedging the
+        // run forever.
+        let mut net = Network::new(
+            Mesh::square(4),
+            NetworkConfig::paper_default().with_watchdog(SimDuration::from_us(50.0)),
+            Box::new(DimensionOrdered),
+        );
+        let m = net.mesh().clone();
+        let a = m.node_at(&Coord::xy(0, 0));
+        let b = m.node_at(&Coord::xy(1, 0));
+        net.fail_channel(m.channel_between(a, b).unwrap());
+        let spec = unicast_spec(&net, a, m.node_at(&Coord::xy(3, 0)), 16, 0);
+        net.inject_at(SimTime::ZERO, spec);
+        net.run_until_idle(); // terminates: the watchdog reaps the wedge
+        let c = net.counters();
+        assert_eq!(c.stalled, 1);
+        assert_eq!(c.undelivered, 1);
+        assert_eq!(net.in_flight(), 0, "stalled leaves the in-flight count");
+        assert!(net.drain_deliveries().is_empty());
+        assert!(
+            net.now() >= SimTime::from_us(50.0),
+            "reaped at the timeout, not before"
+        );
+        net.force_check_invariants();
+    }
+
+    #[test]
+    fn watchdog_releases_stalled_path_for_other_traffic() {
+        // Graceful degradation: reaping a wedged message frees the channels
+        // it held, so traffic queued behind it still completes.
+        let cfg = NetworkConfig::paper_default().with_watchdog(SimDuration::from_us(20.0));
+        let mut net = Network::new(Mesh::square(4), cfg, Box::new(DimensionOrdered));
+        let m = net.mesh().clone();
+        let dead = m
+            .channel_between(m.node_at(&Coord::xy(2, 0)), m.node_at(&Coord::xy(3, 0)))
+            .unwrap();
+        net.fail_channel(dead);
+        // A wedges on the dead link holding (0,0)→(1,0)→(2,0).
+        let a = unicast_spec(
+            &net,
+            m.node_at(&Coord::xy(0, 0)),
+            m.node_at(&Coord::xy(3, 0)),
+            16,
+            0,
+        );
+        net.inject_at(SimTime::ZERO, a);
+        // B (injected after A holds its path) needs a channel A holds.
+        let b = unicast_spec(
+            &net,
+            m.node_at(&Coord::xy(1, 0)),
+            m.node_at(&Coord::xy(2, 0)),
+            16,
+            1,
+        );
+        net.inject_at(SimTime::from_us(1.0), b);
+        net.run_until_idle();
+        let ds = net.drain_deliveries();
+        assert_eq!(ds.len(), 1, "B delivers once the watchdog reaps A");
+        assert_eq!(ds[0].op, OpId(1));
+        let c = net.counters();
+        assert_eq!((c.stalled, c.undelivered, c.completed), (1, 1, 1));
+        assert_eq!(net.in_flight(), 0);
+        net.force_check_invariants();
+    }
+
+    #[test]
+    fn watchdog_spares_legitimate_backpressure() {
+        // Ordinary contention (one message queued behind another's long
+        // body) must never be mistaken for a stall when the timeout
+        // comfortably exceeds the drain time.
+        let cfg = NetworkConfig::paper_default().with_watchdog(SimDuration::from_us(50.0));
+        let mut net = Network::new(Mesh::square(4), cfg, Box::new(DimensionOrdered));
+        let m = net.mesh().clone();
+        let src = m.node_at(&Coord::xy(0, 0));
+        let dst = m.node_at(&Coord::xy(2, 0));
+        net.inject_at(SimTime::ZERO, unicast_spec(&net, src, dst, 1024, 0));
+        net.inject_at(SimTime::ZERO, unicast_spec(&net, src, dst, 1024, 1));
+        net.run_until_idle();
+        assert_eq!(net.drain_deliveries().len(), 2);
+        let c = net.counters();
+        assert_eq!((c.stalled, c.completed), (0, 2));
+    }
+
+    #[test]
+    fn transient_outage_delays_then_delivers() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+        let cfg = NetworkConfig::paper_default().with_watchdog(SimDuration::from_us(200.0));
+        let mut net = Network::new(Mesh::square(4), cfg, Box::new(DimensionOrdered));
+        let m = net.mesh().clone();
+        let ch = m
+            .channel_between(m.node_at(&Coord::xy(0, 0)), m.node_at(&Coord::xy(1, 0)))
+            .unwrap();
+        let mut plan = FaultPlan::new();
+        plan.push(FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::LinkDown(ch),
+        });
+        plan.push(FaultEvent {
+            at: SimTime::from_us(40.0),
+            kind: FaultKind::LinkUp(ch),
+        });
+        net.schedule_faults(&plan);
+        let spec = unicast_spec(
+            &net,
+            m.node_at(&Coord::xy(0, 0)),
+            m.node_at(&Coord::xy(1, 0)),
+            16,
+            0,
+        );
+        net.inject_at(SimTime::ZERO, spec);
+        net.run_until_idle();
+        let ds = net.drain_deliveries();
+        assert_eq!(ds.len(), 1);
+        assert!(
+            ds[0].delivered_at >= SimTime::from_us(40.0),
+            "delivery waited out the outage"
+        );
+        let c = net.counters();
+        assert_eq!((c.link_failures, c.link_restores, c.stalled), (1, 1, 0));
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn mid_flight_link_down_lets_the_crossing_drain() {
+        // A fault on an occupied channel must not lose the flits already in
+        // the pipeline: the crossing drains, then the channel stays down.
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+        let mut net = net2d(4);
+        let m = net.mesh().clone();
+        let ch = m
+            .channel_between(m.node_at(&Coord::xy(0, 0)), m.node_at(&Coord::xy(1, 0)))
+            .unwrap();
+        let mut plan = FaultPlan::new();
+        plan.push(FaultEvent {
+            at: SimTime::from_us(2.0), // mid-body: held until ~26 µs
+            kind: FaultKind::LinkDown(ch),
+        });
+        net.schedule_faults(&plan);
+        let spec = unicast_spec(
+            &net,
+            m.node_at(&Coord::xy(0, 0)),
+            m.node_at(&Coord::xy(1, 0)),
+            8192,
+            0,
+        );
+        net.inject_at(SimTime::ZERO, spec);
+        net.run_until_idle();
+        assert_eq!(net.drain_deliveries().len(), 1, "in-pipeline flits kept");
+        assert!(net.is_failed(ch), "the channel stays down afterwards");
+        assert_eq!(net.counters().link_failures, 1);
+    }
+
+    #[test]
+    fn scheduled_fault_reroute_is_counted() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+        let mesh = Mesh::square(4);
+        let mut net = Network::new(mesh, NetworkConfig::paper_default(), Box::new(WestFirst));
+        let m = net.mesh().clone();
+        let ch = m
+            .channel_between(m.node_at(&Coord::xy(0, 0)), m.node_at(&Coord::xy(1, 0)))
+            .unwrap();
+        let mut plan = FaultPlan::new();
+        plan.push(FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::LinkDown(ch),
+        });
+        net.schedule_faults(&plan);
+        net.inject_at(
+            SimTime::ZERO,
+            MessageSpec {
+                src: m.node_at(&Coord::xy(0, 0)),
+                route: Route::Adaptive {
+                    dst: m.node_at(&Coord::xy(2, 2)),
+                },
+                length: 16,
+                op: OpId(0),
+                tag: 0,
+                charge_startup: true,
+            },
+        );
+        net.run_until_idle();
+        assert_eq!(net.drain_deliveries().len(), 1);
+        let c = net.counters();
+        assert_eq!(c.link_failures, 1);
+        assert!(c.reroutes >= 1, "the dodge around the dead link is counted");
+        assert_eq!(c.stalled, 0);
+    }
+
     /// Minimal re-implementation of the workload executor for this test
     /// (the network crate cannot depend on wormcast-workload).
     mod wormcast_workload_test_shim {

@@ -26,8 +26,9 @@ pub use cpr::{CodedPath, ControlField};
 pub use dor::{dor_path, hop_dim_sign, is_dor_legal};
 pub use path::Path;
 pub use turn::{
-    is_planar_west_first_legal, is_west_first_legal, west_first_path, DimensionOrdered,
-    NegativeFirst, OddEven, PlanarWestFirst, WestFirst,
+    is_planar_west_first_legal, is_west_first_legal, planar_west_first_path_avoiding,
+    west_first_path, west_first_path_avoiding, DimensionOrdered, NegativeFirst, OddEven,
+    PlanarWestFirst, WestFirst,
 };
 
 #[cfg(test)]

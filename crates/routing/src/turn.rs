@@ -354,6 +354,139 @@ pub fn west_first_path(mesh: &Mesh, src: NodeId, dst: NodeId) -> crate::Path {
     }
 }
 
+/// Construct a west-first-legal minimal path from `src` to `dst` in a 2D
+/// mesh that avoids every channel `blocked` reports, or `None` when no such
+/// path exists.
+///
+/// West-first legality pins the path's structure: every −X hop comes first
+/// (along the source row — a blocked link there is fatal, westward
+/// adaptivity is nil), and the remainder is a monotone (+X, ±Y) staircase
+/// inside the bounding rectangle, searched deterministically east-first.
+pub fn west_first_path_avoiding(
+    mesh: &Mesh,
+    src: NodeId,
+    dst: NodeId,
+    blocked: &dyn Fn(ChannelId) -> bool,
+) -> Option<crate::Path> {
+    assert_eq!(mesh.ndims(), 2);
+    assert_ne!(src, dst, "no path to self");
+    let nodes = xy_nodes_avoiding(mesh, mesh.coord_of(src), mesh.coord_of(dst), blocked)?;
+    Some(crate::Path::through(mesh, &nodes))
+}
+
+/// [`west_first_path_avoiding`] for 3D meshes under [`PlanarWestFirst`]:
+/// the Z leg is dimension-ordered (a blocked Z link has no legal detour),
+/// then the X–Y remainder routes west-first around blocked links.
+pub fn planar_west_first_path_avoiding(
+    mesh: &Mesh,
+    src: NodeId,
+    dst: NodeId,
+    blocked: &dyn Fn(ChannelId) -> bool,
+) -> Option<crate::Path> {
+    assert_eq!(mesh.ndims(), 3);
+    assert_ne!(src, dst, "no path to self");
+    let cs = mesh.coord_of(src);
+    let cd = mesh.coord_of(dst);
+    let mut nodes = vec![src];
+    let mut cur = cs;
+    while cur.get(2) != cd.get(2) {
+        let sign = Sign::towards(cur.get(2), cd.get(2)).expect("z differs");
+        let ch = mesh
+            .channel(mesh.node_at(&cur), 2, sign)
+            .expect("z channel exists");
+        if blocked(ch) {
+            return None;
+        }
+        let z = match sign {
+            Sign::Plus => cur.get(2) + 1,
+            Sign::Minus => cur.get(2) - 1,
+        };
+        cur = cur.with(2, z);
+        nodes.push(mesh.node_at(&cur));
+    }
+    let xy = xy_nodes_avoiding(mesh, cur, cd, blocked)?;
+    nodes.extend(xy.into_iter().skip(1));
+    Some(crate::Path::through(mesh, &nodes))
+}
+
+/// The node walk of a west-first-legal X–Y path from `from` to `to`
+/// (same coordinates in all non-X–Y dimensions) avoiding blocked channels,
+/// or `None`. Forced west prefix, then a backward-reachability DP over the
+/// monotone staircase rectangle, reconstructed east-first.
+fn xy_nodes_avoiding(
+    mesh: &Mesh,
+    from: Coord,
+    to: Coord,
+    blocked: &dyn Fn(ChannelId) -> bool,
+) -> Option<Vec<NodeId>> {
+    let mut nodes = vec![mesh.node_at(&from)];
+    let mut cur = from;
+    while to.get(0) < cur.get(0) {
+        let ch = mesh
+            .channel(mesh.node_at(&cur), 0, Sign::Minus)
+            .expect("west channel exists");
+        if blocked(ch) {
+            return None;
+        }
+        cur = cur.with(0, cur.get(0) - 1);
+        nodes.push(mesh.node_at(&cur));
+    }
+    if cur.get(0) == to.get(0) && cur.get(1) == to.get(1) {
+        return Some(nodes);
+    }
+    let (sx, sy) = (cur.get(0), cur.get(1));
+    let (dx, dy) = (to.get(0), to.get(1));
+    let w = (dx - sx) as usize + 1;
+    let h = sy.abs_diff(dy) as usize + 1;
+    let ysign = Sign::towards(sy, dy);
+    let y_at = |j: usize| {
+        if dy >= sy {
+            sy + j as u16
+        } else {
+            sy - j as u16
+        }
+    };
+    let node_at = |i: usize, j: usize| mesh.node_at(&cur.with(0, sx + i as u16).with(1, y_at(j)));
+    let live_e = |i: usize, j: usize| {
+        let ch = mesh
+            .channel(node_at(i, j), 0, Sign::Plus)
+            .expect("east channel exists");
+        !blocked(ch)
+    };
+    let live_y = |i: usize, j: usize| {
+        let ch = mesh
+            .channel(node_at(i, j), 1, ysign.expect("y movement needed"))
+            .expect("y channel exists");
+        !blocked(ch)
+    };
+    // can[j*w + i]: cell (i, j) reaches (dx, dy) through live monotone edges.
+    let mut can = vec![false; w * h];
+    can[(h - 1) * w + (w - 1)] = true;
+    for j in (0..h).rev() {
+        for i in (0..w).rev() {
+            if i == w - 1 && j == h - 1 {
+                continue;
+            }
+            let east = i + 1 < w && live_e(i, j) && can[j * w + i + 1];
+            let lateral = j + 1 < h && live_y(i, j) && can[(j + 1) * w + i];
+            can[j * w + i] = east || lateral;
+        }
+    }
+    if !can[0] {
+        return None;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while (i, j) != (w - 1, h - 1) {
+        if i + 1 < w && live_e(i, j) && can[j * w + i + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        nodes.push(node_at(i, j));
+    }
+    Some(nodes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,5 +689,80 @@ mod tests {
             ],
         );
         assert!(is_planar_west_first_legal(&m, &good));
+    }
+
+    #[test]
+    fn avoiding_no_blocks_matches_canonical_west_first() {
+        let m = Mesh::square(8);
+        let none = |_: ChannelId| false;
+        for s in (0..64u32).step_by(5) {
+            for d in (0..64u32).step_by(3) {
+                if s == d {
+                    continue;
+                }
+                let p = west_first_path_avoiding(&m, NodeId(s), NodeId(d), &none)
+                    .expect("unblocked mesh always has a path");
+                assert!(p.is_minimal(&m), "{s}->{d}");
+                assert!(is_west_first_legal(&m, &p), "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_detours_around_blocked_east_link() {
+        let m = Mesh::square(4);
+        // Block the east link out of (1,0) on the canonical (0,0)->(3,0)
+        // row; a legal detour exists through row 1.
+        let dead = m
+            .channel(node(&m, 1, 0), 0, Sign::Plus)
+            .expect("east channel");
+        let blocked = move |c: ChannelId| c == dead;
+        let p = west_first_path_avoiding(&m, node(&m, 0, 0), node(&m, 3, 0), &blocked);
+        // Destination in the same row: the staircase rectangle is one row
+        // high, so no legal detour exists there...
+        assert!(p.is_none(), "same-row detour would need a Y reversal");
+        // ...but a destination one row up can route around it.
+        let p = west_first_path_avoiding(&m, node(&m, 0, 0), node(&m, 3, 1), &blocked)
+            .expect("staircase detour exists");
+        assert!(is_west_first_legal(&m, &p));
+        assert!(p.is_minimal(&m));
+        assert!(!p.hops.contains(&dead));
+    }
+
+    #[test]
+    fn avoiding_west_leg_block_is_fatal() {
+        let m = Mesh::square(4);
+        // Westward movement is forced hop by hop: block the west link out
+        // of (2,2) and (3,2) can no longer reach (0,2) or anything west.
+        let dead = m
+            .channel(node(&m, 2, 2), 0, Sign::Minus)
+            .expect("west channel");
+        let blocked = move |c: ChannelId| c == dead;
+        assert!(west_first_path_avoiding(&m, node(&m, 3, 2), node(&m, 0, 2), &blocked).is_none());
+        assert!(west_first_path_avoiding(&m, node(&m, 3, 2), node(&m, 0, 0), &blocked).is_none());
+        // Eastbound traffic is unaffected.
+        assert!(west_first_path_avoiding(&m, node(&m, 0, 2), node(&m, 3, 2), &blocked).is_some());
+    }
+
+    #[test]
+    fn planar_avoiding_routes_in_plane_and_fails_on_z() {
+        let m = Mesh::cube(4);
+        let at = |x: u16, y: u16, z: u16| m.node_at(&Coord::xyz(x, y, z));
+        let none = |_: ChannelId| false;
+        let p = planar_west_first_path_avoiding(&m, at(1, 1, 0), at(3, 2, 3), &none)
+            .expect("unblocked path");
+        assert!(is_planar_west_first_legal(&m, &p));
+        assert!(p.is_minimal(&m));
+        // Blocking a Z link on the column kills the path (Z leg is DOR).
+        let dead = m.channel(at(1, 1, 1), 2, Sign::Plus).expect("z channel");
+        let blocked = move |c: ChannelId| c == dead;
+        assert!(planar_west_first_path_avoiding(&m, at(1, 1, 0), at(3, 2, 3), &blocked).is_none());
+        // Blocking an in-plane east link only forces a staircase detour.
+        let dead_e = m.channel(at(1, 1, 3), 0, Sign::Plus).expect("east channel");
+        let blocked_e = move |c: ChannelId| c == dead_e;
+        let p = planar_west_first_path_avoiding(&m, at(1, 1, 0), at(3, 2, 3), &blocked_e)
+            .expect("in-plane detour exists");
+        assert!(is_planar_west_first_legal(&m, &p));
+        assert!(!p.hops.contains(&dead_e));
     }
 }

@@ -486,4 +486,90 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
     }
+
+    #[test]
+    fn horizon_boundary_is_exclusive() {
+        // Geometry (4, 16): 16-ps buckets, ring window [tick(now),
+        // tick(now)+16). At now=0 the last in-ring instant is 255; 256 is
+        // the first tick past the horizon and must take the overflow path,
+        // yet still pop in global order once the clock reaches its window.
+        let mut q = CalendarWheel::with_geometry(4, 16);
+        q.schedule(t(255), "last-inside");
+        q.schedule(t(256), "first-outside");
+        q.schedule(t(0), "now-tick");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((t(0), "now-tick")));
+        assert_eq!(q.pop(), Some((t(255), "last-inside")));
+        assert_eq!(q.pop(), Some((t(256), "first-outside")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn schedule_at_the_current_instant_fires_next() {
+        let mut q = CalendarWheel::with_geometry(4, 16);
+        q.schedule(t(100), 1);
+        q.schedule(t(200), 2);
+        assert_eq!(q.pop(), Some((t(100), 1)));
+        // `at == now` is legal (only strictly-past schedules panic) and
+        // fires before everything later, FIFO after already-fired peers.
+        q.schedule(t(100), 3);
+        assert_eq!(q.pop(), Some((t(100), 3)));
+        assert_eq!(q.pop(), Some((t(200), 2)));
+    }
+
+    #[test]
+    fn horizon_window_tracks_the_advancing_clock() {
+        let mut q = CalendarWheel::with_geometry(4, 16);
+        q.schedule(t(300), "a"); // overflow while now = 0
+        assert_eq!(q.pop(), Some((t(300), "a")));
+        // The window re-anchors at tick(300) = 18, so the horizon tick is
+        // 34: instant 543 is the new last-inside, 544 the new first-outside.
+        q.schedule(t(543), "in-ring");
+        q.schedule(t(544), "overflow");
+        q.schedule(t(300), "at-now");
+        assert_eq!(q.pop(), Some((t(300), "at-now")));
+        assert_eq!(q.pop(), Some((t(543), "in-ring")));
+        assert_eq!(q.pop(), Some((t(544), "overflow")));
+        assert_eq!(q.pop(), None);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Property form of the engine-swap contract: under arbitrary
+        /// schedule/pop interleavings — offsets spanning same-instant ties,
+        /// in-bucket, in-ring and past-horizon — the wheel's `(time, seq)`
+        /// order, clock and peeks all match the reference heap queue.
+        #[test]
+        fn wheel_matches_heap_on_arbitrary_interleavings(
+            ops in proptest::collection::vec((0u8..3, 0u64..2_000), 1usize..200),
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            // Tiny geometry: a 256-ps horizon forces constant overflow
+            // migration and window wraps.
+            let mut heap = EventQueue::new();
+            let mut wheel = CalendarWheel::with_geometry(4, 16);
+            let mut next_id = 0u64;
+            for (kind, off) in ops {
+                if kind < 2 {
+                    // Schedule (twice as likely as pop, so queues grow).
+                    let at = heap.now() + SimDuration::from_ps(off);
+                    heap.schedule(at, next_id);
+                    wheel.schedule(at, next_id);
+                    next_id += 1;
+                } else {
+                    prop_assert_eq!(heap.pop(), wheel.pop());
+                    prop_assert_eq!(heap.now(), wheel.now());
+                }
+                prop_assert_eq!(heap.peek_time(), wheel.peek_time());
+            }
+            loop {
+                let (a, b) = (heap.pop(), wheel.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
 }

@@ -3,13 +3,22 @@
 use serde::{Deserialize, Serialize};
 
 /// Online mean/variance accumulator, numerically stable for long runs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// Deriving `Default` would zero the min/max sentinels (`min = max = 0.0`),
+/// so a defaulted accumulator would report a false minimum of 0 after
+/// pushes of positive values; delegate to [`OnlineStats::new`] instead.
+impl Default for OnlineStats {
+    fn default() -> Self {
+        OnlineStats::new()
+    }
 }
 
 impl OnlineStats {
@@ -172,5 +181,32 @@ mod tests {
     fn zero_mean_cv_is_zero() {
         let s = summarize(&[-1.0, 1.0]);
         assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        let mut d = OnlineStats::default();
+        let n = OnlineStats::new();
+        assert_eq!(d.count(), n.count());
+        assert_eq!(d.min(), f64::INFINITY);
+        assert_eq!(d.max(), f64::NEG_INFINITY);
+        // The sentinel bug: a defaulted accumulator must track the true
+        // minimum of positive observations, not a phantom 0.
+        d.push(3.0);
+        d.push(7.0);
+        assert_eq!(d.min(), 3.0);
+        assert_eq!(d.max(), 7.0);
+    }
+
+    #[test]
+    fn empty_accumulator_serde_round_trip() {
+        // The vendored serde facade has no deserializer, so the round-trip
+        // is checked at the serialized representation: `default()` and
+        // `new()` must agree byte-for-byte (same sentinels), which is what
+        // guarantees a re-hydrated accumulator behaves like a fresh one.
+        let d = serde_json::to_string(&OnlineStats::default()).unwrap();
+        let n = serde_json::to_string(&OnlineStats::new()).unwrap();
+        assert_eq!(d, n);
+        assert!(!d.contains("\"min\":0"), "default must not zero min: {d}");
     }
 }

@@ -47,6 +47,14 @@ pub enum EventKind {
     Deliver,
     /// Message complete.
     Complete,
+    /// A link went down (fault injection).
+    LinkDown,
+    /// A link came back up (end of a transient outage).
+    LinkUp,
+    /// An adaptive header steered around a faulted channel.
+    Reroute,
+    /// The delivery watchdog retired a stalled message.
+    Stalled,
 }
 
 impl EventKind {
@@ -62,6 +70,10 @@ impl EventKind {
             EventKind::ChannelRelease => "channel_release",
             EventKind::Deliver => "deliver",
             EventKind::Complete => "complete",
+            EventKind::LinkDown => "link_down",
+            EventKind::LinkUp => "link_up",
+            EventKind::Reroute => "reroute",
+            EventKind::Stalled => "stalled",
         }
     }
 }
@@ -81,7 +93,8 @@ pub struct Event {
     pub node: Option<u32>,
     /// Channel involved, if any.
     pub ch: Option<u32>,
-    /// FIFO depth (for `channel_wait`), if any.
+    /// FIFO depth (for `channel_wait`) or undelivered destination count
+    /// (for `stalled`), if any.
     pub q: Option<u64>,
     /// Payload flits (for `deliver`), if any.
     pub flits: Option<u64>,
@@ -464,6 +477,10 @@ mod tests {
             EventKind::ChannelRelease,
             EventKind::Deliver,
             EventKind::Complete,
+            EventKind::LinkDown,
+            EventKind::LinkUp,
+            EventKind::Reroute,
+            EventKind::Stalled,
         ] {
             let e = Event::new(u64::MAX, kind, u64::MAX);
             assert_eq!(e.line().len(), e.line_len(), "{}", e.line());

@@ -189,6 +189,34 @@ impl CvAccumulator {
     }
 }
 
+/// Reliability counters fed by the fault-injection subsystem. All plain
+/// integer adds, so merging across replications is exact and
+/// order-independent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ReliabilityCounters {
+    /// Messages the delivery watchdog retired as stalled.
+    pub stalled: u64,
+    /// Destination copies lost to stalls (as reported by the engine).
+    pub undelivered: u64,
+    /// Adaptive headers that steered around at least one faulted channel.
+    pub reroutes: u64,
+    /// Links taken down by fault injection.
+    pub link_failures: u64,
+    /// Links restored after a transient outage.
+    pub link_restores: u64,
+}
+
+impl ReliabilityCounters {
+    /// Absorb another set (exact, order-independent).
+    pub fn merge(&mut self, other: &ReliabilityCounters) {
+        self.stalled += other.stalled;
+        self.undelivered += other.undelivered;
+        self.reroutes += other.reroutes;
+        self.link_failures += other.link_failures;
+        self.link_restores += other.link_restores;
+    }
+}
+
 /// Everything collected about one replication (or, after merging, one
 /// experiment cell).
 #[derive(Debug, Clone, Default)]
@@ -201,6 +229,8 @@ pub struct TelemetryFrame {
     /// Driver-reported per-operation CV mean; matches the figure drivers'
     /// reported CV to floating-point tolerance.
     pub op_cv: CvAccumulator,
+    /// Reliability counters (nonzero only under fault injection).
+    pub reliability: ReliabilityCounters,
     /// Contention heatmap, when enabled.
     pub heatmap: Option<ChannelHeatmap>,
     /// NDJSON event stream, when enabled.
@@ -228,6 +258,7 @@ impl TelemetryFrame {
         self.phases.merge(&other.phases);
         self.arrivals.merge(&other.arrivals);
         self.op_cv.merge(&other.op_cv);
+        self.reliability.merge(&other.reliability);
         match (&mut self.heatmap, &other.heatmap) {
             (Some(a), Some(b)) => a.merge(b),
             (None, Some(b)) => self.heatmap = Some(b.clone()),
@@ -253,6 +284,7 @@ impl TelemetryFrame {
             arrivals: self.arrivals.export(),
             op_cv_mean: self.op_cv.mean(),
             op_cv_count: self.op_cv.count,
+            reliability: self.reliability,
             events_retained: self.events.as_ref().map_or(0, |e| e.len() as u64),
             events_dropped: self.events.as_ref().map_or(0, |e| e.dropped()),
             heatmap: self.heatmap.as_ref().map(|h| h.export()),
@@ -281,6 +313,8 @@ pub struct FrameExport {
     pub op_cv_mean: f64,
     /// Operations behind `op_cv_mean`.
     pub op_cv_count: u64,
+    /// Reliability counters (all zero outside fault-injection runs).
+    pub reliability: ReliabilityCounters,
     /// Events retained in the NDJSON stream.
     pub events_retained: u64,
     /// Events dropped by the byte budget.
@@ -540,6 +574,59 @@ impl MetricsSink for CollectorSink {
             push_event(f, e);
         }
     }
+
+    fn on_link_failed(&mut self, now: SimTime, ch: ChannelId) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        f.reliability.link_failures += 1;
+        if self.events {
+            let mut e = self.event(now, EventKind::LinkDown);
+            e.ch = Some(ch.0);
+            push_event(f, e);
+        }
+    }
+
+    fn on_link_restored(&mut self, now: SimTime, ch: ChannelId) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        f.reliability.link_restores += 1;
+        if self.events {
+            let mut e = self.event(now, EventKind::LinkUp);
+            e.ch = Some(ch.0);
+            push_event(f, e);
+        }
+    }
+
+    fn on_reroute(&mut self, now: SimTime, m: MessageId, at: NodeId) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        f.reliability.reroutes += 1;
+        if self.events {
+            let mut e = self.event(now, EventKind::Reroute);
+            e.msg = Some(m.0);
+            e.node = Some(at.0);
+            push_event(f, e);
+        }
+    }
+
+    fn on_stalled(&mut self, now: SimTime, m: MessageId, at: NodeId, undelivered: u64) {
+        let mut guard = self.shared.lock().unwrap();
+        let f = &mut *guard;
+        f.reliability.stalled += 1;
+        f.reliability.undelivered += undelivered;
+        if self.phases {
+            // A stalled message never completes; drop its scratch state so
+            // merged frames don't leak per-message state across operations.
+            f.inflight.remove(&m.0);
+        }
+        if self.events {
+            let mut e = self.event(now, EventKind::Stalled);
+            e.msg = Some(m.0);
+            e.node = Some(at.0);
+            e.q = Some(undelivered);
+            push_event(f, e);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -621,6 +708,42 @@ mod tests {
         assert_eq!(ex.label, "cell");
         assert_eq!(ex.events_retained, 18);
         assert!(ex.heatmap.is_some());
+    }
+
+    #[test]
+    fn reliability_counters_collect_and_merge() {
+        let spec = TelemetrySpec::full();
+        let mk = |rep| {
+            let c = Collector::new(&spec, rep, 4, 2);
+            let mut s = c.sink();
+            s.on_link_failed(SimTime::from_ps(0), ChannelId(1));
+            s.on_reroute(SimTime::from_ps(500), MessageId(0), NodeId(0));
+            s.on_stalled(SimTime::from_ps(9_000), MessageId(1), NodeId(1), 3);
+            s.on_link_restored(SimTime::from_ps(10_000), ChannelId(1));
+            drop(s);
+            c.finish()
+        };
+        let mut a = mk(0);
+        let b = mk(1);
+        a.merge(&b);
+        assert_eq!(
+            a.reliability,
+            ReliabilityCounters {
+                stalled: 2,
+                undelivered: 6,
+                reroutes: 2,
+                link_failures: 2,
+                link_restores: 2,
+            }
+        );
+        let ex = a.export("cell");
+        assert_eq!(ex.reliability.undelivered, 6);
+        let log = a.events.as_ref().expect("events enabled");
+        let nd = log.to_ndjson();
+        let stats = events::validate_ndjson(&nd).expect("valid NDJSON");
+        assert_eq!(stats.lines, 8);
+        assert!(nd.contains("\"ev\":\"link_down\""));
+        assert!(nd.contains("\"ev\":\"stalled\",\"rep\":1,\"msg\":1,\"node\":1,\"q\":3"));
     }
 
     #[test]

@@ -125,6 +125,36 @@ impl BroadcastTracker {
         self.received == self.expected
     }
 
+    /// Destinations that have received the payload so far.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Destinations the broadcast is supposed to reach.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// Fraction of destinations reached so far — the reliability metric of
+    /// a faulted run (1.0 once complete).
+    pub fn delivery_ratio(&self) -> f64 {
+        self.received as f64 / self.expected as f64
+    }
+
+    /// Arrival latencies (µs) of the destinations reached so far — the
+    /// non-panicking form of [`BroadcastTracker::latencies_us`] for runs
+    /// degraded by faults. Empty if the operation never started.
+    pub fn delivered_latencies_us(&self) -> Vec<f64> {
+        let Some(t0) = self.started_at else {
+            return Vec::new();
+        };
+        self.arrivals
+            .iter()
+            .flatten()
+            .map(|t| t.since(t0).as_us())
+            .collect()
+    }
+
     /// When the operation started.
     pub fn started_at(&self) -> Option<SimTime> {
         self.started_at

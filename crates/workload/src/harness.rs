@@ -355,4 +355,35 @@ mod tests {
         assert_eq!(Runner::sequential().jobs(), 1);
         assert_eq!(Runner::new(3).jobs(), 3);
     }
+
+    #[test]
+    fn merge_carries_drop_counts_without_double_counting() {
+        use wormcast_telemetry::events::{Event, EventKind, EventLog};
+        use wormcast_telemetry::TelemetryFrame;
+
+        let e = Event::new(1, EventKind::Inject, 0);
+        let cost = e.line_len() + 1;
+        let frame = |budget: usize, pushes: usize| {
+            let mut f = TelemetryFrame::default();
+            let mut log = EventLog::new(cost * budget);
+            for _ in 0..pushes {
+                log.push(e);
+            }
+            f.events = Some(log);
+            f
+        };
+        // The accumulator adopts the first frame's (ample) budget; the two
+        // later replications each drop 1 event over their own tight budget.
+        let mut merge = TelemetryMerge::new();
+        merge.absorb(Some(frame(16, 3))); // 3 retained, 0 dropped
+        merge.absorb(None); // telemetry-less replication is a no-op
+        merge.absorb(Some(frame(2, 3))); // 2 retained, 1 dropped
+        merge.absorb(Some(frame(2, 3))); // 2 retained, 1 dropped
+        let merged = merge.finish().expect("frames were absorbed");
+        let log = merged.events.as_ref().expect("events enabled");
+        // Every retained event fits the accumulator, so the merged count
+        // is exactly the per-replication drops, carried once each.
+        assert_eq!(log.len(), 3 + 2 + 2);
+        assert_eq!(log.dropped(), 2);
+    }
 }

@@ -12,6 +12,9 @@
 //!   Poisson traffic swept over offered load (Figs. 3–4);
 //! * [`multicast`] — destination-subset delivery with the UM / CM / SP
 //!   schemes (the paper's named future direction);
+//! * [`faulty`] — broadcasts on faulted networks: plan-time schedule
+//!   degradation around dead links, watchdog-guarded execution, and
+//!   reliability metrics (delivery ratio, re-routes, stalls);
 //! * [`torus`] — the k-ary n-cube ring broadcast executed on the real
 //!   engine (`Network<Torus>`);
 //! * [`harness`] — the replication harness: [`harness::Runner`] executes
@@ -22,6 +25,7 @@
 
 pub mod contended;
 pub mod executor;
+pub mod faulty;
 pub mod harness;
 pub mod mixed;
 pub mod multicast;
@@ -34,6 +38,10 @@ pub use contended::{
     ContendedOutcome,
 };
 pub use executor::BroadcastTracker;
+pub use faulty::{
+    degrade_schedule, run_faulty_broadcast, run_faulty_broadcast_observed, DegradedSchedule,
+    FaultRep, FaultyOutcome,
+};
 pub use harness::{BroadcastRep, RepContext, Replication, Runner, TelemetryMerge};
 pub use mixed::{
     run_mixed_traffic, run_mixed_traffic_from, run_mixed_traffic_observed, MixedConfig,

@@ -65,8 +65,8 @@ pub mod prelude {
     };
     pub use wormcast_experiments::{Experiment, Observation, RunOutput};
     pub use wormcast_network::{
-        ConfigError, Delivery, MessageSpec, Network, NetworkConfig, NetworkConfigBuilder, OpId,
-        ReleaseMode, Route, Simulation, SimulationBuilder, TraceKind,
+        ConfigError, Delivery, FaultPlan, FaultSpec, MessageSpec, Network, NetworkConfig,
+        NetworkConfigBuilder, OpId, ReleaseMode, Route, Simulation, SimulationBuilder, TraceKind,
     };
     pub use wormcast_routing::{
         dor_path, CodedPath, ControlField, DimensionOrdered, Path, RoutingFunction, WestFirst,
@@ -80,8 +80,9 @@ pub mod prelude {
         Coord, GeneralizedHypercube, Mesh, NodeId, Plane, Sign, Topology, Torus,
     };
     pub use wormcast_workload::{
-        random_destinations, run_averaged_broadcasts, run_contended_broadcasts, run_mixed_traffic,
-        run_single_broadcast, run_single_multicast, run_torus_broadcast, BroadcastRep,
-        BroadcastTracker, MixedConfig, MulticastScheme, RepContext, Replication, Runner,
+        random_destinations, run_averaged_broadcasts, run_contended_broadcasts,
+        run_faulty_broadcast, run_mixed_traffic, run_single_broadcast, run_single_multicast,
+        run_torus_broadcast, BroadcastRep, BroadcastTracker, FaultRep, MixedConfig,
+        MulticastScheme, RepContext, Replication, Runner,
     };
 }

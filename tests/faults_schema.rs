@@ -1,0 +1,100 @@
+//! Schema and identity checks for the `faults` experiment output.
+//!
+//! `results/faults.json` is an array of cell objects, one per
+//! (fault rate, algorithm) pair, each carrying the reliability fields the
+//! fault sweep is about: `rate`, `algorithm`, `delivery_ratio`, `stalled`,
+//! `undelivered`, `reroutes`, `link_failures` plus the survivor latencies.
+//! The vendored serde facade has no deserializer, so the external-file test
+//! validates structurally (the same approach CI's grep-level checks take);
+//! the in-process tests lock the schema and the fault-rate-0 identity at
+//! the type level.
+
+use wormcast::experiments::faults::{check_claims, FaultsParams};
+use wormcast::prelude::*;
+
+fn quick_params() -> FaultsParams {
+    FaultsParams {
+        side: 4,
+        rates: vec![0.0, 0.05],
+        length: 32,
+        startup_us: 1.5,
+        runs: 3,
+        seed: 11,
+    }
+}
+
+/// Field keys every cell of faults.json must carry, in serialization order.
+const REQUIRED_KEYS: &[&str] = &[
+    "\"nodes\":",
+    "\"rate\":",
+    "\"algorithm\":",
+    "\"runs\":",
+    "\"delivery_ratio\":",
+    "\"stalled\":",
+    "\"undelivered\":",
+    "\"reroutes\":",
+    "\"link_failures\":",
+    "\"latency_us\":",
+    "\"mean_node_latency_us\":",
+];
+
+fn validate_faults_json(text: &str, context: &str) {
+    let text = text.trim();
+    assert!(
+        text.starts_with('[') && text.ends_with(']'),
+        "{context}: expected a JSON array of cells"
+    );
+    let cells = text.matches("\"algorithm\":").count();
+    assert!(cells > 0, "{context}: no cells");
+    for key in REQUIRED_KEYS {
+        assert_eq!(
+            text.matches(key).count(),
+            cells,
+            "{context}: key {key} must appear exactly once per cell"
+        );
+    }
+}
+
+#[test]
+fn generated_cells_serialize_with_the_full_schema() {
+    let params = quick_params();
+    let cells = params.run(&Runner::sequential()).cells;
+    assert_eq!(cells.len(), 2 * 4, "rate x algorithm grid");
+    let json = serde_json::to_string(&cells).expect("cells serialize");
+    validate_faults_json(&json, "generated cells");
+    let bad = check_claims(&cells);
+    assert!(bad.is_empty(), "claims violated: {bad:?}");
+}
+
+#[test]
+fn rate_zero_cells_are_lossless_and_fault_counters_stay_zero() {
+    let params = quick_params();
+    let cells = params.run(&Runner::sequential()).cells;
+    for c in cells.iter().filter(|c| c.rate == 0.0) {
+        assert_eq!(c.delivery_ratio, 1.0, "{}", c.algorithm);
+        assert_eq!(
+            (c.stalled, c.undelivered, c.reroutes, c.link_failures),
+            (0, 0, 0, 0),
+            "{}",
+            c.algorithm
+        );
+    }
+}
+
+/// ci.sh runs the release `faults` binary with `--out`, then re-runs this
+/// test with `WORMCAST_FAULTS_FILE` pointing at the produced JSON — the
+/// end-to-end check that the shipped binary emits a schema-valid sweep.
+#[test]
+fn external_faults_file_validates_when_provided() {
+    let Ok(path) = std::env::var("WORMCAST_FAULTS_FILE") else {
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read WORMCAST_FAULTS_FILE={path}: {e}"));
+    validate_faults_json(&text, &path);
+    println!(
+        "validated {}: {} cells",
+        path,
+        text.matches("\"algorithm\":").count()
+    );
+}
