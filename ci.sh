@@ -72,6 +72,28 @@ done
 WORMCAST_FAULTS_FILE="$TDIR/f1/faults.json" \
     run cargo test "${OFFLINE[@]}" -q -p wormcast --test faults_schema
 
+# Simcheck smoke: a time-boxed fuzzing campaign through the differential
+# oracle and the invariant checker. Fixed seed, ~200 scenarios (or 60 s,
+# whichever bites first), zero findings required; two runs must agree byte
+# for byte, and the report must pass the schema test.
+echo "==> simcheck smoke"
+run ./target/release/simcheck --seed 2005 --count 200 --time-budget 60 \
+    --out "$TDIR/simcheck.json"
+run ./target/release/simcheck --seed 2005 --count 200 --time-budget 60 \
+    --out "$TDIR/simcheck2.json"
+run cmp "$TDIR/simcheck.json" "$TDIR/simcheck2.json" || {
+    echo "ci: simcheck.json differs across reruns" >&2
+    exit 1
+}
+for key in '"violations": 0' '"mismatches": 0' '"panics": 0'; do
+    grep -q "$key" "$TDIR/simcheck.json" || {
+        echo "ci: simcheck campaign not clean (missing $key)" >&2
+        exit 1
+    }
+done
+WORMCAST_SIMCHECK_FILE="$TDIR/simcheck.json" \
+    run cargo test "${OFFLINE[@]}" -q -p wormcast --test simcheck_schema
+
 # Engine bench smoke: run the engine micro-bench once, then check that both
 # the fresh report and the committed results/BENCH_engine.json parse and
 # still show the active-set engine ahead of the retired classic stepper.

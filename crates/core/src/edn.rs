@@ -354,6 +354,36 @@ mod tests {
         s.validate(&m, 3).expect("generalized EDN covers 10x10x10");
     }
 
+    /// The ceil-halving relaxation on the paper's 10×10×10 mesh: extents
+    /// reduce 10 → 5 → 3 (⌈e/2⌉ per level), so the non-conforming size slots
+    /// into the `k + m + 4` table at k = m = 2, exactly as a conforming
+    /// 16×16×16 would.
+    #[test]
+    fn ceil_halving_relaxation_on_10x10x10() {
+        let m = Mesh::new(&[10, 10, 10]);
+        // Closed form: two XY levels, two Z levels.
+        assert_eq!(edn_steps(&m), 2 + 2 + 4);
+        assert_eq!(edn_steps(&m), edn_steps(&Mesh::cube(16)));
+        for src in [0u32, 137, 999] {
+            let s = edn_schedule(&m, NodeId(src));
+            assert_eq!(s.steps(), 8, "constructed steps match the table");
+            s.validate(&m, 3)
+                .expect("valid under the three-port budget");
+            // Every node is dominated: delivered to by exactly one of the
+            // schedule's DOR unicasts (the source by none).
+            let mut hits = vec![0u32; m.num_nodes()];
+            for msg in &s.messages {
+                for r in msg.plan.receivers(&m) {
+                    hits[r.0 as usize] += 1;
+                }
+            }
+            for (i, &h) in hits.iter().enumerate() {
+                let expect = u32::from(i as u32 != src);
+                assert_eq!(h, expect, "node {i} dominated exactly once (src {src})");
+            }
+        }
+    }
+
     #[test]
     fn respects_three_ports_from_many_sources() {
         let m = Mesh::new(&[8, 8, 4]);

@@ -1,7 +1,7 @@
 //! Umbrella experiment runner: regenerate every table and figure of the
 //! paper in one command.
 //!
-//! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig2|tables|fig3|fig4|arrivals|multicast|faults]...
+//! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig2|tables|fig3|fig4|arrivals|multicast|faults|simcheck]...
 //!                  [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]
 //!                  [--telemetry DIR] [--events PATH] [--trace-dump PATH]`
 //!
@@ -15,6 +15,13 @@
 //! name inserted before the extension (`events.ndjson` → `events-fig1.ndjson`)
 //! so successive experiments don't clobber each other. The `steps` selector
 //! computes closed forms without simulating, so it emits no telemetry.
+//!
+//! The `simcheck` selector (not part of `all`) runs a scenario-fuzzing
+//! campaign through the differential oracle — see the `wormcast-simcheck`
+//! crate. Built without the `invariants` feature (the default here, to keep
+//! the engine's deep checks out of the measured binaries), invariant-only
+//! scenarios are reported as skipped; the standalone `simcheck` binary
+//! compiles them in.
 //!
 //! `--trace-dump PATH` runs one DB broadcast on an 8×8×8 mesh (honouring
 //! `--length`, `--ts` and `--seed`) with the engine's bounded trace enabled
@@ -302,10 +309,42 @@ fn main() {
                     telemetry::write_outputs(&topts(sel), sel, m, &frames);
                 }
             }
+            "simcheck" => {
+                let seed = opts.seed.unwrap_or(2005);
+                let count = if opts.quick { 50 } else { 200 };
+                let report = wormcast_simcheck::campaign(seed, count, 0);
+                for f in &report.failures {
+                    eprintln!(
+                        "simcheck: scenario {} failed ({}): {}\nminimal repro:\n{}",
+                        f.index, f.kind, f.detail, f.repro
+                    );
+                }
+                println!(
+                    "simcheck: {} scenarios ({} differential, {} invariant-only, {} skipped): \
+                     {} violations, {} mismatches, {} panics",
+                    report.count,
+                    report.differential,
+                    report.invariant_only,
+                    report.skipped,
+                    report.violations,
+                    report.mismatches,
+                    report.panics
+                );
+                // Report renders its own deterministic JSON (no serde), so it
+                // bypasses the erased::Json path used by the other selectors.
+                if let Some(dir) = &opts.out_dir {
+                    let path = dir.join("simcheck.json");
+                    std::fs::write(&path, report.to_json()).expect("write results");
+                    println!("wrote {}", path.display());
+                }
+                if !report.is_clean() {
+                    std::process::exit(1);
+                }
+            }
             other => {
                 eprintln!(
                     "unknown experiment '{other}' (steps, fig1, fig1-lowts, fig2, tables, \
-                     fig3, fig4, arrivals, multicast, faults, all)"
+                     fig3, fig4, arrivals, multicast, faults, simcheck, all)"
                 );
                 std::process::exit(2);
             }

@@ -146,6 +146,9 @@ pub struct Network<T: SimTopology = Mesh> {
     extra_sinks: Vec<Box<dyn MetricsSink>>,
     /// Channels disabled by fault injection (never granted again).
     failed: std::collections::HashSet<ChannelId>,
+    /// Time of the last dispatched event, for the monotone-clock deep check.
+    #[cfg(feature = "invariants")]
+    iv_last_now: SimTime,
 }
 
 impl<T: SimTopology> Network<T> {
@@ -179,6 +182,8 @@ impl<T: SimTopology> Network<T> {
             sink_trace: TraceSink::default(),
             extra_sinks: Vec::new(),
             failed: std::collections::HashSet::new(),
+            #[cfg(feature = "invariants")]
+            iv_last_now: SimTime::ZERO,
         }
     }
 
@@ -353,6 +358,10 @@ impl<T: SimTopology> Network<T> {
             Ev::Complete(m) => self.on_complete(now, m),
             Ev::PortRelease(node) => self.on_port_release(now, node),
             Ev::ReleaseOne(ch) => self.release(now, ch),
+        }
+        #[cfg(feature = "invariants")]
+        if self.cfg.check_invariants {
+            self.deep_check_invariants(now);
         }
         true
     }
@@ -608,6 +617,105 @@ impl<T: SimTopology> Network<T> {
                 );
             }
         }
+    }
+}
+
+#[cfg(feature = "invariants")]
+impl<T: SimTopology> Network<T> {
+    /// Strong structural audit of the oracle's state, the classic-engine
+    /// analogue of `engine::Network::deep_check_invariants`: monotone clock,
+    /// counter/state agreement, channel-ownership bijection under
+    /// path-holding, no channel held by a retired message, consistent
+    /// waiter queues. Runs after every dispatched event when
+    /// [`NetworkConfig::check_invariants`] is set.
+    pub fn deep_check_invariants(&mut self, now: SimTime) {
+        assert!(
+            now >= self.iv_last_now,
+            "deep check: clock went backwards ({} ps after {} ps)",
+            now.as_ps(),
+            self.iv_last_now.as_ps()
+        );
+        self.iv_last_now = now;
+        let c = self.sink_counters.counters();
+        assert_eq!(
+            c.injected as usize,
+            self.msgs.len(),
+            "deep check: injected counter diverges from message state"
+        );
+        let done = self.msgs.iter().filter(|m| m.done).count() as u64;
+        assert_eq!(
+            done,
+            c.completed + c.stalled,
+            "deep check: retirement accounting"
+        );
+        let mut owned = 0usize;
+        for (i, msg) in self.msgs.iter().enumerate() {
+            if msg.done {
+                assert!(
+                    msg.held.is_empty(),
+                    "deep check: retired message m{i} still has a held path"
+                );
+                continue;
+            }
+            if let Some(ch) = msg.crossing {
+                assert_eq!(
+                    self.channels[ch.index()].busy,
+                    Some(MessageId(i as u64)),
+                    "deep check: m{i} crossing {ch:?} it does not own"
+                );
+                owned += 1;
+            }
+            for &ch in &msg.held {
+                assert_eq!(
+                    self.channels[ch.index()].busy,
+                    Some(MessageId(i as u64)),
+                    "deep check: m{i} holds {ch:?} it does not own"
+                );
+                owned += 1;
+            }
+        }
+        let busy = self.channels.iter().filter(|c| c.busy.is_some()).count();
+        if self.cfg.release == ReleaseMode::PathHolding {
+            assert_eq!(
+                owned, busy,
+                "deep check: channel ownership bijection ({owned} claims vs {busy} busy)"
+            );
+        } else {
+            assert!(
+                owned <= busy,
+                "deep check: more ownership claims ({owned}) than busy channels ({busy})"
+            );
+        }
+        let mut queued = 0usize;
+        for (i, chan) in self.channels.iter().enumerate() {
+            if let Some(m) = chan.busy {
+                assert!(
+                    !self.msgs[m.index()].done,
+                    "deep check: channel c{i} held by retired message {m:?}"
+                );
+            }
+            for &w in &chan.waiters {
+                assert_eq!(
+                    self.msgs[w.index()].waiting_on,
+                    Some(ChannelId(i as u32)),
+                    "deep check: waiter {w:?} on c{i} records a different channel"
+                );
+                assert!(
+                    !self.msgs[w.index()].done,
+                    "deep check: retired message {w:?} still queued on c{i}"
+                );
+            }
+            queued += chan.waiters.len();
+        }
+        let waiting = self
+            .msgs
+            .iter()
+            .filter(|m| !m.done && m.waiting_on.is_some())
+            .count();
+        assert_eq!(
+            queued, waiting,
+            "deep check: queued headers vs messages recorded as waiting"
+        );
     }
 }
 

@@ -232,6 +232,13 @@ pub struct Network<T: SimTopology = Mesh> {
     extra_sinks: Vec<Box<dyn MetricsSink>>,
     /// Channels disabled by fault injection (never granted again).
     failed: ActiveSet,
+    /// Time of the last dispatched event, for the monotone-clock deep check.
+    #[cfg(feature = "invariants")]
+    iv_last_now: SimTime,
+    /// Self-test fault for the checker: when armed, the next channel release
+    /// is silently skipped, leaking the channel.
+    #[cfg(feature = "invariants")]
+    sabotage_skip_release: bool,
 }
 
 impl<T: SimTopology> Network<T> {
@@ -254,6 +261,10 @@ impl<T: SimTopology> Network<T> {
             sink_trace: TraceSink::default(),
             extra_sinks: Vec::new(),
             failed: ActiveSet::new(num_channels),
+            #[cfg(feature = "invariants")]
+            iv_last_now: SimTime::ZERO,
+            #[cfg(feature = "invariants")]
+            sabotage_skip_release: false,
         }
     }
 
@@ -432,6 +443,10 @@ impl<T: SimTopology> Network<T> {
             Ev::LinkDown(ch) => self.on_link_down(now, ch),
             Ev::LinkUp(ch) => self.on_link_up(now, ch),
             Ev::StallCheck(m, hops) => self.on_stall_check(now, m, hops),
+        }
+        #[cfg(feature = "invariants")]
+        if self.cfg.check_invariants {
+            self.deep_check_invariants(now);
         }
         true
     }
@@ -767,6 +782,11 @@ impl<T: SimTopology> Network<T> {
 
     /// Release a channel and hand it to the first waiter, if any.
     fn release(&mut self, now: SimTime, ch: ChannelId) {
+        #[cfg(feature = "invariants")]
+        if self.sabotage_skip_release {
+            self.sabotage_skip_release = false;
+            return;
+        }
         self.chans.busy[ch.index()] = NONE;
         self.emit(|s| s.on_channel_release(now, ch));
         if self.failed.contains(ch.index()) {
@@ -906,6 +926,147 @@ impl<T: SimTopology> Network<T> {
                 w = self.msgs.next_waiter[w as usize];
             }
         }
+    }
+}
+
+#[cfg(feature = "invariants")]
+impl<T: SimTopology> Network<T> {
+    /// Arm the self-test fault: the next channel release is silently
+    /// skipped, leaking the channel into a permanently-busy state. Exists
+    /// only to prove the invariant checkers catch a real engine bug (the
+    /// deep check flags the leaked channel the moment its holder retires);
+    /// never call it outside checker tests.
+    #[doc(hidden)]
+    pub fn sabotage_skip_next_release(&mut self) {
+        self.sabotage_skip_release = true;
+    }
+
+    /// Strong structural audit of the arenas, run after every dispatched
+    /// event when [`NetworkConfig::check_invariants`] is set (and callable
+    /// directly at any event boundary). Panics on the first inconsistency:
+    /// non-monotone clock, counter/arena divergence, broken channel
+    /// ownership (every held or crossing channel must be busy with exactly
+    /// its holder — a bijection under path-holding), channels held by
+    /// retired messages, or corrupt waiter queues. O(messages + channels +
+    /// waiters) per call.
+    pub fn deep_check_invariants(&mut self, now: SimTime) {
+        assert!(
+            now >= self.iv_last_now,
+            "deep check: clock went backwards ({} ps after {} ps)",
+            now.as_ps(),
+            self.iv_last_now.as_ps()
+        );
+        self.iv_last_now = now;
+        let c = self.sink_counters.counters();
+        assert_eq!(
+            c.injected as usize,
+            self.msgs.spec.len(),
+            "deep check: injected counter diverges from the message arena"
+        );
+        let done = self.msgs.done.iter().filter(|&&d| d).count() as u64;
+        assert_eq!(
+            done,
+            c.completed + c.stalled,
+            "deep check: retirement accounting ({done} done vs {} completed + {} stalled)",
+            c.completed,
+            c.stalled
+        );
+        // Channel ownership: every channel a live message is crossing or
+        // holding must be busy with exactly that message. Under path-holding
+        // the claims cover the busy set exactly (a bijection, so no channel
+        // has two holders); under facility queueing, channels mid-body-drain
+        // are busy without a claim, so coverage is one-sided.
+        let mut owned = 0usize;
+        for i in 0..self.msgs.spec.len() {
+            if self.msgs.done[i] {
+                assert!(
+                    self.msgs.held_head[i] == NONE,
+                    "deep check: retired message m{i} still has a held path"
+                );
+                continue;
+            }
+            let crossing = self.msgs.crossing[i];
+            if crossing != NONE {
+                assert_eq!(
+                    self.chans.busy[crossing as usize], i as u32,
+                    "deep check: m{i} crossing c{crossing} it does not own"
+                );
+                owned += 1;
+            }
+            let mut ch = self.msgs.held_head[i];
+            while ch != NONE {
+                assert_eq!(
+                    self.chans.busy[ch as usize], i as u32,
+                    "deep check: m{i} holds c{ch} it does not own"
+                );
+                owned += 1;
+                assert!(
+                    owned <= self.chans.busy.len(),
+                    "deep check: held-path cycle at m{i}"
+                );
+                ch = self.chans.held_next[ch as usize];
+            }
+        }
+        let busy = self.chans.busy.iter().filter(|&&b| b != NONE).count();
+        if self.cfg.release == ReleaseMode::PathHolding {
+            assert_eq!(
+                owned, busy,
+                "deep check: channel ownership bijection ({owned} claims vs {busy} busy)"
+            );
+        } else {
+            assert!(
+                owned <= busy,
+                "deep check: more ownership claims ({owned}) than busy channels ({busy})"
+            );
+        }
+        // Per-channel: no retired holder, and the waiter FIFO agrees with
+        // its length field, its tail pointer and each waiter's back-pointer.
+        let mut queued = 0u64;
+        for i in 0..self.chans.busy.len() {
+            let h = self.chans.busy[i];
+            if h != NONE {
+                assert!(
+                    !self.msgs.done[h as usize],
+                    "deep check: channel c{i} held by retired message m{h}"
+                );
+            }
+            let mut nw = 0u32;
+            let mut last = NONE;
+            let mut w = self.chans.waiter_head[i];
+            while w != NONE {
+                assert_eq!(
+                    self.msgs.waiting_on[w as usize], i as u32,
+                    "deep check: waiter m{w} on c{i} records a different channel"
+                );
+                assert!(
+                    !self.msgs.done[w as usize],
+                    "deep check: retired message m{w} still queued on c{i}"
+                );
+                nw += 1;
+                assert!(
+                    nw as usize <= self.msgs.spec.len(),
+                    "deep check: waiter-list cycle on c{i}"
+                );
+                last = w;
+                w = self.msgs.next_waiter[w as usize];
+            }
+            assert_eq!(
+                nw, self.chans.waiters_len[i],
+                "deep check: waiter count on c{i}"
+            );
+            assert_eq!(
+                last, self.chans.waiter_tail[i],
+                "deep check: waiter tail on c{i}"
+            );
+            queued += u64::from(nw);
+        }
+        let waiting = (0..self.msgs.spec.len())
+            .filter(|&i| !self.msgs.done[i] && self.msgs.waiting_on[i] != NONE)
+            .count() as u64;
+        assert_eq!(
+            queued, waiting,
+            "deep check: queued headers vs messages recorded as waiting"
+        );
     }
 }
 

@@ -13,6 +13,8 @@ pub mod classic;
 pub mod config;
 pub mod engine;
 pub mod fault;
+#[cfg(feature = "invariants")]
+pub mod invariant;
 pub mod message;
 pub mod metrics;
 pub mod simulation;
@@ -21,6 +23,8 @@ pub mod trace;
 pub use config::{ConfigError, NetworkConfig, NetworkConfigBuilder, ReleaseMode};
 pub use engine::Network;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
+#[cfg(feature = "invariants")]
+pub use invariant::InvariantChecker;
 pub use message::{Delivery, MessageId, MessageSpec, OpId, Route};
 pub use metrics::{Counters, CountersSink, MetricsSink, TraceSink, UtilizationSink};
 pub use simulation::{Simulation, SimulationBuilder};

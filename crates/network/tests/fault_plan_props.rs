@@ -1,0 +1,69 @@
+//! Property: fault-plan sampling is byte-identical under any `--jobs` split.
+//!
+//! The faults experiment shards replications across worker threads; its
+//! determinism contract (see `wormcast-workload::faulty`) is that the plan
+//! for replication `rep` depends only on `(mesh, spec, seed, rep)` — never
+//! on which worker samples it or in what order. This test replays the real
+//! derivation (`SimRng::for_replication(seed, rep).substream("faults")`)
+//! under sequential and arbitrarily-sharded orders and requires the exact
+//! same event list, rendered to bytes, for every replication.
+
+use proptest::prelude::ProptestConfig;
+use wormcast_network::{FaultPlan, FaultSpec};
+use wormcast_sim::SimRng;
+use wormcast_topology::Mesh;
+
+/// The plan a worker derives for one replication, rendered to bytes.
+fn plan_bytes(mesh: &Mesh, spec: &FaultSpec, seed: u64, rep: u64) -> String {
+    let mut rng = SimRng::for_replication(seed, rep).substream("faults");
+    let plan = FaultPlan::sample(mesh, spec, &mut rng);
+    format!("{:?}|dead:{:?}", plan.events(), plan.dead_at_start())
+}
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fault_plans_are_identical_for_any_jobs_split(
+        seed in 0u64..10_000,
+        side in 2u16..=5,
+        link_pm in 0u32..60,      // per-mille rates keep plans non-trivial
+        node_pm in 0u32..20,
+        transient_pm in 0u32..60,
+        jobs in 1usize..=6,
+        reps in 1u64..=12,
+    ) {
+        let mesh = Mesh::cube(side);
+        let spec = FaultSpec {
+            link_fail_rate: f64::from(link_pm) / 1000.0,
+            node_fail_rate: f64::from(node_pm) / 1000.0,
+            transient_rate: f64::from(transient_pm) / 1000.0,
+            transient_window_us: 40.0,
+            outage_us: 10.0,
+        };
+
+        // Reference: one worker sampling every replication in order.
+        let sequential: Vec<String> = (0..reps)
+            .map(|rep| plan_bytes(&mesh, &spec, seed, rep))
+            .collect();
+
+        // Sharded: `jobs` workers, round-robin assignment, each draining its
+        // own shard to completion (so the global sampling order differs).
+        let mut sharded: Vec<Option<String>> = vec![None; reps as usize];
+        for worker in 0..jobs {
+            for rep in (worker as u64..reps).step_by(jobs) {
+                sharded[rep as usize] = Some(plan_bytes(&mesh, &spec, seed, rep));
+            }
+        }
+
+        for (rep, (a, b)) in sequential.iter().zip(&sharded).enumerate() {
+            let b = b.as_ref().expect("every replication assigned");
+            proptest::prop_assert_eq!(a, b, "rep {} diverged under a {}-way split", rep, jobs);
+        }
+
+        // Resampling the same replication is also bit-stable (a worker
+        // retry must not see a different fault world).
+        let again = plan_bytes(&mesh, &spec, seed, 0);
+        proptest::prop_assert_eq!(&sequential[0], &again);
+    }
+}

@@ -1,0 +1,106 @@
+//! The `simcheck` binary: run a deterministic scenario-fuzzing campaign.
+//!
+//! ```text
+//! simcheck --seed 2005 --count 200 [--time-budget 60] [--out results/simcheck.json]
+//! ```
+//!
+//! Exit status is non-zero if any scenario produced an invariant violation,
+//! an engine divergence, or a panic. Failing scenarios are shrunk to a
+//! minimal repro and emitted both to stderr and into the JSON report.
+
+use wormcast_simcheck::campaign;
+
+struct Opts {
+    seed: u64,
+    count: u64,
+    time_budget_s: u64,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simcheck [--seed N] [--count N] [--time-budget SECONDS] [--out PATH]\n\
+         \n\
+         Runs COUNT deterministic scenarios generated from SEED through the\n\
+         differential oracle and the engine invariant checker. The report is\n\
+         written to PATH (default: stdout) and is byte-identical across\n\
+         reruns of the same campaign unless the time budget truncates it.\n\
+         A time budget of 0 (default) means unlimited."
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        seed: 2005,
+        count: 200,
+        time_budget_s: 0,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("simcheck: {name} needs an integer argument");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--seed" => opts.seed = num("--seed"),
+            "--count" => opts.count = num("--count"),
+            "--time-budget" => opts.time_budget_s = num("--time-budget"),
+            "--out" => opts.out = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("simcheck: unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let report = campaign(opts.seed, opts.count, opts.time_budget_s);
+    if report.count < opts.count {
+        eprintln!(
+            "simcheck: time budget of {}s expired after {} scenarios",
+            opts.time_budget_s, report.count
+        );
+    }
+    for f in &report.failures {
+        eprintln!(
+            "simcheck: scenario {} failed ({}): {}\nminimal repro:\n{}",
+            f.index, f.kind, f.detail, f.repro
+        );
+    }
+
+    let json = report.to_json();
+    match &opts.out {
+        Some(path) => {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("simcheck: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+        }
+        None => print!("{json}"),
+    }
+    println!(
+        "simcheck: {} scenarios ({} differential, {} invariant-only, {} skipped): \
+         {} violations, {} mismatches, {} panics",
+        report.count,
+        report.differential,
+        report.invariant_only,
+        report.skipped,
+        report.violations,
+        report.mismatches,
+        report.panics
+    );
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,362 @@
+//! The scenario grammar and its seeded generator.
+//!
+//! A [`Scenario`] is a complete, self-describing simulation case: topology,
+//! release mode, algorithm/workload, and fault regime. Every random choice
+//! inside a scenario (unicast arrival times, multicast destination sets,
+//! fault plans, contended sources) is re-derived from dedicated
+//! [`SimRng`] substreams keyed by `(seed, index)`, so a scenario value is
+//! fully reproducible from those two numbers alone — and stays meaningful
+//! after the shrinker has mutated its fields.
+
+use wormcast_broadcast::Algorithm;
+use wormcast_network::ReleaseMode;
+use wormcast_sim::SimRng;
+use wormcast_workload::MulticastScheme;
+
+/// Which topology the scenario runs on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopoSpec {
+    /// k-ary n-dimensional mesh with the given extents.
+    Mesh(Vec<u16>),
+    /// k-ary n-cube (torus) with the given extents. Torus scenarios always
+    /// use the facility-queueing release mode: ring coded paths close
+    /// wraparound cycles and would deadlock under path-holding.
+    Torus(Vec<u16>),
+}
+
+impl TopoSpec {
+    /// Total node count (product of extents).
+    pub fn num_nodes(&self) -> usize {
+        let (TopoSpec::Mesh(d) | TopoSpec::Torus(d)) = self;
+        d.iter().map(|&e| e as usize).product()
+    }
+
+    /// The extents, whichever variant.
+    pub fn dims(&self) -> &[u16] {
+        let (TopoSpec::Mesh(d) | TopoSpec::Torus(d)) = self;
+        d
+    }
+}
+
+/// The traffic a scenario offers. Node ids are stored as raw indices and
+/// taken modulo the node count at materialization time, so they survive
+/// dimension shrinking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// One broadcast on an otherwise idle network (Figs. 1–2 setting).
+    Single {
+        /// Broadcast algorithm.
+        alg: Algorithm,
+        /// Source node index.
+        src: u32,
+        /// Message length in flits.
+        length: u64,
+    },
+    /// A seeded random unicast stream with no broadcast.
+    Unicasts {
+        /// Routing substrate selector (adaptive for [`Algorithm::Ab`]).
+        alg: Algorithm,
+        /// Number of messages.
+        n: u32,
+        /// Maximum message length in flits.
+        max_len: u64,
+    },
+    /// Unicast background contending with one broadcast (the §3.3 shape).
+    Mixed {
+        /// Broadcast algorithm (also selects the unicast substrate).
+        alg: Algorithm,
+        /// Broadcast source node index.
+        src: u32,
+        /// Broadcast length in flits.
+        length: u64,
+        /// Number of background unicasts.
+        n_unicasts: u32,
+    },
+    /// Destination-subset delivery with one of the UM/CM/SP schemes.
+    Multicast {
+        /// Multicast scheme.
+        scheme: MulticastScheme,
+        /// Source node index.
+        src: u32,
+        /// Destination-set size (clamped to the mesh at materialization).
+        set_size: u32,
+        /// Message length in flits.
+        length: u64,
+    },
+    /// Several concurrent broadcasts from distinct seeded sources.
+    Contended {
+        /// Broadcast algorithm.
+        alg: Algorithm,
+        /// Number of concurrent operations.
+        n_broadcasts: u32,
+        /// Message length in flits.
+        length: u64,
+    },
+    /// The k-ary n-cube ring broadcast ([`TopoSpec::Torus`] only).
+    TorusRing {
+        /// Source node index.
+        src: u32,
+        /// Message length in flits.
+        length: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// The algorithm whose routing substrate and port model the scenario
+    /// uses ([`Algorithm::Db`] stands in for coded-path workloads that have
+    /// no algorithm of their own).
+    pub fn algorithm(&self) -> Algorithm {
+        match *self {
+            WorkloadSpec::Single { alg, .. }
+            | WorkloadSpec::Unicasts { alg, .. }
+            | WorkloadSpec::Mixed { alg, .. }
+            | WorkloadSpec::Contended { alg, .. } => alg,
+            WorkloadSpec::Multicast { scheme, .. } => match scheme {
+                MulticastScheme::Um => Algorithm::Rd,
+                _ => Algorithm::Db,
+            },
+            WorkloadSpec::TorusRing { .. } => Algorithm::Db,
+        }
+    }
+
+    /// Whether any message in this workload routes adaptively (AB's
+    /// point-to-point legs). Adaptive workloads cannot be differentially
+    /// compared under faults: the active-set engine reports re-routes
+    /// around dead candidates that the classic oracle does not.
+    pub fn is_adaptive(&self) -> bool {
+        self.algorithm() == Algorithm::Ab
+    }
+}
+
+/// Which checking regime a scenario is eligible for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Run on both engines and bit-compare trace, deliveries, counters and
+    /// final clock (invariants also checked when the feature is on).
+    Differential,
+    /// Run on the active-set engine only, under the invariant checker.
+    /// Used for regimes the classic oracle cannot mirror: adaptive routing
+    /// around faults, transient outages, and the delivery watchdog.
+    InvariantOnly,
+}
+
+/// One self-describing simulation case. See the module docs for how the
+/// `(seed, index)` pair pins down every derived random choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Master seed of the campaign this scenario came from.
+    pub seed: u64,
+    /// Scenario index within the campaign.
+    pub index: u64,
+    /// Topology under test.
+    pub topo: TopoSpec,
+    /// Channel-release discipline.
+    pub mode: ReleaseMode,
+    /// Offered traffic.
+    pub workload: WorkloadSpec,
+    /// Fail-stop link failure probability applied at t = 0 (0.0 = none).
+    pub fail_stop_rate: f64,
+    /// Transient-outage link probability (> 0 forces [`Family::InvariantOnly`]).
+    pub transient_rate: f64,
+    /// Delivery-watchdog timeout in µs (0 = off; > 0 forces
+    /// [`Family::InvariantOnly`] — the oracle has no watchdog).
+    pub watchdog_us: f64,
+}
+
+impl Scenario {
+    /// Whether the scenario carries any fault injection.
+    pub fn has_faults(&self) -> bool {
+        self.fail_stop_rate > 0.0 || self.transient_rate > 0.0
+    }
+
+    /// Classify the scenario (see [`Family`]). Fail-stop faults on fixed
+    /// routing stay differential: both engines park identically on dead
+    /// channels. Anything involving the watchdog, transients, or adaptive
+    /// routing under faults is invariant-only.
+    pub fn family(&self) -> Family {
+        let watchdog_or_transients = self.transient_rate > 0.0 || self.watchdog_us > 0.0;
+        let adaptive_under_faults = self.fail_stop_rate > 0.0 && self.workload.is_adaptive();
+        if watchdog_or_transients || adaptive_under_faults {
+            Family::InvariantOnly
+        } else {
+            Family::Differential
+        }
+    }
+
+    /// Deterministically generate scenario `index` of the campaign with
+    /// master seed `seed`. Equal arguments give equal scenarios.
+    pub fn generate(seed: u64, index: u64) -> Scenario {
+        let mut rng = SimRng::for_replication(seed, index).substream("simcheck-scenario");
+
+        let topo = if rng.chance(0.12) {
+            let n = 2 + rng.index(2);
+            TopoSpec::Torus((0..n).map(|_| 3 + rng.index(3) as u16).collect())
+        } else if rng.chance(0.6) {
+            TopoSpec::Mesh((0..3).map(|_| 2 + rng.index(4) as u16).collect())
+        } else {
+            TopoSpec::Mesh((0..2).map(|_| 2 + rng.index(7) as u16).collect())
+        };
+        let nodes = topo.num_nodes();
+
+        let mode = match &topo {
+            TopoSpec::Torus(_) => ReleaseMode::AfterTailCrossing,
+            TopoSpec::Mesh(_) => {
+                if rng.chance(0.5) {
+                    ReleaseMode::PathHolding
+                } else {
+                    ReleaseMode::AfterTailCrossing
+                }
+            }
+        };
+
+        // EDN is defined for 3D meshes only.
+        let algs: &[Algorithm] = match &topo {
+            TopoSpec::Mesh(d) if d.len() == 3 => &Algorithm::ALL,
+            _ => &[Algorithm::Rd, Algorithm::Db, Algorithm::Ab],
+        };
+        let alg = algs[rng.index(algs.len())];
+        let src = rng.index(nodes) as u32;
+        let length = 1 + rng.index(96) as u64;
+
+        let workload = match &topo {
+            TopoSpec::Torus(_) => WorkloadSpec::TorusRing { src, length },
+            TopoSpec::Mesh(_) => match rng.index(100) {
+                0..=34 => WorkloadSpec::Single { alg, src, length },
+                35..=54 => WorkloadSpec::Unicasts {
+                    alg,
+                    n: 20 + rng.index(180) as u32,
+                    max_len: 1 + rng.index(32) as u64,
+                },
+                55..=74 => WorkloadSpec::Mixed {
+                    alg,
+                    src,
+                    length,
+                    n_unicasts: 20 + rng.index(130) as u32,
+                },
+                75..=89 => WorkloadSpec::Multicast {
+                    // CM and SP (CPR-based) are defined for 3D meshes only;
+                    // 2D meshes get the dimensionality-agnostic UM scheme.
+                    scheme: if topo.dims().len() == 3 {
+                        MulticastScheme::ALL[rng.index(3)]
+                    } else {
+                        let _ = rng.index(3);
+                        MulticastScheme::Um
+                    },
+                    src,
+                    set_size: 1 + rng.index(nodes.saturating_sub(1).max(1)) as u32,
+                    length,
+                },
+                _ => WorkloadSpec::Contended {
+                    alg,
+                    n_broadcasts: 2 + rng.index(3) as u32,
+                    length,
+                },
+            },
+        };
+
+        // Fault regime (mesh only — torus broadcasts stay fault-free).
+        let (fail_stop_rate, transient_rate, watchdog_us) = match &topo {
+            TopoSpec::Torus(_) => (0.0, 0.0, 0.0),
+            TopoSpec::Mesh(_) => {
+                let r = rng.unit();
+                if r < 0.55 {
+                    (0.0, 0.0, 0.0)
+                } else if r < 0.80 {
+                    (0.02 + 0.08 * rng.unit(), 0.0, 0.0)
+                } else if r < 0.90 {
+                    (0.02 + 0.08 * rng.unit(), 0.0, 200.0)
+                } else {
+                    (0.0, 0.05 + 0.10 * rng.unit(), 200.0)
+                }
+            }
+        };
+
+        Scenario {
+            seed,
+            index,
+            topo,
+            mode,
+            workload,
+            fail_stop_rate,
+            transient_rate,
+            watchdog_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for i in 0..50 {
+            assert_eq!(Scenario::generate(2005, i), Scenario::generate(2005, i));
+        }
+    }
+
+    #[test]
+    fn indices_decorrelate_and_seeds_matter() {
+        let a: Vec<Scenario> = (0..20).map(|i| Scenario::generate(1, i)).collect();
+        let b: Vec<Scenario> = (0..20).map(|i| Scenario::generate(2, i)).collect();
+        assert_ne!(a, b, "different master seeds give different campaigns");
+        assert!(
+            a.windows(2).any(|w| w[0].workload != w[1].workload),
+            "adjacent indices vary the workload"
+        );
+    }
+
+    #[test]
+    fn generated_scenarios_are_well_formed() {
+        for i in 0..300 {
+            let s = Scenario::generate(77, i);
+            let nodes = s.topo.num_nodes();
+            assert!(nodes >= 4, "at least a 2x2 mesh: {s:?}");
+            assert!(s.topo.dims().iter().all(|&d| d >= 2));
+            if let TopoSpec::Torus(_) = s.topo {
+                assert_eq!(s.mode, ReleaseMode::AfterTailCrossing);
+                assert!(!s.has_faults(), "torus scenarios stay fault-free");
+                assert!(matches!(s.workload, WorkloadSpec::TorusRing { .. }));
+            }
+            if let TopoSpec::Mesh(d) = &s.topo {
+                if d.len() == 2 {
+                    assert_ne!(s.workload.algorithm(), Algorithm::Edn, "EDN is 3D-only");
+                }
+            }
+            if s.transient_rate > 0.0 || s.watchdog_us > 0.0 {
+                assert_eq!(s.family(), Family::InvariantOnly);
+            }
+            if !s.has_faults() && s.watchdog_us == 0.0 {
+                assert_eq!(s.family(), Family::Differential);
+            }
+        }
+    }
+
+    #[test]
+    fn every_family_and_workload_is_reachable() {
+        let mut diff = 0;
+        let mut inv = 0;
+        let mut kinds = [0usize; 6];
+        for i in 0..400 {
+            let s = Scenario::generate(9, i);
+            match s.family() {
+                Family::Differential => diff += 1,
+                Family::InvariantOnly => inv += 1,
+            }
+            kinds[match s.workload {
+                WorkloadSpec::Single { .. } => 0,
+                WorkloadSpec::Unicasts { .. } => 1,
+                WorkloadSpec::Mixed { .. } => 2,
+                WorkloadSpec::Multicast { .. } => 3,
+                WorkloadSpec::Contended { .. } => 4,
+                WorkloadSpec::TorusRing { .. } => 5,
+            }] += 1;
+        }
+        assert!(diff > 100, "differential family dominates: {diff}");
+        assert!(inv > 20, "invariant-only family is sampled: {inv}");
+        assert!(
+            kinds.iter().all(|&k| k > 0),
+            "all workloads reachable: {kinds:?}"
+        );
+    }
+}

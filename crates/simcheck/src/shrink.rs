@@ -1,0 +1,358 @@
+//! Greedy scenario shrinking and repro emission.
+//!
+//! The vendored proptest has no shrinking support, so simcheck carries its
+//! own: starting from a failing [`Scenario`], repeatedly try simplifying
+//! mutations (shrink mesh extents toward 2, drop background unicasts, drop
+//! whole broadcasts, zero the fault rates, halve message lengths) and keep
+//! any mutant that still fails. Every accepted mutation strictly decreases
+//! an integer measure or zeroes a rate, so the loop terminates. The result
+//! is rendered as a ready-to-paste `#[test]` by [`repro_test`].
+
+use crate::scenario::{Scenario, TopoSpec, WorkloadSpec};
+
+/// Single-step simplifications of `s`, most aggressive first.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // Zero the fault regime first: a fault-free repro is the easiest to read.
+    if s.fail_stop_rate > 0.0 {
+        out.push(Scenario {
+            fail_stop_rate: 0.0,
+            ..s.clone()
+        });
+    }
+    if s.transient_rate > 0.0 {
+        out.push(Scenario {
+            transient_rate: 0.0,
+            ..s.clone()
+        });
+    }
+    if s.watchdog_us > 0.0 {
+        out.push(Scenario {
+            watchdog_us: 0.0,
+            ..s.clone()
+        });
+    }
+
+    // Simplify the workload shape.
+    match s.workload {
+        WorkloadSpec::Mixed {
+            alg,
+            src,
+            length,
+            n_unicasts,
+        } => {
+            out.push(Scenario {
+                workload: WorkloadSpec::Single { alg, src, length },
+                ..s.clone()
+            });
+            if n_unicasts > 1 {
+                out.push(Scenario {
+                    workload: WorkloadSpec::Mixed {
+                        alg,
+                        src,
+                        length,
+                        n_unicasts: n_unicasts / 2,
+                    },
+                    ..s.clone()
+                });
+            }
+        }
+        WorkloadSpec::Unicasts { alg, n, max_len } => {
+            if n > 1 {
+                out.push(Scenario {
+                    workload: WorkloadSpec::Unicasts {
+                        alg,
+                        n: n / 2,
+                        max_len,
+                    },
+                    ..s.clone()
+                });
+            }
+        }
+        WorkloadSpec::Contended {
+            alg,
+            n_broadcasts,
+            length,
+        } => {
+            if n_broadcasts > 1 {
+                out.push(Scenario {
+                    workload: WorkloadSpec::Contended {
+                        alg,
+                        n_broadcasts: n_broadcasts - 1,
+                        length,
+                    },
+                    ..s.clone()
+                });
+            }
+        }
+        WorkloadSpec::Multicast {
+            scheme,
+            src,
+            set_size,
+            length,
+        } => {
+            if set_size > 1 {
+                out.push(Scenario {
+                    workload: WorkloadSpec::Multicast {
+                        scheme,
+                        src,
+                        set_size: set_size / 2,
+                        length,
+                    },
+                    ..s.clone()
+                });
+            }
+        }
+        WorkloadSpec::Single { .. } | WorkloadSpec::TorusRing { .. } => {}
+    }
+
+    // Shrink the topology one extent at a time (halve, then decrement).
+    let dims = s.topo.dims();
+    let floor = match s.topo {
+        TopoSpec::Mesh(_) => 2,
+        // Radix-2 rings degenerate (both directions are the same link).
+        TopoSpec::Torus(_) => 3,
+    };
+    for i in 0..dims.len() {
+        for target in [dims[i] / 2, dims[i] - 1] {
+            let target = target.max(floor);
+            if target < dims[i] {
+                let mut d = dims.to_vec();
+                d[i] = target;
+                let topo = match s.topo {
+                    TopoSpec::Mesh(_) => TopoSpec::Mesh(d),
+                    TopoSpec::Torus(_) => TopoSpec::Torus(d),
+                };
+                out.push(Scenario { topo, ..s.clone() });
+            }
+        }
+    }
+
+    // Halve the message length.
+    let with_length = |w: WorkloadSpec, len: u64| -> WorkloadSpec {
+        match w {
+            WorkloadSpec::Single { alg, src, .. } => WorkloadSpec::Single {
+                alg,
+                src,
+                length: len,
+            },
+            WorkloadSpec::Mixed {
+                alg,
+                src,
+                n_unicasts,
+                ..
+            } => WorkloadSpec::Mixed {
+                alg,
+                src,
+                length: len,
+                n_unicasts,
+            },
+            WorkloadSpec::Multicast {
+                scheme,
+                src,
+                set_size,
+                ..
+            } => WorkloadSpec::Multicast {
+                scheme,
+                src,
+                set_size,
+                length: len,
+            },
+            WorkloadSpec::Contended {
+                alg, n_broadcasts, ..
+            } => WorkloadSpec::Contended {
+                alg,
+                n_broadcasts,
+                length: len,
+            },
+            WorkloadSpec::TorusRing { src, .. } => WorkloadSpec::TorusRing { src, length: len },
+            WorkloadSpec::Unicasts { alg, n, .. } => WorkloadSpec::Unicasts {
+                alg,
+                n,
+                max_len: len,
+            },
+        }
+    };
+    let length = match s.workload {
+        WorkloadSpec::Single { length, .. }
+        | WorkloadSpec::Mixed { length, .. }
+        | WorkloadSpec::Multicast { length, .. }
+        | WorkloadSpec::Contended { length, .. }
+        | WorkloadSpec::TorusRing { length, .. } => length,
+        WorkloadSpec::Unicasts { max_len, .. } => max_len,
+    };
+    if length > 1 {
+        out.push(Scenario {
+            workload: with_length(s.workload, length / 2),
+            ..s.clone()
+        });
+    }
+
+    out
+}
+
+/// Greedily shrink a failing scenario: keep applying the first simplifying
+/// mutation under which `fails` still returns true, until none does.
+/// `fails(s)` must hold on entry for the result to be meaningful.
+pub fn shrink(scenario: &Scenario, mut fails: impl FnMut(&Scenario) -> bool) -> Scenario {
+    let mut cur = scenario.clone();
+    loop {
+        let Some(next) = candidates(&cur).into_iter().find(|c| fails(c)) else {
+            return cur;
+        };
+        cur = next;
+    }
+}
+
+/// Render `s` as a self-contained `#[test]` that reruns the scenario and
+/// asserts a clean outcome — ready to paste into a regression suite.
+pub fn repro_test(s: &Scenario) -> String {
+    let topo = match &s.topo {
+        TopoSpec::Mesh(d) => format!("TopoSpec::Mesh(vec!{d:?})"),
+        TopoSpec::Torus(d) => format!("TopoSpec::Torus(vec!{d:?})"),
+    };
+    let mode = format!("ReleaseMode::{:?}", s.mode);
+    let workload = match s.workload {
+        WorkloadSpec::Single { alg, src, length } => format!(
+            "WorkloadSpec::Single {{ alg: Algorithm::{alg:?}, src: {src}, length: {length} }}"
+        ),
+        WorkloadSpec::Unicasts { alg, n, max_len } => format!(
+            "WorkloadSpec::Unicasts {{ alg: Algorithm::{alg:?}, n: {n}, max_len: {max_len} }}"
+        ),
+        WorkloadSpec::Mixed {
+            alg,
+            src,
+            length,
+            n_unicasts,
+        } => format!(
+            "WorkloadSpec::Mixed {{ alg: Algorithm::{alg:?}, src: {src}, length: {length}, n_unicasts: {n_unicasts} }}"
+        ),
+        WorkloadSpec::Multicast {
+            scheme,
+            src,
+            set_size,
+            length,
+        } => format!(
+            "WorkloadSpec::Multicast {{ scheme: MulticastScheme::{scheme:?}, src: {src}, set_size: {set_size}, length: {length} }}"
+        ),
+        WorkloadSpec::Contended {
+            alg,
+            n_broadcasts,
+            length,
+        } => format!(
+            "WorkloadSpec::Contended {{ alg: Algorithm::{alg:?}, n_broadcasts: {n_broadcasts}, length: {length} }}"
+        ),
+        WorkloadSpec::TorusRing { src, length } => {
+            format!("WorkloadSpec::TorusRing {{ src: {src}, length: {length} }}")
+        }
+    };
+    let mut imports = vec![
+        "use wormcast_network::ReleaseMode;",
+        "use wormcast_simcheck::{run_scenario, Scenario, TopoSpec, WorkloadSpec};",
+    ];
+    if workload.contains("Algorithm::") {
+        imports.push("use wormcast_broadcast::Algorithm;");
+    }
+    if workload.contains("MulticastScheme::") {
+        imports.push("use wormcast_workload::MulticastScheme;");
+    }
+    imports.sort_unstable();
+    format!(
+        "#[test]\n\
+         fn simcheck_repro_seed{seed}_i{index}() {{\n\
+         {imports}\n\
+         \x20   let s = Scenario {{\n\
+         \x20       seed: {seed},\n\
+         \x20       index: {index},\n\
+         \x20       topo: {topo},\n\
+         \x20       mode: {mode},\n\
+         \x20       workload: {workload},\n\
+         \x20       fail_stop_rate: {fsr:?},\n\
+         \x20       transient_rate: {tr:?},\n\
+         \x20       watchdog_us: {wd:?},\n\
+         \x20   }};\n\
+         \x20   let o = run_scenario(&s);\n\
+         \x20   assert!(o.is_clean(), \"{{o:?}}\");\n\
+         }}\n",
+        seed = s.seed,
+        index = s.index,
+        imports = imports
+            .iter()
+            .map(|i| format!("    {i}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        topo = topo,
+        mode = mode,
+        workload = workload,
+        fsr = s.fail_stop_rate,
+        tr = s.transient_rate,
+        wd = s.watchdog_us,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use wormcast_broadcast::Algorithm;
+
+    /// A synthetic failure predicate: "fails whenever the mesh has more
+    /// than 8 nodes or carries faults" — the shrinker must find a minimal
+    /// configuration just above the predicate's boundary.
+    #[test]
+    fn shrinks_to_the_failure_boundary() {
+        let mut s = Scenario::generate(42, 0);
+        s.topo = TopoSpec::Mesh(vec![5, 5, 5]);
+        s.fail_stop_rate = 0.07;
+        let fails = |c: &Scenario| c.topo.num_nodes() > 8 || c.fail_stop_rate > 0.0;
+        assert!(fails(&s));
+        let min = shrink(&s, fails);
+        assert_eq!(min.fail_stop_rate, 0.0, "faults dropped: {min:?}");
+        assert!(min.topo.num_nodes() > 8, "still failing: {min:?}");
+        // Minimal: no single candidate step still fails.
+        assert!(
+            min.topo
+                .dims()
+                .iter()
+                .map(|&d| d as usize)
+                .product::<usize>()
+                <= 18,
+            "close to the boundary: {min:?}"
+        );
+    }
+
+    #[test]
+    fn shrink_terminates_on_always_failing_predicate() {
+        let s = Scenario::generate(42, 7);
+        let min = shrink(&s, |_| true);
+        assert!(min.topo.dims().iter().all(|&d| d <= 3), "{min:?}");
+        assert_eq!(min.fail_stop_rate, 0.0);
+        assert_eq!(min.transient_rate, 0.0);
+    }
+
+    #[test]
+    fn repro_is_a_pasteable_test() {
+        let s = Scenario {
+            seed: 2005,
+            index: 17,
+            topo: TopoSpec::Mesh(vec![2, 3, 2]),
+            mode: wormcast_network::ReleaseMode::PathHolding,
+            workload: WorkloadSpec::Single {
+                alg: Algorithm::Db,
+                src: 5,
+                length: 16,
+            },
+            fail_stop_rate: 0.0,
+            transient_rate: 0.0,
+            watchdog_us: 0.0,
+        };
+        let t = repro_test(&s);
+        assert!(t.starts_with("#[test]"), "{t}");
+        assert!(t.contains("fn simcheck_repro_seed2005_i17()"), "{t}");
+        assert!(t.contains("TopoSpec::Mesh(vec![2, 3, 2])"), "{t}");
+        assert!(t.contains("Algorithm::Db"), "{t}");
+        assert!(t.contains("run_scenario(&s)"), "{t}");
+        assert!(!t.contains("MulticastScheme"), "unused import: {t}");
+    }
+}

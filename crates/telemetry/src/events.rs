@@ -55,6 +55,9 @@ pub enum EventKind {
     Reroute,
     /// The delivery watchdog retired a stalled message.
     Stalled,
+    /// The simcheck invariant checker recorded a violation (the line only
+    /// locates it; the violation text lives in the simcheck report).
+    InvariantViolation,
 }
 
 impl EventKind {
@@ -74,6 +77,7 @@ impl EventKind {
             EventKind::LinkUp => "link_up",
             EventKind::Reroute => "reroute",
             EventKind::Stalled => "stalled",
+            EventKind::InvariantViolation => "invariant_violation",
         }
     }
 }
@@ -481,6 +485,7 @@ mod tests {
             EventKind::LinkUp,
             EventKind::Reroute,
             EventKind::Stalled,
+            EventKind::InvariantViolation,
         ] {
             let e = Event::new(u64::MAX, kind, u64::MAX);
             assert_eq!(e.line().len(), e.line_len(), "{}", e.line());

@@ -1,0 +1,125 @@
+//! Schema checks for the simcheck campaign report.
+//!
+//! `results/simcheck.json` is a single object with fixed-order scalar
+//! tallies plus a `failures` array (empty on a clean campaign). The report
+//! is hand-rendered (no serde) and deliberately contains no wall-clock
+//! data, so the same campaign reproduces it byte for byte — ci.sh runs the
+//! release binary twice and `cmp`s the outputs, then re-runs this test with
+//! `WORMCAST_SIMCHECK_FILE` pointing at the produced JSON.
+
+use wormcast_simcheck::{campaign, Report};
+
+/// Field keys every report must carry, in serialization order.
+const REQUIRED_KEYS: &[&str] = &[
+    "\"seed\":",
+    "\"count\":",
+    "\"differential\":",
+    "\"invariant_only\":",
+    "\"skipped\":",
+    "\"violations\":",
+    "\"mismatches\":",
+    "\"panics\":",
+    "\"failures\":",
+];
+
+fn validate_simcheck_json(text: &str, context: &str) {
+    let text = text.trim();
+    assert!(
+        text.starts_with('{') && text.ends_with('}'),
+        "{context}: expected a single report object"
+    );
+    let mut last = 0;
+    for key in REQUIRED_KEYS {
+        assert_eq!(
+            text.matches(key).count(),
+            1,
+            "{context}: key {key} must appear exactly once"
+        );
+        let at = text.find(key).unwrap();
+        assert!(at > last, "{context}: key {key} out of order");
+        last = at;
+    }
+    assert_eq!(
+        text.matches('{').count(),
+        text.matches('}').count(),
+        "{context}: unbalanced braces"
+    );
+}
+
+#[test]
+fn generated_report_serializes_with_the_full_schema() {
+    let report = campaign(2005, 8, 0);
+    assert!(report.is_clean(), "{:?}", report.failures);
+    validate_simcheck_json(&report.to_json(), "generated report");
+}
+
+#[test]
+fn report_rendering_is_deterministic() {
+    let a = campaign(2005, 8, 0);
+    let b = campaign(2005, 8, 0);
+    assert_eq!(a.to_json(), b.to_json(), "same campaign, same bytes");
+    // And sensitive to the campaign parameters (not a constant string).
+    let c = campaign(7, 8, 0);
+    assert_ne!(a.to_json(), c.to_json());
+}
+
+#[test]
+fn committed_snapshot_is_a_clean_campaign() {
+    // The snapshot in results/ must always record a clean, untruncated
+    // default campaign: seed 2005, 200 scenarios, zero findings.
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("simcheck.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed snapshot {} missing: {e}", path.display()));
+    validate_simcheck_json(&text, "results/simcheck.json");
+    for want in [
+        "\"seed\": 2005",
+        "\"count\": 200",
+        "\"violations\": 0",
+        "\"mismatches\": 0",
+        "\"panics\": 0",
+        "\"skipped\": 0",
+        "\"failures\": []",
+    ] {
+        assert!(text.contains(want), "snapshot drifted: missing `{want}`");
+    }
+    // Tallies are consistent without parsing: a clean report re-rendered
+    // from its own numbers must reproduce the committed bytes.
+    let grab = |key: &str| -> u64 {
+        let at = text.find(key).unwrap() + key.len();
+        text[at..]
+            .trim_start()
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let rebuilt = Report {
+        seed: grab("\"seed\":"),
+        count: grab("\"count\":"),
+        differential: grab("\"differential\":"),
+        invariant_only: grab("\"invariant_only\":"),
+        ..Report::default()
+    };
+    assert_eq!(rebuilt.to_json(), text, "committed bytes re-render exactly");
+}
+
+/// ci.sh smoke hook: validate the file the release binary just produced.
+#[test]
+fn external_simcheck_file_validates_when_provided() {
+    let Ok(path) = std::env::var("WORMCAST_SIMCHECK_FILE") else {
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read WORMCAST_SIMCHECK_FILE={path}: {e}"));
+    validate_simcheck_json(&text, &path);
+    assert!(
+        text.contains("\"violations\": 0")
+            && text.contains("\"mismatches\": 0")
+            && text.contains("\"panics\": 0"),
+        "{path}: smoke campaign must be clean"
+    );
+    println!("validated {path}");
+}
