@@ -94,6 +94,26 @@ done
 WORMCAST_SIMCHECK_FILE="$TDIR/simcheck.json" \
     run cargo test "${OFFLINE[@]}" -q -p wormcast --test simcheck_schema
 
+# Sharded-determinism smoke: the quick Fig-1-at-scale sweep must report
+# identical physics for any shard count and any job count. The `shards`
+# metadata field and the machine-dependent `wall_s` are the only fields
+# allowed to differ; strip them before comparing.
+echo "==> sharded determinism smoke"
+run ./target/release/wormcast fig1-scale --quick --seed 7 --jobs 1 --shards 1 --out "$TDIR/s1"
+run ./target/release/wormcast fig1-scale --quick --seed 7 --jobs 1 --shards 4 --out "$TDIR/s4"
+run ./target/release/wormcast fig1-scale --quick --seed 7 --jobs 2 --shards 4 --out "$TDIR/s4j2"
+for d in s1 s4 s4j2; do
+    grep -v '"wall_s"\|"shards"' "$TDIR/$d/fig1-scale.json" > "$TDIR/$d.physics.json"
+done
+run cmp "$TDIR/s1.physics.json" "$TDIR/s4.physics.json" || {
+    echo "ci: fig1-scale.json physics differs between --shards 1 and --shards 4" >&2
+    exit 1
+}
+run cmp "$TDIR/s4.physics.json" "$TDIR/s4j2.physics.json" || {
+    echo "ci: fig1-scale.json physics differs across --jobs counts under sharding" >&2
+    exit 1
+}
+
 # Engine bench smoke: run the engine micro-bench once, then check that both
 # the fresh report and the committed results/BENCH_engine.json parse and
 # still show the active-set engine ahead of the retired classic stepper.
@@ -101,6 +121,15 @@ echo "==> engine bench smoke"
 CRITERION_OUT_JSON="$TDIR/BENCH_engine.json" \
     run cargo bench "${OFFLINE[@]}" -p wormcast-bench --bench engine
 WORMCAST_BENCH_JSON="$TDIR/BENCH_engine.json" \
+    run cargo test "${OFFLINE[@]}" -q -p wormcast --test bench_report
+
+# Sharded-engine bench smoke: generate a fresh engine_parallel report and
+# validate its schema/coverage (no cross-count ordering is asserted — shard
+# scaling is a property of the host's core count; see benches/engine_parallel.rs).
+echo "==> engine_parallel bench smoke"
+CRITERION_OUT_JSON="$TDIR/BENCH_engine_parallel.json" \
+    run cargo bench "${OFFLINE[@]}" -p wormcast-bench --bench engine_parallel
+WORMCAST_BENCH_PARALLEL_JSON="$TDIR/BENCH_engine_parallel.json" \
     run cargo test "${OFFLINE[@]}" -q -p wormcast --test bench_report
 
 echo "ci: all gates passed"

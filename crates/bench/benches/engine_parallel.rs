@@ -1,0 +1,106 @@
+//! **Sharded-engine scaling** — raw flit throughput of the sharded engine
+//! at a 64×64×64 mesh (262,144 nodes) as the shard count grows, against the
+//! single-threaded engine on the identical pre-injected workload. The
+//! reported elem/s are flits per second of simulated traffic drained.
+//!
+//! The workload is a fixed unicast flood: 4096 DOR unicasts of 32 flits
+//! between uniformly random pairs, pre-materialised so the generator stays
+//! out of the measured region and every engine drains identical traffic
+//! with no driver round-trips (deliveries gate nothing — the conservative
+//! windows stay wide and the shards run ahead in parallel).
+//!
+//! Read the committed `results/BENCH_engine_parallel.json` against the
+//! machine it was generated on: shard scaling needs cores, and on a
+//! single-core host the extra shards only add barrier overhead — the
+//! interesting number there is how *small* that overhead is, not the
+//! speedup. `tests/bench_report.rs` validates the report's shape either
+//! way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wormcast_network::{MessageSpec, Network, NetworkConfig, OpId, Route, ShardedNetwork};
+use wormcast_routing::{dor_path, CodedPath, DimensionOrdered, RoutingFunction};
+use wormcast_sim::{SimRng, SimTime};
+use wormcast_topology::{Mesh, NodeId, Topology};
+
+const SIDE: u16 = 64;
+const N_MSGS: u64 = 4096;
+const LENGTH: u64 = 32;
+
+/// The fixed flood: uniformly random source/destination pairs, injections
+/// spread 10 ns apart so the whole batch is in flight together.
+fn flood(mesh: &Mesh) -> Vec<(SimTime, MessageSpec)> {
+    let mut rng = SimRng::new(0x5CA1E);
+    let n = mesh.num_nodes();
+    (0..N_MSGS)
+        .map(|i| {
+            let src = NodeId(rng.index(n) as u32);
+            let mut dst = NodeId(rng.index(n) as u32);
+            while dst == src {
+                dst = NodeId(rng.index(n) as u32);
+            }
+            let spec = MessageSpec {
+                src,
+                route: Route::Fixed(CodedPath::unicast(mesh, dor_path(mesh, src, dst))),
+                length: LENGTH,
+                op: OpId(i),
+                tag: 0,
+                charge_startup: true,
+            };
+            (SimTime::from_ps(i * 10_000), spec)
+        })
+        .collect()
+}
+
+fn bench_sharded_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_parallel");
+    group.sample_size(wormcast_bench::SAMPLE_SIZE);
+    let mesh = Mesh::cube(SIDE);
+    let plan = flood(&mesh);
+    group.throughput(Throughput::Elements(N_MSGS * LENGTH));
+
+    // The un-sharded engine on the same flood: the baseline the sharded
+    // runs are judged against (shards=1 additionally measures the round
+    // machinery's overhead over this).
+    group.bench_function("mesh64_flood_single_engine", |b| {
+        b.iter(|| {
+            let mut net = Network::new(
+                mesh.clone(),
+                NetworkConfig::paper_default(),
+                Box::new(DimensionOrdered),
+            );
+            for (at, spec) in &plan {
+                net.inject_at(*at, spec.clone());
+            }
+            net.run_until_idle();
+            black_box(net.counters().flits_delivered)
+        })
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("mesh64_flood_sharded", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut net = ShardedNetwork::new(
+                        mesh.clone(),
+                        NetworkConfig::paper_default(),
+                        shards,
+                        || Box::new(DimensionOrdered) as Box<dyn RoutingFunction<Mesh>>,
+                    )
+                    .expect("64-deep partition axis accommodates 8 shards");
+                    for (at, spec) in &plan {
+                        net.inject_at(*at, spec.clone());
+                    }
+                    net.run_until_idle();
+                    black_box(net.counters().flits_delivered)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_scaling);
+criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Umbrella experiment runner: regenerate every table and figure of the
 //! paper in one command.
 //!
-//! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig2|tables|fig3|fig4|arrivals|multicast|faults|simcheck]...
+//! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig1-scale|fig2|tables|fig3|fig4|arrivals|multicast|faults|simcheck]...
 //!                  [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]
-//!                  [--telemetry DIR] [--events PATH] [--trace-dump PATH]`
+//!                  [--shards N] [--telemetry DIR] [--events PATH] [--trace-dump PATH]`
 //!
 //! With no selector (or `all`), runs the full suite: the §2 step identities,
 //! Fig. 1 (plus the Ts = 0.15 µs variant), Fig. 2, Tables 1–2, Figs. 3–4,
@@ -16,6 +16,12 @@
 //! so successive experiments don't clobber each other. The `steps` selector
 //! computes closed forms without simulating, so it emits no telemetry.
 //!
+//! The `fig1-scale` selector (not part of `all` — a 10⁶-node mesh is not a
+//! smoke test) extends Fig. 1 into the 10⁵–10⁶-node regime on the sharded
+//! engine; `--shards N` picks the shard count per simulation (clamped per
+//! shape to its last-axis extent) and sizes the replication harness so
+//! `jobs × shards` never oversubscribes the machine.
+//!
 //! The `simcheck` selector (not part of `all`) runs a scenario-fuzzing
 //! campaign through the differential oracle — see the `wormcast-simcheck`
 //! crate. Built without the `invariants` feature (the default here, to keep
@@ -27,7 +33,9 @@
 //! `--length`, `--ts` and `--seed`) with the engine's bounded trace enabled
 //! and writes the trace as NDJSON to PATH, then exits.
 
-use wormcast_experiments::{fig1, fig2, fig34, steps, telemetry, CommonOpts, Experiment};
+use wormcast_experiments::{
+    fig1, fig1_scale, fig2, fig34, steps, telemetry, CommonOpts, Experiment,
+};
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -128,6 +136,26 @@ fn main() {
                     m.topologies = p.sides.iter().map(|s| format!("{s}x{s}x{s}")).collect();
                     telemetry::write_outputs(&topts(sel), sel, m, &frames);
                 }
+            }
+            "fig1-scale" => {
+                let mut p = fig1_scale::Fig1ScaleParams {
+                    shards: opts.shard_count(),
+                    ..Default::default()
+                };
+                if opts.quick {
+                    p.shapes = vec![[16, 16, 16], [32, 32, 32]];
+                    p.runs = 2;
+                }
+                if let Some(s) = opts.seed {
+                    p.seed = s;
+                }
+                if let Some(l) = opts.length {
+                    p.length = l;
+                }
+                let cells = p.run(&runner).cells;
+                println!("{}", fig1_scale::table(&cells, &p).render());
+                report_claims(&fig1_scale::check_claims(&cells));
+                out(sel, &cells);
             }
             "fig2" | "tables" => {
                 let mut p = fig2::Fig2Params::default();
@@ -343,8 +371,8 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown experiment '{other}' (steps, fig1, fig1-lowts, fig2, tables, \
-                     fig3, fig4, arrivals, multicast, faults, simcheck, all)"
+                    "unknown experiment '{other}' (steps, fig1, fig1-lowts, fig1-scale, fig2, \
+                     tables, fig3, fig4, arrivals, multicast, faults, simcheck, all)"
                 );
                 std::process::exit(2);
             }

@@ -20,6 +20,11 @@ pub struct CommonOpts {
     /// Worker threads for the replication harness (`--jobs N`; 0 or absent
     /// means one per available core). Results are identical for any value.
     pub jobs: Option<usize>,
+    /// Shards per simulation (`--shards N`; absent means 1, the ordinary
+    /// single-threaded engine). With N > 1 each replication runs the
+    /// sharded engine on N worker threads and the harness clamps `--jobs`
+    /// so `jobs × shards` never exceeds the available cores.
+    pub shards: Option<usize>,
     /// Directory telemetry exports are written to (`--telemetry DIR`);
     /// `None` disables telemetry collection entirely (zero-cost).
     pub telemetry: Option<std::path::PathBuf>,
@@ -35,8 +40,20 @@ pub struct CommonOpts {
 
 impl CommonOpts {
     /// The replication [`Runner`] the binary should drive experiments with.
+    /// With `--shards N > 1` the runner is sized via
+    /// [`Runner::for_shards`], keeping `jobs × shards` within the machine;
+    /// otherwise `--jobs` is honoured verbatim.
     pub fn runner(&self) -> Runner {
-        Runner::new(self.jobs.unwrap_or(0))
+        let jobs = self.jobs.unwrap_or(0);
+        match self.shard_count() {
+            0 | 1 => Runner::new(jobs),
+            shards => Runner::for_shards(jobs, shards),
+        }
+    }
+
+    /// Shards each simulation runs with (`--shards`, default 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.unwrap_or(1)
     }
 
     /// The telemetry spec implied by the flags: `None` unless `--telemetry`
@@ -54,7 +71,8 @@ impl CommonOpts {
     }
 
     /// Parse `--quick`, `--out DIR`, `--seed N`, `--ts US`, `--length F`,
-    /// `--jobs N` from the process arguments; anything else lands in `rest`.
+    /// `--jobs N`, `--shards N` from the process arguments; anything else
+    /// lands in `rest`.
     ///
     /// # Panics
     /// Panics with a usage message on malformed values — these are developer
@@ -72,6 +90,7 @@ impl CommonOpts {
             startup_us: None,
             length: None,
             jobs: None,
+            shards: None,
             telemetry: None,
             events: None,
             trace_dump: None,
@@ -115,6 +134,14 @@ impl CommonOpts {
                             .expect("--jobs needs a worker count (0 = auto)")
                             .parse()
                             .expect("--jobs must be an integer"),
+                    );
+                }
+                "--shards" => {
+                    o.shards = Some(
+                        it.next()
+                            .expect("--shards needs a shard count (1 = single engine)")
+                            .parse()
+                            .expect("--shards must be an integer"),
                     );
                 }
                 "--telemetry" => {
@@ -195,6 +222,29 @@ mod tests {
         let o = parse(&["--jobs", "0"]);
         assert_eq!(o.jobs, Some(0));
         assert!(o.runner().jobs() >= 1);
+    }
+
+    #[test]
+    fn shards_compose_with_jobs_without_oversubscription() {
+        let o = parse(&[]);
+        assert_eq!(o.shard_count(), 1, "single engine by default");
+
+        let o = parse(&["--shards", "4", "--jobs", "64"]);
+        assert_eq!(o.shard_count(), 4);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let jobs = o.runner().jobs();
+        assert!(jobs >= 1);
+        assert!(
+            jobs * 4 <= cores.max(4),
+            "jobs={jobs} x shards=4 oversubscribes {cores} cores"
+        );
+
+        // Without --shards, an explicit --jobs is honoured verbatim (the
+        // pre-sharding contract: results are jobs-invariant anyway).
+        let o = parse(&["--jobs", "64"]);
+        assert_eq!(o.runner().jobs(), 64);
     }
 
     #[test]

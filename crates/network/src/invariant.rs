@@ -58,7 +58,6 @@ struct Expectation {
 #[derive(Debug, Default)]
 struct State {
     watchdog_enabled: bool,
-    last_now: SimTime,
     injected: u64,
     completed: u64,
     stalled: u64,
@@ -76,18 +75,6 @@ impl State {
             self.violations.push(msg);
         } else {
             self.suppressed += 1;
-        }
-    }
-
-    fn clock(&mut self, now: SimTime) {
-        if now < self.last_now {
-            self.violate(format!(
-                "clock went backwards: {} after {}",
-                now.as_ps(),
-                self.last_now.as_ps()
-            ));
-        } else {
-            self.last_now = now;
         }
     }
 
@@ -123,6 +110,7 @@ impl InvariantChecker {
     pub fn sink(&self) -> Box<dyn MetricsSink> {
         Box::new(InvariantSink {
             state: Arc::clone(&self.state),
+            last_now: SimTime::ZERO,
         })
     }
 
@@ -190,6 +178,28 @@ impl InvariantChecker {
 /// The attachable sink half of [`InvariantChecker`].
 struct InvariantSink {
     state: Arc<Mutex<State>>,
+    /// Monotone clock over the events *this sink* observed. Each attached
+    /// sink watches one engine's (or one shard's) event stream in processing
+    /// order, so the backwards-clock check lives here rather than in the
+    /// shared [`State`]: a sharded run attaches one sink per shard, and the
+    /// shard clocks legitimately interleave within a synchronisation window
+    /// while each individual stream stays monotone.
+    last_now: SimTime,
+}
+
+impl InvariantSink {
+    fn clock(&mut self, now: SimTime) {
+        if now < self.last_now {
+            let msg = format!(
+                "clock went backwards: {} after {}",
+                now.as_ps(),
+                self.last_now.as_ps()
+            );
+            self.state.lock().unwrap().violate(msg);
+        } else {
+            self.last_now = now;
+        }
+    }
 }
 
 impl MetricsSink for InvariantSink {
@@ -207,8 +217,8 @@ impl MetricsSink for InvariantSink {
     }
 
     fn on_channel_grant(&mut self, now: SimTime, m: MessageId, ch: ChannelId) {
+        self.clock(now);
         let mut s = self.state.lock().unwrap();
-        s.clock(now);
         if let Some(&owner) = s.chan_owner.get(&ch.0) {
             s.violate(format!(
                 "c{}: granted to m{} while held by m{} (mutual exclusion)",
@@ -229,16 +239,16 @@ impl MetricsSink for InvariantSink {
     }
 
     fn on_channel_release(&mut self, now: SimTime, ch: ChannelId) {
+        self.clock(now);
         let mut s = self.state.lock().unwrap();
-        s.clock(now);
         if s.chan_owner.remove(&ch.0).is_none() {
             s.violate(format!("c{}: released while not held", ch.0));
         }
     }
 
     fn on_deliver(&mut self, now: SimTime, m: MessageId, node: NodeId, flits: u64) {
+        self.clock(now);
         let mut s = self.state.lock().unwrap();
-        s.clock(now);
         let (completed, stalled) = {
             let sh = s.shadow(m);
             (sh.completed, sh.stalled)
@@ -280,8 +290,8 @@ impl MetricsSink for InvariantSink {
     }
 
     fn on_complete(&mut self, now: SimTime, m: MessageId, _node: NodeId) {
+        self.clock(now);
         let mut s = self.state.lock().unwrap();
-        s.clock(now);
         s.completed += 1;
         let sh = s.shadow(m).clone();
         if sh.completed {
@@ -312,8 +322,8 @@ impl MetricsSink for InvariantSink {
     }
 
     fn on_stalled(&mut self, now: SimTime, m: MessageId, _at: NodeId, _undelivered: u64) {
+        self.clock(now);
         let mut s = self.state.lock().unwrap();
-        s.clock(now);
         s.stalled += 1;
         if !s.watchdog_enabled {
             s.violate(format!(
@@ -335,23 +345,23 @@ impl MetricsSink for InvariantSink {
     }
 
     fn on_startup_done(&mut self, now: SimTime, _m: MessageId, _node: NodeId) {
-        self.state.lock().unwrap().clock(now);
+        self.clock(now);
     }
 
     fn on_header_hop(&mut self, now: SimTime, _m: MessageId, _at: NodeId, _ch: ChannelId) {
-        self.state.lock().unwrap().clock(now);
+        self.clock(now);
     }
 
     fn on_channel_wait(&mut self, now: SimTime, _m: MessageId, _ch: ChannelId, _q: usize) {
-        self.state.lock().unwrap().clock(now);
+        self.clock(now);
     }
 
     fn on_link_failed(&mut self, now: SimTime, _ch: ChannelId) {
-        self.state.lock().unwrap().clock(now);
+        self.clock(now);
     }
 
     fn on_link_restored(&mut self, now: SimTime, _ch: ChannelId) {
-        self.state.lock().unwrap().clock(now);
+        self.clock(now);
     }
 }
 

@@ -1,0 +1,1837 @@
+//! Intra-simulation parallelism: one wormhole simulation across shards.
+//!
+//! The topology is partitioned into contiguous last-axis slabs
+//! ([`wormcast_topology::ShardMap`]); each shard owns the nodes of its slab,
+//! every channel whose *source* node it owns, and a private copy of the whole
+//! engine state machine — its own calendar wheel, channel/port arenas, and
+//! metrics sinks. Because adaptive routing, queueing, and arbitration only
+//! ever touch channels leaving the header's current node, every routing
+//! decision is shard-local; the only inter-shard traffic is:
+//!
+//! * **handoffs** — a header granted a boundary channel is shipped, whole
+//!   message state attached, to the destination shard, timestamped one hop
+//!   time ahead (the crossing latency is the lookahead);
+//! * **remote releases** — a completing (or reaped) wormhole path gives back
+//!   channels owned by upstream shards at the *same* timestamp (zero
+//!   lookahead);
+//! * **driver injections** — a single-threaded broadcast driver reacts to a
+//!   delivery by injecting relays at the delivery timestamp (zero lookahead).
+//!
+//! Shards advance in conservative rounds planned by
+//! [`wormcast_sim::ShardedScheduler`]: non-gate rounds run a full lookahead
+//! window in parallel; when a zero-lookahead *gate* event (path release,
+//! watchdog kill, driver-visible delivery) is due, the round degenerates to
+//! that single timestamp and its effects are exchanged at the barrier before
+//! anyone moves on. Inter-shard transfers are applied in sender-index order
+//! at fixed points of the round protocol, so a run is bit-reproducible for a
+//! given `(topology, config, shard count, injection sequence)` regardless of
+//! how the OS schedules the worker threads.
+//!
+//! Relative to the single-shard engine ([`crate::engine::Network`]), event
+//! outcomes are identical except for coincidences at a single picosecond
+//! that span shards, where the global insertion-sequence tiebreak is not
+//! reconstructed; comparisons are therefore made on the *canonical* outputs
+//! (sorted trace multiset, sorted deliveries, summed counters, final clock),
+//! which the differential tests in this module and the simcheck campaign
+//! exercise.
+
+use crate::config::{ConfigError, NetworkConfig, ReleaseMode};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::message::{Delivery, MessageId, MessageSpec, Route};
+use crate::metrics::{Counters, CountersSink, MetricsSink, TraceSink, UtilizationSink};
+use crate::trace::TraceRecord;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use wormcast_routing::{RoutingFunction, SimTopology};
+use wormcast_sim::{ActiveSet, CalendarWheel, ShardedScheduler, SimDuration, SimTime, SpinBarrier};
+use wormcast_topology::{ChannelId, Mesh, NodeId, ShardMap, Sign};
+
+/// Sentinel for "no id" in the intrusive waiter links.
+const NONE: u32 = u32::MAX;
+
+/// The full migratory state of one in-flight message. Unlike the
+/// single-shard engine's struct-of-arrays [`crate::engine::Network`] arena,
+/// message state is one movable record: a header crossing a shard boundary
+/// takes its state with it.
+#[derive(Debug)]
+struct MsgState {
+    id: u32,
+    spec: MessageSpec,
+    requested_at: SimTime,
+    /// Node the header currently occupies.
+    cur: NodeId,
+    /// Direction of the hop that brought the header to `cur`.
+    prev: Option<(usize, Sign)>,
+    hops_taken: u32,
+    /// Index of the next hop for fixed routes.
+    next_fixed: u32,
+    /// Raw id of the channel being crossed (kept across a handoff so the
+    /// accepting shard knows which channel the header arrived on), or `NONE`.
+    crossing: u32,
+    /// Raw id of the channel whose queue the header waits in, or `NONE`.
+    waiting_on: u32,
+    /// Channels held by this wormhole path, in acquisition order. May span
+    /// shards; releases are routed back to each channel's owner.
+    held: Vec<ChannelId>,
+    /// Next message in whatever FIFO (channel or port) this one waits in.
+    next_waiter: u32,
+    done: bool,
+    /// Watchdog state travels with the message: the pending `StallCheck`
+    /// event stays behind in the shard that armed it (and retires as stale);
+    /// the accepting shard re-materializes the check from these fields.
+    stall_armed: bool,
+    stall_deadline: SimTime,
+    stall_hops: u32,
+}
+
+impl MsgState {
+    fn new(id: u32, requested_at: SimTime, spec: MessageSpec) -> Self {
+        MsgState {
+            id,
+            cur: spec.src,
+            spec,
+            requested_at,
+            prev: None,
+            hops_taken: 0,
+            next_fixed: 0,
+            crossing: NONE,
+            waiting_on: NONE,
+            held: Vec::new(),
+            next_waiter: NONE,
+            done: false,
+            stall_armed: false,
+            stall_deadline: SimTime::ZERO,
+            stall_hops: 0,
+        }
+    }
+}
+
+/// Per-shard events. Mirrors [`crate::engine`]'s event set, plus the three
+/// sharding-specific events: `CrossOut` (source-side bookkeeping of a
+/// boundary crossing), `Accept` (a handed-off header arrives), and
+/// `ReleaseRemote` (another shard gives back one of our channels).
+#[derive(Debug)]
+enum Ev {
+    Arrive(u32),
+    StartupDone(u32),
+    Header(u32),
+    /// Body fully arrived at a receiver node. The record is precomputed at
+    /// schedule time: the message may have migrated to another shard by the
+    /// time the body drains.
+    Deliver {
+        d: Delivery,
+        flits: u64,
+    },
+    Complete(u32),
+    PortRelease(NodeId),
+    ReleaseOne(ChannelId),
+    LinkDown(ChannelId),
+    LinkUp(ChannelId),
+    StallCheck(u32),
+    /// A boundary-crossing header clears this shard at the event time:
+    /// schedule the local tail effects (port release on a first hop,
+    /// channel release in facility mode).
+    CrossOut {
+        ch: ChannelId,
+        first_hop: bool,
+        src: NodeId,
+        length: u64,
+    },
+    /// A handed-off header arrives from an upstream shard.
+    Accept(Box<MsgState>),
+    /// An upstream shard's path released one of our channels.
+    ReleaseRemote(ChannelId),
+}
+
+/// An inter-shard transfer, deposited in the receiver's mailbox at the end
+/// of a round and applied (in sender-index order) before the next one.
+#[derive(Debug)]
+enum Xfer {
+    /// A header crossing a boundary channel, due at `at` (one hop ahead).
+    Handoff { at: SimTime, state: Box<MsgState> },
+    /// Release of `ch` (owned by the receiver) at `at` — zero lookahead,
+    /// only ever exchanged out of a lockstep gate round.
+    Release { at: SimTime, ch: ChannelId },
+    /// A driver-provided injection (relay of a delivered broadcast step).
+    Inject {
+        at: SimTime,
+        id: u32,
+        spec: MessageSpec,
+    },
+}
+
+/// Channel arena covering one shard's contiguous channel range
+/// `[base, base + busy.len())`.
+struct ShardChans {
+    base: u32,
+    busy: Vec<u32>,
+    waiter_head: Vec<u32>,
+    waiter_tail: Vec<u32>,
+    waiters_len: Vec<u32>,
+}
+
+impl ShardChans {
+    fn new(base: u32, count: usize) -> Self {
+        ShardChans {
+            base,
+            busy: vec![NONE; count],
+            waiter_head: vec![NONE; count],
+            waiter_tail: vec![NONE; count],
+            waiters_len: vec![0; count],
+        }
+    }
+
+    #[inline]
+    fn local(&self, ch: ChannelId) -> usize {
+        let i = (ch.0 - self.base) as usize;
+        debug_assert!(i < self.busy.len(), "channel {ch:?} not owned by shard");
+        i
+    }
+}
+
+/// Injection-port arena covering one shard's node range.
+struct ShardPorts {
+    base: u32,
+    free: Vec<u32>,
+    waiter_head: Vec<u32>,
+    waiter_tail: Vec<u32>,
+}
+
+impl ShardPorts {
+    fn new(base: u32, count: usize, ports_per_node: usize) -> Self {
+        ShardPorts {
+            base,
+            free: vec![ports_per_node as u32; count],
+            waiter_head: vec![NONE; count],
+            waiter_tail: vec![NONE; count],
+        }
+    }
+
+    #[inline]
+    fn local(&self, n: NodeId) -> usize {
+        let i = (n.0 - self.base) as usize;
+        debug_assert!(i < self.free.len(), "node {n:?} not owned by shard");
+        i
+    }
+}
+
+/// A [`UtilizationSink`] sized to one shard's channel range: observations
+/// are remapped by the range base, so a million-node mesh costs each shard
+/// only its own slice instead of `num_channels` entries per shard.
+struct OffsetUtil {
+    base: u32,
+    inner: UtilizationSink,
+}
+
+impl MetricsSink for OffsetUtil {
+    fn on_channel_grant(&mut self, now: SimTime, m: MessageId, ch: ChannelId) {
+        self.inner
+            .on_channel_grant(now, m, ChannelId(ch.0 - self.base));
+    }
+    fn on_channel_release(&mut self, now: SimTime, ch: ChannelId) {
+        self.inner
+            .on_channel_release(now, ChannelId(ch.0 - self.base));
+    }
+}
+
+/// Shared coordination state for one `run` call.
+struct RoundCtl {
+    /// All shards plus the coordinator.
+    barrier: SpinBarrier,
+    stop: AtomicBool,
+    horizon: AtomicU64,
+    /// Per-shard earliest pending event / gate event, `u64::MAX` when none.
+    mins: Vec<AtomicU64>,
+    gates: Vec<AtomicU64>,
+    /// `mailboxes[dst][src]`; slot `src == num_shards` is the coordinator's
+    /// (driver injections).
+    mailboxes: Vec<Vec<Mutex<Vec<Xfer>>>>,
+    /// Deliveries parked by each shard at the end of a round, drained by the
+    /// coordinator at the next barrier.
+    delivered: Vec<Mutex<Vec<Delivery>>>,
+}
+
+impl RoundCtl {
+    fn new(shards: usize) -> Self {
+        RoundCtl {
+            barrier: SpinBarrier::new(shards + 1),
+            stop: AtomicBool::new(false),
+            horizon: AtomicU64::new(0),
+            mins: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            gates: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            mailboxes: (0..shards)
+                .map(|_| (0..=shards).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            delivered: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+}
+
+/// One shard: a complete engine over its slab of the topology.
+struct Shard<T: SimTopology> {
+    id: usize,
+    topo: T,
+    cfg: NetworkConfig,
+    rf: Box<dyn RoutingFunction<T>>,
+    map: ShardMap,
+    wheel: CalendarWheel<Ev>,
+    msgs: HashMap<u32, MsgState>,
+    chans: ShardChans,
+    ports: ShardPorts,
+    /// Failed local channels, indexed by `ch - chans.base`.
+    failed: ActiveSet,
+    outbox: Vec<Delivery>,
+    sink_counters: CountersSink,
+    sink_trace: TraceSink,
+    sink_util: OffsetUtil,
+    extra_sinks: Vec<Box<dyn MetricsSink>>,
+    /// Pending gate-event times → count. Gates are the zero-lookahead
+    /// events: `Complete`/`StallCheck` under path holding (remote path
+    /// releases fire at the same timestamp) and `Deliver` when a driver is
+    /// attached (relay injections fire at the delivery timestamp).
+    gates: BTreeMap<u64, u32>,
+    /// Outbound transfers per destination shard, flushed at round end.
+    outbound: Vec<Vec<Xfer>>,
+    driver_mode: bool,
+    #[cfg(feature = "invariants")]
+    iv_last_now: SimTime,
+}
+
+impl<T: SimTopology> Shard<T> {
+    /// Fan one observation event out to the built-in and attached sinks.
+    #[inline]
+    fn emit(&mut self, f: impl Fn(&mut dyn MetricsSink)) {
+        f(&mut self.sink_counters);
+        f(&mut self.sink_util);
+        f(&mut self.sink_trace);
+        for s in &mut self.extra_sinks {
+            f(s.as_mut());
+        }
+    }
+
+    fn gate_add(&mut self, at: SimTime) {
+        *self.gates.entry(at.0).or_insert(0) += 1;
+    }
+
+    fn gate_sub(&mut self, at: SimTime) {
+        let c = self
+            .gates
+            .get_mut(&at.0)
+            .expect("gate accounting underflow");
+        *c -= 1;
+        if *c == 0 {
+            self.gates.remove(&at.0);
+        }
+    }
+
+    /// Schedule a `Complete`, counting it as a gate under path holding
+    /// (its releases may reach other shards with zero lookahead).
+    fn sched_complete(&mut self, at: SimTime, m: u32) {
+        if self.cfg.release == ReleaseMode::PathHolding {
+            self.gate_add(at);
+        }
+        self.wheel.schedule(at, Ev::Complete(m));
+    }
+
+    /// Schedule a `StallCheck`, counting it as a gate under path holding
+    /// (a kill releases the held path like completion does).
+    fn sched_stall(&mut self, at: SimTime, m: u32) {
+        if self.cfg.release == ReleaseMode::PathHolding {
+            self.gate_add(at);
+        }
+        self.wheel.schedule(at, Ev::StallCheck(m));
+    }
+
+    /// Schedule a `Deliver`, counting it as a gate in driver mode (the
+    /// driver may inject relays at the delivery timestamp).
+    fn sched_deliver(&mut self, at: SimTime, d: Delivery, flits: u64) {
+        if self.driver_mode {
+            self.gate_add(at);
+        }
+        self.wheel.schedule(at, Ev::Deliver { d, flits });
+    }
+
+    /// Admit an injection into this shard (source node is local).
+    fn admit(&mut self, at: SimTime, id: u32, spec: MessageSpec) {
+        let src = spec.src;
+        self.msgs.insert(id, MsgState::new(id, at, spec));
+        self.emit(|s| s.on_inject(at, MessageId(id as u64), src));
+        self.wheel.schedule(at, Ev::Arrive(id));
+    }
+
+    /// Earliest pending event and gate times for the round planner.
+    fn snapshot(&mut self) -> (u64, u64) {
+        let min = self.wheel.peek_time().map_or(u64::MAX, |t| t.0);
+        let gate = self.gates.keys().next().copied().unwrap_or(u64::MAX);
+        (min, gate)
+    }
+
+    /// Apply one mailbox slot's transfers in deposit order.
+    fn apply_slot(&mut self, slot: &Mutex<Vec<Xfer>>) {
+        let drained = {
+            let mut v = slot.lock().expect("mailbox poisoned");
+            if v.is_empty() {
+                return;
+            }
+            std::mem::take(&mut *v)
+        };
+        for x in drained {
+            match x {
+                Xfer::Handoff { at, state } => self.wheel.schedule(at, Ev::Accept(state)),
+                Xfer::Release { at, ch } => self.wheel.schedule(at, Ev::ReleaseRemote(ch)),
+                Xfer::Inject { at, id, spec } => self.admit(at, id, spec),
+            }
+        }
+    }
+
+    /// Flush outbound transfers and parked deliveries to the shared slots.
+    fn flush_outbound(&mut self, ctl: &RoundCtl) {
+        for dst in 0..self.outbound.len() {
+            if !self.outbound[dst].is_empty() {
+                ctl.mailboxes[dst][self.id]
+                    .lock()
+                    .expect("mailbox poisoned")
+                    .append(&mut self.outbound[dst]);
+            }
+        }
+        if !self.outbox.is_empty() {
+            ctl.delivered[self.id]
+                .lock()
+                .expect("delivered slot poisoned")
+                .append(&mut self.outbox);
+        }
+    }
+
+    /// Process every event strictly before `horizon`.
+    fn run_round(&mut self, horizon: SimTime) {
+        while let Some(t) = self.wheel.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let (now, ev) = self.wheel.pop().expect("peeked event vanished");
+            self.dispatch(now, ev);
+            #[cfg(feature = "invariants")]
+            if self.cfg.check_invariants {
+                self.deep_check(now);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrive(m) => self.on_arrive(now, m),
+            Ev::StartupDone(m) => self.on_startup_done(now, m),
+            Ev::Header(m) => self.on_header(now, m),
+            Ev::Deliver { d, flits } => {
+                if self.driver_mode {
+                    self.gate_sub(now);
+                }
+                self.emit(|s| s.on_deliver(now, d.message, d.node, flits));
+                self.outbox.push(d);
+            }
+            Ev::Complete(m) => {
+                if self.cfg.release == ReleaseMode::PathHolding {
+                    self.gate_sub(now);
+                }
+                self.on_complete(now, m);
+            }
+            Ev::PortRelease(node) => self.on_port_release(now, node),
+            Ev::ReleaseOne(ch) => self.release_local(now, ch),
+            Ev::LinkDown(ch) => self.on_link_down(now, ch),
+            Ev::LinkUp(ch) => self.on_link_up(now, ch),
+            Ev::StallCheck(m) => {
+                if self.cfg.release == ReleaseMode::PathHolding {
+                    self.gate_sub(now);
+                }
+                self.on_stall_check(now, m);
+            }
+            Ev::CrossOut {
+                ch,
+                first_hop,
+                src,
+                length,
+            } => {
+                let body = self.cfg.body_time(length);
+                if self.cfg.release == ReleaseMode::AfterTailCrossing {
+                    self.wheel.schedule(now + body, Ev::ReleaseOne(ch));
+                }
+                if first_hop {
+                    self.wheel.schedule(now + body, Ev::PortRelease(src));
+                }
+            }
+            Ev::Accept(st) => self.on_accept(now, st),
+            Ev::ReleaseRemote(ch) => self.release_local(now, ch),
+        }
+    }
+
+    // ---- FIFO plumbing (intrusive links through the message map) ----
+
+    fn push_chan_waiter(&mut self, li: usize, m: u32) {
+        self.msgs.get_mut(&m).expect("waiter exists").next_waiter = NONE;
+        let tail = self.chans.waiter_tail[li];
+        if tail == NONE {
+            self.chans.waiter_head[li] = m;
+        } else {
+            self.msgs.get_mut(&tail).expect("tail exists").next_waiter = m;
+        }
+        self.chans.waiter_tail[li] = m;
+        self.chans.waiters_len[li] += 1;
+    }
+
+    fn remove_chan_waiter(&mut self, li: usize, m: u32) {
+        let mut prev = NONE;
+        let mut cur = self.chans.waiter_head[li];
+        while cur != NONE {
+            let next = self.msgs[&cur].next_waiter;
+            if cur == m {
+                if prev == NONE {
+                    self.chans.waiter_head[li] = next;
+                } else {
+                    self.msgs.get_mut(&prev).expect("prev exists").next_waiter = next;
+                }
+                if next == NONE {
+                    self.chans.waiter_tail[li] = prev;
+                }
+                self.msgs.get_mut(&m).expect("waiter exists").next_waiter = NONE;
+                self.chans.waiters_len[li] -= 1;
+                return;
+            }
+            prev = cur;
+            cur = next;
+        }
+        panic!("message m{m} not found in local channel wait queue");
+    }
+
+    fn pop_chan_waiter(&mut self, li: usize) -> Option<u32> {
+        let head = self.chans.waiter_head[li];
+        if head == NONE {
+            return None;
+        }
+        let next = self.msgs[&head].next_waiter;
+        self.chans.waiter_head[li] = next;
+        if next == NONE {
+            self.chans.waiter_tail[li] = NONE;
+        }
+        self.chans.waiters_len[li] -= 1;
+        Some(head)
+    }
+
+    fn push_port_waiter(&mut self, ni: usize, m: u32) {
+        self.msgs.get_mut(&m).expect("waiter exists").next_waiter = NONE;
+        let tail = self.ports.waiter_tail[ni];
+        if tail == NONE {
+            self.ports.waiter_head[ni] = m;
+        } else {
+            self.msgs.get_mut(&tail).expect("tail exists").next_waiter = m;
+        }
+        self.ports.waiter_tail[ni] = m;
+    }
+
+    fn pop_port_waiter(&mut self, ni: usize) -> Option<u32> {
+        let head = self.ports.waiter_head[ni];
+        if head == NONE {
+            return None;
+        }
+        let next = self.msgs[&head].next_waiter;
+        self.ports.waiter_head[ni] = next;
+        if next == NONE {
+            self.ports.waiter_tail[ni] = NONE;
+        }
+        Some(head)
+    }
+
+    // ---- engine handlers (mirroring crate::engine) ----
+
+    fn start_after_grant(&mut self, now: SimTime, m: u32, node: NodeId) {
+        let ts = if self.msgs[&m].spec.charge_startup {
+            self.cfg.startup
+        } else {
+            SimDuration::ZERO
+        };
+        self.emit(|s| s.on_port_grant(now, MessageId(m as u64), node));
+        self.wheel.schedule(now + ts, Ev::StartupDone(m));
+    }
+
+    fn on_arrive(&mut self, now: SimTime, m: u32) {
+        let src = self.msgs[&m].spec.src;
+        let ni = self.ports.local(src);
+        if self.ports.free[ni] > 0 {
+            self.ports.free[ni] -= 1;
+            self.start_after_grant(now, m, src);
+        } else {
+            self.push_port_waiter(ni, m);
+        }
+    }
+
+    fn on_port_release(&mut self, now: SimTime, node: NodeId) {
+        let ni = self.ports.local(node);
+        if let Some(m) = self.pop_port_waiter(ni) {
+            self.start_after_grant(now, m, node);
+        } else {
+            self.ports.free[ni] += 1;
+        }
+    }
+
+    fn on_startup_done(&mut self, now: SimTime, m: u32) {
+        let node = self.msgs[&m].cur;
+        self.emit(|s| s.on_startup_done(now, MessageId(m as u64), node));
+        self.advance_header(now, m);
+    }
+
+    /// A header finished crossing a *local* channel (both endpoints ours).
+    fn on_header(&mut self, now: SimTime, m: u32) {
+        let st = self.msgs.get_mut(&m).expect("crossing message exists");
+        let ch_raw = st.crossing;
+        debug_assert!(ch_raw != NONE, "Header event without a crossing channel");
+        st.crossing = NONE;
+        let ch = ChannelId(ch_raw);
+        let (from, to) = self.topo.channel_endpoints(ch);
+        debug_assert_eq!(from, st.cur, "header crossed a channel it was not at");
+        let (dim, sign) = self.topo.hop_direction(ch);
+        st.cur = to;
+        st.prev = Some((dim, sign));
+        let first_hop = st.hops_taken == 0;
+        st.hops_taken += 1;
+        let length = st.spec.length;
+        let src = st.spec.src;
+        let body = self.cfg.body_time(length);
+        match self.cfg.release {
+            ReleaseMode::PathHolding => {
+                self.msgs.get_mut(&m).expect("exists").held.push(ch);
+            }
+            ReleaseMode::AfterTailCrossing => {
+                self.wheel.schedule(now + body, Ev::ReleaseOne(ch));
+            }
+        }
+        if first_hop {
+            self.wheel.schedule(now + body, Ev::PortRelease(src));
+        }
+        self.emit(|s| s.on_header_hop(now, MessageId(m as u64), to, ch));
+        self.advance_header(now, m);
+    }
+
+    /// A handed-off header arrives: the boundary-crossing half of
+    /// [`Shard::on_header`]. The granting shard already did the source-side
+    /// bookkeeping (held-path append, port/channel release scheduling).
+    // The Box is the handoff wire format: crossings ship the boxed state
+    // between shards, and unboxing here would only re-box on insertion.
+    #[allow(clippy::boxed_local)]
+    fn on_accept(&mut self, now: SimTime, mut st: Box<MsgState>) {
+        let ch = ChannelId(st.crossing);
+        debug_assert!(st.crossing != NONE, "Accept without a crossing channel");
+        st.crossing = NONE;
+        let (_, to) = self.topo.channel_endpoints(ch);
+        let (dim, sign) = self.topo.hop_direction(ch);
+        st.cur = to;
+        st.prev = Some((dim, sign));
+        st.hops_taken += 1;
+        let m = st.id;
+        if st.stall_armed {
+            if st.stall_deadline <= now {
+                // The pending check (left behind in the previous shard)
+                // would have fired mid-crossing and retired; mirror that.
+                st.stall_armed = false;
+            } else {
+                // Re-materialize the pending check locally. The original
+                // event still sits in the previous shard's wheel — it keeps
+                // the deadline published as a gate there and retires as
+                // stale when it fires.
+                let deadline = st.stall_deadline;
+                self.msgs.insert(m, *st);
+                self.sched_stall(deadline, m);
+                self.emit(|s| s.on_header_hop(now, MessageId(m as u64), to, ch));
+                self.advance_header(now, m);
+                return;
+            }
+        }
+        self.msgs.insert(m, *st);
+        self.emit(|s| s.on_header_hop(now, MessageId(m as u64), to, ch));
+        self.advance_header(now, m);
+    }
+
+    fn advance_header(&mut self, now: SimTime, m: u32) {
+        let st = &self.msgs[&m];
+        let body = self.cfg.body_time(st.spec.length);
+        let (is_receiver, is_final) = match &st.spec.route {
+            Route::Fixed(cp) => {
+                let idx = st.next_fixed as usize; // nodes visited == hops taken
+                (cp.deliver_mask()[idx], idx == cp.path.hops.len())
+            }
+            Route::Adaptive { dst } => {
+                let fin = st.cur == *dst;
+                (fin, fin)
+            }
+        };
+        if is_receiver {
+            let d = Delivery {
+                message: MessageId(m as u64),
+                op: st.spec.op,
+                tag: st.spec.tag,
+                node: st.cur,
+                src: st.spec.src,
+                requested_at: st.requested_at,
+                delivered_at: now + body,
+            };
+            let flits = st.spec.length;
+            self.sched_deliver(now + body, d, flits);
+        }
+        if is_final {
+            self.sched_complete(now + body, m);
+            return;
+        }
+        let st = &self.msgs[&m];
+        if let Route::Fixed(cp) = &st.spec.route {
+            let ch = cp.path.hops[st.next_fixed as usize];
+            let li = self.chans.local(ch);
+            if !self.failed.contains(li) && self.chans.busy[li] == NONE {
+                self.grant(now, m, ch);
+            } else {
+                self.wait_on(now, m, ch);
+            }
+            return;
+        }
+        let Route::Adaptive { dst } = st.spec.route else {
+            unreachable!("fixed handled above");
+        };
+        let cands = self
+            .rf
+            .candidates(&self.topo, st.spec.src, st.cur, st.prev, dst);
+        assert!(
+            !cands.is_empty(),
+            "routing function dead-ended at {} toward {}",
+            self.msgs[&m].cur,
+            dst
+        );
+        let dodging = !self.failed.is_empty()
+            && cands
+                .iter()
+                .any(|c| self.failed.contains(self.chans.local(*c)));
+        if let Some(&ch) = cands.iter().find(|&&c| {
+            let li = self.chans.local(c);
+            !self.failed.contains(li) && self.chans.busy[li] == NONE
+        }) {
+            if dodging {
+                let at = self.msgs[&m].cur;
+                self.emit(|s| s.on_reroute(now, MessageId(m as u64), at));
+            }
+            self.grant(now, m, ch);
+            return;
+        }
+        let any_live = cands
+            .iter()
+            .any(|c| !self.failed.contains(self.chans.local(*c)));
+        if dodging && any_live {
+            let at = self.msgs[&m].cur;
+            self.emit(|s| s.on_reroute(now, MessageId(m as u64), at));
+        }
+        let mut wait_ch = None;
+        let mut best_len = u32::MAX;
+        for &c in &cands {
+            let li = self.chans.local(c);
+            if any_live && self.failed.contains(li) {
+                continue;
+            }
+            let len = self.chans.waiters_len[li];
+            if len < best_len {
+                best_len = len;
+                wait_ch = Some(c);
+            }
+        }
+        self.wait_on(now, m, wait_ch.expect("candidates nonempty"));
+    }
+
+    fn wait_on(&mut self, now: SimTime, m: u32, ch: ChannelId) {
+        let li = self.chans.local(ch);
+        self.push_chan_waiter(li, m);
+        let st = self.msgs.get_mut(&m).expect("waiter exists");
+        st.waiting_on = ch.0;
+        let queue_len = self.chans.waiters_len[li] as usize;
+        self.emit(|s| s.on_channel_wait(now, MessageId(m as u64), ch, queue_len));
+        if self.cfg.watchdog != SimDuration::ZERO && !self.msgs[&m].stall_armed {
+            let st = self.msgs.get_mut(&m).expect("waiter exists");
+            st.stall_armed = true;
+            st.stall_deadline = now + self.cfg.watchdog;
+            st.stall_hops = st.hops_taken;
+            let deadline = st.stall_deadline;
+            self.sched_stall(deadline, m);
+        }
+    }
+
+    /// Give channel `ch` (ours) to message `m` and start the crossing. If
+    /// the channel's destination node belongs to another shard, the header
+    /// is shipped there, due one hop time ahead.
+    fn grant(&mut self, now: SimTime, m: u32, ch: ChannelId) {
+        let li = self.chans.local(ch);
+        debug_assert!(self.chans.busy[li] == NONE, "granting a busy channel");
+        self.chans.busy[li] = m;
+        let st = self.msgs.get_mut(&m).expect("granted message exists");
+        st.crossing = ch.0;
+        st.waiting_on = NONE;
+        if matches!(st.spec.route, Route::Fixed(_)) {
+            st.next_fixed += 1;
+        }
+        self.emit(|s| s.on_channel_grant(now, MessageId(m as u64), ch));
+        let cross_at = now + self.cfg.hop_time();
+        let (_, to) = self.topo.channel_endpoints(ch);
+        let dest = self.map.shard_of_node(to);
+        if dest == self.id {
+            self.wheel.schedule(cross_at, Ev::Header(m));
+            return;
+        }
+        // Boundary crossing: perform the source-side bookkeeping Header
+        // would do, then ship the message. The held-path append moves from
+        // crossing time to grant time, which is unobservable: a crossing
+        // header can neither complete nor be reaped mid-crossing.
+        let st = self.msgs.get_mut(&m).expect("granted message exists");
+        let first_hop = st.hops_taken == 0;
+        let length = st.spec.length;
+        let src = st.spec.src;
+        if self.cfg.release == ReleaseMode::PathHolding {
+            st.held.push(ch);
+        }
+        if first_hop || self.cfg.release == ReleaseMode::AfterTailCrossing {
+            self.wheel.schedule(
+                cross_at,
+                Ev::CrossOut {
+                    ch,
+                    first_hop,
+                    src,
+                    length,
+                },
+            );
+        }
+        let state = self.msgs.remove(&m).expect("granted message exists");
+        self.outbound[dest].push(Xfer::Handoff {
+            at: cross_at,
+            state: Box::new(state),
+        });
+    }
+
+    fn on_complete(&mut self, now: SimTime, m: u32) {
+        let st = self.msgs.get_mut(&m).expect("completing message exists");
+        let held = std::mem::take(&mut st.held);
+        if self.cfg.release == ReleaseMode::PathHolding {
+            assert!(
+                !held.is_empty(),
+                "message completed without traversing any channel"
+            );
+        }
+        let node = st.cur;
+        for ch in held {
+            self.release_anywhere(now, ch);
+        }
+        self.msgs.get_mut(&m).expect("exists").done = true;
+        self.emit(|s| s.on_complete(now, MessageId(m as u64), node));
+    }
+
+    /// Release `ch` wherever it lives: locally, or by notifying its owner
+    /// (same-timestamp transfer, exchanged out of the current gate round).
+    fn release_anywhere(&mut self, now: SimTime, ch: ChannelId) {
+        let owner = self.map.shard_of_channel(&self.topo, ch);
+        if owner == self.id {
+            self.release_local(now, ch);
+        } else {
+            self.outbound[owner].push(Xfer::Release { at: now, ch });
+        }
+    }
+
+    fn release_local(&mut self, now: SimTime, ch: ChannelId) {
+        let li = self.chans.local(ch);
+        self.chans.busy[li] = NONE;
+        self.emit(|s| s.on_channel_release(now, ch));
+        if self.failed.contains(li) {
+            return;
+        }
+        if let Some(m) = self.pop_chan_waiter(li) {
+            self.grant(now, m, ch);
+        }
+    }
+
+    fn on_link_down(&mut self, now: SimTime, ch: ChannelId) {
+        if self.failed.insert(self.chans.local(ch)) {
+            self.emit(|s| s.on_link_failed(now, ch));
+        }
+    }
+
+    fn on_link_up(&mut self, now: SimTime, ch: ChannelId) {
+        let li = self.chans.local(ch);
+        if self.failed.remove(li) {
+            self.emit(|s| s.on_link_restored(now, ch));
+            if self.chans.busy[li] == NONE {
+                if let Some(m) = self.pop_chan_waiter(li) {
+                    self.grant(now, m, ch);
+                }
+            }
+        }
+    }
+
+    fn on_stall_check(&mut self, now: SimTime, m: u32) {
+        // The message may have migrated (the check retires as stale here and
+        // was re-materialized at the accepting shard), or been superseded by
+        // a later re-arm (deadline mismatch) — ignore those.
+        let Some(st) = self.msgs.get_mut(&m) else {
+            return;
+        };
+        if !st.stall_armed || st.stall_deadline != now {
+            return;
+        }
+        st.stall_armed = false;
+        if st.done || st.waiting_on == NONE {
+            return; // finished, or crossing: the next wait re-arms
+        }
+        if st.hops_taken != st.stall_hops {
+            // Progressed to a later queue: give it a fresh timeout.
+            st.stall_armed = true;
+            st.stall_deadline = now + self.cfg.watchdog;
+            st.stall_hops = st.hops_taken;
+            let deadline = st.stall_deadline;
+            self.sched_stall(deadline, m);
+            return;
+        }
+        self.kill_stalled(now, m);
+    }
+
+    fn kill_stalled(&mut self, now: SimTime, m: u32) {
+        let st = self.msgs.get_mut(&m).expect("stalled message exists");
+        let waiting = st.waiting_on;
+        debug_assert!(waiting != NONE, "reaping a message that is not waiting");
+        let li = self.chans.local(ChannelId(waiting));
+        self.remove_chan_waiter(li, m);
+        let st = self.msgs.get_mut(&m).expect("exists");
+        st.waiting_on = NONE;
+        let undelivered = match &st.spec.route {
+            Route::Fixed(cp) => {
+                let next = st.next_fixed as usize;
+                cp.deliver_mask()[next + 1..].iter().filter(|&&r| r).count() as u64
+            }
+            Route::Adaptive { .. } => 1,
+        };
+        let held = std::mem::take(&mut st.held);
+        let hops = st.hops_taken;
+        let src = st.spec.src;
+        let node = st.cur;
+        for ch in held {
+            self.release_anywhere(now, ch);
+        }
+        if hops == 0 {
+            // The tail never left the source, so no PortRelease is pending;
+            // free the injection port here.
+            self.on_port_release(now, src);
+        }
+        self.msgs.get_mut(&m).expect("exists").done = true;
+        self.emit(|s| s.on_stalled(now, MessageId(m as u64), node, undelivered));
+    }
+
+    /// Per-shard structural audit, run after every dispatched event when the
+    /// `invariants` feature and [`NetworkConfig::check_invariants`] are on.
+    ///
+    /// Global checks of the single-shard engine that assume one arena
+    /// (injected == arena length, ownership bijection over *all* channels)
+    /// are not well-defined per shard — messages migrate and boundary
+    /// channels stay busy on behalf of non-resident holders — so this audit
+    /// checks the shard-local closures instead: a monotone local clock,
+    /// resident messages owning exactly the local channels they claim, and
+    /// coherent waiter FIFOs.
+    #[cfg(feature = "invariants")]
+    fn deep_check(&mut self, now: SimTime) {
+        assert!(
+            now >= self.iv_last_now,
+            "deep check: shard {} clock went backwards ({} ps after {} ps)",
+            self.id,
+            now.as_ps(),
+            self.iv_last_now.as_ps()
+        );
+        self.iv_last_now = now;
+        let local_range = self.chans.base..self.chans.base + self.chans.busy.len() as u32;
+        for (m, st) in &self.msgs {
+            if st.done {
+                assert!(
+                    st.held.is_empty(),
+                    "deep check: retired message m{m} still has a held path"
+                );
+                continue;
+            }
+            if st.crossing != NONE {
+                // A resident crossing is always on a local channel: boundary
+                // grants ship the message out of the map immediately.
+                let li = (st.crossing - self.chans.base) as usize;
+                assert_eq!(
+                    self.chans.busy[li], *m,
+                    "deep check: m{m} crossing c{} it does not own",
+                    st.crossing
+                );
+            }
+            for ch in &st.held {
+                if local_range.contains(&ch.0) {
+                    let li = (ch.0 - self.chans.base) as usize;
+                    assert_eq!(
+                        self.chans.busy[li], *m,
+                        "deep check: m{m} holds c{} it does not own",
+                        ch.0
+                    );
+                }
+            }
+        }
+        let mut queued = 0u64;
+        for li in 0..self.chans.busy.len() {
+            let h = self.chans.busy[li];
+            if h != NONE {
+                if let Some(holder) = self.msgs.get(&h) {
+                    assert!(
+                        !holder.done,
+                        "deep check: channel held by retired message m{h}"
+                    );
+                }
+            }
+            let raw = self.chans.base + li as u32;
+            let mut nw = 0u32;
+            let mut last = NONE;
+            let mut w = self.chans.waiter_head[li];
+            while w != NONE {
+                let ws = &self.msgs[&w];
+                assert_eq!(
+                    ws.waiting_on, raw,
+                    "deep check: waiter m{w} records a different channel"
+                );
+                assert!(!ws.done, "deep check: retired message m{w} still queued");
+                nw += 1;
+                assert!(
+                    nw as usize <= self.msgs.len(),
+                    "deep check: waiter-list cycle on c{raw}"
+                );
+                last = w;
+                w = ws.next_waiter;
+            }
+            assert_eq!(
+                nw, self.chans.waiters_len[li],
+                "deep check: waiter count on c{raw}"
+            );
+            assert_eq!(
+                last, self.chans.waiter_tail[li],
+                "deep check: waiter tail on c{raw}"
+            );
+            queued += u64::from(nw);
+        }
+        let waiting = self
+            .msgs
+            .values()
+            .filter(|st| !st.done && st.waiting_on != NONE)
+            .count() as u64;
+        assert_eq!(
+            queued, waiting,
+            "deep check: queued headers vs messages recorded as waiting"
+        );
+    }
+}
+
+/// The worker loop for one shard: apply inbound transfers, publish wheel
+/// minima, meet the coordinator at the round barriers, run the planned
+/// window, flush outbound transfers. See the module docs for the protocol.
+fn worker_loop<T: SimTopology>(sh: &mut Shard<T>, ctl: &RoundCtl) {
+    let n = ctl.mins.len();
+    let mut sense = false;
+    loop {
+        // Apply everything deposited before the previous round's closing
+        // barrier (worker handoffs/releases), then publish. Draining here —
+        // not while other workers may still be flushing — keeps the
+        // application order a pure function of the simulation state.
+        for src in 0..=n {
+            // Split borrow: mailboxes[me] is only drained by this worker.
+            let slot = &ctl.mailboxes[sh.id][src];
+            sh.apply_slot(slot);
+        }
+        let (min, gate) = sh.snapshot();
+        ctl.mins[sh.id].store(min, Ordering::Release);
+        ctl.gates[sh.id].store(gate, Ordering::Release);
+        ctl.barrier.wait(&mut sense); // coordinator plans…
+        ctl.barrier.wait(&mut sense); // …and published horizon / stop
+        if ctl.stop.load(Ordering::Acquire) {
+            break;
+        }
+        // Only the coordinator's slot may have gained entries since the
+        // publish (driver injections, deposited between the two barriers).
+        sh.apply_slot(&ctl.mailboxes[sh.id][n]);
+        let horizon = SimTime(ctl.horizon.load(Ordering::Acquire));
+        sh.run_round(horizon);
+        sh.flush_outbound(ctl);
+        ctl.barrier.wait(&mut sense); // all deposits visible before re-publish
+    }
+}
+
+/// A borrowed delivery driver: maps each surfaced delivery to the follow-up
+/// injections it triggers (the broadcast-tree relay pattern).
+type DriverRef<'a> = &'a mut dyn FnMut(&Delivery) -> Vec<MessageSpec>;
+
+/// A wormhole simulation partitioned across worker threads.
+///
+/// Construction partitions the topology into last-axis slabs; [`Self::run_until_idle`]
+/// and [`Self::run_with_driver`] spawn one thread per shard (scoped — no
+/// state escapes) plus use the calling thread as round coordinator.
+///
+/// The API mirrors [`crate::engine::Network`] where the concept survives
+/// sharding; outputs that interleave across shards (deliveries, trace) are
+/// returned in canonical order (sorted by time, then message, then node).
+pub struct ShardedNetwork<T: SimTopology + Clone + Send = Mesh> {
+    map: ShardMap,
+    cfg: NetworkConfig,
+    shards: Vec<Shard<T>>,
+    next_msg: u32,
+    deliveries: Vec<Delivery>,
+}
+
+impl<T: SimTopology + Clone + Send> ShardedNetwork<T> {
+    /// Create a sharded network over `topo` split into `shards` slabs.
+    /// `rf_factory` builds one routing-function instance per shard (adaptive
+    /// decisions are shard-local).
+    ///
+    /// Fails with [`ConfigError::ZeroShards`] or
+    /// [`ConfigError::ShardsExceedAxis`] when the partition is degenerate.
+    pub fn new(
+        topo: T,
+        cfg: NetworkConfig,
+        shards: usize,
+        rf_factory: impl Fn() -> Box<dyn RoutingFunction<T>>,
+    ) -> Result<Self, ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        let axis_len = topo.dim_size(topo.ndims() - 1);
+        let map = ShardMap::slabs(&topo, shards)
+            .ok_or(ConfigError::ShardsExceedAxis { shards, axis_len })?;
+        let nodes = topo.num_nodes();
+        let chans = topo.num_channels();
+        assert!(
+            chans.is_multiple_of(nodes),
+            "sharding requires the uniform node-major channel layout"
+        );
+        let cpn = (chans / nodes) as u32;
+        let built = (0..shards)
+            .map(|s| {
+                let nr = map.node_range(s);
+                let node_count = (nr.end - nr.start) as usize;
+                let chan_base = nr.start * cpn;
+                let chan_count = node_count * cpn as usize;
+                Shard {
+                    id: s,
+                    topo: topo.clone(),
+                    cfg,
+                    rf: rf_factory(),
+                    map: map.clone(),
+                    wheel: CalendarWheel::new(),
+                    msgs: HashMap::new(),
+                    chans: ShardChans::new(chan_base, chan_count),
+                    ports: ShardPorts::new(nr.start, node_count, cfg.inject_ports),
+                    failed: ActiveSet::new(chan_count),
+                    outbox: Vec::new(),
+                    sink_counters: CountersSink::default(),
+                    sink_trace: TraceSink::default(),
+                    sink_util: OffsetUtil {
+                        base: chan_base,
+                        inner: UtilizationSink::new(chan_count),
+                    },
+                    extra_sinks: Vec::new(),
+                    gates: BTreeMap::new(),
+                    outbound: (0..shards).map(|_| Vec::new()).collect(),
+                    driver_mode: false,
+                    #[cfg(feature = "invariants")]
+                    iv_last_now: SimTime::ZERO,
+                }
+            })
+            .collect();
+        Ok(ShardedNetwork {
+            map,
+            cfg,
+            shards: built,
+            next_msg: 0,
+            deliveries: Vec::new(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partition in force.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &T {
+        &self.shards[0].topo
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Request injection of `spec` at absolute time `at` (≥ now), routed to
+    /// the shard owning the source node.
+    ///
+    /// # Panics
+    /// Panics if the spec is malformed: zero length, an adaptive route to
+    /// self, or a fixed route that does not start at `spec.src`.
+    pub fn inject_at(&mut self, at: SimTime, spec: MessageSpec) -> MessageId {
+        assert!(spec.length > 0, "messages need at least one flit");
+        match &spec.route {
+            Route::Fixed(cp) => {
+                assert_eq!(cp.src(), spec.src, "fixed route must start at src");
+            }
+            Route::Adaptive { dst } => {
+                assert_ne!(*dst, spec.src, "adaptive route to self");
+            }
+        }
+        let id = self.next_msg;
+        self.next_msg += 1;
+        let s = self.map.shard_of_node(spec.src);
+        self.shards[s].admit(at, id, spec);
+        MessageId(id as u64)
+    }
+
+    /// Start recording a bounded execution trace on every shard
+    /// (`capacity` records per shard).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        for sh in &mut self.shards {
+            sh.sink_trace.enable(capacity);
+        }
+    }
+
+    /// The merged trace, in canonical order (time, kind, message, node,
+    /// channel) — shard interleavings at one timestamp are not an engine
+    /// ordering and are normalized away.
+    pub fn trace_records(&self) -> Vec<TraceRecord> {
+        let mut all: Vec<TraceRecord> = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.sink_trace.trace().records().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Total trace records dropped across shards (ring-buffer overflow).
+    pub fn trace_dropped(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|sh| sh.sink_trace.trace().dropped())
+            .sum()
+    }
+
+    /// Attach one observer per shard (each shard calls its own instance;
+    /// share state behind a lock to aggregate globally).
+    pub fn add_sinks(&mut self, mut make: impl FnMut() -> Box<dyn MetricsSink>) {
+        for sh in &mut self.shards {
+            sh.extra_sinks.push(make());
+        }
+    }
+
+    /// Aggregate counters, summed across shards. Every [`Counters`] field is
+    /// additive and each underlying event is observed by exactly one shard,
+    /// so the sum equals the single-shard engine's counters.
+    pub fn counters(&self) -> Counters {
+        let mut total = Counters::default();
+        for sh in &self.shards {
+            let c = sh.sink_counters.counters();
+            total.injected += c.injected;
+            total.completed += c.completed;
+            total.deliveries += c.deliveries;
+            total.flits_delivered += c.flits_delivered;
+            total.stalled += c.stalled;
+            total.undelivered += c.undelivered;
+            total.reroutes += c.reroutes;
+            total.link_failures += c.link_failures;
+            total.link_restores += c.link_restores;
+        }
+        total
+    }
+
+    /// Current simulation time: the furthest shard clock.
+    pub fn now(&self) -> SimTime {
+        self.shards
+            .iter()
+            .map(|sh| sh.wheel.now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Messages injected but not yet fully completed or reaped as stalled.
+    pub fn in_flight(&self) -> u64 {
+        let c = self.counters();
+        c.injected - c.completed - c.stalled
+    }
+
+    /// Take all deliveries recorded so far, in canonical order
+    /// (delivered_at, message, node).
+    pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
+        let mut out = std::mem::take(&mut self.deliveries);
+        out.sort_by_key(|d| (d.delivered_at, d.message, d.node));
+        out
+    }
+
+    /// Fraction of elapsed simulated time each channel has been occupied,
+    /// indexed by [`ChannelId`] over the whole topology.
+    pub fn channel_utilization(&self) -> Vec<f64> {
+        let now = self.now();
+        let total: usize = self.shards.iter().map(|sh| sh.chans.busy.len()).sum();
+        let mut out = vec![0.0; total];
+        for sh in &self.shards {
+            let base = sh.sink_util.base as usize;
+            for (i, u) in sh.sink_util.inner.utilization(now).into_iter().enumerate() {
+                out[base + i] = u;
+            }
+        }
+        out
+    }
+
+    /// Fault injection: permanently disable a channel (routed to its owning
+    /// shard). See [`crate::engine::Network::fail_channel`].
+    ///
+    /// # Panics
+    /// Panics if the channel is currently occupied.
+    pub fn fail_channel(&mut self, ch: ChannelId) {
+        let owner = self.map.shard_of_channel(self.topology(), ch);
+        let sh = &mut self.shards[owner];
+        let li = sh.chans.local(ch);
+        assert!(sh.chans.busy[li] == NONE, "cannot fail an occupied channel");
+        sh.failed.insert(li);
+    }
+
+    /// Whether a channel has been failed.
+    pub fn is_failed(&self, ch: ChannelId) -> bool {
+        let owner = self.map.shard_of_channel(self.topology(), ch);
+        let sh = &self.shards[owner];
+        sh.failed.contains(sh.chans.local(ch))
+    }
+
+    /// Schedule every event of a [`FaultPlan`], each routed to the shard
+    /// owning the affected channel. Call before running.
+    pub fn schedule_faults(&mut self, plan: &FaultPlan) {
+        for e in plan.events() {
+            let (at, ev, ch) = match e.kind {
+                FaultKind::LinkDown(ch) => (e.at, Ev::LinkDown(ch), ch),
+                FaultKind::LinkUp(ch) => (e.at, Ev::LinkUp(ch), ch),
+            };
+            let owner = self.map.shard_of_channel(self.topology(), ch);
+            self.shards[owner].wheel.schedule(at, ev);
+        }
+    }
+
+    /// Process all events; returns when the network is idle.
+    pub fn run_until_idle(&mut self) {
+        self.run(None);
+    }
+
+    /// Process all events, feeding every delivery (in canonical order) to
+    /// `driver`; specs it returns are injected at the delivery timestamp —
+    /// the broadcast-tree relay pattern. Returns when the network is idle
+    /// and the driver has nothing more to send.
+    pub fn run_with_driver(&mut self, mut driver: impl FnMut(&Delivery) -> Vec<MessageSpec>) {
+        self.run(Some(&mut driver));
+    }
+
+    /// The conservative-round execution loop; see the module docs.
+    fn run(&mut self, mut driver: Option<DriverRef<'_>>) {
+        let n = self.shards.len();
+        let driver_mode = driver.is_some();
+        // Lookahead: the minimum distance between emission and effect of a
+        // non-gate cross-shard event. Handoffs give one hop; Complete /
+        // StallCheck gates freshly scheduled mid-round land at least one
+        // flit (body) / one watchdog ahead, and driver-visible deliveries at
+        // least one flit — the horizon must not outrun any of them.
+        let mut la = if driver_mode || self.cfg.release == ReleaseMode::PathHolding {
+            self.cfg.flit_time
+        } else {
+            self.cfg.hop_time()
+        };
+        if self.cfg.release == ReleaseMode::PathHolding
+            && self.cfg.watchdog != SimDuration::ZERO
+            && self.cfg.watchdog < la
+        {
+            la = self.cfg.watchdog;
+        }
+        for sh in &mut self.shards {
+            sh.driver_mode = driver_mode;
+        }
+        let ctl = RoundCtl::new(n);
+        // One extra planner slot for the coordinator's pending injections.
+        let mut sched = ShardedScheduler::new(n + 1, la);
+        let map = &self.map;
+        let deliveries = &mut self.deliveries;
+        let next_msg = &mut self.next_msg;
+        std::thread::scope(|scope| {
+            for sh in self.shards.iter_mut() {
+                let ctl = &ctl;
+                scope.spawn(move || worker_loop(sh, ctl));
+            }
+            let mut sense = false;
+            let mut round_dels: Vec<Delivery> = Vec::new();
+            loop {
+                ctl.barrier.wait(&mut sense); // shards published their minima
+                round_dels.clear();
+                for slot in &ctl.delivered {
+                    round_dels.append(&mut slot.lock().expect("delivered slot poisoned"));
+                }
+                round_dels.sort_by_key(|d| (d.delivered_at, d.message, d.node));
+                let mut inject_min: Option<SimTime> = None;
+                if let Some(drv) = driver.as_mut() {
+                    for d in &round_dels {
+                        for spec in drv(d) {
+                            assert!(spec.length > 0, "messages need at least one flit");
+                            let id = *next_msg;
+                            *next_msg += 1;
+                            let dst = map.shard_of_node(spec.src);
+                            ctl.mailboxes[dst][n]
+                                .lock()
+                                .expect("mailbox poisoned")
+                                .push(Xfer::Inject {
+                                    at: d.delivered_at,
+                                    id,
+                                    spec,
+                                });
+                            inject_min = Some(match inject_min {
+                                Some(t) if t <= d.delivered_at => t,
+                                _ => d.delivered_at,
+                            });
+                        }
+                    }
+                }
+                deliveries.append(&mut round_dels);
+                for s in 0..n {
+                    let min = ctl.mins[s].load(Ordering::Acquire);
+                    let gate = ctl.gates[s].load(Ordering::Acquire);
+                    sched.publish(
+                        s,
+                        (min != u64::MAX).then_some(SimTime(min)),
+                        (gate != u64::MAX).then_some(SimTime(gate)),
+                    );
+                }
+                sched.publish(n, inject_min, None);
+                match sched.plan() {
+                    None => {
+                        ctl.stop.store(true, Ordering::Release);
+                        ctl.barrier.wait(&mut sense);
+                        break;
+                    }
+                    Some(r) => {
+                        ctl.horizon.store(r.horizon.0, Ordering::Release);
+                        ctl.barrier.wait(&mut sense); // release the round
+                        ctl.barrier.wait(&mut sense); // all deposits flushed
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Network;
+    use wormcast_routing::{dor_path, CodedPath, DimensionOrdered};
+    use wormcast_topology::{Coord, Topology};
+
+    fn canonical(mut v: Vec<Delivery>) -> Vec<Delivery> {
+        v.sort_by_key(|d| (d.delivered_at, d.message, d.node));
+        v
+    }
+
+    fn unicast(mesh: &Mesh, src: NodeId, dst: NodeId) -> MessageSpec {
+        MessageSpec {
+            src,
+            route: Route::Fixed(CodedPath::unicast(mesh, dor_path(mesh, src, dst))),
+            length: 64,
+            op: crate::message::OpId(0),
+            tag: 0,
+            charge_startup: true,
+        }
+    }
+
+    /// How closely a sharded run must match the single-shard engine.
+    ///
+    /// Scenarios where several headers reach the same queue on the same
+    /// picosecond *from different shards* hit the one intended divergence of
+    /// the sharded engine: it resolves such cross-shard arbitration ties in
+    /// shard-index order where the single engine uses its global insertion
+    /// sequence. Which tied message wins a slot can then differ, and under
+    /// path holding the different queue shapes release differently, shifting
+    /// parts of the schedule by whole hop times. Everything order-invariant
+    /// (totals, full drainage) always matches.
+    #[derive(Clone, Copy)]
+    enum Cmp {
+        /// Every delivery matches field-for-field, plus totals and clock
+        /// (tie-free traffic: every differential scenario that matters).
+        Exact,
+        /// The (time, node) delivery profile matches, plus totals and clock
+        /// (ties swap message identities but not the schedule).
+        Schedule,
+        /// Order-invariant totals match and both engines drain
+        /// (ties reshape release cascades under path holding).
+        Totals,
+    }
+
+    /// Run the same injection set through the single-shard engine and a
+    /// sharded network; compare at the given strictness.
+    fn assert_differential(
+        mesh: &Mesh,
+        cfg: NetworkConfig,
+        shards: usize,
+        specs: &[MessageSpec],
+        level: Cmp,
+    ) {
+        let mut single = Network::new(mesh.clone(), cfg, Box::new(DimensionOrdered));
+        for s in specs {
+            single.inject_at(SimTime::ZERO, s.clone());
+        }
+        single.run_until_idle();
+
+        let mut sharded =
+            ShardedNetwork::new(mesh.clone(), cfg, shards, || Box::new(DimensionOrdered)).unwrap();
+        for s in specs {
+            sharded.inject_at(SimTime::ZERO, s.clone());
+        }
+        sharded.run_until_idle();
+
+        let sd = canonical(single.drain_deliveries());
+        let hd = sharded.drain_deliveries();
+        match level {
+            Cmp::Exact => {
+                assert_eq!(sd, hd, "deliveries diverge at {shards} shards");
+                assert_eq!(single.now(), sharded.now(), "clock diverges");
+            }
+            Cmp::Schedule => {
+                let profile = |v: &[Delivery]| {
+                    let mut p: Vec<_> = v.iter().map(|d| (d.delivered_at, d.node)).collect();
+                    p.sort_unstable();
+                    p
+                };
+                assert_eq!(
+                    profile(&sd),
+                    profile(&hd),
+                    "delivery schedule diverges at {shards} shards"
+                );
+                assert_eq!(single.now(), sharded.now(), "clock diverges");
+            }
+            Cmp::Totals => {
+                assert_eq!(sd.len(), hd.len(), "delivery totals diverge");
+            }
+        }
+        assert_eq!(
+            single.counters(),
+            sharded.counters(),
+            "counters diverge at {shards} shards"
+        );
+        assert_eq!(sharded.in_flight(), 0);
+    }
+
+    #[test]
+    fn rejects_degenerate_shard_counts() {
+        let mesh = Mesh::new(&[4, 4, 3]);
+        let cfg = NetworkConfig::paper_default();
+        let err = ShardedNetwork::new(mesh.clone(), cfg, 0, || {
+            Box::new(DimensionOrdered) as Box<dyn RoutingFunction<Mesh>>
+        })
+        .err()
+        .expect("zero shards must be rejected");
+        assert_eq!(err, ConfigError::ZeroShards);
+        let err = ShardedNetwork::new(mesh, cfg, 4, || {
+            Box::new(DimensionOrdered) as Box<dyn RoutingFunction<Mesh>>
+        })
+        .err()
+        .expect("oversharding must be rejected");
+        assert_eq!(
+            err,
+            ConfigError::ShardsExceedAxis {
+                shards: 4,
+                axis_len: 3
+            }
+        );
+    }
+
+    #[test]
+    fn cross_shard_unicast_matches_single_engine() {
+        let mesh = Mesh::new(&[3, 3, 4]);
+        let src = mesh.node_at(&Coord::xyz(0, 0, 0));
+        let dst = mesh.node_at(&Coord::xyz(2, 1, 3));
+        let specs = vec![unicast(&mesh, src, dst)];
+        for shards in [1, 2, 4] {
+            assert_differential(
+                &mesh,
+                NetworkConfig::paper_default(),
+                shards,
+                &specs,
+                Cmp::Exact,
+            );
+        }
+    }
+
+    #[test]
+    fn contended_traffic_matches_single_engine() {
+        let mesh = Mesh::new(&[3, 3, 4]);
+        // All-to-one hotspot plus crossing pairs: plenty of queueing, path
+        // holding across the boundary in both directions.
+        let hot = mesh.node_at(&Coord::xyz(1, 1, 2));
+        let mut specs = Vec::new();
+        for n in 0..mesh.num_nodes() as u32 {
+            let src = NodeId(n);
+            if src != hot {
+                specs.push(unicast(&mesh, src, hot));
+            }
+        }
+        assert_differential(
+            &mesh,
+            NetworkConfig::paper_default(),
+            2,
+            &specs,
+            Cmp::Schedule,
+        );
+        assert_differential(
+            &mesh,
+            NetworkConfig::paper_default(),
+            4,
+            &specs,
+            Cmp::Totals,
+        );
+    }
+
+    #[test]
+    fn facility_queueing_matches_single_engine() {
+        let mesh = Mesh::new(&[3, 3, 4]);
+        let cfg = NetworkConfig::paper_default().with_release(ReleaseMode::AfterTailCrossing);
+        let hot = mesh.node_at(&Coord::xyz(0, 2, 3));
+        let specs: Vec<_> = (0..mesh.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|&n| n != hot)
+            .map(|n| unicast(&mesh, n, hot))
+            .collect();
+        assert_differential(&mesh, cfg, 2, &specs, Cmp::Schedule);
+    }
+
+    #[test]
+    fn adaptive_routes_match_single_engine() {
+        let mesh = Mesh::new(&[3, 3, 4]);
+        let mut specs = Vec::new();
+        for n in [0u32, 5, 11, 17, 23, 29, 35] {
+            let src = NodeId(n);
+            let dst = NodeId((n + 13) % mesh.num_nodes() as u32);
+            if src == dst {
+                continue;
+            }
+            specs.push(MessageSpec {
+                src,
+                route: Route::Adaptive { dst },
+                length: 32,
+                op: crate::message::OpId(1),
+                tag: 7,
+                charge_startup: true,
+            });
+        }
+        for shards in [2, 4] {
+            assert_differential(
+                &mesh,
+                NetworkConfig::paper_default(),
+                shards,
+                &specs,
+                Cmp::Exact,
+            );
+        }
+    }
+
+    #[test]
+    fn driver_relays_match_single_engine() {
+        // A two-level relay tree: the root sends to a forwarder in another
+        // shard, which relays to a leaf back in the first shard — driver
+        // injections crossing the boundary both ways.
+        let mesh = Mesh::new(&[2, 2, 4]);
+        let cfg = NetworkConfig::paper_default();
+        let root = mesh.node_at(&Coord::xyz(0, 0, 0));
+        let mid = mesh.node_at(&Coord::xyz(1, 1, 3));
+        let leaf = mesh.node_at(&Coord::xyz(0, 1, 1));
+        let relay = move |mesh: &Mesh, d: &Delivery| -> Vec<MessageSpec> {
+            if d.node == mid {
+                vec![unicast(mesh, mid, leaf)]
+            } else {
+                Vec::new()
+            }
+        };
+
+        let mut single = Network::new(mesh.clone(), cfg, Box::new(DimensionOrdered));
+        single.inject_at(SimTime::ZERO, unicast(&mesh, root, mid));
+        let mut singles = Vec::new();
+        while let Some(d) = single.next_delivery() {
+            for spec in relay(&mesh, &d) {
+                single.inject_at(d.delivered_at, spec);
+            }
+            singles.push(d);
+        }
+        let mut singles = canonical(singles);
+
+        let mut sharded =
+            ShardedNetwork::new(mesh.clone(), cfg, 2, || Box::new(DimensionOrdered)).unwrap();
+        sharded.inject_at(SimTime::ZERO, unicast(&mesh, root, mid));
+        sharded.run_with_driver(|d| relay(&mesh, d));
+        let shardeds = sharded.drain_deliveries();
+
+        // Relay message ids may be assigned in a different (canonical)
+        // order; compare the id-insensitive projection.
+        let project = |v: &mut Vec<Delivery>| {
+            v.sort_by_key(|d| (d.delivered_at, d.node, d.src));
+            v.iter()
+                .map(|d| (d.delivered_at, d.node, d.src, d.requested_at))
+                .collect::<Vec<_>>()
+        };
+        let mut shardeds = shardeds;
+        assert_eq!(project(&mut singles), project(&mut shardeds));
+        assert_eq!(single.counters(), sharded.counters());
+        assert_eq!(single.now(), sharded.now());
+    }
+
+    #[test]
+    fn watchdog_reaps_stalls_across_shards() {
+        let mesh = Mesh::new(&[2, 2, 4]);
+        let cfg = NetworkConfig::paper_default().with_watchdog(SimDuration::from_us(50.0));
+        let src = mesh.node_at(&Coord::xyz(0, 0, 0));
+        let dst = mesh.node_at(&Coord::xyz(0, 0, 3));
+        // Fail the final +z hop so the header stalls two shards downstream
+        // of its source.
+        let pre = mesh.node_at(&Coord::xyz(0, 0, 2));
+        let blocked = mesh.channel_between(pre, dst).unwrap();
+        let specs = vec![unicast(&mesh, src, dst)];
+
+        let mut single = Network::new(mesh.clone(), cfg, Box::new(DimensionOrdered));
+        single.fail_channel(blocked);
+        for s in &specs {
+            single.inject_at(SimTime::ZERO, s.clone());
+        }
+        single.run_until_idle();
+
+        let mut sharded =
+            ShardedNetwork::new(mesh.clone(), cfg, 4, || Box::new(DimensionOrdered)).unwrap();
+        sharded.fail_channel(blocked);
+        assert!(sharded.is_failed(blocked));
+        for s in &specs {
+            sharded.inject_at(SimTime::ZERO, s.clone());
+        }
+        sharded.run_until_idle();
+
+        assert_eq!(single.counters(), sharded.counters());
+        assert_eq!(sharded.counters().stalled, 1);
+        assert_eq!(
+            canonical(single.drain_deliveries()),
+            sharded.drain_deliveries()
+        );
+        assert_eq!(single.now(), sharded.now());
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_reproducible() {
+        let mesh = Mesh::new(&[3, 3, 4]);
+        let hot = mesh.node_at(&Coord::xyz(1, 1, 0));
+        let specs: Vec<_> = (0..mesh.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|&n| n != hot)
+            .map(|n| unicast(&mesh, n, hot))
+            .collect();
+        let run = || {
+            let mut net =
+                ShardedNetwork::new(mesh.clone(), NetworkConfig::paper_default(), 4, || {
+                    Box::new(DimensionOrdered)
+                })
+                .unwrap();
+            net.enable_trace(1 << 16);
+            for s in &specs {
+                net.inject_at(SimTime::ZERO, s.clone());
+            }
+            net.run_until_idle();
+            (net.drain_deliveries(), net.trace_records(), net.counters())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0, "deliveries must be run-to-run identical");
+        assert_eq!(a.1, b.1, "trace must be run-to-run identical");
+        assert_eq!(a.2, b.2, "counters must be run-to-run identical");
+    }
+
+    #[test]
+    fn trace_multiset_matches_single_engine() {
+        let mesh = Mesh::new(&[3, 3, 4]);
+        let src = mesh.node_at(&Coord::xyz(0, 0, 0));
+        let dst = mesh.node_at(&Coord::xyz(2, 2, 3));
+        let cfg = NetworkConfig::paper_default();
+
+        let mut single = Network::new(mesh.clone(), cfg, Box::new(DimensionOrdered));
+        single.enable_trace(1 << 16);
+        single.inject_at(SimTime::ZERO, unicast(&mesh, src, dst));
+        single.run_until_idle();
+        let mut st: Vec<TraceRecord> = single.trace().records().copied().collect();
+        st.sort_unstable();
+
+        let mut sharded =
+            ShardedNetwork::new(mesh.clone(), cfg, 2, || Box::new(DimensionOrdered)).unwrap();
+        sharded.enable_trace(1 << 16);
+        sharded.inject_at(SimTime::ZERO, unicast(&mesh, src, dst));
+        sharded.run_until_idle();
+
+        assert_eq!(st, sharded.trace_records());
+        assert_eq!(sharded.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn utilization_covers_global_channel_space() {
+        let mesh = Mesh::new(&[2, 2, 4]);
+        let src = mesh.node_at(&Coord::xyz(0, 0, 0));
+        let dst = mesh.node_at(&Coord::xyz(1, 1, 3));
+        let mut sharded =
+            ShardedNetwork::new(mesh.clone(), NetworkConfig::paper_default(), 2, || {
+                Box::new(DimensionOrdered)
+            })
+            .unwrap();
+        sharded.inject_at(SimTime::ZERO, unicast(&mesh, src, dst));
+        sharded.run_until_idle();
+        let u = sharded.channel_utilization();
+        assert_eq!(u.len(), mesh.num_channels());
+        assert!(u.iter().any(|&x| x > 0.0), "used channels show occupancy");
+
+        let mut single = Network::new(mesh.clone(), NetworkConfig::paper_default(), {
+            Box::new(DimensionOrdered)
+        });
+        single.inject_at(SimTime::ZERO, unicast(&mesh, src, dst));
+        single.run_until_idle();
+        let su = single.channel_utilization();
+        for (a, b) in su.iter().zip(u.iter()) {
+            assert!((a - b).abs() < 1e-9, "utilization profile diverges");
+        }
+    }
+
+    /// One [`InvariantChecker`](crate::invariant::InvariantChecker) watches
+    /// all four shards through per-shard sinks: the shared shadow state
+    /// (mutual exclusion, exactly-once delivery, conservation) must come out
+    /// clean, and the per-sink monotone clock must not false-positive on the
+    /// legitimate interleaving of shard clocks within a sync window. Deep
+    /// structural checks run per shard via `check_invariants`.
+    #[cfg(feature = "invariants")]
+    #[test]
+    fn invariant_checker_attaches_across_shards() {
+        use crate::invariant::InvariantChecker;
+        let mesh = Mesh::new(&[4, 4, 4]);
+        let mut cfg = NetworkConfig::paper_default();
+        cfg.check_invariants = true;
+        let checker = InvariantChecker::new(false);
+        let mut net = ShardedNetwork::new(mesh.clone(), cfg, 4, || {
+            Box::new(DimensionOrdered) as Box<dyn RoutingFunction<Mesh>>
+        })
+        .unwrap();
+        net.add_sinks(|| checker.sink());
+        for src in 0..8u32 {
+            let dst = NodeId(63 - src);
+            let spec = unicast(&mesh, NodeId(src), dst);
+            let id = net.inject_at(SimTime::ZERO, spec);
+            checker.expect_exactly_once(id, [dst], 64);
+        }
+        net.run_until_idle();
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(checker.finish(0), Vec::<String>::new());
+    }
+}

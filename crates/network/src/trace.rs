@@ -7,7 +7,7 @@ use wormcast_sim::SimTime;
 use wormcast_topology::{ChannelId, NodeId};
 
 /// What happened.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TraceKind {
     /// Injection requested at the source PE.
     Inject,
@@ -30,7 +30,7 @@ pub enum TraceKind {
 }
 
 /// One trace record. `node`/`channel` are populated where meaningful.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TraceRecord {
     /// When it happened.
     pub time: SimTime,

@@ -40,6 +40,7 @@ pub mod active_set;
 pub mod dist;
 pub mod queue;
 pub mod rng;
+pub mod sharded;
 pub mod time;
 pub mod wheel;
 
@@ -49,5 +50,6 @@ pub use dist::{
 };
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
+pub use sharded::{Round, ShardedScheduler, SpinBarrier};
 pub use time::{SimDuration, SimTime, PS_PER_MS, PS_PER_US};
 pub use wheel::CalendarWheel;

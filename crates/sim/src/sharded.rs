@@ -1,0 +1,234 @@
+//! Conservative round planning and thread coordination for sharded
+//! simulation.
+//!
+//! A sharded simulation advances in *rounds*. Before each round every shard
+//! publishes two numbers read off its own calendar wheel: the time of its
+//! earliest pending event, and the time of its earliest *gate* event — an
+//! event whose side effects can reach other shards with zero lookahead (a
+//! wormhole path release, a watchdog kill) or that must be surfaced to a
+//! single-threaded driver (a delivery). The [`ShardedScheduler`] folds these
+//! into a [`Round`]: a global floor `t0` and an exclusive `horizon`, and
+//! every shard then processes exactly the events with `t0 <= time < horizon`
+//! before meeting at a barrier to exchange boundary events.
+//!
+//! The horizon is safe because every *cross-shard* event other than a gate
+//! has at least one hop of lookahead: a header crossing a boundary channel
+//! is emitted when the channel is granted but takes effect one hop time
+//! later, so events emitted inside a round land at or beyond the horizon and
+//! are applied in the next round. Gates get no such grace, so the horizon
+//! never passes the earliest pending gate; when the gate sits exactly at
+//! `t0` the round degenerates to a single timestamp, the gate's same-time
+//! effects are exchanged at the barrier, and the next round re-opens at the
+//! same `t0` to apply them.
+//!
+//! [`SpinBarrier`] is the meeting point: a sense-reversing busy-wait
+//! barrier. Rounds are short (often a single timestamp), so parking threads
+//! in the kernel on every round would dominate the run time; spinning costs
+//! a few hundred nanoseconds per crossing instead.
+
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Plans conservative execution rounds from per-shard wheel snapshots.
+///
+/// Hold one per simulation; any thread may own it as long as publishes and
+/// plans are separated by barriers (the engine has the coordinator thread do
+/// both between round barriers).
+#[derive(Debug)]
+pub struct ShardedScheduler {
+    /// Base lookahead: the minimum sim-time distance between the emission
+    /// and the effect of a non-gate cross-shard event (one hop, or one flit
+    /// when a driver can inject at delivery times).
+    lookahead: u64,
+    /// Per-shard earliest pending event time (ps); `u64::MAX` when idle.
+    mins: Vec<u64>,
+    /// Per-shard earliest pending gate-event time (ps); `u64::MAX` if none.
+    gates: Vec<u64>,
+}
+
+/// One execution round: every shard processes events with
+/// `time < horizon`, with `t0` the global minimum pending time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Round {
+    /// Global minimum pending event time across shards.
+    pub t0: SimTime,
+    /// Exclusive upper bound on event times processed this round.
+    pub horizon: SimTime,
+}
+
+impl ShardedScheduler {
+    /// A scheduler for `shards` shards with the given base lookahead.
+    ///
+    /// A zero lookahead is clamped to one picosecond: the degenerate
+    /// timestamp-lockstep schedule, which is always safe.
+    pub fn new(shards: usize, lookahead: SimDuration) -> Self {
+        ShardedScheduler {
+            lookahead: lookahead.0.max(1),
+            mins: vec![u64::MAX; shards],
+            gates: vec![u64::MAX; shards],
+        }
+    }
+
+    /// Record shard `s`'s wheel snapshot for the next plan: its earliest
+    /// pending event and earliest pending gate event, `None` when empty.
+    pub fn publish(&mut self, s: usize, min_pending: Option<SimTime>, min_gate: Option<SimTime>) {
+        self.mins[s] = min_pending.map_or(u64::MAX, |t| t.0);
+        self.gates[s] = min_gate.map_or(u64::MAX, |t| t.0);
+    }
+
+    /// Plan the next round, or `None` when every shard is idle.
+    pub fn plan(&self) -> Option<Round> {
+        let t0 = *self.mins.iter().min().expect("at least one shard");
+        if t0 == u64::MAX {
+            return None;
+        }
+        let gate = *self.gates.iter().min().expect("at least one shard");
+        let horizon = if gate <= t0 {
+            // The earliest gate is due now: single-timestamp round so its
+            // same-time effects are exchanged before anyone moves past t0.
+            t0 + 1
+        } else {
+            // Full lookahead window, cut short of the earliest gate.
+            gate.min(t0.saturating_add(self.lookahead))
+        };
+        Some(Round {
+            t0: SimTime(t0),
+            horizon: SimTime(horizon),
+        })
+    }
+}
+
+/// A sense-reversing spin barrier for a fixed set of participants.
+///
+/// Each participant keeps a local sense flag (start at `false`) and passes
+/// it to every [`SpinBarrier::wait`]; the barrier flips a shared sense when
+/// the last participant arrives, releasing the spinners. Waiters spin
+/// briefly and then yield to the OS scheduler: with more participants than
+/// cores (or on a single-core host) a pure spin burns whole timeslices per
+/// crossing while the thread that would release the barrier waits to run.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    arrived: AtomicUsize,
+    sense: AtomicBool,
+    total: usize,
+}
+
+impl SpinBarrier {
+    /// A barrier released only when `total` participants arrive.
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "barrier needs at least one participant");
+        SpinBarrier {
+            arrived: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            total,
+        }
+    }
+
+    /// Block (spinning) until all participants have called `wait` with the
+    /// same generation's sense. `sense` must start `false` and be reused
+    /// across calls by the same participant.
+    pub fn wait(&self, sense: &mut bool) {
+        let next = !*sense;
+        *sense = next;
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.sense.store(next, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != next {
+                if spins < 128 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn t(ps: u64) -> Option<SimTime> {
+        Some(SimTime(ps))
+    }
+
+    #[test]
+    fn plan_is_none_when_all_idle() {
+        let s = ShardedScheduler::new(3, SimDuration(100));
+        assert_eq!(s.plan(), None);
+    }
+
+    #[test]
+    fn plan_uses_full_lookahead_without_gates() {
+        let mut s = ShardedScheduler::new(2, SimDuration(100));
+        s.publish(0, t(1_000), None);
+        s.publish(1, t(1_050), None);
+        let r = s.plan().unwrap();
+        assert_eq!(r.t0, SimTime(1_000));
+        assert_eq!(r.horizon, SimTime(1_100));
+    }
+
+    #[test]
+    fn plan_caps_horizon_at_future_gate() {
+        let mut s = ShardedScheduler::new(2, SimDuration(100));
+        s.publish(0, t(1_000), t(1_040));
+        s.publish(1, t(1_020), None);
+        assert_eq!(s.plan().unwrap().horizon, SimTime(1_040));
+    }
+
+    #[test]
+    fn plan_degenerates_to_lockstep_on_due_gate() {
+        let mut s = ShardedScheduler::new(2, SimDuration(100));
+        s.publish(0, t(1_000), t(1_000));
+        s.publish(1, t(1_500), None);
+        let r = s.plan().unwrap();
+        assert_eq!(r.t0, SimTime(1_000));
+        assert_eq!(r.horizon, SimTime(1_001));
+    }
+
+    #[test]
+    fn plan_ignores_idle_shards() {
+        let mut s = ShardedScheduler::new(3, SimDuration(50));
+        s.publish(0, None, None);
+        s.publish(1, t(2_000), None);
+        s.publish(2, None, None);
+        let r = s.plan().unwrap();
+        assert_eq!(r.t0, SimTime(2_000));
+        assert_eq!(r.horizon, SimTime(2_050));
+    }
+
+    #[test]
+    fn zero_lookahead_clamps_to_lockstep() {
+        let mut s = ShardedScheduler::new(1, SimDuration(0));
+        s.publish(0, t(7), None);
+        assert_eq!(s.plan().unwrap().horizon, SimTime(8));
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes_phases() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 100;
+        let barrier = SpinBarrier::new(THREADS);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    let mut sense = false;
+                    for round in 0..ROUNDS {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait(&mut sense);
+                        // Everyone has contributed to this round's total.
+                        let seen = counter.load(Ordering::Relaxed);
+                        assert!(seen >= ((round + 1) * THREADS) as u64);
+                        barrier.wait(&mut sense);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (THREADS * ROUNDS) as u64);
+    }
+}

@@ -54,6 +54,6 @@ pub use multicast::{
 pub use patterns::DestPattern;
 pub use single::{
     network_for, routing_for, run_averaged_broadcasts, run_single_broadcast,
-    run_single_broadcast_observed, AveragedOutcome, BroadcastOutcome,
+    run_single_broadcast_observed, run_single_broadcast_sharded, AveragedOutcome, BroadcastOutcome,
 };
 pub use torus::{run_torus_broadcast, TorusOutcome};

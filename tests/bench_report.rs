@@ -84,9 +84,41 @@ fn validate(path: &Path) {
     );
 }
 
+/// The sharded-scaling report: same schema, different contract. Shard
+/// scaling is a property of the generating machine's core count — a
+/// single-core host measures barrier overhead, not speedup — so this
+/// validates shape and coverage (the un-sharded baseline plus the full
+/// 1/2/4/8 shard ladder at the 64×64×64 flood), never a cross-count
+/// ordering.
+fn validate_parallel(path: &Path) {
+    let records = parse_report(path);
+    for r in &records {
+        assert!(r.mean_ns > 0.0, "{}: non-positive mean", r.id);
+        assert!(r.samples > 0, "{}: no samples", r.id);
+    }
+    let has = |needle: &str| records.iter().any(|r| r.id.contains(needle));
+    assert!(
+        has("engine_parallel/mesh64_flood_single_engine"),
+        "report carries the un-sharded baseline"
+    );
+    for shards in [1, 2, 4, 8] {
+        assert!(
+            has(&format!("engine_parallel/mesh64_flood_sharded/{shards}")),
+            "report carries the {shards}-shard measurement"
+        );
+    }
+}
+
 #[test]
 fn committed_engine_bench_report_is_valid() {
     validate(&Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_engine.json"));
+}
+
+#[test]
+fn committed_parallel_bench_report_is_valid() {
+    validate_parallel(
+        &Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_engine_parallel.json"),
+    );
 }
 
 #[test]
@@ -95,5 +127,13 @@ fn env_provided_bench_report_is_valid() {
     // plain `cargo test` run.
     if let Ok(path) = std::env::var("WORMCAST_BENCH_JSON") {
         validate(Path::new(&path));
+    }
+}
+
+#[test]
+fn env_provided_parallel_bench_report_is_valid() {
+    // Set by ci.sh's engine_parallel bench smoke; absent otherwise.
+    if let Ok(path) = std::env::var("WORMCAST_BENCH_PARALLEL_JSON") {
+        validate_parallel(Path::new(&path));
     }
 }

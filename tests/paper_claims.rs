@@ -353,6 +353,47 @@ fn snapshot_fig1_latency_orderings() {
 }
 
 #[test]
+fn snapshot_fig1_scale_reaches_the_large_regime() {
+    // The sharded-engine sweep: the committed fig1-scale.json must carry at
+    // least one mesh at or beyond 262,144 nodes (64×64×64), every cell a
+    // positive latency, and DB/AB must stay near-flat across the whole size
+    // range — the paper's scalability claim, extended to the 10⁵–10⁶-node
+    // regime the sweep exists for.
+    let objs = snapshots::objects("fig1-scale.json");
+    let mut sizes: Vec<u64> = objs
+        .iter()
+        .map(|o| snapshots::num(o, "nodes") as u64)
+        .collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    assert!(
+        *sizes.last().unwrap() >= 262_144,
+        "largest committed mesh too small: {sizes:?}"
+    );
+    for o in &objs {
+        assert!(snapshots::num(o, "latency_us") > 0.0, "{o}");
+        assert!(snapshots::num(o, "shards") >= 1.0, "{o}");
+    }
+    let (first, last) = (sizes[0], *sizes.last().unwrap());
+    assert!(last >= first * 8, "size range too narrow: {sizes:?}");
+    for alg in ["DB", "AB"] {
+        let lat = |nodes: u64| {
+            snapshots::table(
+                &snapshots::by_num_key(&objs, "nodes")[&nodes],
+                "algorithm",
+                "latency_us",
+            )[alg]
+        };
+        assert!(
+            lat(last) < 4.0 * lat(first),
+            "{alg} latency not scalable: {} us at N={first} vs {} us at N={last}",
+            lat(first),
+            lat(last)
+        );
+    }
+}
+
+#[test]
 fn snapshot_fig2_cv_orderings() {
     // §3.2 beyond 64 nodes (where step-structure noise dominates): the
     // multidestination algorithms deliver more uniformly — AB < DB < EDN < RD
