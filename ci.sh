@@ -114,6 +114,58 @@ run cmp "$TDIR/s4.physics.json" "$TDIR/s4j2.physics.json" || {
     exit 1
 }
 
+# Profile smoke: run fig1 with --profile across jobs and shard geometries.
+# The report's deterministic skeleton (every line not carrying an "nd_"
+# key) must be byte-identical across all of them, the Prometheus sibling
+# must be non-empty, and the report must pass the profile schema test.
+# A sharded fig1-scale profile must surface the per-shard barrier-wait and
+# arena-occupancy series in both the JSON report and the exposition.
+echo "==> profile smoke"
+run ./target/release/fig1 --quick --seed 7 --jobs 1 \
+    --profile "$TDIR/prof-j1.json"
+run ./target/release/fig1 --quick --seed 7 --jobs 4 \
+    --profile "$TDIR/prof-j4.json"
+for p in prof-j1 prof-j4; do
+    [ -s "$TDIR/$p.json" ] || {
+        echo "ci: $p.json missing or empty" >&2
+        exit 1
+    }
+    [ -s "$TDIR/$p.prom" ] || {
+        echo "ci: $p.prom missing or empty" >&2
+        exit 1
+    }
+    grep -v '"nd_' "$TDIR/$p.json" > "$TDIR/$p.skeleton.json"
+done
+run cmp "$TDIR/prof-j1.skeleton.json" "$TDIR/prof-j4.skeleton.json" || {
+    echo "ci: profile skeleton differs across --jobs counts" >&2
+    exit 1
+}
+run ./target/release/wormcast fig1-scale --quick --seed 7 --jobs 1 --shards 1 \
+    --profile "$TDIR/prof-s1.json"
+run ./target/release/wormcast fig1-scale --quick --seed 7 --jobs 1 --shards 4 \
+    --profile "$TDIR/prof-s4.json"
+for p in prof-s1 prof-s4; do
+    grep -v '"nd_' "$TDIR/$p-fig1-scale.json" > "$TDIR/$p.skeleton.json"
+done
+run cmp "$TDIR/prof-s1.skeleton.json" "$TDIR/prof-s4.skeleton.json" || {
+    echo "ci: profile skeleton differs across --shards counts" >&2
+    exit 1
+}
+for needle in 'shard_barrier_wait_ns{shard=\\"' 'shard_arena_msgs_highwater'; do
+    grep -q "$needle" "$TDIR/prof-s4-fig1-scale.json" || {
+        echo "ci: sharded profile JSON lacks $needle" >&2
+        exit 1
+    }
+done
+for needle in 'shard_barrier_wait_ns{shard="' 'shard_arena_msgs_highwater'; do
+    grep -q "$needle" "$TDIR/prof-s4-fig1-scale.prom" || {
+        echo "ci: sharded profile exposition lacks $needle" >&2
+        exit 1
+    }
+done
+WORMCAST_PROFILE_FILE="$TDIR/prof-j1.json" \
+    run cargo test "${OFFLINE[@]}" -q -p wormcast --test profile_schema
+
 # Engine bench smoke: run the engine micro-bench once, then check that both
 # the fresh report and the committed results/BENCH_engine.json parse and
 # still show the active-set engine ahead of the retired classic stepper.

@@ -95,7 +95,28 @@ fn bench_sharded_scaling(c: &mut Criterion) {
                     }
                     net.run_until_idle();
                     black_box(net.counters().flits_delivered)
-                })
+                });
+                // Barrier wait comes from dedicated profiled runs outside
+                // the timed samples (barrier timing costs an `Instant` pair
+                // per round, which would perturb the means above); the
+                // record's `extra` object then shows how much of each mean
+                // is synchronization, not simulation.
+                for _ in 0..3 {
+                    let mut net = ShardedNetwork::new(
+                        mesh.clone(),
+                        NetworkConfig::paper_default(),
+                        shards,
+                        || Box::new(DimensionOrdered) as Box<dyn RoutingFunction<Mesh>>,
+                    )
+                    .expect("64-deep partition axis accommodates 8 shards");
+                    net.set_profiling(true);
+                    for (at, spec) in &plan {
+                        net.inject_at(*at, spec.clone());
+                    }
+                    net.run_until_idle();
+                    let wait: u64 = net.shard_stats().iter().map(|s| s.barrier_wait_ns).sum();
+                    b.record_extra("barrier_wait_ns", wait as f64);
+                }
             },
         );
     }

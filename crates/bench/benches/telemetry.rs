@@ -7,8 +7,11 @@
 //!   `--telemetry`-less runs take (this is the zero-cost-when-off baseline);
 //! * `histograms` — phase histograms + heatmap collector attached
 //!   (the `--telemetry DIR` configuration);
-//! * `full_events` — histograms, heatmap *and* the NDJSON event log
-//!   (the `--events PATH` configuration, the most expensive sink).
+//! * `profile` — histograms + heatmap plus the runtime metrics registry
+//!   scrape (the `--profile PATH` configuration): its delta over
+//!   `histograms` is the registry's cost;
+//! * `full_events` — histograms, heatmap, registry *and* the NDJSON event
+//!   log (the `--events PATH` configuration, the most expensive sink).
 //!
 //! Throughput is element = delivered destination, so the three groups read
 //! directly as deliveries/second with and without observation. The printed
@@ -32,6 +35,10 @@ fn bench_telemetry(c: &mut Criterion) {
     let destinations = (mesh.num_nodes() - 1) as u64;
 
     let histograms = TelemetrySpec::default();
+    let profile = TelemetrySpec {
+        profile: true,
+        ..TelemetrySpec::default()
+    };
     let full = TelemetrySpec::full();
 
     let (base, _) = run_single_broadcast_observed(&mesh, cfg, alg, source, length, None);
@@ -79,6 +86,18 @@ fn bench_telemetry(c: &mut Criterion) {
                 source,
                 length,
                 Some(Observe::new(&histograms, 0)),
+            ))
+        })
+    });
+    group.bench_function("profile", |b| {
+        b.iter(|| {
+            black_box(run_single_broadcast_observed(
+                black_box(&mesh),
+                cfg,
+                alg,
+                source,
+                length,
+                Some(Observe::new(&profile, 0)),
             ))
         })
     });

@@ -3,12 +3,13 @@
 //! behind the CV numbers.
 //!
 //! Usage: `arrivals [--out DIR] [--length F] [--seed SRC] [--jobs N]
-//! [--telemetry DIR] [--events PATH]`
+//! [--telemetry DIR] [--events PATH] [--profile PATH]`
 
-use wormcast_experiments::{arrivals, telemetry, CommonOpts, Experiment};
+use wormcast_experiments::{arrivals, telemetry, CommonOpts, Experiment, ProfileSession};
 
 fn main() {
     let opts = CommonOpts::parse();
+    let mut prof = ProfileSession::begin(&opts, "arrivals");
     let mut params = arrivals::ArrivalParams::default();
     if let Some(l) = opts.length {
         params.length = l;
@@ -19,10 +20,13 @@ fn main() {
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();
+    prof.phase("run");
     let (profiles, frames) = params.run((&runner, spec.as_ref())).into_parts();
     let wall = t0.elapsed();
+    prof.phase("merge");
     println!("{}", arrivals::table(&profiles, &params).render());
     println!("{}", arrivals::step_table(&profiles).render());
+    prof.phase("emit");
     if let Some(dir) = &opts.out_dir {
         let path = dir.join("arrivals.json");
         wormcast_experiments::write_json(&path, &profiles).expect("write results");
@@ -45,4 +49,5 @@ fn main() {
         )];
         telemetry::write_outputs(&opts, "arrivals", m, &frames);
     }
+    prof.finish(&opts, &frames);
 }

@@ -8,10 +8,11 @@
 //! (default `0,0.005,0.01,0.02,0.05`; include 0 to keep the fault-free
 //! baseline column). `--out DIR` writes `DIR/faults.json`.
 
-use wormcast_experiments::{faults, telemetry, CommonOpts, Experiment};
+use wormcast_experiments::{faults, telemetry, CommonOpts, Experiment, ProfileSession};
 
 fn main() {
     let opts = CommonOpts::parse();
+    let mut prof = ProfileSession::begin(&opts, "faults");
     let mut params = faults::FaultsParams::default();
     if opts.quick {
         params.side = 4;
@@ -31,8 +32,10 @@ fn main() {
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();
+    prof.phase("run");
     let (cells, frames) = params.run((&runner, spec.as_ref())).into_parts();
     let wall = t0.elapsed();
+    prof.phase("merge");
     println!("{}", faults::table(&cells, &params).render());
     println!("{}", faults::reliability_table(&cells).render());
     let bad = faults::check_claims(&cells);
@@ -44,6 +47,7 @@ fn main() {
             println!("  - {b}");
         }
     }
+    prof.phase("emit");
     if let Some(dir) = &opts.out_dir {
         let path = dir.join("faults.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
@@ -65,6 +69,7 @@ fn main() {
         m.topologies = vec![format!("{s}x{s}x{s}", s = params.side)];
         telemetry::write_outputs(&opts, "faults", m, &frames);
     }
+    prof.finish(&opts, &frames);
 }
 
 /// Parse the binary-specific flags (`--rates CSV`, `--side N`) out of the

@@ -2,12 +2,13 @@
 //! nodes), single-source, L=100 flits, Ts=1.5 µs (override with `--ts`).
 //!
 //! Usage: `fig1 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]
-//! [--jobs N] [--telemetry DIR] [--events PATH]`
+//! [--jobs N] [--telemetry DIR] [--events PATH] [--profile PATH]`
 
-use wormcast_experiments::{fig1, telemetry, CommonOpts, Experiment};
+use wormcast_experiments::{fig1, telemetry, CommonOpts, Experiment, ProfileSession};
 
 fn main() {
     let opts = CommonOpts::parse();
+    let mut prof = ProfileSession::begin(&opts, "fig1");
     let mut params = fig1::Fig1Params::default();
     if opts.quick {
         params.sides = vec![4, 8, 10];
@@ -25,8 +26,10 @@ fn main() {
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();
+    prof.phase("run");
     let (cells, frames) = params.run((&runner, spec.as_ref())).into_parts();
     let wall = t0.elapsed();
+    prof.phase("merge");
     println!("{}", fig1::table(&cells, &params).render());
     let bad = fig1::check_claims(&cells);
     if bad.is_empty() {
@@ -37,6 +40,7 @@ fn main() {
             println!("  - {b}");
         }
     }
+    prof.phase("emit");
     if let Some(dir) = &opts.out_dir {
         let path = dir.join("fig1.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
@@ -62,4 +66,5 @@ fn main() {
             .collect();
         telemetry::write_outputs(&opts, "fig1", m, &frames);
     }
+    prof.finish(&opts, &frames);
 }

@@ -2,12 +2,13 @@
 //! network size, measured in steady state with concurrent broadcasts.
 //!
 //! Usage: `fig2 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]
-//! [--jobs N] [--telemetry DIR] [--events PATH]`
+//! [--jobs N] [--telemetry DIR] [--events PATH] [--profile PATH]`
 
-use wormcast_experiments::{fig2, telemetry, CommonOpts, Experiment};
+use wormcast_experiments::{fig2, telemetry, CommonOpts, Experiment, ProfileSession};
 
 fn main() {
     let opts = CommonOpts::parse();
+    let mut prof = ProfileSession::begin(&opts, "fig2");
     let mut params = fig2::Fig2Params::default();
     if opts.quick {
         params.runs = 10;
@@ -24,8 +25,10 @@ fn main() {
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();
+    prof.phase("run");
     let (cells, frames) = params.run((&runner, spec.as_ref())).into_parts();
     let wall = t0.elapsed();
+    prof.phase("merge");
     println!("{}", fig2::fig2_table(&cells, &params).render());
     let bad = fig2::check_claims(&cells);
     if bad.is_empty() {
@@ -36,6 +39,7 @@ fn main() {
             println!("  - {b}");
         }
     }
+    prof.phase("emit");
     if let Some(dir) = &opts.out_dir {
         let path = dir.join("fig2.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
@@ -61,4 +65,5 @@ fn main() {
             .collect();
         telemetry::write_outputs(&opts, "fig2", m, &frames);
     }
+    prof.finish(&opts, &frames);
 }

@@ -2,12 +2,13 @@
 //! 90% unicast / 10% broadcast traffic (L=32 flits, Ts=1.5 µs).
 //!
 //! Usage: `fig3 [--quick] [--out DIR] [--seed N] [--ts US] [--length F]
-//! [--jobs N] [--telemetry DIR] [--events PATH]`
+//! [--jobs N] [--telemetry DIR] [--events PATH] [--profile PATH]`
 
-use wormcast_experiments::{fig34, telemetry, CommonOpts, Experiment};
+use wormcast_experiments::{fig34, telemetry, CommonOpts, Experiment, ProfileSession};
 
 fn main() {
     let opts = CommonOpts::parse();
+    let mut prof = ProfileSession::begin(&opts, "fig3");
     let mut params = fig34::LoadSweepParams::fig3();
     if opts.quick {
         params.batch_size = 40;
@@ -26,8 +27,10 @@ fn main() {
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();
+    prof.phase("run");
     let (cells, frames) = params.run((&runner, spec.as_ref())).into_parts();
     let wall = t0.elapsed();
+    prof.phase("merge");
     println!("{}", fig34::table(&cells, &params, "Fig. 3").render());
     let bad = fig34::check_claims(&cells, &params);
     if bad.is_empty() {
@@ -38,6 +41,7 @@ fn main() {
             println!("  - {b}");
         }
     }
+    prof.phase("emit");
     if let Some(dir) = &opts.out_dir {
         let path = dir.join("fig3.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
@@ -62,4 +66,5 @@ fn main() {
         )];
         telemetry::write_outputs(&opts, "fig3", m, &frames);
     }
+    prof.finish(&opts, &frames);
 }

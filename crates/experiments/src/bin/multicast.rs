@@ -4,10 +4,11 @@
 //! Usage: `multicast [--quick] [--out DIR] [--seed N] [--length F] [--jobs N]
 //! [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{multicast, telemetry, CommonOpts, Experiment};
+use wormcast_experiments::{multicast, telemetry, CommonOpts, Experiment, ProfileSession};
 
 fn main() {
     let opts = CommonOpts::parse();
+    let mut prof = ProfileSession::begin(&opts, "multicast");
     let mut params = multicast::MulticastParams::default();
     if opts.quick {
         params.set_sizes = vec![5, 50, 400];
@@ -22,8 +23,10 @@ fn main() {
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();
+    prof.phase("run");
     let (cells, frames) = params.run((&runner, spec.as_ref())).into_parts();
     let wall = t0.elapsed();
+    prof.phase("merge");
     println!("{}", multicast::table(&cells, &params).render());
     let bad = multicast::check_claims(&cells);
     if bad.is_empty() {
@@ -34,6 +37,7 @@ fn main() {
             println!("  - {b}");
         }
     }
+    prof.phase("emit");
     if let Some(dir) = &opts.out_dir {
         let path = dir.join("multicast.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
@@ -58,4 +62,5 @@ fn main() {
         )];
         telemetry::write_outputs(&opts, "multicast", m, &frames);
     }
+    prof.finish(&opts, &frames);
 }

@@ -4,10 +4,11 @@
 //! Usage: `tables [--quick] [--out DIR] [--seed N] [--ts US] [--length F]
 //! [--jobs N] [--telemetry DIR] [--events PATH]`
 
-use wormcast_experiments::{fig2, telemetry, CommonOpts, Experiment};
+use wormcast_experiments::{fig2, telemetry, CommonOpts, Experiment, ProfileSession};
 
 fn main() {
     let opts = CommonOpts::parse();
+    let mut prof = ProfileSession::begin(&opts, "tables");
     let mut params = fig2::Fig2Params::default();
     if opts.quick {
         params.runs = 10;
@@ -24,8 +25,10 @@ fn main() {
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();
+    prof.phase("run");
     let (cells, frames) = params.run((&runner, spec.as_ref())).into_parts();
     let wall = t0.elapsed();
+    prof.phase("merge");
     println!(
         "{}",
         fig2::improvement_table(&cells, &params, "DB").render()
@@ -34,6 +37,7 @@ fn main() {
         "{}",
         fig2::improvement_table(&cells, &params, "AB").render()
     );
+    prof.phase("emit");
     if let Some(dir) = &opts.out_dir {
         let path = dir.join("tables.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
@@ -59,4 +63,5 @@ fn main() {
             .collect();
         telemetry::write_outputs(&opts, "tables", m, &frames);
     }
+    prof.finish(&opts, &frames);
 }

@@ -3,7 +3,8 @@
 //!
 //! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig1-scale|fig2|tables|fig3|fig4|arrivals|multicast|faults|simcheck]...
 //!                  [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]
-//!                  [--shards N] [--telemetry DIR] [--events PATH] [--trace-dump PATH]`
+//!                  [--shards N] [--telemetry DIR] [--events PATH] [--profile PATH]
+//!                  [--trace-dump PATH]`
 //!
 //! With no selector (or `all`), runs the full suite: the §2 step identities,
 //! Fig. 1 (plus the Ts = 0.15 µs variant), Fig. 2, Tables 1–2, Figs. 3–4,
@@ -11,10 +12,13 @@
 //! sweep.
 //!
 //! `--telemetry DIR` writes one `<sel>.telemetry.json` per experiment run;
-//! `--events PATH` writes one NDJSON stream per experiment, the selector
-//! name inserted before the extension (`events.ndjson` → `events-fig1.ndjson`)
-//! so successive experiments don't clobber each other. The `steps` selector
-//! computes closed forms without simulating, so it emits no telemetry.
+//! `--events PATH` writes one NDJSON stream per experiment and `--profile
+//! PATH` one profile report (JSON + sibling `.prom`) per experiment, the
+//! selector name inserted before the extension (`events.ndjson` →
+//! `events-fig1.ndjson`, `prof.json` → `prof-fig1.json`) so successive
+//! experiments don't clobber each other. The `steps` selector computes
+//! closed forms without simulating, so it emits no telemetry; its profile
+//! report covers only the driver phases.
 //!
 //! The `fig1-scale` selector (not part of `all` — a 10⁶-node mesh is not a
 //! smoke test) extends Fig. 1 into the 10⁵–10⁶-node regime on the sharded
@@ -34,7 +38,8 @@
 //! and writes the trace as NDJSON to PATH, then exits.
 
 use wormcast_experiments::{
-    fig1, fig1_scale, fig2, fig34, steps, telemetry, CommonOpts, Experiment,
+    fig1, fig1_scale, fig2, fig34, profile, steps, telemetry, CommonOpts, Experiment, LabeledFrame,
+    ProfileSession,
 };
 
 fn main() {
@@ -71,31 +76,43 @@ fn main() {
         }
     };
     // Per-selector telemetry destinations: the umbrella runs several
-    // experiments in one process, so the event stream path gets the selector
-    // name inserted before its extension to keep the streams separate.
+    // experiments in one process, so the event stream and profile paths get
+    // the selector name inserted before their extension to keep successive
+    // experiments from clobbering each other.
+    let with_sel = |p: &std::path::Path, sel: &str, default_ext: &str| -> std::path::PathBuf {
+        let stem = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("out")
+            .to_string();
+        let ext = p
+            .extension()
+            .and_then(|s| s.to_str())
+            .unwrap_or(default_ext)
+            .to_string();
+        p.with_file_name(format!("{stem}-{sel}.{ext}"))
+    };
     let topts = |sel: &str| -> CommonOpts {
         let mut o = opts.clone();
         if let Some(p) = &o.events {
-            let stem = p
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or("events")
-                .to_string();
-            let ext = p
-                .extension()
-                .and_then(|s| s.to_str())
-                .unwrap_or("ndjson")
-                .to_string();
-            o.events = Some(p.with_file_name(format!("{stem}-{sel}.{ext}")));
+            o.events = Some(with_sel(p, sel, "ndjson"));
+        }
+        if let Some(p) = &o.profile {
+            o.profile = Some(with_sel(p, sel, "json"));
         }
         o
     };
     let spec = opts.telemetry_spec();
 
     for sel in &which {
+        let to = topts(sel);
+        let mut prof = ProfileSession::begin(&to, profile::selector_name(sel));
+        let mut prof_frames: Vec<LabeledFrame> = Vec::new();
         match sel.as_str() {
             "steps" => {
+                prof.phase("run");
                 let rows = steps::run(&steps::default_shapes());
+                prof.phase("emit");
                 println!("{}", steps::table(&rows).render());
                 out("steps", &rows);
             }
@@ -115,10 +132,13 @@ fn main() {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
+                prof.phase("run");
                 let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
                 let wall = t0.elapsed();
+                prof.phase("merge");
                 println!("{}", fig1::table(&cells, &p).render());
                 report_claims(&fig1::check_claims(&cells));
+                prof.phase("emit");
                 out(sel, &cells);
                 if spec.is_some() {
                     let mut m = telemetry::manifest(
@@ -134,8 +154,9 @@ fn main() {
                     m.algorithms.sort();
                     m.algorithms.dedup();
                     m.topologies = p.sides.iter().map(|s| format!("{s}x{s}x{s}")).collect();
-                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                    telemetry::write_outputs(&to, sel, m, &frames);
                 }
+                prof_frames = frames;
             }
             "fig1-scale" => {
                 let mut p = fig1_scale::Fig1ScaleParams {
@@ -152,32 +173,14 @@ fn main() {
                 if let Some(l) = opts.length {
                     p.length = l;
                 }
-                let cells = p.run(&runner).cells;
-                println!("{}", fig1_scale::table(&cells, &p).render());
-                report_claims(&fig1_scale::check_claims(&cells));
-                out(sel, &cells);
-            }
-            "fig2" | "tables" => {
-                let mut p = fig2::Fig2Params::default();
-                if opts.quick {
-                    p.runs = 10;
-                }
-                if let Some(s) = opts.seed {
-                    p.seed = s;
-                }
-                if let Some(l) = opts.length {
-                    p.length = l;
-                }
                 let t0 = std::time::Instant::now();
+                prof.phase("run");
                 let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
                 let wall = t0.elapsed();
-                if sel == "fig2" {
-                    println!("{}", fig2::fig2_table(&cells, &p).render());
-                    report_claims(&fig2::check_claims(&cells));
-                } else {
-                    println!("{}", fig2::improvement_table(&cells, &p, "DB").render());
-                    println!("{}", fig2::improvement_table(&cells, &p, "AB").render());
-                }
+                prof.phase("merge");
+                println!("{}", fig1_scale::table(&cells, &p).render());
+                report_claims(&fig1_scale::check_claims(&cells));
+                prof.phase("emit");
                 out(sel, &cells);
                 if spec.is_some() {
                     let mut m = telemetry::manifest(
@@ -197,8 +200,56 @@ fn main() {
                         .iter()
                         .map(|s| format!("{}x{}x{}", s[0], s[1], s[2]))
                         .collect();
-                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                    telemetry::write_outputs(&to, sel, m, &frames);
                 }
+                prof_frames = frames;
+            }
+            "fig2" | "tables" => {
+                let mut p = fig2::Fig2Params::default();
+                if opts.quick {
+                    p.runs = 10;
+                }
+                if let Some(s) = opts.seed {
+                    p.seed = s;
+                }
+                if let Some(l) = opts.length {
+                    p.length = l;
+                }
+                let t0 = std::time::Instant::now();
+                prof.phase("run");
+                let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
+                let wall = t0.elapsed();
+                prof.phase("merge");
+                if sel == "fig2" {
+                    println!("{}", fig2::fig2_table(&cells, &p).render());
+                    report_claims(&fig2::check_claims(&cells));
+                } else {
+                    println!("{}", fig2::improvement_table(&cells, &p, "DB").render());
+                    println!("{}", fig2::improvement_table(&cells, &p, "AB").render());
+                }
+                prof.phase("emit");
+                out(sel, &cells);
+                if spec.is_some() {
+                    let mut m = telemetry::manifest(
+                        sel,
+                        &opts,
+                        p.seed,
+                        p.length,
+                        p.startup_us,
+                        p.runs,
+                        wall,
+                    );
+                    m.algorithms = cells.iter().map(|c| c.algorithm.clone()).collect();
+                    m.algorithms.sort();
+                    m.algorithms.dedup();
+                    m.topologies = p
+                        .shapes
+                        .iter()
+                        .map(|s| format!("{}x{}x{}", s[0], s[1], s[2]))
+                        .collect();
+                    telemetry::write_outputs(&to, sel, m, &frames);
+                }
+                prof_frames = frames;
             }
             "fig3" | "fig4" => {
                 let mut p = if sel == "fig3" {
@@ -218,11 +269,14 @@ fn main() {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
+                prof.phase("run");
                 let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
                 let wall = t0.elapsed();
+                prof.phase("merge");
                 let caption = if sel == "fig3" { "Fig. 3" } else { "Fig. 4" };
                 println!("{}", fig34::table(&cells, &p, caption).render());
                 report_claims(&fig34::check_claims(&cells, &p));
+                prof.phase("emit");
                 out(sel, &cells);
                 if spec.is_some() {
                     let mut m = telemetry::manifest(
@@ -238,8 +292,9 @@ fn main() {
                     m.algorithms.sort();
                     m.algorithms.dedup();
                     m.topologies = vec![format!("{}x{}x{}", p.shape[0], p.shape[1], p.shape[2])];
-                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                    telemetry::write_outputs(&to, sel, m, &frames);
                 }
+                prof_frames = frames;
             }
             "arrivals" => {
                 let mut p = wormcast_experiments::arrivals::ArrivalParams::default();
@@ -247,8 +302,10 @@ fn main() {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
+                prof.phase("run");
                 let (profiles, frames) = p.run((&runner, spec.as_ref())).into_parts();
                 let wall = t0.elapsed();
+                prof.phase("merge");
                 println!(
                     "{}",
                     wormcast_experiments::arrivals::table(&profiles, &p).render()
@@ -257,14 +314,16 @@ fn main() {
                     "{}",
                     wormcast_experiments::arrivals::step_table(&profiles).render()
                 );
+                prof.phase("emit");
                 out("arrivals", &profiles);
                 if spec.is_some() {
                     let mut m =
                         telemetry::manifest(sel, &opts, p.source as u64, p.length, 0.0, 1, wall);
                     m.algorithms = profiles.iter().map(|pr| pr.algorithm.clone()).collect();
                     m.topologies = vec![format!("{}x{}x{}", p.shape[0], p.shape[1], p.shape[2])];
-                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                    telemetry::write_outputs(&to, sel, m, &frames);
                 }
+                prof_frames = frames;
             }
             "multicast" => {
                 let mut p = wormcast_experiments::multicast::MulticastParams::default();
@@ -276,13 +335,16 @@ fn main() {
                     p.seed = s;
                 }
                 let t0 = std::time::Instant::now();
+                prof.phase("run");
                 let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
                 let wall = t0.elapsed();
+                prof.phase("merge");
                 println!(
                     "{}",
                     wormcast_experiments::multicast::table(&cells, &p).render()
                 );
                 report_claims(&wormcast_experiments::multicast::check_claims(&cells));
+                prof.phase("emit");
                 out("multicast", &cells);
                 if spec.is_some() {
                     let mut m =
@@ -291,8 +353,9 @@ fn main() {
                     m.algorithms.sort();
                     m.algorithms.dedup();
                     m.topologies = vec![format!("{}x{}x{}", p.shape[0], p.shape[1], p.shape[2])];
-                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                    telemetry::write_outputs(&to, sel, m, &frames);
                 }
+                prof_frames = frames;
             }
             "faults" => {
                 let mut p = wormcast_experiments::faults::FaultsParams::default();
@@ -308,8 +371,10 @@ fn main() {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
+                prof.phase("run");
                 let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
                 let wall = t0.elapsed();
+                prof.phase("merge");
                 println!(
                     "{}",
                     wormcast_experiments::faults::table(&cells, &p).render()
@@ -319,6 +384,7 @@ fn main() {
                     wormcast_experiments::faults::reliability_table(&cells).render()
                 );
                 report_claims(&wormcast_experiments::faults::check_claims(&cells));
+                prof.phase("emit");
                 out("faults", &cells);
                 if spec.is_some() {
                     let mut m = telemetry::manifest(
@@ -334,13 +400,16 @@ fn main() {
                     m.algorithms.sort();
                     m.algorithms.dedup();
                     m.topologies = vec![format!("{s}x{s}x{s}", s = p.side)];
-                    telemetry::write_outputs(&topts(sel), sel, m, &frames);
+                    telemetry::write_outputs(&to, sel, m, &frames);
                 }
+                prof_frames = frames;
             }
             "simcheck" => {
                 let seed = opts.seed.unwrap_or(2005);
                 let count = if opts.quick { 50 } else { 200 };
+                prof.phase("run");
                 let report = wormcast_simcheck::campaign(seed, count, 0);
+                prof.phase("emit");
                 for f in &report.failures {
                     eprintln!(
                         "simcheck: scenario {} failed ({}): {}\nminimal repro:\n{}",
@@ -377,20 +446,33 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        prof.finish(&to, &prof_frames);
         println!();
     }
 }
 
 /// `--trace-dump PATH`: run one DB broadcast on an 8×8×8 mesh with the
 /// engine's bounded trace ring enabled (64 Ki records) and dump the trace as
-/// NDJSON, reusing the telemetry event exporter's line format.
+/// NDJSON, reusing the telemetry event exporter's line format. `--telemetry
+/// DIR` additionally writes a manifest with the trace ring's drop count
+/// stamped, and `--profile PATH` a profile report over the engine counters.
 fn dump_trace(opts: &CommonOpts, path: &std::path::Path) {
     use wormcast_broadcast::Algorithm;
     use wormcast_network::{NetworkConfig, OpId};
     use wormcast_sim::SimTime;
+    use wormcast_telemetry::{
+        MetricId, MetricsRegistry, ProfileReport, Profiler, RunManifest, SeriesKey,
+    };
     use wormcast_topology::{Mesh, NodeId, Topology};
-    use wormcast_workload::{network_for, BroadcastTracker};
+    use wormcast_workload::{network_for, scrape_engine_stats, BroadcastTracker};
 
+    let profiling = opts.profile.is_some();
+    let mut profiler = Profiler::new();
+    if profiling {
+        profiler.open("trace-dump");
+        profiler.phase("setup");
+    }
+    let t0 = std::time::Instant::now();
     let mesh = Mesh::cube(8);
     let mut b = NetworkConfig::builder();
     if let Some(ts) = opts.startup_us {
@@ -405,6 +487,9 @@ fn dump_trace(opts: &CommonOpts, path: &std::path::Path) {
     let schedule = alg.schedule(&mesh, source);
     let mut net = network_for(alg, mesh.clone(), cfg);
     net.enable_trace(65_536);
+    if profiling {
+        profiler.phase("run");
+    }
     let mut tracker = BroadcastTracker::new(&mesh, &schedule, OpId(0), length);
     for spec in tracker.start(SimTime::ZERO) {
         net.inject_at(SimTime::ZERO, spec);
@@ -415,15 +500,39 @@ fn dump_trace(opts: &CommonOpts, path: &std::path::Path) {
             net.inject_at(d.delivered_at, spec);
         }
     }
-    telemetry::warn_if_trace_dropped(net.trace(), "wormcast --trace-dump");
-    let ndjson = wormcast_telemetry::events::trace_to_ndjson(net.trace());
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create trace dump directory");
-        }
+    if profiling {
+        profiler.phase("emit");
     }
-    std::fs::write(path, ndjson).expect("write trace dump");
+    let wall = t0.elapsed();
+    telemetry::warn_if_trace_dropped(net.trace(), "wormcast --trace-dump");
+    let trace_dropped = net.trace().dropped();
+    let ndjson = wormcast_telemetry::events::trace_to_ndjson(net.trace());
+    telemetry::write_ndjson(path, &ndjson, false).expect("write trace dump");
     println!("wrote {}", path.display());
+    if let Some(dir) = &opts.telemetry {
+        let mut m = RunManifest::new("trace-dump");
+        m.algorithms = vec![Algorithm::Db.name().to_string()];
+        m.topologies = vec!["8x8x8".to_string()];
+        m.master_seed = opts.seed.unwrap_or(0);
+        m.jobs = 1;
+        m.length_flits = length;
+        m.startup_us = opts.startup_us.unwrap_or_default();
+        m.runs = 1;
+        m.wall_ms = wall.as_secs_f64() * 1e3;
+        m.trace_dropped = trace_dropped;
+        let report = telemetry::TelemetryReport::new(m, &[]);
+        let mpath = dir.join("trace-dump.telemetry.json");
+        wormcast_experiments::write_json(&mpath, &report).expect("write telemetry report");
+        println!("wrote {}", mpath.display());
+    }
+    if profiling {
+        let mut metrics = MetricsRegistry::new();
+        scrape_engine_stats(&mut metrics, &net.engine_stats());
+        metrics.inc_by(SeriesKey::plain(MetricId::TraceDropped), trace_dropped);
+        let (spans, nd_wall) = profiler.finish();
+        let report = ProfileReport::new("trace-dump", spans, nd_wall, metrics);
+        profile::write_report(opts, &report);
+    }
 }
 
 fn report_claims(bad: &[String]) {

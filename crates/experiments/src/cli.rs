@@ -34,6 +34,11 @@ pub struct CommonOpts {
     /// Path a single-run engine trace is dumped to as NDJSON
     /// (`--trace-dump PATH`; honoured by the `wormcast` umbrella binary).
     pub trace_dump: Option<std::path::PathBuf>,
+    /// Path the profile report is written to (`--profile PATH`); a
+    /// Prometheus text exposition lands next to it with the extension
+    /// `.prom`. Implies telemetry collection with the profile bit set —
+    /// replications scrape engine/shard/harness metrics into their frames.
+    pub profile: Option<std::path::PathBuf>,
     /// Remaining positional arguments.
     pub rest: Vec<String>,
 }
@@ -56,16 +61,18 @@ impl CommonOpts {
         self.shards.unwrap_or(1)
     }
 
-    /// The telemetry spec implied by the flags: `None` unless `--telemetry`
-    /// or `--events` was given (so unobserved runs stay on the exact
-    /// pre-telemetry code path), with the event stream enabled only when
-    /// `--events` names a destination.
+    /// The telemetry spec implied by the flags: `None` unless `--telemetry`,
+    /// `--events` or `--profile` was given (so unobserved runs stay on the
+    /// exact pre-telemetry code path), with the event stream enabled only
+    /// when `--events` names a destination and metric scraping only when
+    /// `--profile` does.
     pub fn telemetry_spec(&self) -> Option<TelemetrySpec> {
-        if self.telemetry.is_none() && self.events.is_none() {
+        if self.telemetry.is_none() && self.events.is_none() && self.profile.is_none() {
             return None;
         }
         Some(TelemetrySpec {
             events: self.events.is_some(),
+            profile: self.profile.is_some(),
             ..TelemetrySpec::default()
         })
     }
@@ -94,6 +101,7 @@ impl CommonOpts {
             telemetry: None,
             events: None,
             trace_dump: None,
+            profile: None,
             rest: Vec::new(),
         };
         let mut it = args.peekable();
@@ -156,6 +164,10 @@ impl CommonOpts {
                     let v = it.next().expect("--trace-dump needs a file path");
                     o.trace_dump = Some(v.into());
                 }
+                "--profile" => {
+                    let v = it.next().expect("--profile needs a file path");
+                    o.profile = Some(v.into());
+                }
                 other => o.rest.push(other.to_string()),
             }
         }
@@ -215,6 +227,19 @@ mod tests {
         let o = parse(&["--trace-dump", "trace.ndjson"]);
         assert!(o.telemetry_spec().is_none(), "trace dump alone ≠ telemetry");
         assert_eq!(o.trace_dump.unwrap().to_str().unwrap(), "trace.ndjson");
+    }
+
+    #[test]
+    fn profile_flag_implies_telemetry_with_profile_bit() {
+        let o = parse(&["--profile", "prof.json"]);
+        let spec = o.telemetry_spec().expect("profile implies telemetry");
+        assert!(spec.profile);
+        assert!(!spec.events);
+        assert_eq!(o.profile.unwrap().to_str().unwrap(), "prof.json");
+
+        let o = parse(&["--telemetry", "t-out"]);
+        let spec = o.telemetry_spec().expect("spec on");
+        assert!(!spec.profile, "telemetry alone keeps metric scraping off");
     }
 
     #[test]

@@ -10,19 +10,25 @@
 //! [`Fig1ScaleParams::all_algorithms`] to add RD and EDN (an RD broadcast
 //! is N−1 unicast messages, which dominates the run time at 10⁶ nodes).
 //!
-//! Telemetry frames are deliberately not collected here: a per-channel
-//! heatmap over six million channels is not a figure, and the unobserved
-//! path keeps the large runs at full speed.
+//! Without a telemetry spec no frames are collected and the unobserved
+//! path keeps the large runs at full speed. With one (the binaries'
+//! `--profile`), each cell's frame carries driver-side series only — no
+//! engine event sinks cross into the sharded workers — including the
+//! scraped `engine_*` metrics and, on genuinely sharded runs, the
+//! per-shard `shard_*` runtime series (barrier wait, window widths,
+//! crossings, arena high-water).
 
 use crate::experiment::{Experiment, Observation, RunOutput};
 use crate::report::{f2, Table};
+use crate::telemetry::LabeledFrame;
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::NetworkConfig;
 use wormcast_sim::SimRng;
 use wormcast_stats::OnlineStats;
+use wormcast_telemetry::Observe;
 use wormcast_topology::{Mesh, NodeId, Topology};
-use wormcast_workload::run_single_broadcast_sharded;
+use wormcast_workload::{run_single_broadcast_sharded_observed, TelemetryMerge};
 
 /// Parameters of the large-mesh Fig. 1 sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -105,7 +111,9 @@ impl Experiment for Fig1ScaleParams {
     /// runner with [`wormcast_workload::Runner::for_shards`] so `jobs ×
     /// shards` stays within the machine.
     fn run<'a>(&self, obs: impl Into<Observation<'a>>) -> RunOutput<Fig1ScaleCell> {
-        let runner = obs.into().runner();
+        let obs = obs.into();
+        let runner = obs.runner();
+        let telemetry = obs.telemetry();
         let cfg = NetworkConfig::builder()
             .startup_us(self.startup_us)
             .build()
@@ -126,9 +134,16 @@ impl Experiment for Fig1ScaleParams {
             })
             .collect();
         let runs = self.runs.max(1);
-        let mut acc: Vec<(OnlineStats, OnlineStats, f64)> = plan
+        let mut acc: Vec<(OnlineStats, OnlineStats, f64, TelemetryMerge)> = plan
             .iter()
-            .map(|_| (OnlineStats::new(), OnlineStats::new(), 0.0))
+            .map(|_| {
+                (
+                    OnlineStats::new(),
+                    OnlineStats::new(),
+                    0.0,
+                    TelemetryMerge::new(),
+                )
+            })
             .collect();
         runner.run(
             plan.len() * runs,
@@ -139,41 +154,51 @@ impl Experiment for Fig1ScaleParams {
                     SimRng::for_replication(master, (i % runs) as u64).substream("sources");
                 let source = NodeId(rng.index(mesh.num_nodes()) as u32);
                 let t0 = std::time::Instant::now();
-                let o = run_single_broadcast_sharded(
+                let (o, frame) = run_single_broadcast_sharded_observed(
                     &mesh,
                     cfg,
                     alg,
                     source,
                     self.length,
                     self.shards_for(shape),
+                    telemetry.map(|s| Observe::new(s, i as u64)),
                 )
                 .expect("shard count clamped to the shape's partition axis");
-                (o, t0.elapsed().as_secs_f64())
+                (o, frame, t0.elapsed().as_secs_f64())
             },
-            |i, (o, wall)| {
-                let (net, node, secs) = &mut acc[i / runs];
+            |i, (o, frame, wall)| {
+                let (net, node, secs, merge) = &mut acc[i / runs];
                 net.push(o.network_latency_us);
                 node.push(o.mean_latency_us);
                 *secs += wall;
+                merge.absorb(frame);
             },
         );
-        let mut cells: Vec<Fig1ScaleCell> = plan
+        let mut cells: Vec<(Fig1ScaleCell, Option<LabeledFrame>)> = plan
             .iter()
-            .zip(&acc)
-            .map(|((shape, _, alg), (net, node, secs))| Fig1ScaleCell {
-                nodes: Mesh::new(shape).num_nodes(),
-                shape: *shape,
-                algorithm: alg.name().to_string(),
-                shards: self.shards_for(*shape),
-                latency_us: net.mean(),
-                mean_node_latency_us: node.mean(),
-                wall_s: *secs,
+            .zip(acc)
+            .map(|((shape, _, alg), (net, node, secs, merge))| {
+                let cell = Fig1ScaleCell {
+                    nodes: Mesh::new(shape).num_nodes(),
+                    shape: *shape,
+                    algorithm: alg.name().to_string(),
+                    shards: self.shards_for(*shape),
+                    latency_us: net.mean(),
+                    mean_node_latency_us: node.mean(),
+                    wall_s: secs,
+                };
+                let frame = merge.finish().map(|f| {
+                    let label = format!("{}x{}x{}/{}", shape[0], shape[1], shape[2], alg.name());
+                    LabeledFrame::new(label, f)
+                });
+                (cell, frame)
             })
             .collect();
-        cells.sort_by_key(|c| (c.nodes, c.algorithm.clone()));
+        cells.sort_by_key(|(c, _)| (c.nodes, c.algorithm.clone()));
+        let (cells, frames): (Vec<_>, Vec<_>) = cells.into_iter().unzip();
         RunOutput {
             cells,
-            frames: Vec::new(),
+            frames: frames.into_iter().flatten().collect(),
         }
     }
 }

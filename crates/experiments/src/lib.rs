@@ -34,11 +34,13 @@ pub mod fig1_scale;
 pub mod fig2;
 pub mod fig34;
 pub mod multicast;
+pub mod profile;
 pub mod report;
 pub mod steps;
 pub mod telemetry;
 
 pub use cli::CommonOpts;
 pub use experiment::{Experiment, Observation, RunOutput};
+pub use profile::ProfileSession;
 pub use report::{write_json, Table};
 pub use telemetry::{LabeledFrame, TelemetryReport};

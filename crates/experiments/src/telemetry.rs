@@ -94,19 +94,47 @@ pub fn events_ndjson(frames: &[LabeledFrame]) -> (String, u64) {
     (out, dropped)
 }
 
+/// The one NDJSON writer every export path goes through — the `--events`
+/// stream, the `wormcast --trace-dump` trace, and the profile-event appends
+/// all format their lines upstream (`wormcast_telemetry::events`) and land
+/// here. Creates parent directories; `append` extends an existing stream
+/// instead of replacing it.
+pub fn write_ndjson(path: &std::path::Path, ndjson: &str, append: bool) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::options()
+        .write(true)
+        .create(true)
+        .append(append)
+        .truncate(!append)
+        .open(path)?;
+    f.write_all(ndjson.as_bytes())
+}
+
 /// Write the telemetry outputs requested by `opts`: the
 /// `<name>.telemetry.json` report under `--telemetry DIR` and/or the NDJSON
-/// event stream at `--events PATH`. Prints one line per file written; warns
-/// on stderr when event budgets truncated the stream.
+/// event stream at `--events PATH`. The manifest's `events_dropped` field
+/// is stamped with the frames' byte-budget drop count before serialization,
+/// so truncation is machine-readable in the export, not just a stderr
+/// warning. Prints one line per file written.
 ///
 /// # Panics
 /// Panics on I/O errors — these are developer tools.
 pub fn write_outputs(
     opts: &CommonOpts,
     name: &str,
-    manifest: RunManifest,
+    mut manifest: RunManifest,
     frames: &[LabeledFrame],
 ) {
+    manifest.events_dropped = frames
+        .iter()
+        .filter_map(|f| f.frame.events.as_ref())
+        .map(|log| log.dropped())
+        .sum();
+    let events_dropped = manifest.events_dropped;
     if let Some(dir) = &opts.telemetry {
         let path = dir.join(format!("{name}.telemetry.json"));
         let report = TelemetryReport::new(manifest, frames);
@@ -115,11 +143,8 @@ pub fn write_outputs(
     }
     if let Some(path) = &opts.events {
         let (ndjson, dropped) = events_ndjson(frames);
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir).expect("create events directory");
-        }
-        let mut f = std::fs::File::create(path).expect("create events file");
-        f.write_all(ndjson.as_bytes()).expect("write events");
+        debug_assert_eq!(dropped, events_dropped);
+        write_ndjson(path, &ndjson, false).expect("write events");
         println!("wrote {}", path.display());
         if dropped > 0 {
             eprintln!(

@@ -230,6 +230,8 @@ pub struct Network<T: SimTopology = Mesh> {
     sink_trace: TraceSink,
     /// User-attached observers.
     extra_sinks: Vec<Box<dyn MetricsSink>>,
+    /// Stall-watchdog probes scheduled (arms + re-arms); observability only.
+    watchdog_arms: u64,
     /// Channels disabled by fault injection (never granted again).
     failed: ActiveSet,
     /// Time of the last dispatched event, for the monotone-clock deep check.
@@ -239,6 +241,40 @@ pub struct Network<T: SimTopology = Mesh> {
     /// is silently skipped, leaking the channel.
     #[cfg(feature = "invariants")]
     sabotage_skip_release: bool,
+}
+
+/// Deterministic engine runtime statistics, scraped by the observability
+/// layer (`wormcast-telemetry`'s metrics registry). The engine exposes
+/// plain integers here rather than depending on the registry so the
+/// physics→telemetry dependency direction stays one-way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// High-water mark of the message arena (it only grows, so this is its
+    /// length): total messages ever injected into this network.
+    pub arena_msgs_highwater: u64,
+    /// Events ever scheduled on the calendar wheel.
+    pub wheel_events_scheduled: u64,
+    /// Occupancy-bitmap scans performed by wheel pops/peeks.
+    pub wheel_bucket_scans: u64,
+    /// Stall-watchdog probes scheduled (arms + re-arms).
+    pub watchdog_arms: u64,
+    /// Adaptive headers that steered around a faulted channel.
+    pub reroutes: u64,
+    /// Messages retired as stalled by the watchdog.
+    pub stalls: u64,
+}
+
+impl EngineStats {
+    /// Combine with another engine's stats (sums; the high-water mark also
+    /// sums, because arenas of different engines hold disjoint messages).
+    pub fn absorb(&mut self, o: &EngineStats) {
+        self.arena_msgs_highwater += o.arena_msgs_highwater;
+        self.wheel_events_scheduled += o.wheel_events_scheduled;
+        self.wheel_bucket_scans += o.wheel_bucket_scans;
+        self.watchdog_arms += o.watchdog_arms;
+        self.reroutes += o.reroutes;
+        self.stalls += o.stalls;
+    }
 }
 
 impl<T: SimTopology> Network<T> {
@@ -260,6 +296,7 @@ impl<T: SimTopology> Network<T> {
             sink_util: UtilizationSink::new(num_channels),
             sink_trace: TraceSink::default(),
             extra_sinks: Vec::new(),
+            watchdog_arms: 0,
             failed: ActiveSet::new(num_channels),
             #[cfg(feature = "invariants")]
             iv_last_now: SimTime::ZERO,
@@ -350,6 +387,22 @@ impl<T: SimTopology> Network<T> {
     /// Aggregate counters.
     pub fn counters(&self) -> Counters {
         self.sink_counters.counters()
+    }
+
+    /// Deterministic runtime statistics for the observability layer. All
+    /// plain event-sequence-derived integers: reading them never perturbs
+    /// the simulation, and for a fixed workload the values are identical
+    /// across hosts and job counts.
+    pub fn engine_stats(&self) -> EngineStats {
+        let c = self.counters();
+        EngineStats {
+            arena_msgs_highwater: self.msgs.spec.len() as u64,
+            wheel_events_scheduled: self.wheel.scheduled_total(),
+            wheel_bucket_scans: self.wheel.bucket_scans(),
+            watchdog_arms: self.watchdog_arms,
+            reroutes: c.reroutes,
+            stalls: c.stalled,
+        }
     }
 
     /// Messages injected but not yet fully completed or reaped as stalled.
@@ -714,6 +767,7 @@ impl<T: SimTopology> Network<T> {
             && !self.msgs.stall_armed[m as usize]
         {
             self.msgs.stall_armed[m as usize] = true;
+            self.watchdog_arms += 1;
             self.wheel.schedule(
                 now + self.cfg.watchdog,
                 Ev::StallCheck(m, self.msgs.hops_taken[m as usize]),
@@ -835,6 +889,7 @@ impl<T: SimTopology> Network<T> {
         if self.msgs.hops_taken[i] != hops {
             // Progressed to a later queue: give it a fresh timeout.
             self.msgs.stall_armed[i] = true;
+            self.watchdog_arms += 1;
             self.wheel.schedule(
                 now + self.cfg.watchdog,
                 Ev::StallCheck(m, self.msgs.hops_taken[i]),

@@ -22,13 +22,13 @@ pub mod simulation;
 pub mod trace;
 
 pub use config::{ConfigError, NetworkConfig, NetworkConfigBuilder, ReleaseMode};
-pub use engine::Network;
+pub use engine::{EngineStats, Network};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 #[cfg(feature = "invariants")]
 pub use invariant::InvariantChecker;
 pub use message::{Delivery, MessageId, MessageSpec, OpId, Route};
 pub use metrics::{Counters, CountersSink, MetricsSink, TraceSink, UtilizationSink};
-pub use sharded::ShardedNetwork;
+pub use sharded::{ShardStats, ShardedNetwork};
 pub use simulation::{ShardedSim, Simulation, SimulationBuilder};
 pub use trace::{Trace, TraceKind, TraceRecord};
 

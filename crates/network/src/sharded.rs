@@ -241,6 +241,9 @@ struct RoundCtl {
     barrier: SpinBarrier,
     stop: AtomicBool,
     horizon: AtomicU64,
+    /// The released round's global floor, published with `horizon` so
+    /// shards can account the window width they execute.
+    t0: AtomicU64,
     /// Per-shard earliest pending event / gate event, `u64::MAX` when none.
     mins: Vec<AtomicU64>,
     gates: Vec<AtomicU64>,
@@ -258,6 +261,7 @@ impl RoundCtl {
             barrier: SpinBarrier::new(shards + 1),
             stop: AtomicBool::new(false),
             horizon: AtomicU64::new(0),
+            t0: AtomicU64::new(0),
             mins: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
             gates: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
             mailboxes: (0..shards)
@@ -265,6 +269,78 @@ impl RoundCtl {
                 .collect(),
             delivered: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
         }
+    }
+}
+
+/// Per-shard runtime statistics for the observability layer: plain
+/// integers the shard updates inline (no dependency on the telemetry
+/// registry — the workload layer scrapes these after a run).
+///
+/// The window-width distribution mirrors the telemetry `Log2Hist` layout
+/// (bucket `i` counts widths of bit length `i`; bucket 0 is exactly zero)
+/// so it converts losslessly.
+///
+/// Everything except `barrier_wait_ns` and `spin_yield_transitions` is a
+/// pure function of the round schedule; the two timing fields are
+/// execution-dependent and only collected when profiling is enabled
+/// ([`ShardedNetwork::set_profiling`]) or free to observe (yield counts).
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Conservative rounds this shard participated in.
+    pub windows: u64,
+    /// Window-width (horizon − t₀, ps) log₂ bucket counts by bit length.
+    pub width_buckets: [u64; 65],
+    /// Window widths recorded.
+    pub width_count: u64,
+    /// Sum of recorded window widths (ps).
+    pub width_sum: u128,
+    /// Smallest recorded width (`u64::MAX` when none).
+    pub width_min: u64,
+    /// Largest recorded width.
+    pub width_max: u64,
+    /// Cross-shard transfers (handoffs, releases, injections) applied.
+    pub crossings_applied: u64,
+    /// Peak live-message map occupancy.
+    pub arena_msgs_highwater: u64,
+    /// Nanoseconds spent waiting at round barriers (0 unless profiling).
+    pub barrier_wait_ns: u64,
+    /// Barrier waits that exhausted the spin budget and yielded.
+    pub spin_yield_transitions: u64,
+    /// Events ever scheduled on this shard's calendar wheel.
+    pub wheel_events_scheduled: u64,
+    /// Occupancy-bitmap scans by this shard's wheel pops/peeks.
+    pub wheel_bucket_scans: u64,
+    /// Stall-watchdog probes scheduled by this shard.
+    pub watchdog_arms: u64,
+}
+
+impl Default for ShardStats {
+    fn default() -> Self {
+        ShardStats {
+            windows: 0,
+            width_buckets: [0; 65],
+            width_count: 0,
+            width_sum: 0,
+            width_min: u64::MAX,
+            width_max: 0,
+            crossings_applied: 0,
+            arena_msgs_highwater: 0,
+            barrier_wait_ns: 0,
+            spin_yield_transitions: 0,
+            wheel_events_scheduled: 0,
+            wheel_bucket_scans: 0,
+            watchdog_arms: 0,
+        }
+    }
+}
+
+impl ShardStats {
+    fn record_width(&mut self, w: u64) {
+        self.width_buckets[(64 - w.leading_zeros()) as usize] += 1;
+        self.width_count += 1;
+        self.width_sum += w as u128;
+        self.width_min = self.width_min.min(w);
+        self.width_max = self.width_max.max(w);
     }
 }
 
@@ -294,6 +370,10 @@ struct Shard<T: SimTopology> {
     /// Outbound transfers per destination shard, flushed at round end.
     outbound: Vec<Vec<Xfer>>,
     driver_mode: bool,
+    /// Runtime statistics (see [`ShardStats`]).
+    stats: ShardStats,
+    /// Whether to pay for wall-clock barrier timing.
+    profiling: bool,
     #[cfg(feature = "invariants")]
     iv_last_now: SimTime,
 }
@@ -337,6 +417,7 @@ impl<T: SimTopology> Shard<T> {
     /// Schedule a `StallCheck`, counting it as a gate under path holding
     /// (a kill releases the held path like completion does).
     fn sched_stall(&mut self, at: SimTime, m: u32) {
+        self.stats.watchdog_arms += 1;
         if self.cfg.release == ReleaseMode::PathHolding {
             self.gate_add(at);
         }
@@ -356,6 +437,7 @@ impl<T: SimTopology> Shard<T> {
     fn admit(&mut self, at: SimTime, id: u32, spec: MessageSpec) {
         let src = spec.src;
         self.msgs.insert(id, MsgState::new(id, at, spec));
+        self.track_arena();
         self.emit(|s| s.on_inject(at, MessageId(id as u64), src));
         self.wheel.schedule(at, Ev::Arrive(id));
     }
@@ -367,6 +449,15 @@ impl<T: SimTopology> Shard<T> {
         (min, gate)
     }
 
+    /// Raise the arena high-water mark to the current live-message count.
+    #[inline]
+    fn track_arena(&mut self) {
+        let live = self.msgs.len() as u64;
+        if live > self.stats.arena_msgs_highwater {
+            self.stats.arena_msgs_highwater = live;
+        }
+    }
+
     /// Apply one mailbox slot's transfers in deposit order.
     fn apply_slot(&mut self, slot: &Mutex<Vec<Xfer>>) {
         let drained = {
@@ -376,6 +467,7 @@ impl<T: SimTopology> Shard<T> {
             }
             std::mem::take(&mut *v)
         };
+        self.stats.crossings_applied += drained.len() as u64;
         for x in drained {
             match x {
                 Xfer::Handoff { at, state } => self.wheel.schedule(at, Ev::Accept(state)),
@@ -639,6 +731,7 @@ impl<T: SimTopology> Shard<T> {
                 // stale when it fires.
                 let deadline = st.stall_deadline;
                 self.msgs.insert(m, *st);
+                self.track_arena();
                 self.sched_stall(deadline, m);
                 self.emit(|s| s.on_header_hop(now, MessageId(m as u64), to, ch));
                 self.advance_header(now, m);
@@ -646,6 +739,7 @@ impl<T: SimTopology> Shard<T> {
             }
         }
         self.msgs.insert(m, *st);
+        self.track_arena();
         self.emit(|s| s.on_header_hop(now, MessageId(m as u64), to, ch));
         self.advance_header(now, m);
     }
@@ -1044,8 +1138,8 @@ fn worker_loop<T: SimTopology>(sh: &mut Shard<T>, ctl: &RoundCtl) {
         let (min, gate) = sh.snapshot();
         ctl.mins[sh.id].store(min, Ordering::Release);
         ctl.gates[sh.id].store(gate, Ordering::Release);
-        ctl.barrier.wait(&mut sense); // coordinator plans…
-        ctl.barrier.wait(&mut sense); // …and published horizon / stop
+        timed_wait(sh, ctl, &mut sense); // coordinator plans…
+        timed_wait(sh, ctl, &mut sense); // …and published horizon / stop
         if ctl.stop.load(Ordering::Acquire) {
             break;
         }
@@ -1053,9 +1147,31 @@ fn worker_loop<T: SimTopology>(sh: &mut Shard<T>, ctl: &RoundCtl) {
         // publish (driver injections, deposited between the two barriers).
         sh.apply_slot(&ctl.mailboxes[sh.id][n]);
         let horizon = SimTime(ctl.horizon.load(Ordering::Acquire));
+        let t0 = ctl.t0.load(Ordering::Acquire);
+        sh.stats.windows += 1;
+        sh.stats.record_width(horizon.0.saturating_sub(t0));
         sh.run_round(horizon);
         sh.flush_outbound(ctl);
-        ctl.barrier.wait(&mut sense); // all deposits visible before re-publish
+        timed_wait(sh, ctl, &mut sense); // all deposits visible before re-publish
+    }
+}
+
+/// One barrier crossing, accounted into the shard's stats: yield
+/// transitions always (free to observe), wall-clock wait only when
+/// profiling (an `Instant` pair per crossing is measurable overhead on
+/// short rounds).
+#[inline]
+fn timed_wait<T: SimTopology>(sh: &mut Shard<T>, ctl: &RoundCtl, sense: &mut bool) {
+    let yielded = if sh.profiling {
+        let t = std::time::Instant::now();
+        let y = ctl.barrier.wait(sense);
+        sh.stats.barrier_wait_ns += t.elapsed().as_nanos() as u64;
+        y
+    } else {
+        ctl.barrier.wait(sense)
+    };
+    if yielded {
+        sh.stats.spin_yield_transitions += 1;
     }
 }
 
@@ -1134,6 +1250,8 @@ impl<T: SimTopology + Clone + Send> ShardedNetwork<T> {
                     gates: BTreeMap::new(),
                     outbound: (0..shards).map(|_| Vec::new()).collect(),
                     driver_mode: false,
+                    stats: ShardStats::default(),
+                    profiling: false,
                     #[cfg(feature = "invariants")]
                     iv_last_now: SimTime::ZERO,
                 }
@@ -1246,6 +1364,49 @@ impl<T: SimTopology + Clone + Send> ShardedNetwork<T> {
             total.link_restores += c.link_restores;
         }
         total
+    }
+
+    /// Enable wall-clock barrier-wait timing on every shard. Off by
+    /// default: the `Instant` pair per barrier crossing is measurable
+    /// overhead on short rounds. Never affects simulation results.
+    pub fn set_profiling(&mut self, on: bool) {
+        for sh in &mut self.shards {
+            sh.profiling = on;
+        }
+    }
+
+    /// Per-shard runtime statistics, indexed by shard id, with the wheel
+    /// counters scraped at call time.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|sh| {
+                let mut s = sh.stats.clone();
+                s.wheel_events_scheduled = sh.wheel.scheduled_total();
+                s.wheel_bucket_scans = sh.wheel.bucket_scans();
+                s
+            })
+            .collect()
+    }
+
+    /// Engine-level statistics summed across shards, shaped like the single
+    /// engine's [`EngineStats`]. The wheel counters and watchdog arms
+    /// depend on the partition (each shard runs its own wheel), so unlike
+    /// [`Self::counters`] these do **not** equal the single-engine values.
+    pub fn engine_stats(&self) -> crate::engine::EngineStats {
+        let c = self.counters();
+        let mut e = crate::engine::EngineStats {
+            reroutes: c.reroutes,
+            stalls: c.stalled,
+            ..Default::default()
+        };
+        for s in self.shard_stats() {
+            e.arena_msgs_highwater += s.arena_msgs_highwater;
+            e.wheel_events_scheduled += s.wheel_events_scheduled;
+            e.wheel_bucket_scans += s.wheel_bucket_scans;
+            e.watchdog_arms += s.watchdog_arms;
+        }
+        e
     }
 
     /// Current simulation time: the furthest shard clock.
@@ -1417,6 +1578,7 @@ impl<T: SimTopology + Clone + Send> ShardedNetwork<T> {
                     }
                     Some(r) => {
                         ctl.horizon.store(r.horizon.0, Ordering::Release);
+                        ctl.t0.store(r.t0.0, Ordering::Release);
                         ctl.barrier.wait(&mut sense); // release the round
                         ctl.barrier.wait(&mut sense); // all deposits flushed
                     }

@@ -335,6 +335,42 @@ impl ShardedSim {
         }
     }
 
+    /// Engine-level runtime statistics (summed across shards when
+    /// sharded; see [`ShardedNetwork::engine_stats`] for the caveats).
+    pub fn engine_stats(&self) -> crate::engine::EngineStats {
+        match self {
+            ShardedSim::Single { sim, .. } => sim.engine_stats(),
+            ShardedSim::Sharded(n) => n.engine_stats(),
+        }
+    }
+
+    /// Per-shard runtime statistics (a single entry for the single-engine
+    /// variant, with only the wheel counters and watchdog arms populated).
+    pub fn shard_stats(&self) -> Vec<crate::sharded::ShardStats> {
+        match self {
+            ShardedSim::Single { sim, .. } => {
+                let e = sim.engine_stats();
+                vec![crate::sharded::ShardStats {
+                    arena_msgs_highwater: e.arena_msgs_highwater,
+                    wheel_events_scheduled: e.wheel_events_scheduled,
+                    wheel_bucket_scans: e.wheel_bucket_scans,
+                    watchdog_arms: e.watchdog_arms,
+                    ..Default::default()
+                }]
+            }
+            ShardedSim::Sharded(n) => n.shard_stats(),
+        }
+    }
+
+    /// Enable wall-clock barrier-wait timing (no-op for the single-engine
+    /// variant, which has no barriers).
+    pub fn set_profiling(&mut self, on: bool) {
+        match self {
+            ShardedSim::Single { .. } => {}
+            ShardedSim::Sharded(n) => n.set_profiling(on),
+        }
+    }
+
     /// Current simulation time (the furthest shard clock when sharded).
     pub fn now(&self) -> SimTime {
         match self {

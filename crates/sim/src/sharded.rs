@@ -127,22 +127,30 @@ impl SpinBarrier {
     /// Block (spinning) until all participants have called `wait` with the
     /// same generation's sense. `sense` must start `false` and be reused
     /// across calls by the same participant.
-    pub fn wait(&self, sense: &mut bool) {
+    ///
+    /// Returns `true` when the wait outlasted the spin phase and yielded to
+    /// the OS scheduler at least once (an observability signal: frequent
+    /// yields mean the barrier is oversubscribed or badly imbalanced).
+    pub fn wait(&self, sense: &mut bool) -> bool {
         let next = !*sense;
         *sense = next;
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
             self.arrived.store(0, Ordering::Relaxed);
             self.sense.store(next, Ordering::Release);
+            false
         } else {
             let mut spins = 0u32;
+            let mut yielded = false;
             while self.sense.load(Ordering::Acquire) != next {
                 if spins < 128 {
                     spins += 1;
                     std::hint::spin_loop();
                 } else {
+                    yielded = true;
                     std::thread::yield_now();
                 }
             }
+            yielded
         }
     }
 }

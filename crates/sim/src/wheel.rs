@@ -119,6 +119,9 @@ pub struct CalendarWheel<E> {
     next_seq: u64,
     /// Unfired events currently in the ring (excludes overflow).
     ring_len: usize,
+    /// Occupancy-bitmap scans performed by `pop`/`peek_time` (deterministic
+    /// observability counter; does not affect event order).
+    bucket_scans: u64,
 }
 
 impl<E> Default for CalendarWheel<E> {
@@ -156,6 +159,7 @@ impl<E> CalendarWheel<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             ring_len: 0,
+            bucket_scans: 0,
         }
     }
 
@@ -182,6 +186,13 @@ impl<E> CalendarWheel<E> {
     /// [`EventQueue::scheduled_total`](crate::queue::EventQueue::scheduled_total).
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Occupancy-bitmap scans performed so far by [`CalendarWheel::pop`]
+    /// and [`CalendarWheel::peek_time`]. Deterministic: a pure function of
+    /// the schedule/pop/peek call sequence.
+    pub fn bucket_scans(&self) -> u64 {
+        self.bucket_scans
     }
 
     /// First tick beyond the ring window anchored at the current clock.
@@ -267,6 +278,7 @@ impl<E> CalendarWheel<E> {
     /// Remove and return the earliest pending event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.migrate_overflow();
+        self.bucket_scans += 1;
         if let Some(idx) = self.earliest_bucket() {
             let bucket = &mut self.buckets[idx];
             bucket.settle();
@@ -294,6 +306,7 @@ impl<E> CalendarWheel<E> {
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.migrate_overflow();
+        self.bucket_scans += 1;
         if let Some(idx) = self.earliest_bucket() {
             let bucket = &mut self.buckets[idx];
             bucket.settle();

@@ -2,30 +2,37 @@
 //!
 //! ```text
 //! simcheck --seed 2005 --count 200 [--time-budget 60] [--out results/simcheck.json]
+//!          [--profile PATH]
 //! ```
 //!
 //! Exit status is non-zero if any scenario produced an invariant violation,
 //! an engine divergence, or a panic. Failing scenarios are shrunk to a
 //! minimal repro and emitted both to stderr and into the JSON report.
+//! `--profile PATH` writes the standard profile report (JSON plus a sibling
+//! Prometheus `.prom` exposition) over the campaign's driver phases.
 
 use wormcast_simcheck::campaign;
+use wormcast_telemetry::{MetricId, MetricsRegistry, ProfileReport, Profiler, SeriesKey};
 
 struct Opts {
     seed: u64,
     count: u64,
     time_budget_s: u64,
     out: Option<String>,
+    profile: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: simcheck [--seed N] [--count N] [--time-budget SECONDS] [--out PATH]\n\
+         \x20               [--profile PATH]\n\
          \n\
          Runs COUNT deterministic scenarios generated from SEED through the\n\
          differential oracle and the engine invariant checker. The report is\n\
          written to PATH (default: stdout) and is byte-identical across\n\
          reruns of the same campaign unless the time budget truncates it.\n\
-         A time budget of 0 (default) means unlimited."
+         A time budget of 0 (default) means unlimited. --profile writes the\n\
+         profile report (JSON + sibling .prom) over the campaign phases."
     );
     std::process::exit(2)
 }
@@ -36,6 +43,7 @@ fn parse_args() -> Opts {
         count: 200,
         time_budget_s: 0,
         out: None,
+        profile: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,6 +58,7 @@ fn parse_args() -> Opts {
             "--count" => opts.count = num("--count"),
             "--time-budget" => opts.time_budget_s = num("--time-budget"),
             "--out" => opts.out = Some(args.next().unwrap_or_else(|| usage())),
+            "--profile" => opts.profile = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("simcheck: unknown argument {other}");
@@ -62,7 +71,31 @@ fn parse_args() -> Opts {
 
 fn main() {
     let opts = parse_args();
+    let mut profiler = Profiler::new();
+    if opts.profile.is_some() {
+        profiler.open("simcheck");
+        profiler.phase("setup");
+        profiler.phase("run");
+    }
     let report = campaign(opts.seed, opts.count, opts.time_budget_s);
+    if let Some(path) = &opts.profile {
+        profiler.phase("emit");
+        let mut metrics = MetricsRegistry::new();
+        metrics.inc_by(
+            SeriesKey::plain(MetricId::HarnessReplications),
+            report.count,
+        );
+        let (spans, nd_wall) = profiler.finish();
+        let prof = ProfileReport::new("simcheck", spans, nd_wall, metrics);
+        let json_path = std::path::Path::new(path);
+        let prom_path = json_path.with_extension("prom");
+        prof.write(json_path, &prom_path).unwrap_or_else(|e| {
+            eprintln!("simcheck: cannot write profile {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {}", json_path.display());
+        println!("wrote {}", prom_path.display());
+    }
     if report.count < opts.count {
         eprintln!(
             "simcheck: time budget of {}s expired after {} scenarios",

@@ -14,9 +14,10 @@
 //! {"t_ps":1500000,"ev":"deliver","rep":3,"msg":0,"node":12,"flits":100}
 //! ```
 //!
-//! Keys appear in the order `t_ps, ev, rep, msg, node, ch, q, flits`; absent
-//! fields are omitted entirely (never `null`). All values are unsigned
-//! integers except `ev`, which is one of the [`EventKind`] names. Because
+//! Keys appear in the order `t_ps, ev, rep, msg, node, ch, q, flits, name`;
+//! absent fields are omitted entirely (never `null`). All values are
+//! unsigned integers except `ev`, which is one of the [`EventKind`] names,
+//! and `name`, a static label used by profiling events. Because
 //! the vendored serde facade has no deserializer, this module also ships a
 //! minimal flat-object parser ([`parse_line`]) and a whole-file validator
 //! ([`validate_ndjson`]) used by the schema tests and CI.
@@ -58,6 +59,14 @@ pub enum EventKind {
     /// The simcheck invariant checker recorded a violation (the line only
     /// locates it; the violation text lives in the simcheck report).
     InvariantViolation,
+    /// A profiling phase span opened (`name` carries the span name, `q`
+    /// its pre-order sequence number).
+    SpanOpen,
+    /// A profiling phase span closed.
+    SpanClose,
+    /// A deterministic metric's final value (`name` carries the metric id,
+    /// `q` the value).
+    MetricSnapshot,
 }
 
 impl EventKind {
@@ -78,6 +87,9 @@ impl EventKind {
             EventKind::Reroute => "reroute",
             EventKind::Stalled => "stalled",
             EventKind::InvariantViolation => "invariant_violation",
+            EventKind::SpanOpen => "span_open",
+            EventKind::SpanClose => "span_close",
+            EventKind::MetricSnapshot => "metric_snapshot",
         }
     }
 }
@@ -102,6 +114,8 @@ pub struct Event {
     pub q: Option<u64>,
     /// Payload flits (for `deliver`), if any.
     pub flits: Option<u64>,
+    /// Static label (span name or metric id) for profiling events, if any.
+    pub name: Option<&'static str>,
 }
 
 impl Event {
@@ -116,6 +130,7 @@ impl Event {
             ch: None,
             q: None,
             flits: None,
+            name: None,
         }
     }
 
@@ -144,6 +159,9 @@ impl Event {
         if let Some(f) = self.flits {
             let _ = write!(s, ",\"flits\":{f}");
         }
+        if let Some(name) = self.name {
+            let _ = write!(s, ",\"name\":\"{name}\"");
+        }
         s.push('}');
         s
     }
@@ -167,6 +185,9 @@ impl Event {
         }
         if let Some(f) = self.flits {
             n += 9 + digits(f); // ,"flits":N
+        }
+        if let Some(name) = self.name {
+            n += 10 + name.len(); // ,"name":"S"
         }
         n + 1 // }
     }
@@ -459,6 +480,7 @@ mod tests {
             ch: Some(0),
             q: Some(4),
             flits: Some(100),
+            name: None,
         }
     }
 
@@ -486,8 +508,13 @@ mod tests {
             EventKind::Reroute,
             EventKind::Stalled,
             EventKind::InvariantViolation,
+            EventKind::SpanOpen,
+            EventKind::SpanClose,
+            EventKind::MetricSnapshot,
         ] {
-            let e = Event::new(u64::MAX, kind, u64::MAX);
+            let mut e = Event::new(u64::MAX, kind, u64::MAX);
+            assert_eq!(e.line().len(), e.line_len(), "{}", e.line());
+            e.name = Some("shard_barrier_wait_ns");
             assert_eq!(e.line().len(), e.line_len(), "{}", e.line());
         }
     }

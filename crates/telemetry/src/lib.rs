@@ -38,6 +38,9 @@ pub mod events;
 pub mod heatmap;
 pub mod hist;
 pub mod manifest;
+pub mod profile;
+pub mod registry;
+pub mod span;
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -52,6 +55,9 @@ pub use events::{Event, EventKind, EventLog};
 pub use heatmap::{ChannelHeatmap, HeatmapExport};
 pub use hist::{HistogramExport, LatencyHistogram};
 pub use manifest::RunManifest;
+pub use profile::{strip_nd, ProfileReport, PROFILE_SCHEMA};
+pub use registry::{Log2Hist, MetricId, MetricKind, MetricsRegistry, SeriesKey};
+pub use span::{Profiler, SpanNode};
 
 /// Default NDJSON byte budget per replication frame (8 MiB).
 pub const TELEMETRY_EVENT_BUDGET_DEFAULT: usize = 8 << 20;
@@ -68,25 +74,31 @@ pub struct TelemetrySpec {
     pub events: bool,
     /// Byte budget for the event stream, **per replication**.
     pub event_budget: usize,
+    /// Scrape runtime metrics (engine/shard/harness counters) into the
+    /// per-replication [`MetricsRegistry`].
+    pub profile: bool,
 }
 
 impl Default for TelemetrySpec {
-    /// Histograms + heatmap, no event stream.
+    /// Histograms + heatmap, no event stream, no runtime metrics.
     fn default() -> Self {
         TelemetrySpec {
             phases: true,
             heatmap: true,
             events: false,
             event_budget: TELEMETRY_EVENT_BUDGET_DEFAULT,
+            profile: false,
         }
     }
 }
 
 impl TelemetrySpec {
-    /// Everything on: histograms, heatmap and the NDJSON event stream.
+    /// Everything on: histograms, heatmap, the NDJSON event stream and
+    /// runtime metrics.
     pub fn full() -> Self {
         TelemetrySpec {
             events: true,
+            profile: true,
             ..TelemetrySpec::default()
         }
     }
@@ -235,6 +247,10 @@ pub struct TelemetryFrame {
     pub heatmap: Option<ChannelHeatmap>,
     /// NDJSON event stream, when enabled.
     pub events: Option<EventLog>,
+    /// Runtime metrics scraped from the engine / sharded runtime / harness,
+    /// when profiling is enabled (empty otherwise; not in `FrameExport` —
+    /// profile reports render it separately).
+    pub metrics: MetricsRegistry,
     /// Scratch: in-flight message phase state (not exported, not merged).
     inflight: HashMap<u64, MsgState>,
 }
@@ -269,6 +285,7 @@ impl TelemetryFrame {
             (None, Some(b)) => self.events = Some(b.clone()),
             _ => {}
         }
+        self.metrics.merge(&other.metrics);
     }
 
     /// JSON-exportable view, labelled (labels name experiment cells, e.g.
@@ -753,6 +770,7 @@ mod tests {
             heatmap: false,
             events: false,
             event_budget: 0,
+            profile: false,
         };
         let c = Collector::new(&spec, 0, 4, 2);
         let mut s = c.sink();

@@ -14,7 +14,11 @@
 use serde::Serialize;
 
 /// Schema version of the telemetry export format.
-pub const MANIFEST_SCHEMA: u64 = 1;
+///
+/// v2 added the `events_dropped` / `trace_dropped` loss accounting so
+/// budget-truncated exports declare their losses in-band rather than only
+/// as stderr warnings.
+pub const MANIFEST_SCHEMA: u64 = 2;
 
 /// Provenance record embedded in every telemetry export.
 #[derive(Debug, Clone, Serialize)]
@@ -44,6 +48,12 @@ pub struct RunManifest {
     /// Wall-clock duration of the run in milliseconds. Nondeterministic;
     /// zeroed by determinism tests before comparison.
     pub wall_ms: f64,
+    /// Events rejected by the NDJSON byte budget across all merged frames
+    /// (deterministic: depends only on the event sequence and budget).
+    pub events_dropped: u64,
+    /// Records evicted from the bounded engine trace ring, when tracing was
+    /// active (deterministic).
+    pub trace_dropped: u64,
 }
 
 impl RunManifest {
@@ -63,6 +73,8 @@ impl RunManifest {
             startup_us: 0.0,
             runs: 0,
             wall_ms: 0.0,
+            events_dropped: 0,
+            trace_dropped: 0,
         }
     }
 }
@@ -91,6 +103,8 @@ mod tests {
             "\"startup_us\"",
             "\"runs\"",
             "\"wall_ms\"",
+            "\"events_dropped\"",
+            "\"trace_dropped\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

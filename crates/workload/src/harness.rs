@@ -25,14 +25,58 @@
 //! which `tests/determinism.rs` locks in.
 
 use crate::single::{run_single_broadcast_observed, BroadcastOutcome};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 use wormcast_broadcast::Algorithm;
 use wormcast_network::NetworkConfig;
 use wormcast_sim::SimRng;
-use wormcast_telemetry::{Observe, TelemetryFrame};
+use wormcast_telemetry::{MetricId, Observe, SeriesKey, TelemetryFrame};
 use wormcast_topology::{Mesh, NodeId, Topology};
+
+/// Runtime facts about the [`Runner::run`] calls that completed on this
+/// thread since the last [`take_probe`], for the profiling layer: how the
+/// harness itself behaved (as opposed to what the simulations inside it
+/// computed). `tasks` sums across runs; the other fields keep the maximum.
+///
+/// All fields are non-deterministic in the profile-report sense — they
+/// depend on `--jobs` and scheduling — and feed the `harness_*` metric ids.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunProbe {
+    /// Tasks executed (folds performed).
+    pub tasks: u64,
+    /// High-water mark of the reorder buffer (0 on the inline path: outputs
+    /// fold as they are produced, nothing is ever buffered).
+    pub max_queue_depth: u64,
+    /// Worker threads used (1 on the inline path).
+    pub workers: u64,
+}
+
+thread_local! {
+    /// Probe accumulated by `Runner::run` calls on this thread. The fold
+    /// always runs on the calling thread, so drivers read it right after
+    /// the runs they are profiling, on the same thread.
+    static PROBE: Cell<RunProbe> = const { Cell::new(RunProbe { tasks: 0, max_queue_depth: 0, workers: 0 }) };
+}
+
+/// Take (and reset) the probe accumulated by [`Runner::run`] calls on this
+/// thread since the previous take.
+pub fn take_probe() -> RunProbe {
+    PROBE.with(|p| p.take())
+}
+
+/// Fold one run's observations into this thread's probe.
+fn update_probe(tasks: u64, max_queue_depth: u64, workers: u64) {
+    PROBE.with(|p| {
+        let mut v = p.get();
+        v.tasks += tasks;
+        v.max_queue_depth = v.max_queue_depth.max(max_queue_depth);
+        v.workers = v.workers.max(workers);
+        p.set(v);
+    });
+}
 
 /// Everything a replication may depend on besides its spec: its index and
 /// its private, order-independent RNG stream.
@@ -107,7 +151,25 @@ impl BroadcastRep {
     ) -> (BroadcastOutcome, Option<TelemetryFrame>) {
         let mut src_rng = ctx.rng.substream("sources");
         let source = NodeId(src_rng.index(self.mesh.num_nodes()) as u32);
-        run_single_broadcast_observed(&self.mesh, self.cfg, self.alg, source, self.length, observe)
+        let profiling = observe.as_ref().is_some_and(|o| o.spec.profile);
+        let t = profiling.then(Instant::now);
+        let (outcome, mut frame) = run_single_broadcast_observed(
+            &self.mesh,
+            self.cfg,
+            self.alg,
+            source,
+            self.length,
+            observe,
+        );
+        if let (Some(t), Some(f)) = (t, frame.as_mut()) {
+            f.metrics
+                .inc_by(SeriesKey::plain(MetricId::HarnessReplications), 1);
+            f.metrics.observe(
+                SeriesKey::plain(MetricId::HarnessRepWallNs),
+                t.elapsed().as_nanos() as u64,
+            );
+        }
+        (outcome, frame)
     }
 }
 
@@ -228,6 +290,7 @@ impl Runner {
             for i in 0..count {
                 fold(i, task(i));
             }
+            update_probe(count as u64, 0, 1);
             return;
         }
         let next = AtomicUsize::new(0);
@@ -252,8 +315,10 @@ impl Runner {
             // depend on worker scheduling.
             let mut pending = BTreeMap::new();
             let mut want = 0usize;
+            let mut max_depth = 0usize;
             for (i, out) in rx {
                 pending.insert(i, out);
+                max_depth = max_depth.max(pending.len());
                 while let Some(out) = pending.remove(&want) {
                     fold(want, out);
                     want += 1;
@@ -263,6 +328,7 @@ impl Runner {
                 pending.is_empty() && want == count,
                 "harness lost task outputs ({want}/{count} folded) — a worker panicked"
             );
+            update_probe(count as u64, max_depth as u64, jobs as u64);
         });
     }
 

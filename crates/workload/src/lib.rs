@@ -30,6 +30,7 @@ pub mod harness;
 pub mod mixed;
 pub mod multicast;
 pub mod patterns;
+pub mod scrape;
 pub mod single;
 pub mod torus;
 
@@ -42,7 +43,9 @@ pub use faulty::{
     degrade_schedule, run_faulty_broadcast, run_faulty_broadcast_observed, DegradedSchedule,
     FaultRep, FaultyOutcome,
 };
-pub use harness::{BroadcastRep, RepContext, Replication, Runner, TelemetryMerge};
+pub use harness::{
+    take_probe, BroadcastRep, RepContext, Replication, RunProbe, Runner, TelemetryMerge,
+};
 pub use mixed::{
     run_mixed_traffic, run_mixed_traffic_from, run_mixed_traffic_observed, MixedConfig,
     MixedOutcome,
@@ -52,8 +55,10 @@ pub use multicast::{
     MulticastScheme,
 };
 pub use patterns::DestPattern;
+pub use scrape::{scrape_engine_stats, scrape_shard_stats};
 pub use single::{
     network_for, routing_for, run_averaged_broadcasts, run_single_broadcast,
-    run_single_broadcast_observed, run_single_broadcast_sharded, AveragedOutcome, BroadcastOutcome,
+    run_single_broadcast_observed, run_single_broadcast_sharded,
+    run_single_broadcast_sharded_observed, AveragedOutcome, BroadcastOutcome,
 };
 pub use torus::{run_torus_broadcast, TorusOutcome};

@@ -3,6 +3,7 @@
 
 use crate::executor::BroadcastTracker;
 use crate::harness::{BroadcastRep, Runner};
+use crate::scrape::{scrape_engine_stats, scrape_shard_stats};
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::{Algorithm, RoutingKind};
 use wormcast_network::{ConfigError, NetworkConfig, OpId, ShardedNetwork, ShardedSim, Simulation};
@@ -85,6 +86,7 @@ pub fn run_single_broadcast_observed(
     let schedule = alg.schedule(mesh, source);
     debug_assert!(schedule.validate(mesh, alg.ports()).is_ok());
     let mut net = network_for(alg, mesh.clone(), cfg);
+    let profiling = observe.as_ref().is_some_and(|o| o.spec.profile);
     let collector = observe.map(|o| {
         let c = o.collector(mesh.num_channels(), mesh.num_nodes());
         net.add_sink(c.sink());
@@ -118,8 +120,13 @@ pub fn run_single_broadcast_observed(
             c.record_arrival_us(l);
         }
         c.record_op_cv(s.cv());
+        let stats = profiling.then(|| net.engine_stats());
         drop(net);
-        c.finish()
+        let mut f = c.finish();
+        if let Some(e) = stats {
+            scrape_engine_stats(&mut f.metrics, &e);
+        }
+        f
     });
     (outcome, frame)
 }
@@ -145,6 +152,36 @@ pub fn run_single_broadcast_sharded(
     length: u64,
     shards: usize,
 ) -> Result<BroadcastOutcome, ConfigError> {
+    run_single_broadcast_sharded_observed(mesh, cfg, alg, source, length, shards, None)
+        .map(|(o, _)| o)
+}
+
+/// [`run_single_broadcast_sharded`] with optional telemetry collection.
+///
+/// The sharded engine does not attach event sinks (its physics run on
+/// worker threads; see `wormcast_network::sharded`), so the returned frame
+/// carries only driver-side series: per-destination arrival latencies, the
+/// run's CV, and — when `observe.spec.profile` is set — the scraped
+/// `engine_*` metrics plus, on a genuinely sharded run, the per-shard
+/// `shard_*` runtime series (barrier wait, windows, window-width
+/// distribution, crossings, spin→yield transitions, arena high-water).
+/// Profiling also switches on the shards' barrier timing probes.
+///
+/// # Errors
+/// Surfaces the shard-count validation, as [`run_single_broadcast_sharded`].
+///
+/// # Panics
+/// Panics if the network idles before the broadcast completes.
+#[allow(clippy::type_complexity)]
+pub fn run_single_broadcast_sharded_observed(
+    mesh: &Mesh,
+    cfg: NetworkConfig,
+    alg: Algorithm,
+    source: NodeId,
+    length: u64,
+    shards: usize,
+    observe: Option<Observe<'_>>,
+) -> Result<(BroadcastOutcome, Option<TelemetryFrame>), ConfigError> {
     let schedule = alg.schedule(mesh, source);
     debug_assert!(schedule.validate(mesh, alg.ports()).is_ok());
     let cfg = cfg.with_ports(alg.ports());
@@ -158,6 +195,10 @@ pub fn run_single_broadcast_sharded(
             routing_for(alg, mesh)
         })?)
     };
+    let profiling = observe.as_ref().is_some_and(|o| o.spec.profile);
+    if profiling {
+        sim.set_profiling(true);
+    }
     let mut tracker = BroadcastTracker::new(mesh, &schedule, OpId(0), length);
     for spec in tracker.start(SimTime::ZERO) {
         sim.inject_at(SimTime::ZERO, spec);
@@ -169,14 +210,32 @@ pub fn run_single_broadcast_sharded(
     );
     let lats = tracker.latencies_us();
     let s = summarize(&lats);
-    Ok(BroadcastOutcome {
+    let outcome = BroadcastOutcome {
         algorithm: alg.name().to_string(),
         source,
         network_latency_us: tracker.network_latency_us(),
         mean_latency_us: s.mean(),
         sd_latency_us: s.std_dev(),
         cv: s.cv(),
-    })
+    };
+    let frame = observe.map(|o| {
+        let c = o.collector(mesh.num_channels(), mesh.num_nodes());
+        for &l in &lats {
+            c.record_arrival_us(l);
+        }
+        c.record_op_cv(s.cv());
+        let mut f = c.finish();
+        if profiling {
+            scrape_engine_stats(&mut f.metrics, &sim.engine_stats());
+            if matches!(sim, ShardedSim::Sharded(_)) {
+                for (i, st) in sim.shard_stats().iter().enumerate() {
+                    scrape_shard_stats(&mut f.metrics, i as u32, st);
+                }
+            }
+        }
+        f
+    });
+    Ok((outcome, frame))
 }
 
 /// Aggregate of repeated single-source broadcasts from uniformly random

@@ -89,7 +89,9 @@ fn validate(path: &Path) {
 /// single-core host measures barrier overhead, not speedup — so this
 /// validates shape and coverage (the un-sharded baseline plus the full
 /// 1/2/4/8 shard ladder at the 64×64×64 flood), never a cross-count
-/// ordering.
+/// ordering. Every sharded row must additionally carry the measured
+/// barrier wait in its `extra` object — the observability PR's contract
+/// that synchronization cost is reported, not inferred.
 fn validate_parallel(path: &Path) {
     let records = parse_report(path);
     for r in &records {
@@ -101,12 +103,55 @@ fn validate_parallel(path: &Path) {
         has("engine_parallel/mesh64_flood_single_engine"),
         "report carries the un-sharded baseline"
     );
+    let text = std::fs::read_to_string(path).expect("re-read report");
     for shards in [1, 2, 4, 8] {
-        assert!(
-            has(&format!("engine_parallel/mesh64_flood_sharded/{shards}")),
-            "report carries the {shards}-shard measurement"
-        );
+        let id = format!("engine_parallel/mesh64_flood_sharded/{shards}");
+        assert!(has(&id), "report carries the {shards}-shard measurement");
+        let line = text
+            .lines()
+            .find(|l| l.contains(&id))
+            .expect("row line exists");
+        let wait: f64 = field(line, "barrier_wait_ns")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{id}: row lacks a measured barrier_wait_ns extra"));
+        assert!(wait >= 0.0, "{id}: negative barrier wait ({wait})");
     }
+}
+
+/// The telemetry-overhead report: the `off` row is the exact unobserved
+/// code path, so with instrumentation compiled in it must stay within
+/// noise of (never meaningfully above) every observed configuration, and
+/// the registry scrape (`profile`) must stay close to the plain
+/// histogram+heatmap sinks — the registry is counters and maxes, not a
+/// new collection pass.
+fn validate_telemetry(path: &Path) {
+    let records = parse_report(path);
+    let mean_of = |needle: &str| {
+        records
+            .iter()
+            .find(|r| r.id == format!("telemetry_single_broadcast/{needle}"))
+            .map(|r| r.mean_ns)
+            .unwrap_or_else(|| panic!("report lacks the {needle} row"))
+    };
+    let off = mean_of("off");
+    let histograms = mean_of("histograms");
+    let profile = mean_of("profile");
+    mean_of("full_events");
+    // Generous noise margin: the benches run at sample_size 10 on shared
+    // machines. What we guard is the *shape* — the off path carrying
+    // observation cost, or the registry dwarfing the sinks it rides on.
+    assert!(
+        off <= histograms * 1.25,
+        "off-path slower than observed runs beyond noise ({off:.0} vs {histograms:.0} ns)"
+    );
+    assert!(
+        off <= profile * 1.25,
+        "off-path slower than profiled runs beyond noise ({off:.0} vs {profile:.0} ns)"
+    );
+    assert!(
+        profile <= histograms * 1.5,
+        "registry scrape dominates the sink cost ({profile:.0} vs {histograms:.0} ns)"
+    );
 }
 
 #[test]
@@ -119,6 +164,11 @@ fn committed_parallel_bench_report_is_valid() {
     validate_parallel(
         &Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_engine_parallel.json"),
     );
+}
+
+#[test]
+fn committed_telemetry_bench_report_is_valid() {
+    validate_telemetry(&Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_telemetry.json"));
 }
 
 #[test]

@@ -12,6 +12,10 @@
 //! full result set is written as JSON to `target/criterion-report-<bin>.json`
 //! (override the path with the `CRITERION_OUT_JSON` environment variable) so
 //! baselines can be recorded without the real criterion's HTML machinery.
+//!
+//! Beyond the upstream API, [`Bencher::record_extra`] attaches auxiliary
+//! per-sample measurements (e.g. barrier-wait nanoseconds scraped off a
+//! runtime); their means land in an `"extra"` object on the JSON record.
 
 #![warn(missing_docs)]
 
@@ -59,6 +63,7 @@ pub enum Throughput {
 pub struct Bencher {
     samples_ns: Vec<u128>,
     sample_size: usize,
+    extras: std::collections::BTreeMap<&'static str, Vec<f64>>,
 }
 
 impl Bencher {
@@ -66,11 +71,21 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         black_box(routine());
         self.samples_ns.clear();
+        self.extras.clear();
         for _ in 0..self.sample_size {
             let start = Instant::now();
             black_box(routine());
             self.samples_ns.push(start.elapsed().as_nanos());
         }
+    }
+
+    /// Attach an auxiliary per-sample measurement (e.g. barrier wait read
+    /// off the runtime after a timed invocation). Averaged over the samples
+    /// recorded under `key` and emitted in the JSON record's `"extra"`
+    /// object. Values recorded during the warm-up call are discarded along
+    /// with its timing.
+    pub fn record_extra(&mut self, key: &'static str, value: f64) {
+        self.extras.entry(key).or_default().push(value);
     }
 }
 
@@ -83,6 +98,7 @@ struct Record {
     max_ns: f64,
     samples: usize,
     throughput: Option<Throughput>,
+    extra: Vec<(&'static str, f64)>,
 }
 
 /// Top-level benchmark driver.
@@ -133,8 +149,14 @@ impl Criterion {
         let mut b = Bencher {
             samples_ns: Vec::new(),
             sample_size,
+            extras: std::collections::BTreeMap::new(),
         };
         f(&mut b);
+        let extra: Vec<(&'static str, f64)> = b
+            .extras
+            .iter()
+            .map(|(k, vs)| (*k, vs.iter().sum::<f64>() / vs.len().max(1) as f64))
+            .collect();
         let n = b.samples_ns.len().max(1) as f64;
         let mean = b.samples_ns.iter().sum::<u128>() as f64 / n;
         let min = b.samples_ns.iter().min().copied().unwrap_or(0) as f64;
@@ -162,6 +184,7 @@ impl Criterion {
             max_ns: max,
             samples: b.samples_ns.len(),
             throughput,
+            extra,
         });
     }
 
@@ -188,8 +211,18 @@ impl Criterion {
                 Some(Throughput::Bytes(b)) => format!("{{\"bytes\": {b}}}"),
                 None => "null".to_string(),
             };
+            let extra = if r.extra.is_empty() {
+                String::new()
+            } else {
+                let body: Vec<String> = r
+                    .extra
+                    .iter()
+                    .map(|(k, v)| format!("{k:?}: {v:.1}"))
+                    .collect();
+                format!(", \"extra\": {{{}}}", body.join(", "))
+            };
             out.push_str(&format!(
-                "  {{\"id\": {id:?}, \"mean_ns\": {mean:.1}, \"min_ns\": {min:.1}, \"max_ns\": {max:.1}, \"samples\": {n}, \"throughput\": {tput}}}",
+                "  {{\"id\": {id:?}, \"mean_ns\": {mean:.1}, \"min_ns\": {min:.1}, \"max_ns\": {max:.1}, \"samples\": {n}, \"throughput\": {tput}{extra}}}",
                 id = r.id,
                 mean = r.mean_ns,
                 min = r.min_ns,
@@ -294,6 +327,21 @@ fn fmt_ns(ns: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn extras_average_and_render() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(2).bench_function("extra", |b| {
+                b.iter(|| 1 + 1);
+                b.record_extra("barrier_wait_ns", 10.0);
+                b.record_extra("barrier_wait_ns", 30.0);
+            });
+            g.finish();
+        }
+        assert_eq!(c.records[0].extra, vec![("barrier_wait_ns", 20.0)]);
+    }
 
     #[test]
     fn group_runs_and_records() {
