@@ -166,6 +166,87 @@ done
 WORMCAST_PROFILE_FILE="$TDIR/prof-j1.json" \
     run cargo test "${OFFLINE[@]}" -q -p wormcast --test profile_schema
 
+# Serve smoke: start the service on an ephemeral port, submit one generated
+# request twice through the bundled client, and demand byte-identical result
+# frames (cold run vs cache hit) plus provenance events saying which path
+# answered. The streamed event log must validate against the NDJSON schema,
+# and the socket-free --once mode must reproduce the TCP frame exactly.
+echo "==> serve smoke"
+run ./target/release/wormcast-serve --print-request 7 3 --with-events \
+    > "$TDIR/serve-req.json"
+./target/release/wormcast-serve --addr 127.0.0.1:0 --workers 2 --cache-cap 4 \
+    > "$TDIR/serve.log" 2> "$TDIR/serve.stderr.log" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TDIR"' EXIT
+PORT=""
+for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/^serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$TDIR/serve.log")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+[ -n "$PORT" ] || {
+    echo "ci: wormcast-serve never reported its port" >&2
+    cat "$TDIR/serve.stderr.log" >&2
+    exit 1
+}
+run ./target/release/wormcast-serve --client "127.0.0.1:$PORT" \
+    --events "$TDIR/serve-cold.events.ndjson" \
+    < "$TDIR/serve-req.json" > "$TDIR/serve-cold.frames"
+run ./target/release/wormcast-serve --client "127.0.0.1:$PORT" \
+    --events "$TDIR/serve-warm.events.ndjson" \
+    < "$TDIR/serve-req.json" > "$TDIR/serve-warm.frames"
+run cmp "$TDIR/serve-cold.frames" "$TDIR/serve-warm.frames" || {
+    echo "ci: serve result frames differ between cold and warm requests" >&2
+    exit 1
+}
+grep -q '"result":' "$TDIR/serve-cold.frames" || {
+    echo "ci: serve answered without a result frame" >&2
+    exit 1
+}
+grep -q '"ev":"cache_miss"' "$TDIR/serve-cold.events.ndjson" || {
+    echo "ci: first serve answer lacks cache_miss provenance" >&2
+    exit 1
+}
+grep -q '"ev":"cache_hit"' "$TDIR/serve-warm.events.ndjson" || {
+    echo "ci: repeated serve answer lacks cache_hit provenance" >&2
+    exit 1
+}
+# Exactly-once under concurrency: four parallel clients submit the same
+# fresh request; however they interleave (coalesced onto the in-flight run
+# or answered from the cache), exactly one of them may observe cache_miss —
+# i.e. the engine ran once.
+run ./target/release/wormcast-serve --print-request 7 4 > "$TDIR/serve-req2.json"
+PAR_PIDS=""
+for i in 1 2 3 4; do
+    ./target/release/wormcast-serve --client "127.0.0.1:$PORT" \
+        --events "$TDIR/serve-par$i.events.ndjson" \
+        < "$TDIR/serve-req2.json" > "$TDIR/serve-par$i.frames" &
+    PAR_PIDS="$PAR_PIDS $!"
+done
+# shellcheck disable=SC2086 — word-splitting the PID list is the point
+wait $PAR_PIDS
+MISSES=$(cat "$TDIR"/serve-par?.events.ndjson | grep -c '"ev":"cache_miss"')
+[ "$MISSES" -eq 1 ] || {
+    echo "ci: concurrent identical requests ran the engine $MISSES times (want 1)" >&2
+    exit 1
+}
+for i in 2 3 4; do
+    run cmp "$TDIR/serve-par1.frames" "$TDIR/serve-par$i.frames" || {
+        echo "ci: concurrent clients received different result frames" >&2
+        exit 1
+    }
+done
+kill "$SERVE_PID" 2>/dev/null || true
+trap 'rm -rf "$TDIR"' EXIT
+./target/release/wormcast-serve --once < "$TDIR/serve-req.json" |
+    grep '"result":' > "$TDIR/serve-once.frames"
+run cmp "$TDIR/serve-once.frames" "$TDIR/serve-cold.frames" || {
+    echo "ci: --once frame differs from the TCP answer" >&2
+    exit 1
+}
+WORMCAST_EVENTS_FILE="$TDIR/serve-cold.events.ndjson" \
+    run cargo test "${OFFLINE[@]}" -q -p wormcast --test telemetry_schema
+
 # Engine bench smoke: run the engine micro-bench once, then check that both
 # the fresh report and the committed results/BENCH_engine.json parse and
 # still show the active-set engine ahead of the retired classic stepper.
@@ -182,6 +263,15 @@ echo "==> engine_parallel bench smoke"
 CRITERION_OUT_JSON="$TDIR/BENCH_engine_parallel.json" \
     run cargo bench "${OFFLINE[@]}" -p wormcast-bench --bench engine_parallel
 WORMCAST_BENCH_PARALLEL_JSON="$TDIR/BENCH_engine_parallel.json" \
+    run cargo test "${OFFLINE[@]}" -q -p wormcast --test bench_report
+
+# Serve bench smoke: generate a fresh serve-layer report and validate its
+# shape (warm cache replay no slower than a cold engine run, measured
+# p99_ns tails on both rows).
+echo "==> serve bench smoke"
+CRITERION_OUT_JSON="$TDIR/BENCH_serve.json" \
+    run cargo bench "${OFFLINE[@]}" -p wormcast-bench --bench serve
+WORMCAST_BENCH_SERVE_JSON="$TDIR/BENCH_serve.json" \
     run cargo test "${OFFLINE[@]}" -q -p wormcast --test bench_report
 
 echo "ci: all gates passed"

@@ -1,0 +1,89 @@
+//! **Serve-layer bench** — scenarios/second through the serving core.
+//!
+//! Two rows over the same 4×4-mesh DB broadcast request:
+//!
+//! * `cold` — every invocation submits a *distinct* request (the message
+//!   length varies), so each one canonicalizes, hashes, misses the cache
+//!   and runs the engine: the cost of a fresh scenario.
+//! * `warm` — every invocation repeats one request against a pre-warmed
+//!   cache: canonicalize + hash + replay the rendered bytes.
+//!
+//! Throughput is element = request, so both rows read directly as
+//! scenarios/second. Each row carries a `p99_ns` extra measured over
+//! individually-timed requests (the tail matters for a service in a way
+//! the mean hides). The printed sanity line re-asserts the serving
+//! contract: the warm answer's frame is byte-identical to the cold one.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use wormcast_serve::Server;
+use wormcast_simcheck::ScenarioRequest;
+use wormcast_stats::Quantiles;
+
+/// A small DB broadcast on a 4×4 mesh; `length` varies to mint distinct
+/// config hashes for the cold path.
+fn request(length: u64) -> ScenarioRequest {
+    let json = format!(
+        r#"{{"v":1,"reps":1,"jobs":1,"shards":1,"outputs":{{"events":false}},"scenario":{{"seed":7,"index":0,"topo":{{"Mesh":[4,4]}},"mode":"PathHolding","workload":{{"Single":{{"alg":"Db","src":0,"length":{length}}}}},"fail_stop_rate":0.0,"transient_rate":0.0,"watchdog_us":0.0}}}}"#
+    );
+    ScenarioRequest::from_json(&json).expect("valid request")
+}
+
+/// p99 over individually-timed `respond` calls, nanoseconds.
+fn timed_p99(server: &Server, reqs: impl Iterator<Item = ScenarioRequest>) -> f64 {
+    let samples: Vec<f64> = reqs
+        .map(|r| {
+            let t0 = Instant::now();
+            black_box(server.respond(&r));
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    Quantiles::new(samples).p99()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    // Large cache: the cold row must never accidentally warm itself.
+    let server = Server::new(1 << 16);
+
+    // Contract sanity before measuring: cold and warm frames identical.
+    let probe = request(8);
+    let cold = server.respond(&probe);
+    let warm = server.respond(&probe);
+    println!(
+        "--- serve: hash {:016x}, cold/warm frames identical: {}",
+        probe.config_hash(),
+        cold.run.frame == warm.run.frame
+    );
+    assert_eq!(cold.run.frame, warm.run.frame, "cache replay diverged");
+
+    // Tail latencies over individually-timed requests, recorded as extras.
+    let cold_p99 = timed_p99(&server, (0..50).map(|i| request(10_000 + i)));
+    let warm_req = request(16);
+    server.respond(&warm_req);
+    let warm_p99 = timed_p99(
+        &server,
+        std::iter::repeat_with(|| warm_req.clone()).take(50),
+    );
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(wormcast_bench::SAMPLE_SIZE);
+    group.throughput(Throughput::Elements(1));
+    let next = AtomicU64::new(0);
+    group.bench_function("cold_4x4_db", |b| {
+        b.iter(|| {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            black_box(server.respond(&request(20_000 + i)))
+        });
+        b.record_extra("p99_ns", cold_p99);
+    });
+    group.bench_function("warm_4x4_db", |b| {
+        b.iter(|| black_box(server.respond(&warm_req)));
+        b.record_extra("p99_ns", warm_p99);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

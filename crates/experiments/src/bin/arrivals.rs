@@ -11,10 +11,10 @@ fn main() {
     let opts = CommonOpts::parse();
     let mut prof = ProfileSession::begin(&opts, "arrivals");
     let mut params = arrivals::ArrivalParams::default();
-    if let Some(l) = opts.length {
+    if let Some(l) = opts.run.length {
         params.length = l;
     }
-    if let Some(s) = opts.seed {
+    if let Some(s) = opts.run.seed {
         params.source = s as u32;
     }
     let spec = opts.telemetry_spec();
@@ -27,7 +27,7 @@ fn main() {
     println!("{}", arrivals::table(&profiles, &params).render());
     println!("{}", arrivals::step_table(&profiles).render());
     prof.phase("emit");
-    if let Some(dir) = &opts.out_dir {
+    if let Some(dir) = &opts.output.out_dir {
         let path = dir.join("arrivals.json");
         wormcast_experiments::write_json(&path, &profiles).expect("write results");
         println!("wrote {}", path.display());

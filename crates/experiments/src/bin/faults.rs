@@ -14,18 +14,18 @@ fn main() {
     let opts = CommonOpts::parse();
     let mut prof = ProfileSession::begin(&opts, "faults");
     let mut params = faults::FaultsParams::default();
-    if opts.quick {
+    if opts.run.quick {
         params.side = 4;
         params.runs = 4;
         params.rates = vec![0.0, 0.05];
     }
-    if let Some(s) = opts.seed {
+    if let Some(s) = opts.run.seed {
         params.seed = s;
     }
-    if let Some(ts) = opts.startup_us {
+    if let Some(ts) = opts.run.startup_us {
         params.startup_us = ts;
     }
-    if let Some(l) = opts.length {
+    if let Some(l) = opts.run.length {
         params.length = l;
     }
     apply_rest(&mut params, &opts.rest);
@@ -48,7 +48,7 @@ fn main() {
         }
     }
     prof.phase("emit");
-    if let Some(dir) = &opts.out_dir {
+    if let Some(dir) = &opts.output.out_dir {
         let path = dir.join("faults.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
         println!("wrote {}", path.display());

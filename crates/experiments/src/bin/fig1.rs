@@ -10,17 +10,17 @@ fn main() {
     let opts = CommonOpts::parse();
     let mut prof = ProfileSession::begin(&opts, "fig1");
     let mut params = fig1::Fig1Params::default();
-    if opts.quick {
+    if opts.run.quick {
         params.sides = vec![4, 8, 10];
         params.runs = 8;
     }
-    if let Some(s) = opts.seed {
+    if let Some(s) = opts.run.seed {
         params.seed = s;
     }
-    if let Some(ts) = opts.startup_us {
+    if let Some(ts) = opts.run.startup_us {
         params.startup_us = ts;
     }
-    if let Some(l) = opts.length {
+    if let Some(l) = opts.run.length {
         params.length = l;
     }
     let spec = opts.telemetry_spec();
@@ -41,7 +41,7 @@ fn main() {
         }
     }
     prof.phase("emit");
-    if let Some(dir) = &opts.out_dir {
+    if let Some(dir) = &opts.output.out_dir {
         let path = dir.join("fig1.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
         println!("wrote {}", path.display());

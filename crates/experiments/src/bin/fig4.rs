@@ -10,18 +10,18 @@ fn main() {
     let opts = CommonOpts::parse();
     let mut prof = ProfileSession::begin(&opts, "fig4");
     let mut params = fig34::LoadSweepParams::fig4();
-    if opts.quick {
+    if opts.run.quick {
         params.batch_size = 40;
         params.batches = 6;
         params.max_sim_ms = 60.0;
     }
-    if let Some(s) = opts.seed {
+    if let Some(s) = opts.run.seed {
         params.seed = s;
     }
-    if let Some(ts) = opts.startup_us {
+    if let Some(ts) = opts.run.startup_us {
         params.startup_us = ts;
     }
-    if let Some(l) = opts.length {
+    if let Some(l) = opts.run.length {
         params.length = l;
     }
     let spec = opts.telemetry_spec();
@@ -42,7 +42,7 @@ fn main() {
         }
     }
     prof.phase("emit");
-    if let Some(dir) = &opts.out_dir {
+    if let Some(dir) = &opts.output.out_dir {
         let path = dir.join("fig4.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
         println!("wrote {}", path.display());

@@ -10,14 +10,14 @@ fn main() {
     let opts = CommonOpts::parse();
     let mut prof = ProfileSession::begin(&opts, "multicast");
     let mut params = multicast::MulticastParams::default();
-    if opts.quick {
+    if opts.run.quick {
         params.set_sizes = vec![5, 50, 400];
         params.runs = 4;
     }
-    if let Some(s) = opts.seed {
+    if let Some(s) = opts.run.seed {
         params.seed = s;
     }
-    if let Some(l) = opts.length {
+    if let Some(l) = opts.run.length {
         params.length = l;
     }
     let spec = opts.telemetry_spec();
@@ -38,7 +38,7 @@ fn main() {
         }
     }
     prof.phase("emit");
-    if let Some(dir) = &opts.out_dir {
+    if let Some(dir) = &opts.output.out_dir {
         let path = dir.join("multicast.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
         println!("wrote {}", path.display());

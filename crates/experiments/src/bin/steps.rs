@@ -12,7 +12,7 @@ fn main() {
     let rows = steps::run(&steps::default_shapes());
     prof.phase("emit");
     println!("{}", steps::table(&rows).render());
-    if let Some(dir) = &opts.out_dir {
+    if let Some(dir) = &opts.output.out_dir {
         let path = dir.join("steps.json");
         wormcast_experiments::write_json(&path, &rows).expect("write results");
         println!("wrote {}", path.display());

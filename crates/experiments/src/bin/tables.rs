@@ -10,16 +10,16 @@ fn main() {
     let opts = CommonOpts::parse();
     let mut prof = ProfileSession::begin(&opts, "tables");
     let mut params = fig2::Fig2Params::default();
-    if opts.quick {
+    if opts.run.quick {
         params.runs = 10;
     }
-    if let Some(s) = opts.seed {
+    if let Some(s) = opts.run.seed {
         params.seed = s;
     }
-    if let Some(ts) = opts.startup_us {
+    if let Some(ts) = opts.run.startup_us {
         params.startup_us = ts;
     }
-    if let Some(l) = opts.length {
+    if let Some(l) = opts.run.length {
         params.length = l;
     }
     let spec = opts.telemetry_spec();
@@ -38,7 +38,7 @@ fn main() {
         fig2::improvement_table(&cells, &params, "AB").render()
     );
     prof.phase("emit");
-    if let Some(dir) = &opts.out_dir {
+    if let Some(dir) = &opts.output.out_dir {
         let path = dir.join("tables.json");
         wormcast_experiments::write_json(&path, &cells).expect("write results");
         println!("wrote {}", path.display());

@@ -1,7 +1,7 @@
 //! Umbrella experiment runner: regenerate every table and figure of the
 //! paper in one command.
 //!
-//! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig1-scale|fig2|tables|fig3|fig4|arrivals|multicast|faults|simcheck]...
+//! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig1-scale|fig2|tables|fig3|fig4|arrivals|multicast|faults|simcheck|serve]...
 //!                  [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]
 //!                  [--shards N] [--telemetry DIR] [--events PATH] [--profile PATH]
 //!                  [--trace-dump PATH]`
@@ -33,6 +33,10 @@
 //! scenarios are reported as skipped; the standalone `simcheck` binary
 //! compiles them in.
 //!
+//! The `serve` selector hands the remaining arguments to the sibling
+//! `wormcast-serve` binary (the simulation-as-a-service front end); see
+//! the `wormcast-serve` crate for its flags.
+//!
 //! `--trace-dump PATH` runs one DB broadcast on an 8×8×8 mesh (honouring
 //! `--length`, `--ts` and `--seed`) with the engine's bounded trace enabled
 //! and writes the trace as NDJSON to PATH, then exits.
@@ -43,8 +47,17 @@ use wormcast_experiments::{
 };
 
 fn main() {
+    // `wormcast serve ...` delegates to the sibling `wormcast-serve` binary
+    // before option parsing: the server has its own flag surface (`--addr`,
+    // `--workers`, `--cache-cap`, `--once`, ...) that the experiment parser
+    // must not consume.
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("serve") {
+        raw.next();
+        delegate_serve(raw.collect());
+    }
     let opts = CommonOpts::parse();
-    if let Some(path) = opts.trace_dump.clone() {
+    if let Some(path) = opts.output.trace_dump.clone() {
         dump_trace(&opts, &path);
         return;
     }
@@ -69,7 +82,7 @@ fn main() {
         opts.rest.clone()
     };
     let out = |name: &str, value: &dyn erased::Json| {
-        if let Some(dir) = &opts.out_dir {
+        if let Some(dir) = &opts.output.out_dir {
             let path = dir.join(format!("{name}.json"));
             value.write(&path);
             println!("wrote {}", path.display());
@@ -94,11 +107,11 @@ fn main() {
     };
     let topts = |sel: &str| -> CommonOpts {
         let mut o = opts.clone();
-        if let Some(p) = &o.events {
-            o.events = Some(with_sel(p, sel, "ndjson"));
+        if let Some(p) = &o.output.events {
+            o.output.events = Some(with_sel(p, sel, "ndjson"));
         }
-        if let Some(p) = &o.profile {
-            o.profile = Some(with_sel(p, sel, "json"));
+        if let Some(p) = &o.output.profile {
+            o.output.profile = Some(with_sel(p, sel, "json"));
         }
         o
     };
@@ -121,14 +134,14 @@ fn main() {
                 if sel == "fig1-lowts" {
                     p.startup_us = 0.15;
                 }
-                if opts.quick {
+                if opts.run.quick {
                     p.sides = vec![4, 8, 10];
                     p.runs = 8;
                 }
-                if let Some(s) = opts.seed {
+                if let Some(s) = opts.run.seed {
                     p.seed = s;
                 }
-                if let Some(l) = opts.length {
+                if let Some(l) = opts.run.length {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
@@ -163,14 +176,14 @@ fn main() {
                     shards: opts.shard_count(),
                     ..Default::default()
                 };
-                if opts.quick {
+                if opts.run.quick {
                     p.shapes = vec![[16, 16, 16], [32, 32, 32]];
                     p.runs = 2;
                 }
-                if let Some(s) = opts.seed {
+                if let Some(s) = opts.run.seed {
                     p.seed = s;
                 }
-                if let Some(l) = opts.length {
+                if let Some(l) = opts.run.length {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
@@ -206,13 +219,13 @@ fn main() {
             }
             "fig2" | "tables" => {
                 let mut p = fig2::Fig2Params::default();
-                if opts.quick {
+                if opts.run.quick {
                     p.runs = 10;
                 }
-                if let Some(s) = opts.seed {
+                if let Some(s) = opts.run.seed {
                     p.seed = s;
                 }
-                if let Some(l) = opts.length {
+                if let Some(l) = opts.run.length {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
@@ -257,15 +270,15 @@ fn main() {
                 } else {
                     fig34::LoadSweepParams::fig4()
                 };
-                if opts.quick {
+                if opts.run.quick {
                     p.batch_size = 40;
                     p.batches = 6;
                     p.max_sim_ms = 60.0;
                 }
-                if let Some(s) = opts.seed {
+                if let Some(s) = opts.run.seed {
                     p.seed = s;
                 }
-                if let Some(l) = opts.length {
+                if let Some(l) = opts.run.length {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
@@ -298,7 +311,7 @@ fn main() {
             }
             "arrivals" => {
                 let mut p = wormcast_experiments::arrivals::ArrivalParams::default();
-                if let Some(l) = opts.length {
+                if let Some(l) = opts.run.length {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
@@ -327,11 +340,11 @@ fn main() {
             }
             "multicast" => {
                 let mut p = wormcast_experiments::multicast::MulticastParams::default();
-                if opts.quick {
+                if opts.run.quick {
                     p.set_sizes = vec![5, 50, 400];
                     p.runs = 4;
                 }
-                if let Some(s) = opts.seed {
+                if let Some(s) = opts.run.seed {
                     p.seed = s;
                 }
                 let t0 = std::time::Instant::now();
@@ -359,15 +372,15 @@ fn main() {
             }
             "faults" => {
                 let mut p = wormcast_experiments::faults::FaultsParams::default();
-                if opts.quick {
+                if opts.run.quick {
                     p.side = 4;
                     p.runs = 4;
                     p.rates = vec![0.0, 0.05];
                 }
-                if let Some(s) = opts.seed {
+                if let Some(s) = opts.run.seed {
                     p.seed = s;
                 }
-                if let Some(l) = opts.length {
+                if let Some(l) = opts.run.length {
                     p.length = l;
                 }
                 let t0 = std::time::Instant::now();
@@ -405,8 +418,8 @@ fn main() {
                 prof_frames = frames;
             }
             "simcheck" => {
-                let seed = opts.seed.unwrap_or(2005);
-                let count = if opts.quick { 50 } else { 200 };
+                let seed = opts.run.seed.unwrap_or(2005);
+                let count = if opts.run.quick { 50 } else { 200 };
                 prof.phase("run");
                 let report = wormcast_simcheck::campaign(seed, count, 0);
                 prof.phase("emit");
@@ -429,7 +442,7 @@ fn main() {
                 );
                 // Report renders its own deterministic JSON (no serde), so it
                 // bypasses the erased::Json path used by the other selectors.
-                if let Some(dir) = &opts.out_dir {
+                if let Some(dir) = &opts.output.out_dir {
                     let path = dir.join("simcheck.json");
                     std::fs::write(&path, report.to_json()).expect("write results");
                     println!("wrote {}", path.display());
@@ -441,7 +454,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown experiment '{other}' (steps, fig1, fig1-lowts, fig1-scale, fig2, \
-                     tables, fig3, fig4, arrivals, multicast, faults, simcheck, all)"
+                     tables, fig3, fig4, arrivals, multicast, faults, simcheck, serve, all)"
                 );
                 std::process::exit(2);
             }
@@ -449,6 +462,33 @@ fn main() {
         prof.finish(&to, &prof_frames);
         println!();
     }
+}
+
+/// `wormcast serve ...` → exec the sibling `wormcast-serve` binary with the
+/// remaining arguments. The server lives in its own crate (it links the
+/// simcheck schema/measure layer, not the experiment suite), so the umbrella
+/// stays a thin front door: resolve the binary next to our own executable
+/// and forward everything verbatim.
+fn delegate_serve(args: Vec<String>) -> ! {
+    let exe = std::env::current_exe().expect("resolve current executable");
+    let dir = exe.parent().expect("executable has a parent directory");
+    let mut sibling = dir.join("wormcast-serve");
+    if !sibling.exists() {
+        sibling.set_extension("exe");
+    }
+    if !sibling.exists() {
+        eprintln!(
+            "wormcast serve: '{}' not found — build it with \
+             `cargo build -p wormcast-serve`",
+            dir.join("wormcast-serve").display()
+        );
+        std::process::exit(2);
+    }
+    let status = std::process::Command::new(&sibling)
+        .args(&args)
+        .status()
+        .unwrap_or_else(|e| panic!("spawn {}: {e}", sibling.display()));
+    std::process::exit(status.code().unwrap_or(1));
 }
 
 /// `--trace-dump PATH`: run one DB broadcast on an 8×8×8 mesh with the
@@ -466,7 +506,7 @@ fn dump_trace(opts: &CommonOpts, path: &std::path::Path) {
     use wormcast_topology::{Mesh, NodeId, Topology};
     use wormcast_workload::{network_for, scrape_engine_stats, BroadcastTracker};
 
-    let profiling = opts.profile.is_some();
+    let profiling = opts.output.profile.is_some();
     let mut profiler = Profiler::new();
     if profiling {
         profiler.open("trace-dump");
@@ -475,14 +515,14 @@ fn dump_trace(opts: &CommonOpts, path: &std::path::Path) {
     let t0 = std::time::Instant::now();
     let mesh = Mesh::cube(8);
     let mut b = NetworkConfig::builder();
-    if let Some(ts) = opts.startup_us {
+    if let Some(ts) = opts.run.startup_us {
         b = b.startup_us(ts);
     }
     let cfg = b
         .build()
         .expect("--ts start-up latency must be a valid duration");
-    let length = opts.length.unwrap_or(100);
-    let source = NodeId((opts.seed.unwrap_or(0) % mesh.num_nodes() as u64) as u32);
+    let length = opts.run.length.unwrap_or(100);
+    let source = NodeId((opts.run.seed.unwrap_or(0) % mesh.num_nodes() as u64) as u32);
     let alg = Algorithm::Db;
     let schedule = alg.schedule(&mesh, source);
     let mut net = network_for(alg, mesh.clone(), cfg);
@@ -509,14 +549,14 @@ fn dump_trace(opts: &CommonOpts, path: &std::path::Path) {
     let ndjson = wormcast_telemetry::events::trace_to_ndjson(net.trace());
     telemetry::write_ndjson(path, &ndjson, false).expect("write trace dump");
     println!("wrote {}", path.display());
-    if let Some(dir) = &opts.telemetry {
+    if let Some(dir) = &opts.output.telemetry {
         let mut m = RunManifest::new("trace-dump");
         m.algorithms = vec![Algorithm::Db.name().to_string()];
         m.topologies = vec!["8x8x8".to_string()];
-        m.master_seed = opts.seed.unwrap_or(0);
+        m.master_seed = opts.run.seed.unwrap_or(0);
         m.jobs = 1;
         m.length_flits = length;
-        m.startup_us = opts.startup_us.unwrap_or_default();
+        m.startup_us = opts.run.startup_us.unwrap_or_default();
         m.runs = 1;
         m.wall_ms = wall.as_secs_f64() * 1e3;
         m.trace_dropped = trace_dropped;

@@ -1,16 +1,31 @@
-//! Minimal command-line option handling shared by the experiment binaries.
+//! Command-line option handling shared by the experiment binaries.
+//!
+//! Flags split into two layers that other frontends can reuse without the
+//! argv parser:
+//!
+//! * [`RunOptions`] — how to *execute*: quick mode, seed / start-up /
+//!   length overrides, harness jobs, shards per simulation. This is the
+//!   same knob set a serve-layer `ScenarioRequest` carries, and
+//!   [`RunOptions::from_request`] bridges the two so the CLI and the
+//!   server are two frontends over one execution struct.
+//! * [`OutputSpec`] — where results and observability streams *land*:
+//!   the result JSON directory, telemetry report directory, NDJSON event
+//!   stream, trace dump, profile report.
+//!
+//! [`CommonOpts`] composes both plus the positional arguments, and keeps
+//! the historical flag surface (`--quick`, `--out`, `--seed`, `--ts`,
+//! `--length`, `--jobs`, `--shards`, `--telemetry`, `--events`,
+//! `--trace-dump`, `--profile`) unchanged.
 
+use wormcast_simcheck::ScenarioRequest;
 use wormcast_telemetry::TelemetrySpec;
 use wormcast_workload::Runner;
 
-/// Options common to every experiment binary.
-#[derive(Debug, Clone)]
-pub struct CommonOpts {
+/// Execution knobs: everything that decides *how* an experiment runs.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
     /// Reduce run counts / batch sizes for a fast smoke pass.
     pub quick: bool,
-    /// Directory results are written to as JSON (created if missing);
-    /// `None` disables persistence.
-    pub out_dir: Option<std::path::PathBuf>,
     /// RNG seed override.
     pub seed: Option<u64>,
     /// Start-up latency override, µs.
@@ -25,6 +40,50 @@ pub struct CommonOpts {
     /// sharded engine on N worker threads and the harness clamps `--jobs`
     /// so `jobs × shards` never exceeds the available cores.
     pub shards: Option<usize>,
+}
+
+impl RunOptions {
+    /// The replication [`Runner`] these options imply. With `--shards
+    /// N > 1` the runner is sized via [`Runner::for_shards`], keeping
+    /// `jobs × shards` within the machine; otherwise `--jobs` is honoured
+    /// verbatim.
+    pub fn runner(&self) -> Runner {
+        let jobs = self.jobs.unwrap_or(0);
+        match self.shard_count() {
+            0 | 1 => Runner::new(jobs),
+            shards => Runner::for_shards(jobs, shards),
+        }
+    }
+
+    /// Shards each simulation runs with (`--shards`, default 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.unwrap_or(1)
+    }
+
+    /// The execution knobs a serve-layer request carries, as CLI options:
+    /// the bridge that keeps `wormcast-serve` requests and the experiment
+    /// binaries driving one execution configuration. Scenario-level fields
+    /// (topology, workload, start-up, length) stay in the request's
+    /// `Scenario`; only the harness geometry and seed cross over.
+    pub fn from_request(req: &ScenarioRequest) -> RunOptions {
+        RunOptions {
+            quick: false,
+            seed: Some(req.scenario.seed),
+            startup_us: None,
+            length: None,
+            jobs: Some(req.jobs as usize),
+            shards: Some(req.shards.max(1) as usize),
+        }
+    }
+}
+
+/// Output destinations: everything that decides *where* results and
+/// observability streams land.
+#[derive(Debug, Clone, Default)]
+pub struct OutputSpec {
+    /// Directory results are written to as JSON (created if missing);
+    /// `None` disables persistence.
+    pub out_dir: Option<std::path::PathBuf>,
     /// Directory telemetry exports are written to (`--telemetry DIR`);
     /// `None` disables telemetry collection entirely (zero-cost).
     pub telemetry: Option<std::path::PathBuf>,
@@ -39,33 +98,14 @@ pub struct CommonOpts {
     /// `.prom`. Implies telemetry collection with the profile bit set —
     /// replications scrape engine/shard/harness metrics into their frames.
     pub profile: Option<std::path::PathBuf>,
-    /// Remaining positional arguments.
-    pub rest: Vec<String>,
 }
 
-impl CommonOpts {
-    /// The replication [`Runner`] the binary should drive experiments with.
-    /// With `--shards N > 1` the runner is sized via
-    /// [`Runner::for_shards`], keeping `jobs × shards` within the machine;
-    /// otherwise `--jobs` is honoured verbatim.
-    pub fn runner(&self) -> Runner {
-        let jobs = self.jobs.unwrap_or(0);
-        match self.shard_count() {
-            0 | 1 => Runner::new(jobs),
-            shards => Runner::for_shards(jobs, shards),
-        }
-    }
-
-    /// Shards each simulation runs with (`--shards`, default 1).
-    pub fn shard_count(&self) -> usize {
-        self.shards.unwrap_or(1)
-    }
-
-    /// The telemetry spec implied by the flags: `None` unless `--telemetry`,
-    /// `--events` or `--profile` was given (so unobserved runs stay on the
-    /// exact pre-telemetry code path), with the event stream enabled only
-    /// when `--events` names a destination and metric scraping only when
-    /// `--profile` does.
+impl OutputSpec {
+    /// The telemetry spec implied by the destinations: `None` unless
+    /// `--telemetry`, `--events` or `--profile` was given (so unobserved
+    /// runs stay on the exact pre-telemetry code path), with the event
+    /// stream enabled only when `--events` names a destination and metric
+    /// scraping only when `--profile` does.
     pub fn telemetry_spec(&self) -> Option<TelemetrySpec> {
         if self.telemetry.is_none() && self.events.is_none() && self.profile.is_none() {
             return None;
@@ -75,6 +115,35 @@ impl CommonOpts {
             profile: self.profile.is_some(),
             ..TelemetrySpec::default()
         })
+    }
+}
+
+/// Options common to every experiment binary: execution knobs, output
+/// destinations and the remaining positional arguments.
+#[derive(Debug, Clone)]
+pub struct CommonOpts {
+    /// How to run.
+    pub run: RunOptions,
+    /// Where outputs land.
+    pub output: OutputSpec,
+    /// Remaining positional arguments.
+    pub rest: Vec<String>,
+}
+
+impl CommonOpts {
+    /// See [`RunOptions::runner`].
+    pub fn runner(&self) -> Runner {
+        self.run.runner()
+    }
+
+    /// See [`RunOptions::shard_count`].
+    pub fn shard_count(&self) -> usize {
+        self.run.shard_count()
+    }
+
+    /// See [`OutputSpec::telemetry_spec`].
+    pub fn telemetry_spec(&self) -> Option<TelemetrySpec> {
+        self.output.telemetry_spec()
     }
 
     /// Parse `--quick`, `--out DIR`, `--seed N`, `--ts US`, `--length F`,
@@ -91,29 +160,20 @@ impl CommonOpts {
     /// Parse from an explicit argument iterator (testable).
     pub fn parse_from(args: impl Iterator<Item = String>) -> CommonOpts {
         let mut o = CommonOpts {
-            quick: false,
-            out_dir: None,
-            seed: None,
-            startup_us: None,
-            length: None,
-            jobs: None,
-            shards: None,
-            telemetry: None,
-            events: None,
-            trace_dump: None,
-            profile: None,
+            run: RunOptions::default(),
+            output: OutputSpec::default(),
             rest: Vec::new(),
         };
         let mut it = args.peekable();
         while let Some(a) = it.next() {
             match a.as_str() {
-                "--quick" => o.quick = true,
+                "--quick" => o.run.quick = true,
                 "--out" => {
                     let v = it.next().expect("--out needs a directory");
-                    o.out_dir = Some(v.into());
+                    o.output.out_dir = Some(v.into());
                 }
                 "--seed" => {
-                    o.seed = Some(
+                    o.run.seed = Some(
                         it.next()
                             .expect("--seed needs a value")
                             .parse()
@@ -121,7 +181,7 @@ impl CommonOpts {
                     );
                 }
                 "--ts" => {
-                    o.startup_us = Some(
+                    o.run.startup_us = Some(
                         it.next()
                             .expect("--ts needs a value in us")
                             .parse()
@@ -129,7 +189,7 @@ impl CommonOpts {
                     );
                 }
                 "--length" => {
-                    o.length = Some(
+                    o.run.length = Some(
                         it.next()
                             .expect("--length needs a flit count")
                             .parse()
@@ -137,7 +197,7 @@ impl CommonOpts {
                     );
                 }
                 "--jobs" => {
-                    o.jobs = Some(
+                    o.run.jobs = Some(
                         it.next()
                             .expect("--jobs needs a worker count (0 = auto)")
                             .parse()
@@ -145,7 +205,7 @@ impl CommonOpts {
                     );
                 }
                 "--shards" => {
-                    o.shards = Some(
+                    o.run.shards = Some(
                         it.next()
                             .expect("--shards needs a shard count (1 = single engine)")
                             .parse()
@@ -154,19 +214,19 @@ impl CommonOpts {
                 }
                 "--telemetry" => {
                     let v = it.next().expect("--telemetry needs a directory");
-                    o.telemetry = Some(v.into());
+                    o.output.telemetry = Some(v.into());
                 }
                 "--events" => {
                     let v = it.next().expect("--events needs a file path");
-                    o.events = Some(v.into());
+                    o.output.events = Some(v.into());
                 }
                 "--trace-dump" => {
                     let v = it.next().expect("--trace-dump needs a file path");
-                    o.trace_dump = Some(v.into());
+                    o.output.trace_dump = Some(v.into());
                 }
                 "--profile" => {
                     let v = it.next().expect("--profile needs a file path");
-                    o.profile = Some(v.into());
+                    o.output.profile = Some(v.into());
                 }
                 other => o.rest.push(other.to_string()),
             }
@@ -178,6 +238,7 @@ impl CommonOpts {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wormcast_simcheck::Scenario;
 
     fn parse(args: &[&str]) -> CommonOpts {
         CommonOpts::parse_from(args.iter().map(|s| s.to_string()))
@@ -186,9 +247,9 @@ mod tests {
     #[test]
     fn defaults() {
         let o = parse(&[]);
-        assert!(!o.quick);
-        assert!(o.out_dir.is_none());
-        assert!(o.jobs.is_none());
+        assert!(!o.run.quick);
+        assert!(o.output.out_dir.is_none());
+        assert!(o.run.jobs.is_none());
         assert!(o.rest.is_empty());
         assert!(o.runner().jobs() >= 1);
     }
@@ -199,14 +260,14 @@ mod tests {
             "--quick", "--out", "results", "--seed", "9", "--ts", "0.15", "--length", "64",
             "--jobs", "3", "all",
         ]);
-        assert!(o.quick);
-        assert_eq!(o.seed, Some(9));
-        assert_eq!(o.startup_us, Some(0.15));
-        assert_eq!(o.length, Some(64));
-        assert_eq!(o.jobs, Some(3));
+        assert!(o.run.quick);
+        assert_eq!(o.run.seed, Some(9));
+        assert_eq!(o.run.startup_us, Some(0.15));
+        assert_eq!(o.run.length, Some(64));
+        assert_eq!(o.run.jobs, Some(3));
         assert_eq!(o.runner().jobs(), 3);
         assert_eq!(o.rest, vec!["all"]);
-        assert_eq!(o.out_dir.unwrap().to_str().unwrap(), "results");
+        assert_eq!(o.output.out_dir.unwrap().to_str().unwrap(), "results");
     }
 
     #[test]
@@ -217,16 +278,19 @@ mod tests {
         let o = parse(&["--telemetry", "t-out"]);
         let spec = o.telemetry_spec().expect("spec on");
         assert!(spec.phases && spec.heatmap && !spec.events);
-        assert_eq!(o.telemetry.unwrap().to_str().unwrap(), "t-out");
+        assert_eq!(o.output.telemetry.unwrap().to_str().unwrap(), "t-out");
 
         let o = parse(&["--events", "ev.ndjson"]);
         let spec = o.telemetry_spec().expect("events imply telemetry");
         assert!(spec.events);
-        assert!(o.telemetry.is_none());
+        assert!(o.output.telemetry.is_none());
 
         let o = parse(&["--trace-dump", "trace.ndjson"]);
         assert!(o.telemetry_spec().is_none(), "trace dump alone ≠ telemetry");
-        assert_eq!(o.trace_dump.unwrap().to_str().unwrap(), "trace.ndjson");
+        assert_eq!(
+            o.output.trace_dump.unwrap().to_str().unwrap(),
+            "trace.ndjson"
+        );
     }
 
     #[test]
@@ -235,7 +299,7 @@ mod tests {
         let spec = o.telemetry_spec().expect("profile implies telemetry");
         assert!(spec.profile);
         assert!(!spec.events);
-        assert_eq!(o.profile.unwrap().to_str().unwrap(), "prof.json");
+        assert_eq!(o.output.profile.unwrap().to_str().unwrap(), "prof.json");
 
         let o = parse(&["--telemetry", "t-out"]);
         let spec = o.telemetry_spec().expect("spec on");
@@ -245,7 +309,7 @@ mod tests {
     #[test]
     fn jobs_zero_means_auto() {
         let o = parse(&["--jobs", "0"]);
-        assert_eq!(o.jobs, Some(0));
+        assert_eq!(o.run.jobs, Some(0));
         assert!(o.runner().jobs() >= 1);
     }
 
@@ -270,6 +334,23 @@ mod tests {
         // pre-sharding contract: results are jobs-invariant anyway).
         let o = parse(&["--jobs", "64"]);
         assert_eq!(o.runner().jobs(), 64);
+    }
+
+    #[test]
+    fn request_and_flags_agree_on_the_runner() {
+        // The serve request {"jobs":3,"shards":2} and the CLI
+        // `--jobs 3 --shards 2` must size the harness identically: both
+        // frontends resolve through the same RunOptions.
+        let mut req = ScenarioRequest::new(Scenario::generate(0, 0));
+        req.jobs = 3;
+        req.shards = 2;
+        let from_req = RunOptions::from_request(&req);
+        let from_cli = parse(&["--jobs", "3", "--shards", "2"]).run;
+        assert_eq!(from_req.jobs, from_cli.jobs);
+        assert_eq!(from_req.shards, from_cli.shards);
+        assert_eq!(from_req.runner().jobs(), from_cli.runner().jobs());
+        assert_eq!(from_req.shard_count(), from_cli.shard_count());
+        assert_eq!(from_req.seed, Some(req.scenario.seed));
     }
 
     #[test]

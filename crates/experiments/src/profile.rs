@@ -37,7 +37,7 @@ impl ProfileSession {
     /// `setup` phase) if `opts` carries `--profile`; otherwise an inert
     /// session.
     pub fn begin(opts: &CommonOpts, name: &'static str) -> Self {
-        let enabled = opts.profile.is_some();
+        let enabled = opts.output.profile.is_some();
         let mut profiler = Profiler::new();
         if enabled {
             // Reset the harness probe so this session only sees its own runs.
@@ -110,7 +110,7 @@ impl ProfileSession {
 /// # Panics
 /// Panics on I/O errors — these are developer tools.
 pub fn write_report(opts: &CommonOpts, report: &ProfileReport) {
-    let Some(json_path) = &opts.profile else {
+    let Some(json_path) = &opts.output.profile else {
         return;
     };
     let prom_path = json_path.with_extension("prom");
@@ -119,7 +119,7 @@ pub fn write_report(opts: &CommonOpts, report: &ProfileReport) {
         .expect("write profile report");
     println!("wrote {}", json_path.display());
     println!("wrote {}", prom_path.display());
-    if let Some(events_path) = &opts.events {
+    if let Some(events_path) = &opts.output.events {
         write_ndjson(events_path, &report.events_ndjson(), true).expect("append profile events");
     }
 }

@@ -15,7 +15,6 @@
 use crate::cli::CommonOpts;
 use crate::report::write_json;
 use serde::Serialize;
-use std::io::Write as _;
 use std::time::Duration;
 use wormcast_network::Trace;
 use wormcast_telemetry::{FrameExport, RunManifest, TelemetryFrame};
@@ -94,25 +93,10 @@ pub fn events_ndjson(frames: &[LabeledFrame]) -> (String, u64) {
     (out, dropped)
 }
 
-/// The one NDJSON writer every export path goes through — the `--events`
-/// stream, the `wormcast --trace-dump` trace, and the profile-event appends
-/// all format their lines upstream (`wormcast_telemetry::events`) and land
-/// here. Creates parent directories; `append` extends an existing stream
-/// instead of replacing it.
-pub fn write_ndjson(path: &std::path::Path, ndjson: &str, append: bool) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir)?;
-        }
-    }
-    let mut f = std::fs::File::options()
-        .write(true)
-        .create(true)
-        .append(append)
-        .truncate(!append)
-        .open(path)?;
-    f.write_all(ndjson.as_bytes())
-}
+// The writer itself moved into wormcast-telemetry so the serve layer can
+// stream events without pulling in the experiments crate; every existing
+// call site keeps working through this re-export.
+pub use wormcast_telemetry::events::write_ndjson;
 
 /// Write the telemetry outputs requested by `opts`: the
 /// `<name>.telemetry.json` report under `--telemetry DIR` and/or the NDJSON
@@ -135,13 +119,13 @@ pub fn write_outputs(
         .map(|log| log.dropped())
         .sum();
     let events_dropped = manifest.events_dropped;
-    if let Some(dir) = &opts.telemetry {
+    if let Some(dir) = &opts.output.telemetry {
         let path = dir.join(format!("{name}.telemetry.json"));
         let report = TelemetryReport::new(manifest, frames);
         write_json(&path, &report).expect("write telemetry report");
         println!("wrote {}", path.display());
     }
-    if let Some(path) = &opts.events {
+    if let Some(path) = &opts.output.events {
         let (ndjson, dropped) = events_ndjson(frames);
         debug_assert_eq!(dropped, events_dropped);
         write_ndjson(path, &ndjson, false).expect("write events");

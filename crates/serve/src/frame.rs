@@ -1,0 +1,120 @@
+//! Wire frames: the single-line JSON result/error terminators and the
+//! per-response provenance event.
+//!
+//! A response on the wire is NDJSON:
+//!
+//! ```text
+//! {"t_ps":0,"ev":"cache_miss","rep":0,"q":17222983108838637287}   ← provenance
+//! {"t_ps":0,"ev":"inject","rep":0,...}                            ← events (optional)
+//! ...
+//! {"result":{"config_hash":"...","reps":1,...,"v":1}}             ← frame
+//! ```
+//!
+//! The frame line is rendered through the schema's canonical-JSON encoder
+//! (recursively key-sorted, compact), so cold and warm answers to the same
+//! request are byte-identical — the cache stores the rendered string and
+//! replays it verbatim. Provenance differs per answer by design and
+//! therefore precedes the frame instead of living inside it.
+
+use serde::{Serialize, Value};
+use wormcast_simcheck::{canonical_json, MeasureSummary, SCHEMA_VERSION};
+use wormcast_telemetry::{Event, EventKind};
+
+/// Render the result frame for a successful run: one line, canonical JSON,
+/// no trailing newline. `config_hash` is rendered as 16 lower-case hex
+/// digits (JSON numbers cannot carry 64 bits faithfully through every
+/// consumer).
+pub fn result_frame(config_hash: u64, reps: u64, shards: u64, summary: &MeasureSummary) -> String {
+    let inner = Value::Object(vec![
+        ("config_hash".into(), hex(config_hash)),
+        ("reps".into(), Value::U64(reps)),
+        ("shards".into(), Value::U64(shards)),
+        ("summary".into(), summary.to_value()),
+        ("v".into(), Value::U64(SCHEMA_VERSION)),
+    ]);
+    canonical_json(&Value::Object(vec![("result".into(), inner)]))
+}
+
+/// Render an error frame: one line, canonical JSON, no trailing newline.
+/// `config_hash` is `None` when the request never parsed (no hash exists).
+pub fn error_frame(config_hash: Option<u64>, detail: &str) -> String {
+    let mut inner = Vec::new();
+    if let Some(h) = config_hash {
+        inner.push(("config_hash".to_string(), hex(h)));
+    }
+    inner.push(("detail".to_string(), Value::Str(detail.to_string())));
+    inner.push(("v".to_string(), Value::U64(SCHEMA_VERSION)));
+    canonical_json(&Value::Object(vec![("error".into(), Value::Object(inner))]))
+}
+
+/// The provenance event line (no trailing newline): a telemetry [`Event`]
+/// whose `q` field carries the request's config hash, so it validates and
+/// parses like every other line of the stream.
+pub fn provenance_line(kind: EventKind, config_hash: u64) -> String {
+    let mut e = Event::new(0, kind, 0);
+    e.q = Some(config_hash);
+    e.line()
+}
+
+/// Whether `line` terminates a response (a result or error frame). Clients
+/// read lines until this returns true.
+pub fn is_frame(line: &str) -> bool {
+    line.starts_with("{\"result\":") || line.starts_with("{\"error\":")
+}
+
+fn hex(h: u64) -> Value {
+    Value::Str(format!("{h:016x}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> MeasureSummary {
+        MeasureSummary {
+            deliveries: 15,
+            final_now_ps: 1_564_000,
+            mean_latency_us: 1.5,
+            sd_latency_us: 0.25,
+            cv_latency: 0.125,
+        }
+    }
+
+    #[test]
+    fn result_frame_is_one_canonical_line() {
+        let f = result_frame(0xabc, 3, 2, &summary());
+        assert!(!f.contains('\n'));
+        assert!(f.starts_with("{\"result\":{\"config_hash\":\"0000000000000abc\""));
+        assert!(is_frame(&f));
+        // Keys sorted at both levels.
+        let reps = f.find("\"reps\"").unwrap();
+        let summ = f.find("\"summary\"").unwrap();
+        let v = f.find("\"v\"").unwrap();
+        assert!(reps < summ && summ < v);
+        let dels = f.find("\"deliveries\"").unwrap();
+        let cv = f.find("\"cv_latency\"").unwrap();
+        assert!(cv < dels, "summary keys sorted");
+    }
+
+    #[test]
+    fn error_frame_shapes() {
+        let f = error_frame(Some(1), "bad scenario");
+        assert!(is_frame(&f));
+        assert!(f.starts_with("{\"error\":{\"config_hash\":\"0000000000000001\""));
+        assert!(f.contains("\"detail\":\"bad scenario\""));
+        let f = error_frame(None, "not json");
+        assert!(f.starts_with("{\"error\":{\"detail\":"));
+    }
+
+    #[test]
+    fn provenance_validates_as_an_event_line() {
+        let line = provenance_line(EventKind::CacheHit, u64::MAX);
+        assert!(!is_frame(&line));
+        let mut nd = line.clone();
+        nd.push('\n');
+        let stats = wormcast_telemetry::events::validate_ndjson(&nd).expect("valid NDJSON");
+        assert_eq!(stats.lines, 1);
+        let fields = wormcast_telemetry::events::parse_line(&line).expect("parses");
+        assert!(fields.iter().any(|(k, _)| k == "q"));
+    }
+}

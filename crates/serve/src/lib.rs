@@ -1,0 +1,37 @@
+//! Simulation-as-a-service over a versioned scenario-request API.
+//!
+//! The `wormcast-serve` binary turns the simcheck measurement layer into a
+//! long-running service: clients submit [`ScenarioRequest`]s (one JSON
+//! object per line) over TCP and receive an NDJSON response — a provenance
+//! event, the engine event stream when requested, and a final single-line
+//! result frame.
+//!
+//! The service's contract is built on the request schema's determinism
+//! guarantees:
+//!
+//! * Requests are canonicalized and hashed
+//!   ([`ScenarioRequest::config_hash`]); the hash covers every field that
+//!   affects the physics (`v`, `scenario`, `reps`, `shards`) and excludes
+//!   the ones that do not (`jobs`, `outputs`).
+//! * Completed runs are cached by hash (bounded, FIFO eviction). A cache
+//!   hit replays the *identical bytes* of the fresh run's result frame.
+//! * Identical concurrent requests coalesce: the first starts the engine
+//!   run, the rest block on its completion and share the result. The
+//!   engine runs exactly once per distinct hash however many clients ask.
+//!
+//! Each response starts with a provenance event (`cache_hit`, `cache_miss`
+//! or `coalesced`, with `q` carrying the config hash) so clients can tell
+//! how their answer was produced — provenance is deliberately *outside* the
+//! result frame, which must stay byte-identical between cold and warm
+//! paths.
+//!
+//! [`ScenarioRequest`]: wormcast_simcheck::ScenarioRequest
+//! [`ScenarioRequest::config_hash`]: wormcast_simcheck::ScenarioRequest::config_hash
+
+pub mod frame;
+pub mod net;
+pub mod server;
+
+pub use frame::{error_frame, is_frame, provenance_line, result_frame};
+pub use net::{handle_conn, respond_line, serve};
+pub use server::{CachedRun, Provenance, Response, Server};

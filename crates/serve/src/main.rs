@@ -1,0 +1,202 @@
+//! `wormcast-serve`: the simulation service front end.
+//!
+//! Modes:
+//!
+//! * **Server** (default): `wormcast-serve [--addr HOST:PORT] [--workers N]
+//!   [--cache-cap N]` — bind, print `serving on HOST:PORT` (port 0 resolves
+//!   to the kernel-assigned port), and answer newline-delimited
+//!   `ScenarioRequest` JSON forever. Also reachable as `wormcast serve ...`.
+//! * **Once**: `--once [--cache-cap N]` — read request lines from stdin,
+//!   write responses to stdout, exit. Same code path as the server, no
+//!   socket; useful for piping and for differential checks against the
+//!   TCP answers.
+//! * **Client**: `--client ADDR [--events FILE]` — read request lines from
+//!   stdin, send them to a running server, print each final result frame to
+//!   stdout. Non-frame lines (provenance + events) append to `--events
+//!   FILE` when given, else are dropped. Exists so scripted smoke tests
+//!   don't need netcat.
+//! * **Print-request**: `--print-request SEED INDEX [--with-events]` —
+//!   print the canonical request JSON for the generated scenario
+//!   `(SEED, INDEX)`, ready to pipe into any of the modes above.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use wormcast_serve::{frame, net, Server};
+use wormcast_simcheck::{Scenario, ScenarioRequest};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wormcast-serve [--addr HOST:PORT] [--workers N] [--cache-cap N]\n\
+         \x20      wormcast-serve --once [--cache-cap N]            (stdin -> stdout)\n\
+         \x20      wormcast-serve --client ADDR [--events FILE]    (stdin requests)\n\
+         \x20      wormcast-serve --print-request SEED INDEX [--with-events]"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    addr: String,
+    workers: usize,
+    cache_cap: usize,
+    once: bool,
+    client: Option<String>,
+    events: Option<std::path::PathBuf>,
+    print_request: Option<(u64, u64)>,
+    with_events: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        cache_cap: 64,
+        once: false,
+        client: None,
+        events: None,
+        print_request: None,
+        with_events: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => o.addr = it.next().unwrap_or_else(|| usage()),
+            "--workers" => {
+                o.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--cache-cap" => {
+                o.cache_cap = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--once" => o.once = true,
+            "--client" => o.client = Some(it.next().unwrap_or_else(|| usage())),
+            "--events" => o.events = Some(it.next().unwrap_or_else(|| usage()).into()),
+            "--print-request" => {
+                let seed = it.next().and_then(|v| v.parse().ok());
+                let index = it.next().and_then(|v| v.parse().ok());
+                match (seed, index) {
+                    (Some(s), Some(i)) => o.print_request = Some((s, i)),
+                    _ => usage(),
+                }
+            }
+            "--with-events" => o.with_events = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    o
+}
+
+fn main() {
+    let opts = parse_opts();
+    if let Some((seed, index)) = opts.print_request {
+        let mut req = ScenarioRequest::new(Scenario::generate(seed, index));
+        req.outputs.events = opts.with_events;
+        println!("{}", req.canonical_json());
+        return;
+    }
+    if let Some(addr) = &opts.client {
+        if let Err(e) = run_client(addr, opts.events.as_deref()) {
+            eprintln!("wormcast-serve --client: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if opts.once {
+        run_once(opts.cache_cap);
+        return;
+    }
+    run_server(&opts);
+}
+
+/// Stdin/stdout mode: same routing core, no socket.
+fn run_once(cache_cap: usize) {
+    let server = Server::new(cache_cap);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.expect("read stdin");
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        net::respond_line(&server, trimmed, &mut out).expect("write stdout");
+    }
+    out.flush().expect("flush stdout");
+}
+
+fn run_server(opts: &Opts) -> ! {
+    let listener =
+        TcpListener::bind(&opts.addr).unwrap_or_else(|e| panic!("bind {}: {e}", opts.addr));
+    let local = listener.local_addr().expect("local addr");
+    println!("serving on {local}");
+    eprintln!(
+        "wormcast-serve: {} workers, cache capacity {} runs",
+        opts.workers.max(1),
+        opts.cache_cap
+    );
+    let server = Arc::new(Server::new(opts.cache_cap));
+    let handles = net::serve(listener, server, opts.workers);
+    for h in handles {
+        let _ = h.join();
+    }
+    unreachable!("acceptor thread never exits");
+}
+
+/// Scriptable client: one connection, requests from stdin in order, frames
+/// to stdout, provenance + events appended to `events_out` when given.
+fn run_client(addr: &str, events_out: Option<&std::path::Path>) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut events: Option<std::fs::File> = match events_out {
+        Some(p) => {
+            if let Some(parent) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)?;
+            }
+            Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)?,
+            )
+        }
+        None => None,
+    };
+    let mut input = String::new();
+    std::io::stdin().read_to_string(&mut input)?;
+    let mut response = String::new();
+    for req in input.lines().filter(|l| !l.trim().is_empty()) {
+        writer.write_all(req.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        loop {
+            response.clear();
+            if reader.read_line(&mut response)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ));
+            }
+            let line = response.trim_end();
+            if frame::is_frame(line) {
+                println!("{line}");
+                break;
+            }
+            if let Some(f) = events.as_mut() {
+                writeln!(f, "{line}")?;
+            }
+        }
+    }
+    Ok(())
+}

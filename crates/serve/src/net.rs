@@ -1,0 +1,95 @@
+//! The TCP transport: a fixed worker pool draining an accept queue.
+//!
+//! Deliberately `std`-only — connections are plain blocking sockets, the
+//! pool is `mpsc` + threads, and each connection is served
+//! request-by-request in order. Bounded concurrency falls out of the pool
+//! size: at most `workers` connections (and therefore at most `workers`
+//! engine runs that are not coalesced) progress at once.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use wormcast_simcheck::ScenarioRequest;
+
+use crate::frame;
+use crate::server::Server;
+
+/// Answer one request line on `out`: parse, route through the server, write
+/// the response (provenance, optional events, frame). Unparseable lines get
+/// a hashless error frame — the connection survives bad input.
+///
+/// # Errors
+/// Propagates write errors only; request errors are answered in-band.
+pub fn respond_line(server: &Server, line: &str, out: &mut impl Write) -> std::io::Result<()> {
+    match ScenarioRequest::from_json(line) {
+        Ok(req) => server.respond(&req).write_to(out),
+        Err(e) => {
+            let f = frame::error_frame(None, &e);
+            out.write_all(f.as_bytes())?;
+            out.write_all(b"\n")
+        }
+    }
+}
+
+/// Serve one connection to completion: requests are newline-delimited JSON,
+/// answered in order, each response flushed before the next request is
+/// read. Returns when the peer closes its write side.
+///
+/// # Errors
+/// Propagates socket I/O errors.
+pub fn handle_conn(server: &Server, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        respond_line(server, trimmed, &mut out)?;
+        out.flush()?;
+    }
+}
+
+/// Accept connections from `listener` forever, serving them on a pool of
+/// `workers` threads (minimum 1). Returns the spawned handles — the
+/// acceptor never exits on its own, so callers typically park on them.
+pub fn serve(listener: TcpListener, server: Arc<Server>, workers: usize) -> Vec<JoinHandle<()>> {
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut handles = Vec::new();
+    for _ in 0..workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let server = Arc::clone(&server);
+        handles.push(std::thread::spawn(move || loop {
+            let conn = rx.lock().expect("accept queue lock").recv();
+            match conn {
+                Ok(stream) => {
+                    // A reset mid-connection only loses that client.
+                    let _ = handle_conn(&server, stream);
+                }
+                Err(_) => return, // acceptor gone
+            }
+        }));
+    }
+    handles.push(std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            match stream {
+                Ok(s) => {
+                    if tx.send(s).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+    }));
+    handles
+}

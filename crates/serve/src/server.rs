@@ -1,0 +1,332 @@
+//! The serving core: request routing across cache, in-flight coalescing
+//! and cold execution, independent of any transport.
+//!
+//! [`Server::respond`] is the whole protocol. It is transport-agnostic and
+//! `&self`-threadsafe, so the TCP loop, the `--once` stdin mode and the
+//! test suite all drive the same code path.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::sync::{Arc, Condvar, Mutex};
+
+use wormcast_simcheck::{measure_request, ScenarioRequest};
+use wormcast_telemetry::{EventKind, MetricId, MetricsRegistry, SeriesKey};
+
+use crate::frame;
+
+/// A fully-rendered, cacheable answer: the event stream plus the final
+/// frame. Cold runs always capture events — `outputs` is excluded from the
+/// config hash, so one cached run must be able to answer later requests
+/// with *any* output selection.
+#[derive(Debug)]
+pub struct CachedRun {
+    /// NDJSON of the run's engine events (rep-stamped, merged in
+    /// replication order, trailing newline included); empty for runs that
+    /// produced none (e.g. errors).
+    pub events_ndjson: String,
+    /// The single-line result or error frame, without trailing newline.
+    /// Replayed verbatim on every hit — byte-identical to the cold answer.
+    pub frame: String,
+}
+
+/// How an answer was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Replayed from the completed-run cache.
+    CacheHit,
+    /// Executed fresh by this request.
+    CacheMiss,
+    /// Joined an identical in-flight execution.
+    Coalesced,
+}
+
+impl Provenance {
+    /// The event kind announcing this provenance on the wire.
+    pub fn event_kind(self) -> EventKind {
+        match self {
+            Provenance::CacheHit => EventKind::CacheHit,
+            Provenance::CacheMiss => EventKind::CacheMiss,
+            Provenance::Coalesced => EventKind::Coalesced,
+        }
+    }
+}
+
+/// One answer, ready to serialize: provenance + the shared run.
+#[derive(Debug)]
+pub struct Response {
+    /// How this answer was produced.
+    pub provenance: Provenance,
+    /// The request's config hash.
+    pub config_hash: u64,
+    /// Whether the requester asked for the event stream
+    /// (`outputs.events`); the cached run always carries it.
+    pub include_events: bool,
+    /// The shared run result.
+    pub run: Arc<CachedRun>,
+}
+
+impl Response {
+    /// The provenance event line (no trailing newline).
+    pub fn provenance_line(&self) -> String {
+        frame::provenance_line(self.provenance.event_kind(), self.config_hash)
+    }
+
+    /// The full wire bytes: provenance line, events (when requested), frame
+    /// line — each newline-terminated.
+    pub fn render(&self) -> String {
+        let events = if self.include_events {
+            self.run.events_ndjson.as_str()
+        } else {
+            ""
+        };
+        let mut s = String::with_capacity(
+            self.run.frame.len() + events.len() + self.provenance_line().len() + 2,
+        );
+        s.push_str(&self.provenance_line());
+        s.push('\n');
+        s.push_str(events);
+        s.push_str(&self.run.frame);
+        s.push('\n');
+        s
+    }
+
+    /// Write the rendered response.
+    ///
+    /// # Errors
+    /// Propagates write errors.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(self.render().as_bytes())
+    }
+}
+
+/// Bounded completed-run cache, FIFO eviction in insertion order. Plain
+/// FIFO (not LRU) keeps warm-path reads `&`-only and makes eviction order a
+/// pure function of the request sequence — which is what the determinism
+/// tests pin.
+#[derive(Debug)]
+struct FifoCache {
+    cap: usize,
+    map: HashMap<u64, Arc<CachedRun>>,
+    order: VecDeque<u64>,
+}
+
+impl FifoCache {
+    fn new(cap: usize) -> Self {
+        FifoCache {
+            cap,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, hash: u64) -> Option<Arc<CachedRun>> {
+        self.map.get(&hash).cloned()
+    }
+
+    fn insert(&mut self, hash: u64, run: Arc<CachedRun>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.insert(hash, run).is_none() {
+            self.order.push_back(hash);
+        }
+        while self.map.len() > self.cap {
+            let evicted = self.order.pop_front().expect("order tracks map");
+            self.map.remove(&evicted);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// One in-flight execution: waiters block on the condvar until the runner
+/// publishes the shared result.
+#[derive(Debug, Default)]
+struct Slot {
+    done: Mutex<Option<Arc<CachedRun>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn publish(&self, run: Arc<CachedRun>) {
+        *self.done.lock().expect("slot lock") = Some(run);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Arc<CachedRun> {
+        let mut done = self.done.lock().expect("slot lock");
+        loop {
+            if let Some(run) = done.as_ref() {
+                return run.clone();
+            }
+            done = self.cv.wait(done).expect("slot lock");
+        }
+    }
+}
+
+/// Routing state: the cache and the in-flight table live under one lock so
+/// the hit / join / claim decision is atomic — a run that completes
+/// between a caller's cache probe and its claim can never be re-executed.
+#[derive(Debug)]
+struct Routing {
+    cache: FifoCache,
+    inflight: HashMap<u64, Arc<Slot>>,
+}
+
+enum Decision {
+    Hit(Arc<CachedRun>),
+    Join(Arc<Slot>),
+    Claim(Arc<Slot>),
+}
+
+/// The serving core: shared cache, coalescing table and metrics.
+#[derive(Debug)]
+pub struct Server {
+    routing: Mutex<Routing>,
+    metrics: Mutex<MetricsRegistry>,
+}
+
+impl Server {
+    /// A server whose completed-run cache holds at most `cache_cap` runs
+    /// (0 disables caching; coalescing still applies while a run is in
+    /// flight).
+    pub fn new(cache_cap: usize) -> Self {
+        Server {
+            routing: Mutex::new(Routing {
+                cache: FifoCache::new(cache_cap),
+                inflight: HashMap::new(),
+            }),
+            metrics: Mutex::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// Answer one request: cache hit, coalesce onto an identical in-flight
+    /// run, or execute cold. Blocking (an engine run or a wait on one);
+    /// call from a worker thread.
+    pub fn respond(&self, req: &ScenarioRequest) -> Response {
+        let hash = req.config_hash();
+        self.bump(MetricId::ServeRequests);
+        let decision = {
+            let mut rt = self.routing.lock().expect("routing lock");
+            if let Some(run) = rt.cache.get(hash) {
+                Decision::Hit(run)
+            } else if let Some(slot) = rt.inflight.get(&hash) {
+                Decision::Join(slot.clone())
+            } else {
+                let slot = Arc::new(Slot::default());
+                rt.inflight.insert(hash, slot.clone());
+                Decision::Claim(slot)
+            }
+        };
+        let (provenance, run) = match decision {
+            Decision::Hit(run) => {
+                self.bump(MetricId::ServeCacheHits);
+                (Provenance::CacheHit, run)
+            }
+            Decision::Join(slot) => {
+                let run = slot.wait();
+                self.bump(MetricId::ServeCoalesced);
+                (Provenance::Coalesced, run)
+            }
+            Decision::Claim(slot) => {
+                self.bump(MetricId::ServeRunsExecuted);
+                let run = Arc::new(execute(req, hash));
+                {
+                    let mut rt = self.routing.lock().expect("routing lock");
+                    rt.cache.insert(hash, run.clone());
+                    rt.inflight.remove(&hash);
+                }
+                slot.publish(run.clone());
+                (Provenance::CacheMiss, run)
+            }
+        };
+        Response {
+            provenance,
+            config_hash: hash,
+            include_events: req.outputs.events,
+            run,
+        }
+    }
+
+    /// Current value of an (unlabelled) serve counter.
+    pub fn metric(&self, id: MetricId) -> u64 {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .counter(SeriesKey::plain(id))
+    }
+
+    /// Completed runs currently cached (tests and the status line).
+    pub fn cached_runs(&self) -> usize {
+        self.routing.lock().expect("routing lock").cache.len()
+    }
+
+    fn bump(&self, id: MetricId) {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .inc_by(SeriesKey::plain(id), 1);
+    }
+}
+
+/// Execute a request cold and render its cacheable answer. Events are
+/// captured unconditionally (see [`CachedRun`]); execution errors render as
+/// a deterministic error frame and are cached like results — a bad request
+/// is bad every time, so there is nothing to gain from re-running it.
+fn execute(req: &ScenarioRequest, hash: u64) -> CachedRun {
+    let mut with_events = req.clone();
+    with_events.outputs.events = true;
+    match measure_request(&with_events) {
+        Ok(run) => CachedRun {
+            events_ndjson: run.events.map(|l| l.to_ndjson()).unwrap_or_default(),
+            frame: frame::result_frame(hash, req.reps, req.shards.max(1), &run.summary),
+        },
+        Err(e) => CachedRun {
+            events_ndjson: String::new(),
+            frame: frame::error_frame(Some(hash), &e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(frame: &str) -> Arc<CachedRun> {
+        Arc::new(CachedRun {
+            events_ndjson: String::new(),
+            frame: frame.to_string(),
+        })
+    }
+
+    #[test]
+    fn fifo_cache_evicts_in_insertion_order() {
+        let mut c = FifoCache::new(2);
+        c.insert(1, run("a"));
+        c.insert(2, run("b"));
+        c.insert(3, run("c"));
+        assert!(c.get(1).is_none(), "oldest evicted");
+        assert!(c.get(2).is_some() && c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn fifo_cache_reinsert_does_not_double_count() {
+        let mut c = FifoCache::new(2);
+        c.insert(1, run("a"));
+        c.insert(1, run("a2"));
+        c.insert(2, run("b"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_some() && c.get(2).is_some());
+    }
+
+    #[test]
+    fn zero_cap_disables_caching() {
+        let mut c = FifoCache::new(0);
+        c.insert(1, run("a"));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.len(), 0);
+    }
+}

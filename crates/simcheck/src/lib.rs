@@ -24,13 +24,19 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod measure;
 pub mod report;
 pub mod run;
 pub mod scenario;
+pub mod schema;
 pub mod shrink;
 
 pub use campaign::campaign;
+pub use measure::{measure_request, measure_scenario, MeasureSummary, Measurement};
 pub use report::{Failure, Report};
 pub use run::{run_scenario, run_scenario_with, Outcome, RunOptions};
 pub use scenario::{Family, Scenario, TopoSpec, WorkloadSpec};
+pub use schema::{
+    canonical_json, scenario_from_json, RequestedOutputs, ScenarioRequest, SCHEMA_VERSION,
+};
 pub use shrink::{repro_test, shrink};

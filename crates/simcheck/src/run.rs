@@ -35,7 +35,7 @@ use wormcast_workload::{random_destinations, routing_for, BroadcastTracker};
 use crate::scenario::{Family, Scenario, TopoSpec, WorkloadSpec};
 
 /// Trace capacity per engine run (same bound the differential suite uses).
-const TRACE_CAP: usize = 4_000_000;
+pub(crate) const TRACE_CAP: usize = 4_000_000;
 
 /// Shard counts every mesh scenario is re-run at (each twice, for the
 /// run-to-run determinism check). A count is skipped when it exceeds the
@@ -79,9 +79,9 @@ impl Outcome {
 
 /// One pre-scheduled background injection.
 #[derive(Debug, Clone)]
-struct Injection {
-    at: SimTime,
-    spec: MessageSpec,
+pub(crate) struct Injection {
+    pub(crate) at: SimTime,
+    pub(crate) spec: MessageSpec,
 }
 
 /// Everything an engine run can be observed to do.
@@ -96,7 +96,7 @@ struct RunRecord {
 
 /// A schedule executor the drive loop can pump (broadcast tracker, subset
 /// tracker, torus ring tracker) — one per concurrent operation.
-trait Driver {
+pub(crate) trait Driver {
     fn start(&mut self, now: SimTime) -> Vec<MessageSpec>;
     fn on_delivery(&mut self, d: &Delivery) -> Vec<MessageSpec>;
     fn done(&self) -> bool;
@@ -123,7 +123,7 @@ impl Driver for MeshDriver {
 
 /// Executor for the torus ring broadcast's `ExtSchedule` (the workload
 /// crate's equivalent is private).
-struct RingDriver {
+pub(crate) struct RingDriver {
     pending: std::collections::HashMap<NodeId, Vec<MessageSpec>>,
     seen: Vec<bool>,
     source: NodeId,
@@ -132,7 +132,7 @@ struct RingDriver {
 }
 
 impl RingDriver {
-    fn new(torus: &Torus, source: NodeId, length: u64) -> Self {
+    pub(crate) fn new(torus: &Torus, source: NodeId, length: u64) -> Self {
         let schedule = torus_ring_broadcast(torus, source);
         let mut order: Vec<(u32, NodeId, MessageSpec)> = schedule
             .messages
@@ -276,7 +276,7 @@ fn execute(s: &Scenario, opts: RunOptions) -> Outcome {
 }
 
 /// Network configuration shared by both engines for this scenario.
-fn base_cfg(s: &Scenario, alg: Algorithm) -> NetworkConfig {
+pub(crate) fn base_cfg(s: &Scenario, alg: Algorithm) -> NetworkConfig {
     NetworkConfig::builder()
         .release(s.mode)
         .watchdog_us(s.watchdog_us)
@@ -286,7 +286,7 @@ fn base_cfg(s: &Scenario, alg: Algorithm) -> NetworkConfig {
 }
 
 /// The scenario's fault plan, derived from its dedicated substream.
-fn fault_plan(s: &Scenario, mesh: &Mesh) -> FaultPlan {
+pub(crate) fn fault_plan(s: &Scenario, mesh: &Mesh) -> FaultPlan {
     let spec = FaultSpec {
         link_fail_rate: s.fail_stop_rate,
         node_fail_rate: 0.0,
@@ -337,7 +337,11 @@ fn unicast_plan(s: &Scenario, mesh: &Mesh, alg: Algorithm, n: u32, max_len: u64)
 
 /// Materialize injections and drivers for a mesh scenario. Node indices are
 /// taken modulo the (possibly shrunk) mesh size.
-fn mesh_workload(s: &Scenario, mesh: &Mesh) -> (Vec<Injection>, Vec<Box<dyn Driver>>) {
+///
+/// # Panics
+/// Panics on a [`WorkloadSpec::TorusRing`] workload — mesh scenarios never
+/// carry one (callers handling hand-written scenarios must check first).
+pub(crate) fn mesh_workload(s: &Scenario, mesh: &Mesh) -> (Vec<Injection>, Vec<Box<dyn Driver>>) {
     let nodes = mesh.num_nodes();
     let clamp = |raw: u32| NodeId(raw % nodes as u32);
     match s.workload {

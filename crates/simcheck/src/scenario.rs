@@ -8,13 +8,14 @@
 //! fully reproducible from those two numbers alone — and stays meaningful
 //! after the shrinker has mutated its fields.
 
+use serde::{Deserialize, Serialize};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::ReleaseMode;
 use wormcast_sim::SimRng;
 use wormcast_workload::MulticastScheme;
 
 /// Which topology the scenario runs on.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TopoSpec {
     /// k-ary n-dimensional mesh with the given extents.
     Mesh(Vec<u16>),
@@ -41,7 +42,7 @@ impl TopoSpec {
 /// The traffic a scenario offers. Node ids are stored as raw indices and
 /// taken modulo the node count at materialization time, so they survive
 /// dimension shrinking.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadSpec {
     /// One broadcast on an otherwise idle network (Figs. 1–2 setting).
     Single {
@@ -142,7 +143,7 @@ pub enum Family {
 
 /// One self-describing simulation case. See the module docs for how the
 /// `(seed, index)` pair pins down every derived random choice.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Master seed of the campaign this scenario came from.
     pub seed: u64,

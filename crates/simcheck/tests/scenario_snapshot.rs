@@ -1,0 +1,64 @@
+//! Pinned snapshot of the scenario generator.
+//!
+//! `Scenario::generate`'s doc promises equal arguments give equal
+//! scenarios, and the serve layer's cache keys assume the *meaning* of a
+//! `(seed, index)` pair never drifts. This test pins seed 0, indices 0..32
+//! in canonical-JSON form: any change to the generator's sampling order,
+//! the scenario grammar, or its serde encoding shows up as a diff against
+//! the committed file instead of silently shifting every campaign and
+//! cache key.
+//!
+//! To intentionally re-pin after a deliberate grammar change:
+//! `WORMCAST_UPDATE_SNAPSHOTS=1 cargo test -p wormcast-simcheck --test
+//! scenario_snapshot` and commit the rewritten file.
+
+use wormcast_simcheck::{canonical_json, scenario_from_json, Scenario};
+
+const SNAPSHOT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/snapshots/scenario_seed0.ndjson"
+);
+
+fn current() -> String {
+    let mut s = String::new();
+    for i in 0..32 {
+        s.push_str(&canonical_json(&Scenario::generate(0, i)));
+        s.push('\n');
+    }
+    s
+}
+
+#[test]
+fn generator_matches_pinned_snapshot() {
+    let now = current();
+    if std::env::var_os("WORMCAST_UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(SNAPSHOT, &now).expect("write snapshot");
+        eprintln!("rewrote {SNAPSHOT}");
+        return;
+    }
+    let pinned = std::fs::read_to_string(SNAPSHOT)
+        .expect("snapshot file missing — run with WORMCAST_UPDATE_SNAPSHOTS=1 to create it");
+    for (i, (p, n)) in pinned.lines().zip(now.lines()).enumerate() {
+        assert_eq!(
+            p, n,
+            "Scenario::generate(0, {i}) drifted from the pinned snapshot \
+             (rerun with WORMCAST_UPDATE_SNAPSHOTS=1 only if the change is deliberate)"
+        );
+    }
+    assert_eq!(
+        pinned.lines().count(),
+        now.lines().count(),
+        "snapshot line count changed"
+    );
+}
+
+#[test]
+fn pinned_snapshot_round_trips() {
+    // The committed lines must stay decodable: they double as fixtures for
+    // the request schema.
+    let pinned = std::fs::read_to_string(SNAPSHOT).expect("snapshot file missing");
+    for (i, line) in pinned.lines().enumerate() {
+        let s = scenario_from_json(line).unwrap_or_else(|e| panic!("snapshot line {i}: {e}"));
+        assert_eq!(s, Scenario::generate(0, i as u64));
+    }
+}

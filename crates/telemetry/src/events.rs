@@ -67,6 +67,15 @@ pub enum EventKind {
     /// A deterministic metric's final value (`name` carries the metric id,
     /// `q` the value).
     MetricSnapshot,
+    /// A serve request was answered from the completed-result cache (`q`
+    /// carries the request's config hash).
+    CacheHit,
+    /// A serve request missed the cache and started a fresh engine run
+    /// (`q` carries the request's config hash).
+    CacheMiss,
+    /// A serve request joined an identical in-flight run instead of
+    /// starting its own (`q` carries the request's config hash).
+    Coalesced,
 }
 
 impl EventKind {
@@ -90,6 +99,9 @@ impl EventKind {
             EventKind::SpanOpen => "span_open",
             EventKind::SpanClose => "span_close",
             EventKind::MetricSnapshot => "metric_snapshot",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::Coalesced => "coalesced",
         }
     }
 }
@@ -321,6 +333,30 @@ pub fn trace_to_ndjson(trace: &Trace) -> String {
     s
 }
 
+/// The one NDJSON writer every export path goes through — the experiment
+/// binaries' `--events` stream, `wormcast --trace-dump`, profile-event
+/// appends and the serve layer's event files all format their lines
+/// upstream and land here. Creates parent directories; `append` extends an
+/// existing stream instead of replacing it.
+///
+/// # Errors
+/// Propagates directory-creation and write failures.
+pub fn write_ndjson(path: &std::path::Path, ndjson: &str, append: bool) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::options()
+        .write(true)
+        .create(true)
+        .append(append)
+        .truncate(!append)
+        .open(path)?;
+    f.write_all(ndjson.as_bytes())
+}
+
 /// A scalar value in a parsed NDJSON line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Scalar {
@@ -511,6 +547,9 @@ mod tests {
             EventKind::SpanOpen,
             EventKind::SpanClose,
             EventKind::MetricSnapshot,
+            EventKind::CacheHit,
+            EventKind::CacheMiss,
+            EventKind::Coalesced,
         ] {
             let mut e = Event::new(u64::MAX, kind, u64::MAX);
             assert_eq!(e.line().len(), e.line_len(), "{}", e.line());

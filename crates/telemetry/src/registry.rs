@@ -85,11 +85,19 @@ pub enum MetricId {
     EventsDropped,
     /// Engine trace records dropped by the ring-buffer bound.
     TraceDropped,
+    /// Requests the serve layer accepted (any tier).
+    ServeRequests,
+    /// Serve requests answered from the completed-result cache.
+    ServeCacheHits,
+    /// Serve requests that joined an identical in-flight run.
+    ServeCoalesced,
+    /// Engine runs the serve layer actually executed (cold misses).
+    ServeRunsExecuted,
 }
 
 impl MetricId {
     /// Every metric id, in catalog (render) order.
-    pub const ALL: [MetricId; 18] = [
+    pub const ALL: [MetricId; 22] = [
         MetricId::EngineArenaMsgsHighwater,
         MetricId::EngineWheelEventsScheduled,
         MetricId::EngineWheelBucketScans,
@@ -108,6 +116,10 @@ impl MetricId {
         MetricId::HarnessWorkers,
         MetricId::EventsDropped,
         MetricId::TraceDropped,
+        MetricId::ServeRequests,
+        MetricId::ServeCacheHits,
+        MetricId::ServeCoalesced,
+        MetricId::ServeRunsExecuted,
     ];
 
     /// Stable wire name (bare; the Prometheus exposition prefixes
@@ -132,6 +144,10 @@ impl MetricId {
             MetricId::HarnessWorkers => "harness_workers",
             MetricId::EventsDropped => "events_dropped",
             MetricId::TraceDropped => "trace_dropped",
+            MetricId::ServeRequests => "serve_requests",
+            MetricId::ServeCacheHits => "serve_cache_hits",
+            MetricId::ServeCoalesced => "serve_coalesced",
+            MetricId::ServeRunsExecuted => "serve_runs_executed",
         }
     }
 
@@ -169,6 +185,10 @@ impl MetricId {
                 | MetricId::HarnessRepWallNs
                 | MetricId::HarnessQueueDepthMax
                 | MetricId::HarnessWorkers
+                | MetricId::ServeRequests
+                | MetricId::ServeCacheHits
+                | MetricId::ServeCoalesced
+                | MetricId::ServeRunsExecuted
         )
     }
 
@@ -203,6 +223,10 @@ impl MetricId {
             MetricId::HarnessWorkers => "Worker threads the harness ran with",
             MetricId::EventsDropped => "NDJSON events dropped by the per-replication byte budget",
             MetricId::TraceDropped => "Engine trace records dropped by the ring-buffer bound",
+            MetricId::ServeRequests => "Requests accepted by the serve layer",
+            MetricId::ServeCacheHits => "Serve requests answered from the completed-result cache",
+            MetricId::ServeCoalesced => "Serve requests that joined an identical in-flight run",
+            MetricId::ServeRunsExecuted => "Engine runs the serve layer executed (cold misses)",
         }
     }
 }
@@ -584,7 +608,7 @@ mod tests {
         let before = names.len();
         names.dedup();
         assert_eq!(names.len(), before, "duplicate metric names");
-        assert_eq!(MetricId::ALL.len(), 18);
+        assert_eq!(MetricId::ALL.len(), 22);
     }
 
     #[test]

@@ -154,6 +154,40 @@ fn validate_telemetry(path: &Path) {
     );
 }
 
+/// The serve-layer report: one cold row (fresh request, engine run) and
+/// one warm row (cache replay) over the same scenario shape, each with a
+/// measured `p99_ns` tail extra. The contract is the *shape*: a warm
+/// answer does strictly less work than a cold one (same canonicalize +
+/// hash, no engine run), so its mean must not exceed the cold mean.
+fn validate_serve(path: &Path) {
+    let records = parse_report(path);
+    for r in &records {
+        assert!(r.mean_ns > 0.0, "{}: non-positive mean", r.id);
+        assert!(r.samples > 0, "{}: no samples", r.id);
+    }
+    let mean_of = |needle: &str| {
+        records
+            .iter()
+            .find(|r| r.id == format!("serve/{needle}"))
+            .map(|r| r.mean_ns)
+            .unwrap_or_else(|| panic!("report lacks the {needle} row"))
+    };
+    let cold = mean_of("cold_4x4_db");
+    let warm = mean_of("warm_4x4_db");
+    assert!(
+        warm <= cold,
+        "cache replay no faster than a cold engine run ({warm:.0} vs {cold:.0} ns)"
+    );
+    let text = std::fs::read_to_string(path).expect("re-read report");
+    for row in ["serve/cold_4x4_db", "serve/warm_4x4_db"] {
+        let line = text.lines().find(|l| l.contains(row)).expect("row exists");
+        let p99: f64 = field(line, "p99_ns")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{row}: row lacks a measured p99_ns extra"));
+        assert!(p99 > 0.0, "{row}: non-positive p99 ({p99})");
+    }
+}
+
 #[test]
 fn committed_engine_bench_report_is_valid() {
     validate(&Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_engine.json"));
@@ -169,6 +203,19 @@ fn committed_parallel_bench_report_is_valid() {
 #[test]
 fn committed_telemetry_bench_report_is_valid() {
     validate_telemetry(&Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_telemetry.json"));
+}
+
+#[test]
+fn committed_serve_bench_report_is_valid() {
+    validate_serve(&Path::new(env!("CARGO_MANIFEST_DIR")).join("results/BENCH_serve.json"));
+}
+
+#[test]
+fn env_provided_serve_bench_report_is_valid() {
+    // Set by ci.sh's serve bench smoke; absent otherwise.
+    if let Ok(path) = std::env::var("WORMCAST_BENCH_SERVE_JSON") {
+        validate_serve(Path::new(&path));
+    }
 }
 
 #[test]

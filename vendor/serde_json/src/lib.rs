@@ -1,14 +1,262 @@
-//! Offline vendored JSON printer for the vendored serde facade.
+//! Offline vendored JSON printer and parser for the vendored serde facade.
 //!
-//! Supports the one operation the workspace uses: pretty-printing any
-//! `serde::Serialize` value (`to_string_pretty`), plus compact `to_string`
-//! for convenience. Output matches serde_json's pretty format (two-space
-//! indent, `": "` separators) so existing result files stay diffable.
+//! Supports the operations the workspace uses: pretty-printing any
+//! `serde::Serialize` value (`to_string_pretty`), compact `to_string`, and
+//! parsing JSON text back into the [`Value`] tree ([`from_str`]) for the
+//! request paths that must read configuration (the vendored facade has no
+//! typed deserializer; callers decode the `Value` by hand). Output matches
+//! serde_json's pretty format (two-space indent, `": "` separators) so
+//! existing result files stay diffable.
 
 #![warn(missing_docs)]
 #![allow(clippy::redundant_closure, clippy::too_many_arguments)]
 
 use serde::{Serialize, Value};
+
+/// Error from [`from_str`]: byte offset plus a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset the parse failed at.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document into a [`Value`] tree.
+///
+/// Accepts the full JSON grammar (objects, arrays, strings with escapes,
+/// numbers, booleans, null). Integers without fraction or exponent land in
+/// `Value::U64`/`Value::I64`; everything else numeric becomes `Value::F64`.
+/// Trailing whitespace is allowed, trailing content is an error.
+///
+/// # Errors
+/// Returns a [`ParseError`] locating the first offending byte.
+pub fn from_str(text: &str) -> std::result::Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> std::result::Result<(), ParseError> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> std::result::Result<Value, ParseError> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> std::result::Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self) -> std::result::Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            entries.push((key, v));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> std::result::Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> std::result::Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'b') => s.push('\u{0008}'),
+                        Some(b'f') => s.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are rejected rather than
+                            // combined; nothing in this workspace emits them.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            s.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\' && b >= 0x20)
+                    {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    s.push_str(chunk);
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> std::result::Result<Value, ParseError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            float = true;
+            self.pos += 1;
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| ParseError {
+            offset: start,
+            message: format!("invalid number `{text}`"),
+        })
+    }
+}
 
 /// Serialization error (the value-tree printer is total, so this never
 /// occurs; the type exists for API compatibility).
@@ -176,5 +424,67 @@ mod tests {
             to_string_pretty(&v).unwrap(),
             "{\n  \"a\": 1,\n  \"b\": []\n}"
         );
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::U64(42));
+        assert_eq!(from_str("-7").unwrap(), Value::I64(-7));
+        assert_eq!(from_str("0.25").unwrap(), Value::F64(0.25));
+        assert_eq!(from_str("1e3").unwrap(), Value::F64(1000.0));
+        assert_eq!(from_str("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_containers_and_nesting() {
+        assert_eq!(
+            from_str("[1, 2, 3]").unwrap(),
+            Value::Array(vec![Value::U64(1), Value::U64(2), Value::U64(3)])
+        );
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
+        let v = from_str("{\"a\": {\"b\": [1, {\"c\": null}]}, \"d\": -1}").unwrap();
+        let Value::Object(entries) = &v else {
+            panic!("object expected")
+        };
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "a");
+        assert_eq!(entries[1], ("d".to_string(), Value::I64(-1)));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            from_str("\"a\\\"b\\n\\u0041\"").unwrap(),
+            Value::Str("a\"b\nA".into())
+        );
+    }
+
+    #[test]
+    fn printed_values_round_trip() {
+        let v = Value::Object(vec![
+            (
+                "x".into(),
+                Value::Array(vec![Value::U64(1), Value::F64(2.5)]),
+            ),
+            ("y".into(), Value::Str("a\"b".into())),
+            ("z".into(), Value::I64(-3)),
+        ]);
+        let compact = to_string(&v).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "1 2", "nul", "\"x", "[1,]", "{,}", "--1",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }
