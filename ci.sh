@@ -114,6 +114,56 @@ run cmp "$TDIR/s4.physics.json" "$TDIR/s4j2.physics.json" || {
     exit 1
 }
 
+# Scheduled-scenario smoke: a handcrafted schema-v2 request carrying a load
+# ramp, link modulation and a drifting hotspot, run through the measure core
+# (`wormcast-serve --once`) at four jobs x shards geometries. Across --jobs
+# the full response stream must be byte-identical (events included). Across
+# --shards the contract is the oracle's role-level one (DESIGN.md §4.6/§4.9):
+# delivery roles — which node receives, per rep — and counts must agree,
+# while delivery times and message ids may legitimately shift under
+# cross-shard same-picosecond tie-breaking. The stream must also carry the
+# numbered schedule_phase marks the schedule plants.
+echo "==> scheduled-scenario smoke"
+cat > "$TDIR/sched-req.json" <<'EOF'
+{"v":2,"reps":2,"jobs":1,"shards":1,"outputs":{"events":true},"scenario":{"seed":7,"index":0,"topo":{"Mesh":[4,4,4]},"mode":"PathHolding","workload":{"Mixed":{"alg":"Db","src":0,"length":16,"n_unicasts":24}},"fail_stop_rate":0.0,"transient_rate":0.0,"watchdog_us":0.0,"schedule":{"ramp":{"points":[{"t_us":0.0,"rate":0.5},{"t_us":40.0,"rate":2.0}]},"modulation":{"period_us":10.0,"duty":0.5,"factor":4,"fraction":0.5,"windows":3},"hotspot":{"start":3,"stride":2,"step_us":8.0,"weight":0.5}}}}
+EOF
+for g in j1s1 j2s1 j1s4 j2s4; do
+    jobs=${g:1:1}
+    shards=${g:3:1}
+    sed "s/\"jobs\":1/\"jobs\":$jobs/;s/\"shards\":1/\"shards\":$shards/" \
+        "$TDIR/sched-req.json" > "$TDIR/sched-$g.json"
+    ./target/release/wormcast-serve --once < "$TDIR/sched-$g.json" \
+        > "$TDIR/sched-$g.out"
+done
+run cmp "$TDIR/sched-j1s1.out" "$TDIR/sched-j2s1.out" || {
+    echo "ci: scheduled scenario differs across --jobs counts" >&2
+    exit 1
+}
+run cmp "$TDIR/sched-j1s4.out" "$TDIR/sched-j2s4.out" || {
+    echo "ci: scheduled sharded scenario differs across --jobs counts" >&2
+    exit 1
+}
+for g in j1s1 j1s4; do
+    grep '"ev":"deliver"' "$TDIR/sched-$g.out" |
+        sed 's/"t_ps":[0-9]*,//;s/"msg":[0-9]*,//' | sort > "$TDIR/sched-$g.roles"
+done
+run cmp "$TDIR/sched-j1s1.roles" "$TDIR/sched-j1s4.roles" || {
+    echo "ci: scheduled delivery roles differ between --shards 1 and --shards 4" >&2
+    exit 1
+}
+grep -q '"ev":"schedule_phase"' "$TDIR/sched-j1s1.out" || {
+    echo "ci: scheduled response carries no schedule_phase marks" >&2
+    exit 1
+}
+grep -q '"result":' "$TDIR/sched-j1s1.out" || {
+    echo "ci: scheduled request answered without a result frame" >&2
+    exit 1
+}
+# Schema smoke: v2 schedules round-trip through canonical JSON, decoding is
+# strict about unknown kinds, and v1 requests still decode AND hash to the
+# pinned pre-schedule value.
+run cargo test "${OFFLINE[@]}" -q -p wormcast-simcheck schema
+
 # Profile smoke: run fig1 with --profile across jobs and shard geometries.
 # The report's deterministic skeleton (every line not carrying an "nd_"
 # key) must be byte-identical across all of them, the Prometheus sibling

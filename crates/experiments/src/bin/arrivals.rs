@@ -17,6 +17,7 @@ fn main() {
     if let Some(s) = opts.run.seed {
         params.source = s as u32;
     }
+    opts.enforce_shards(params.shape[2], "the arrivals mesh");
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();

@@ -29,6 +29,7 @@ fn main() {
         params.length = l;
     }
     apply_rest(&mut params, &opts.rest);
+    opts.enforce_shards(params.side, "the faults mesh (see --side)");
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();

@@ -23,6 +23,8 @@ fn main() {
     if let Some(l) = opts.run.length {
         params.length = l;
     }
+    let min_side = params.sides.iter().copied().min().unwrap_or(1);
+    opts.enforce_shards(min_side, "the smallest Fig. 1 mesh");
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();

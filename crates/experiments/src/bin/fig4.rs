@@ -24,6 +24,7 @@ fn main() {
     if let Some(l) = opts.run.length {
         params.length = l;
     }
+    opts.enforce_shards(params.shape[2], "the Fig. 4 mesh");
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();

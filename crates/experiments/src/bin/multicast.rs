@@ -20,6 +20,7 @@ fn main() {
     if let Some(l) = opts.run.length {
         params.length = l;
     }
+    opts.enforce_shards(params.shape[2], "the multicast mesh");
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();

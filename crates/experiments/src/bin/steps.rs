@@ -8,8 +8,11 @@ use wormcast_experiments::{steps, CommonOpts, ProfileSession};
 fn main() {
     let opts = CommonOpts::parse();
     let mut prof = ProfileSession::begin(&opts, "steps");
+    let shapes = steps::default_shapes();
+    let min_last = shapes.iter().map(|s| s[2]).min().unwrap_or(1);
+    opts.enforce_shards(min_last, "the smallest step-count mesh");
     prof.phase("run");
-    let rows = steps::run(&steps::default_shapes());
+    let rows = steps::run(&shapes);
     prof.phase("emit");
     println!("{}", steps::table(&rows).render());
     if let Some(dir) = &opts.output.out_dir {

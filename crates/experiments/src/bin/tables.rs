@@ -22,6 +22,8 @@ fn main() {
     if let Some(l) = opts.run.length {
         params.length = l;
     }
+    let min_last = params.shapes.iter().map(|s| s[2]).min().unwrap_or(1);
+    opts.enforce_shards(min_last, "the smallest Tables 1-2 mesh");
     let spec = opts.telemetry_spec();
     let t0 = std::time::Instant::now();
     let runner = opts.runner();

@@ -42,9 +42,29 @@
 //! and writes the trace as NDJSON to PATH, then exits.
 
 use wormcast_experiments::{
-    fig1, fig1_scale, fig2, fig34, profile, steps, telemetry, CommonOpts, Experiment, LabeledFrame,
-    ProfileSession,
+    fig1, fig1_scale, fig2, fig34, profile, schedules, steps, telemetry, CommonOpts, Experiment,
+    LabeledFrame, ProfileSession,
 };
+
+/// The smallest last-axis extent any topology of `sel` partitions, with a
+/// human-readable description — `None` for selectors that size their own
+/// shard counts (fig1-scale clamps per shape) or run no engine.
+fn min_last_axis(sel: &str, quick: bool) -> Option<(u16, &'static str)> {
+    match sel {
+        "steps" => Some((4, "the 4x4x4 mesh (steps)")),
+        "fig1" | "fig1-lowts" => Some((4, "the 4x4x4 mesh (fig1)")),
+        "fig2" | "tables" => Some((4, "the 4x4x4 mesh (fig2/tables)")),
+        "fig3" => Some((8, "the 8x8x8 mesh (fig3)")),
+        "fig4" => Some((8, "the 16x16x8 mesh (fig4)")),
+        "arrivals" => Some((8, "the 8x8x8 mesh (arrivals)")),
+        "multicast" => Some((8, "the 8x8x8 mesh (multicast)")),
+        "faults" if quick => Some((4, "the 4x4x4 mesh (faults --quick)")),
+        "faults" => Some((8, "the 8x8x8 mesh (faults)")),
+        "schedules" if quick => Some((4, "the 4x4x4 mesh (schedules --quick)")),
+        "schedules" => Some((8, "the 8x8x8 mesh (schedules)")),
+        _ => None,
+    }
+}
 
 fn main() {
     // `wormcast serve ...` delegates to the sibling `wormcast-serve` binary
@@ -74,6 +94,7 @@ fn main() {
             "arrivals",
             "multicast",
             "faults",
+            "schedules",
         ]
         .into_iter()
         .map(String::from)
@@ -118,6 +139,9 @@ fn main() {
     let spec = opts.telemetry_spec();
 
     for sel in &which {
+        if let Some((axis, what)) = min_last_axis(sel, opts.run.quick) {
+            opts.enforce_shards(axis, what);
+        }
         let to = topts(sel);
         let mut prof = ProfileSession::begin(&to, profile::selector_name(sel));
         let mut prof_frames: Vec<LabeledFrame> = Vec::new();
@@ -417,6 +441,56 @@ fn main() {
                 }
                 prof_frames = frames;
             }
+            "schedules" => {
+                let mut p = if opts.run.quick {
+                    schedules::SchedulesParams::quick()
+                } else {
+                    schedules::SchedulesParams::default()
+                };
+                if let Some(s) = opts.run.seed {
+                    p.seed = s;
+                }
+                if let Some(l) = opts.run.length {
+                    p.length = l;
+                }
+                if let Some(ts) = opts.run.startup_us {
+                    p.startup_us = ts;
+                }
+                match opts.run.load_schedule() {
+                    Ok(Some(sched)) => p.schedule = sched,
+                    Ok(None) => {}
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                let t0 = std::time::Instant::now();
+                prof.phase("run");
+                let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
+                let wall = t0.elapsed();
+                prof.phase("merge");
+                println!("{}", schedules::table(&cells, &p).render());
+                report_claims(&schedules::check_claims(&cells));
+                prof.phase("emit");
+                out("schedules", &cells);
+                if spec.is_some() {
+                    let mut m = telemetry::manifest(
+                        sel,
+                        &opts,
+                        p.seed,
+                        p.length,
+                        p.startup_us,
+                        p.runs as usize,
+                        wall,
+                    );
+                    m.algorithms = cells.iter().map(|c| c.algorithm.clone()).collect();
+                    m.algorithms.sort();
+                    m.algorithms.dedup();
+                    m.topologies = vec![format!("{}x{}x{}", p.shape[0], p.shape[1], p.shape[2])];
+                    telemetry::write_outputs(&to, sel, m, &frames);
+                }
+                prof_frames = frames;
+            }
             "simcheck" => {
                 let seed = opts.run.seed.unwrap_or(2005);
                 let count = if opts.run.quick { 50 } else { 200 };
@@ -454,7 +528,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown experiment '{other}' (steps, fig1, fig1-lowts, fig1-scale, fig2, \
-                     tables, fig3, fig4, arrivals, multicast, faults, simcheck, serve, all)"
+                     tables, fig3, fig4, arrivals, multicast, faults, schedules, simcheck, \
+                     serve, all)"
                 );
                 std::process::exit(2);
             }

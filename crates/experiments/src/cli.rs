@@ -40,6 +40,10 @@ pub struct RunOptions {
     /// sharded engine on N worker threads and the harness clamps `--jobs`
     /// so `jobs × shards` never exceeds the available cores.
     pub shards: Option<usize>,
+    /// Path to a schedule JSON file (`--schedule FILE`), the same object a
+    /// v2 `ScenarioRequest` embeds under `scenario.schedule`. Honoured by
+    /// the schedule-aware drivers (the `schedules` experiment and serve).
+    pub schedule: Option<std::path::PathBuf>,
 }
 
 impl RunOptions {
@@ -60,6 +64,46 @@ impl RunOptions {
         self.shards.unwrap_or(1)
     }
 
+    /// Validate `--shards` against the smallest last-axis extent any
+    /// simulation in this invocation will partition. The sharded engine
+    /// slices the topology into contiguous last-axis slabs, so more shards
+    /// than the axis has layers cannot be laid out — catch that here, at
+    /// option-handling time, instead of surfacing a deep `ConfigError`
+    /// (or a panic) after setup work.
+    ///
+    /// # Errors
+    /// A one-line actionable message naming the offending topology.
+    pub fn validate_shards(&self, min_last_axis: u16, what: &str) -> Result<(), String> {
+        let shards = self.shard_count();
+        if shards == 0 {
+            return Err("--shards must be >= 1 (1 = the single-threaded engine)".into());
+        }
+        if shards > min_last_axis as usize {
+            return Err(format!(
+                "--shards {shards} exceeds the last-axis extent {min_last_axis} of {what} \
+                 (the sharded engine partitions the last axis into contiguous slabs); \
+                 pass --shards <= {min_last_axis}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Load and strictly decode the `--schedule FILE` schedule, if one was
+    /// given.
+    ///
+    /// # Errors
+    /// A one-line message naming the file and the offending field.
+    pub fn load_schedule(&self) -> Result<Option<wormcast_sim::Schedule>, String> {
+        let Some(path) = &self.schedule else {
+            return Ok(None);
+        };
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("--schedule {}: {e}", path.display()))?;
+        wormcast_simcheck::schedule_from_json(&text)
+            .map(Some)
+            .map_err(|e| format!("--schedule {}: {e}", path.display()))
+    }
+
     /// The execution knobs a serve-layer request carries, as CLI options:
     /// the bridge that keeps `wormcast-serve` requests and the experiment
     /// binaries driving one execution configuration. Scenario-level fields
@@ -73,6 +117,7 @@ impl RunOptions {
             length: None,
             jobs: Some(req.jobs as usize),
             shards: Some(req.shards.max(1) as usize),
+            schedule: None,
         }
     }
 }
@@ -146,6 +191,16 @@ impl CommonOpts {
         self.output.telemetry_spec()
     }
 
+    /// Enforce [`RunOptions::validate_shards`] at startup: on violation,
+    /// print the one-line error to stderr and exit with status 2 before any
+    /// setup work runs.
+    pub fn enforce_shards(&self, min_last_axis: u16, what: &str) {
+        if let Err(e) = self.run.validate_shards(min_last_axis, what) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+
     /// Parse `--quick`, `--out DIR`, `--seed N`, `--ts US`, `--length F`,
     /// `--jobs N`, `--shards N` from the process arguments; anything else
     /// lands in `rest`.
@@ -211,6 +266,10 @@ impl CommonOpts {
                             .parse()
                             .expect("--shards must be an integer"),
                     );
+                }
+                "--schedule" => {
+                    let v = it.next().expect("--schedule needs a JSON file path");
+                    o.run.schedule = Some(v.into());
                 }
                 "--telemetry" => {
                     let v = it.next().expect("--telemetry needs a directory");
@@ -357,5 +416,60 @@ mod tests {
     #[should_panic(expected = "--seed must be an integer")]
     fn bad_seed_panics() {
         parse(&["--seed", "x"]);
+    }
+
+    #[test]
+    fn shards_validate_against_the_last_axis() {
+        let o = parse(&["--shards", "4"]);
+        assert!(o.run.validate_shards(4, "the 4x4x4 mesh").is_ok());
+        let e = o.run.validate_shards(2, "the 4x4x2 mesh").unwrap_err();
+        assert!(
+            e.contains("--shards 4 exceeds the last-axis extent 2 of the 4x4x2 mesh"),
+            "{e}"
+        );
+        assert!(e.contains("pass --shards <= 2"), "actionable: {e}");
+
+        let e = parse(&["--shards", "0"])
+            .run
+            .validate_shards(8, "any mesh")
+            .unwrap_err();
+        assert!(e.contains("--shards must be >= 1"), "{e}");
+
+        // The default (no --shards) always fits.
+        assert!(parse(&[]).run.validate_shards(2, "any mesh").is_ok());
+    }
+
+    #[test]
+    fn schedule_flag_loads_and_validates_the_file() {
+        assert_eq!(parse(&[]).run.load_schedule().unwrap(), None);
+
+        let dir = std::env::temp_dir().join("wormcast-cli-schedule-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(
+            &good,
+            r#"{"ramp":{"points":[{"t_us":0.0,"rate":0.5},{"t_us":40.0,"rate":2.0}]}}"#,
+        )
+        .unwrap();
+        let o = parse(&["--schedule", good.to_str().unwrap()]);
+        let sched = o.run.load_schedule().unwrap().expect("schedule loaded");
+        assert!(sched.ramp.is_some() && sched.modulation.is_none());
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, r#"{"surge":{}}"#).unwrap();
+        let e = parse(&["--schedule", bad.to_str().unwrap()])
+            .run
+            .load_schedule()
+            .unwrap_err();
+        assert!(
+            e.contains("bad.json") && e.contains("unknown schedule kind"),
+            "{e}"
+        );
+
+        let e = parse(&["--schedule", dir.join("absent.json").to_str().unwrap()])
+            .run
+            .load_schedule()
+            .unwrap_err();
+        assert!(e.contains("absent.json"), "{e}");
     }
 }

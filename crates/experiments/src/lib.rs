@@ -36,6 +36,7 @@ pub mod fig34;
 pub mod multicast;
 pub mod profile;
 pub mod report;
+pub mod schedules;
 pub mod steps;
 pub mod telemetry;
 

@@ -36,6 +36,7 @@
 //! is the standard "select function" formulation of turn-model adaptivity.
 
 use crate::config::{NetworkConfig, ReleaseMode};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::message::{Delivery, MessageId, MessageSpec, Route};
 use crate::metrics::{CountersSink, MetricsSink, TraceSink, UtilizationSink};
 use crate::trace::Trace;
@@ -62,6 +63,15 @@ enum Ev {
     PortRelease(NodeId),
     /// The tail has drained across one channel (facility-queueing mode).
     ReleaseOne(ChannelId),
+    /// A scheduled fault takes the channel down.
+    LinkDown(ChannelId),
+    /// A scheduled fault restores the channel.
+    LinkUp(ChannelId),
+    /// A scheduled bandwidth change: the channel's crossing-time factor
+    /// becomes the given value (1 = full speed).
+    SetSpeed(ChannelId, u32),
+    /// A schedule phase boundary (purely observational).
+    PhaseMark(u32),
 }
 
 struct Chan {
@@ -146,6 +156,9 @@ pub struct Network<T: SimTopology = Mesh> {
     extra_sinks: Vec<Box<dyn MetricsSink>>,
     /// Channels disabled by fault injection (never granted again).
     failed: std::collections::HashSet<ChannelId>,
+    /// Per-channel crossing-time multiplier (1 = full speed), driven by
+    /// scheduled bandwidth modulation (`SetSpeed`).
+    speed: Vec<u32>,
     /// Time of the last dispatched event, for the monotone-clock deep check.
     #[cfg(feature = "invariants")]
     iv_last_now: SimTime,
@@ -182,6 +195,7 @@ impl<T: SimTopology> Network<T> {
             sink_trace: TraceSink::default(),
             extra_sinks: Vec::new(),
             failed: std::collections::HashSet::new(),
+            speed: vec![1; num_channels],
             #[cfg(feature = "invariants")]
             iv_last_now: SimTime::ZERO,
         }
@@ -234,6 +248,37 @@ impl<T: SimTopology> Network<T> {
     /// Whether a channel has been failed.
     pub fn is_failed(&self, ch: ChannelId) -> bool {
         self.failed.contains(&ch)
+    }
+
+    /// Schedule every event of a [`FaultPlan`] on the simulation clock
+    /// (oracle mirror of `engine::Network::schedule_faults`): planned
+    /// transitions may hit occupied channels mid-flight — the crossing
+    /// drains, the channel stays down until a matching `LinkUp`, and each
+    /// applied transition is emitted to the metrics sinks.
+    pub fn schedule_faults(&mut self, plan: &FaultPlan) {
+        for e in plan.events() {
+            match e.kind {
+                FaultKind::LinkDown(ch) => self.queue.schedule(e.at, Ev::LinkDown(ch)),
+                FaultKind::LinkUp(ch) => self.queue.schedule(e.at, Ev::LinkUp(ch)),
+            };
+        }
+    }
+
+    /// Schedule per-channel bandwidth transitions (oracle mirror of
+    /// `engine::Network::schedule_speed_transitions`).
+    pub fn schedule_speed_transitions(&mut self, transitions: &[wormcast_sim::SpeedTransition]) {
+        for t in transitions {
+            self.queue
+                .schedule(t.at, Ev::SetSpeed(ChannelId(t.channel), t.factor));
+        }
+    }
+
+    /// Schedule observational phase-boundary marks (oracle mirror of
+    /// `engine::Network::schedule_phase_marks`).
+    pub fn schedule_phase_marks(&mut self, marks: &[(SimTime, u32)]) {
+        for &(at, phase) in marks {
+            self.queue.schedule(at, Ev::PhaseMark(phase));
+        }
     }
 
     /// The topology being simulated.
@@ -358,6 +403,10 @@ impl<T: SimTopology> Network<T> {
             Ev::Complete(m) => self.on_complete(now, m),
             Ev::PortRelease(node) => self.on_port_release(now, node),
             Ev::ReleaseOne(ch) => self.release(now, ch),
+            Ev::LinkDown(ch) => self.on_link_down(now, ch),
+            Ev::LinkUp(ch) => self.on_link_up(now, ch),
+            Ev::SetSpeed(ch, factor) => self.speed[ch.index()] = factor.max(1),
+            Ev::PhaseMark(phase) => self.emit(|s| s.on_schedule_phase(now, phase)),
         }
         #[cfg(feature = "invariants")]
         if self.cfg.check_invariants {
@@ -524,8 +573,8 @@ impl<T: SimTopology> Network<T> {
             msg.next_fixed += 1;
         }
         self.emit(|s| s.on_channel_grant(now, m, ch));
-        self.queue
-            .schedule(now + self.cfg.hop_time(), Ev::Header(m));
+        let cross = self.cfg.hop_time().times(self.speed[ch.index()] as u64);
+        self.queue.schedule(now + cross, Ev::Header(m));
     }
 
     fn on_deliver(&mut self, now: SimTime, m: MessageId, node: NodeId) {
@@ -560,6 +609,29 @@ impl<T: SimTopology> Network<T> {
         msg.done = true;
         let node = msg.cur;
         self.emit(|s| s.on_complete(now, m, node));
+    }
+
+    /// A scheduled `LinkDown` takes effect (idempotent, mirrors the arena
+    /// engine): a message mid-crossing drains normally; the channel simply
+    /// stops being granted once released.
+    fn on_link_down(&mut self, now: SimTime, ch: ChannelId) {
+        if self.failed.insert(ch) {
+            self.emit(|s| s.on_link_failed(now, ch));
+        }
+    }
+
+    /// A scheduled `LinkUp` takes effect: the channel rejoins the network
+    /// and, if idle, is handed to the head of its wait queue (mirrors the
+    /// arena engine; the oracle has no watchdog, so no epochs to bump).
+    fn on_link_up(&mut self, now: SimTime, ch: ChannelId) {
+        if self.failed.remove(&ch) {
+            self.emit(|s| s.on_link_restored(now, ch));
+            if self.channels[ch.index()].busy.is_none() {
+                if let Some(m) = self.channels[ch.index()].waiters.pop_front() {
+                    self.grant(now, m, ch);
+                }
+            }
+        }
     }
 
     /// Release a channel and hand it to the first waiter, if any.

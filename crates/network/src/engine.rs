@@ -83,8 +83,14 @@ enum Ev {
     LinkDown(ChannelId),
     /// A scheduled fault restores the channel.
     LinkUp(ChannelId),
-    /// Delivery watchdog: if the message still waits with the recorded hop
-    /// count (no progress for a whole timeout), declare it stalled.
+    /// A scheduled bandwidth change: the channel's crossing-time factor
+    /// becomes the given value (1 = full speed).
+    SetSpeed(ChannelId, u32),
+    /// A schedule phase boundary (ramp breakpoint, hotspot step): purely
+    /// observational, emitted to the metrics sinks.
+    PhaseMark(u32),
+    /// Delivery watchdog: if the message still waits with the recorded
+    /// progress epoch (no progress for a whole timeout), declare it stalled.
     StallCheck(u32, u32),
 }
 
@@ -117,6 +123,11 @@ struct MsgArena {
     /// Whether a `StallCheck` event is already pending for this message
     /// (at most one outstanding check per message).
     stall_armed: Vec<bool>,
+    /// Progress epoch: bumped on every header hop and whenever a channel
+    /// this message waits on is restored. The watchdog reaps only if the
+    /// epoch is unchanged for a whole timeout, so a same-cycle link restore
+    /// grants the waiter a fresh window instead of a spurious stall.
+    progress_epoch: Vec<u32>,
 }
 
 impl MsgArena {
@@ -136,6 +147,7 @@ impl MsgArena {
         self.next_waiter.push(NONE);
         self.done.push(false);
         self.stall_armed.push(false);
+        self.progress_epoch.push(0);
         id as u32
     }
 }
@@ -234,6 +246,9 @@ pub struct Network<T: SimTopology = Mesh> {
     watchdog_arms: u64,
     /// Channels disabled by fault injection (never granted again).
     failed: ActiveSet,
+    /// Per-channel crossing-time multiplier (1 = full speed), driven by
+    /// scheduled bandwidth modulation (`SetSpeed`).
+    speed: Vec<u32>,
     /// Time of the last dispatched event, for the monotone-clock deep check.
     #[cfg(feature = "invariants")]
     iv_last_now: SimTime,
@@ -298,6 +313,7 @@ impl<T: SimTopology> Network<T> {
             extra_sinks: Vec::new(),
             watchdog_arms: 0,
             failed: ActiveSet::new(num_channels),
+            speed: vec![1; num_channels],
             #[cfg(feature = "invariants")]
             iv_last_now: SimTime::ZERO,
             #[cfg(feature = "invariants")]
@@ -366,6 +382,27 @@ impl<T: SimTopology> Network<T> {
                 FaultKind::LinkDown(ch) => self.wheel.schedule(e.at, Ev::LinkDown(ch)),
                 FaultKind::LinkUp(ch) => self.wheel.schedule(e.at, Ev::LinkUp(ch)),
             }
+        }
+    }
+
+    /// Schedule per-channel bandwidth transitions (link degradation windows
+    /// from a [`wormcast_sim::Schedule`]). Each transition sets the
+    /// channel's crossing-time factor at an absolute time; crossings already
+    /// in flight keep the factor they were granted under. Call before
+    /// running.
+    pub fn schedule_speed_transitions(&mut self, transitions: &[wormcast_sim::SpeedTransition]) {
+        for t in transitions {
+            self.wheel
+                .schedule(t.at, Ev::SetSpeed(ChannelId(t.channel), t.factor));
+        }
+    }
+
+    /// Schedule observational phase-boundary marks (ramp breakpoints,
+    /// hotspot steps) that emit `on_schedule_phase` to the metrics sinks.
+    /// Call before running; event times are absolute.
+    pub fn schedule_phase_marks(&mut self, marks: &[(SimTime, u32)]) {
+        for &(at, phase) in marks {
+            self.wheel.schedule(at, Ev::PhaseMark(phase));
         }
     }
 
@@ -495,7 +532,9 @@ impl<T: SimTopology> Network<T> {
             Ev::ReleaseOne(ch) => self.release(now, ch),
             Ev::LinkDown(ch) => self.on_link_down(now, ch),
             Ev::LinkUp(ch) => self.on_link_up(now, ch),
-            Ev::StallCheck(m, hops) => self.on_stall_check(now, m, hops),
+            Ev::SetSpeed(ch, factor) => self.on_set_speed(now, ch, factor),
+            Ev::PhaseMark(phase) => self.emit(|s| s.on_schedule_phase(now, phase)),
+            Ev::StallCheck(m, epoch) => self.on_stall_check(now, m, epoch),
         }
         #[cfg(feature = "invariants")]
         if self.cfg.check_invariants {
@@ -637,6 +676,7 @@ impl<T: SimTopology> Network<T> {
         self.msgs.prev[i] = Some((dim, sign));
         let first_hop = self.msgs.hops_taken[i] == 0;
         self.msgs.hops_taken[i] += 1;
+        self.msgs.progress_epoch[i] = self.msgs.progress_epoch[i].wrapping_add(1);
         let body = self.cfg.body_time(self.msgs.spec[i].length);
         match self.cfg.release {
             ReleaseMode::PathHolding => {
@@ -770,7 +810,7 @@ impl<T: SimTopology> Network<T> {
             self.watchdog_arms += 1;
             self.wheel.schedule(
                 now + self.cfg.watchdog,
-                Ev::StallCheck(m, self.msgs.hops_taken[m as usize]),
+                Ev::StallCheck(m, self.msgs.progress_epoch[m as usize]),
             );
         }
     }
@@ -789,8 +829,8 @@ impl<T: SimTopology> Network<T> {
             self.msgs.next_fixed[i] += 1;
         }
         self.emit(|s| s.on_channel_grant(now, MessageId(m as u64), ch));
-        self.wheel
-            .schedule(now + self.cfg.hop_time(), Ev::Header(m));
+        let cross = self.cfg.hop_time().times(self.speed[ch.index()] as u64);
+        self.wheel.schedule(now + cross, Ev::Header(m));
     }
 
     fn on_deliver(&mut self, now: SimTime, m: u32, node: NodeId) {
@@ -863,10 +903,19 @@ impl<T: SimTopology> Network<T> {
     }
 
     /// A scheduled `LinkUp` takes effect: the channel rejoins the network
-    /// and, if idle, is handed to the head of its wait queue.
+    /// and, if idle, is handed to the head of its wait queue. Every header
+    /// queued on the channel gets its progress epoch bumped: the restore is
+    /// forward progress for them, so a watchdog probe landing on the same
+    /// cycle (or later) must grant a fresh timeout instead of reaping.
     fn on_link_up(&mut self, now: SimTime, ch: ChannelId) {
         if self.failed.remove(ch.index()) {
             self.emit(|s| s.on_link_restored(now, ch));
+            let mut w = self.chans.waiter_head[ch.index()];
+            while w != NONE {
+                self.msgs.progress_epoch[w as usize] =
+                    self.msgs.progress_epoch[w as usize].wrapping_add(1);
+                w = self.msgs.next_waiter[w as usize];
+            }
             if self.chans.busy[ch.index()] == NONE {
                 if let Some(m) = self.pop_chan_waiter(ch.index()) {
                     self.grant(now, m, ch);
@@ -875,24 +924,33 @@ impl<T: SimTopology> Network<T> {
         }
     }
 
+    /// A scheduled bandwidth transition takes effect: subsequent grants on
+    /// the channel cross at `hop_time × factor`. A crossing already in
+    /// flight keeps the factor it was granted under (the flits are in the
+    /// pipeline).
+    fn on_set_speed(&mut self, _now: SimTime, ch: ChannelId, factor: u32) {
+        debug_assert!(factor >= 1, "speed factor must be at least 1");
+        self.speed[ch.index()] = factor.max(1);
+    }
+
     /// Delivery watchdog probe for message `m`, armed when it last joined a
-    /// wait queue with `hops` channels crossed. If the header has moved (or
-    /// finished) since, the check re-arms or retires; a header still waiting
-    /// with the same hop count has made no progress for a full timeout and
-    /// is reaped.
-    fn on_stall_check(&mut self, now: SimTime, m: u32, hops: u32) {
+    /// wait queue at the recorded progress epoch. If the epoch has advanced
+    /// since — the header hopped, or a channel it was queued on was restored
+    /// — the check re-arms with a fresh timeout; an epoch unchanged for a
+    /// whole timeout means no progress and the message is reaped.
+    fn on_stall_check(&mut self, now: SimTime, m: u32, epoch: u32) {
         let i = m as usize;
         self.msgs.stall_armed[i] = false;
         if self.msgs.done[i] || self.msgs.waiting_on[i] == NONE {
             return; // finished, or crossing: the next wait re-arms
         }
-        if self.msgs.hops_taken[i] != hops {
-            // Progressed to a later queue: give it a fresh timeout.
+        if self.msgs.progress_epoch[i] != epoch {
+            // Progressed (hop or restore) since the arm: fresh timeout.
             self.msgs.stall_armed[i] = true;
             self.watchdog_arms += 1;
             self.wheel.schedule(
                 now + self.cfg.watchdog,
-                Ev::StallCheck(m, self.msgs.hops_taken[i]),
+                Ev::StallCheck(m, self.msgs.progress_epoch[i]),
             );
             return;
         }

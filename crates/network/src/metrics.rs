@@ -56,6 +56,9 @@ pub trait MetricsSink: Send {
     /// The delivery watchdog declared message `m` stalled at `at`;
     /// `undelivered` destinations will never receive it.
     fn on_stalled(&mut self, now: SimTime, m: MessageId, at: NodeId, undelivered: u64) {}
+    /// A scenario-schedule phase boundary (ramp breakpoint or hotspot step)
+    /// was crossed; `phase` numbers boundaries from 1 in time order.
+    fn on_schedule_phase(&mut self, now: SimTime, phase: u32) {}
 }
 
 /// Aggregate counters for throughput accounting.
@@ -227,6 +230,17 @@ impl MetricsSink for TraceSink {
     }
     fn on_complete(&mut self, now: SimTime, m: MessageId, node: NodeId) {
         self.push(now, TraceKind::Complete, m, Some(node), None);
+    }
+    fn on_schedule_phase(&mut self, now: SimTime, phase: u32) {
+        // No message is involved; the phase number rides in the message slot
+        // (same convention as ChannelRelease's unknown-occupant sentinel).
+        self.push(
+            now,
+            TraceKind::SchedulePhase,
+            MessageId(phase as u64),
+            None,
+            None,
+        );
     }
 }
 

@@ -82,7 +82,11 @@ struct MsgState {
     /// the accepting shard re-materializes the check from these fields.
     stall_armed: bool,
     stall_deadline: SimTime,
-    stall_hops: u32,
+    stall_epoch: u32,
+    /// Progress epoch: bumped on every header hop and whenever a channel
+    /// this message waits on is restored (mirrors the single-shard engine's
+    /// watchdog semantics — a restore grants a fresh timeout).
+    progress_epoch: u32,
 }
 
 impl MsgState {
@@ -102,7 +106,8 @@ impl MsgState {
             done: false,
             stall_armed: false,
             stall_deadline: SimTime::ZERO,
-            stall_hops: 0,
+            stall_epoch: 0,
+            progress_epoch: 0,
         }
     }
 }
@@ -128,6 +133,12 @@ enum Ev {
     ReleaseOne(ChannelId),
     LinkDown(ChannelId),
     LinkUp(ChannelId),
+    /// A scheduled bandwidth change on a local channel (factor 1 = full
+    /// speed).
+    SetSpeed(ChannelId, u32),
+    /// A schedule phase boundary (observational; scheduled on shard 0 only
+    /// so the merged trace matches the single-shard engines).
+    PhaseMark(u32),
     StallCheck(u32),
     /// A boundary-crossing header clears this shard at the event time:
     /// schedule the local tail effects (port release on a first hop,
@@ -357,6 +368,9 @@ struct Shard<T: SimTopology> {
     ports: ShardPorts,
     /// Failed local channels, indexed by `ch - chans.base`.
     failed: ActiveSet,
+    /// Per-local-channel crossing-time multiplier (1 = full speed), indexed
+    /// by `ch - chans.base`.
+    speed: Vec<u32>,
     outbox: Vec<Delivery>,
     sink_counters: CountersSink,
     sink_trace: TraceSink,
@@ -532,6 +546,11 @@ impl<T: SimTopology> Shard<T> {
             Ev::ReleaseOne(ch) => self.release_local(now, ch),
             Ev::LinkDown(ch) => self.on_link_down(now, ch),
             Ev::LinkUp(ch) => self.on_link_up(now, ch),
+            Ev::SetSpeed(ch, factor) => {
+                let li = self.chans.local(ch);
+                self.speed[li] = factor.max(1);
+            }
+            Ev::PhaseMark(phase) => self.emit(|s| s.on_schedule_phase(now, phase)),
             Ev::StallCheck(m) => {
                 if self.cfg.release == ReleaseMode::PathHolding {
                     self.gate_sub(now);
@@ -685,6 +704,7 @@ impl<T: SimTopology> Shard<T> {
         st.prev = Some((dim, sign));
         let first_hop = st.hops_taken == 0;
         st.hops_taken += 1;
+        st.progress_epoch = st.progress_epoch.wrapping_add(1);
         let length = st.spec.length;
         let src = st.spec.src;
         let body = self.cfg.body_time(length);
@@ -718,6 +738,7 @@ impl<T: SimTopology> Shard<T> {
         st.cur = to;
         st.prev = Some((dim, sign));
         st.hops_taken += 1;
+        st.progress_epoch = st.progress_epoch.wrapping_add(1);
         let m = st.id;
         if st.stall_armed {
             if st.stall_deadline <= now {
@@ -846,7 +867,7 @@ impl<T: SimTopology> Shard<T> {
             let st = self.msgs.get_mut(&m).expect("waiter exists");
             st.stall_armed = true;
             st.stall_deadline = now + self.cfg.watchdog;
-            st.stall_hops = st.hops_taken;
+            st.stall_epoch = st.progress_epoch;
             let deadline = st.stall_deadline;
             self.sched_stall(deadline, m);
         }
@@ -866,7 +887,9 @@ impl<T: SimTopology> Shard<T> {
             st.next_fixed += 1;
         }
         self.emit(|s| s.on_channel_grant(now, MessageId(m as u64), ch));
-        let cross_at = now + self.cfg.hop_time();
+        // Speed factors only lengthen the crossing (factor ≥ 1), so the
+        // conservative lookahead — one full-speed hop — stays a lower bound.
+        let cross_at = now + self.cfg.hop_time().times(self.speed[li] as u64);
         let (_, to) = self.topo.channel_endpoints(ch);
         let dest = self.map.shard_of_node(to);
         if dest == self.id {
@@ -952,6 +975,15 @@ impl<T: SimTopology> Shard<T> {
         let li = self.chans.local(ch);
         if self.failed.remove(li) {
             self.emit(|s| s.on_link_restored(now, ch));
+            // The restore is forward progress for every queued header: bump
+            // their epochs so a same-cycle watchdog probe re-arms instead of
+            // reaping (mirrors `engine::Network::on_link_up`).
+            let mut w = self.chans.waiter_head[li];
+            while w != NONE {
+                let st = self.msgs.get_mut(&w).expect("waiter exists");
+                st.progress_epoch = st.progress_epoch.wrapping_add(1);
+                w = st.next_waiter;
+            }
             if self.chans.busy[li] == NONE {
                 if let Some(m) = self.pop_chan_waiter(li) {
                     self.grant(now, m, ch);
@@ -974,11 +1006,11 @@ impl<T: SimTopology> Shard<T> {
         if st.done || st.waiting_on == NONE {
             return; // finished, or crossing: the next wait re-arms
         }
-        if st.hops_taken != st.stall_hops {
-            // Progressed to a later queue: give it a fresh timeout.
+        if st.progress_epoch != st.stall_epoch {
+            // Progressed (hop or restore) since the arm: fresh timeout.
             st.stall_armed = true;
             st.stall_deadline = now + self.cfg.watchdog;
-            st.stall_hops = st.hops_taken;
+            st.stall_epoch = st.progress_epoch;
             let deadline = st.stall_deadline;
             self.sched_stall(deadline, m);
             return;
@@ -1239,6 +1271,7 @@ impl<T: SimTopology + Clone + Send> ShardedNetwork<T> {
                     chans: ShardChans::new(chan_base, chan_count),
                     ports: ShardPorts::new(nr.start, node_count, cfg.inject_ports),
                     failed: ActiveSet::new(chan_count),
+                    speed: vec![1; chan_count],
                     outbox: Vec::new(),
                     sink_counters: CountersSink::default(),
                     sink_trace: TraceSink::default(),
@@ -1477,6 +1510,29 @@ impl<T: SimTopology + Clone + Send> ShardedNetwork<T> {
             };
             let owner = self.map.shard_of_channel(self.topology(), ch);
             self.shards[owner].wheel.schedule(at, ev);
+        }
+    }
+
+    /// Schedule per-channel bandwidth transitions, each routed to the shard
+    /// owning the affected channel (see
+    /// [`crate::engine::Network::schedule_speed_transitions`]). Call before
+    /// running.
+    pub fn schedule_speed_transitions(&mut self, transitions: &[wormcast_sim::SpeedTransition]) {
+        for t in transitions {
+            let ch = ChannelId(t.channel);
+            let owner = self.map.shard_of_channel(self.topology(), ch);
+            self.shards[owner]
+                .wheel
+                .schedule(t.at, Ev::SetSpeed(ch, t.factor));
+        }
+    }
+
+    /// Schedule observational phase-boundary marks on shard 0 (exactly one
+    /// shard emits each mark, so the merged trace and summed counters match
+    /// the single-shard engines). Call before running.
+    pub fn schedule_phase_marks(&mut self, marks: &[(SimTime, u32)]) {
+        for &(at, phase) in marks {
+            self.shards[0].wheel.schedule(at, Ev::PhaseMark(phase));
         }
     }
 

@@ -27,6 +27,9 @@ pub enum TraceKind {
     Complete,
     /// A channel was released.
     ChannelRelease,
+    /// A scenario-schedule phase boundary was crossed (the phase number
+    /// rides in the record's `message` slot).
+    SchedulePhase,
 }
 
 /// One trace record. `node`/`channel` are populated where meaningful.

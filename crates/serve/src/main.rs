@@ -28,10 +28,13 @@ use wormcast_simcheck::{Scenario, ScenarioRequest};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wormcast-serve [--addr HOST:PORT] [--workers N] [--cache-cap N]\n\
-         \x20      wormcast-serve --once [--cache-cap N]            (stdin -> stdout)\n\
+        "usage: wormcast-serve [--addr HOST:PORT] [--workers N] [--cache-cap N] [--schedule FILE]\n\
+         \x20      wormcast-serve --once [--cache-cap N] [--schedule FILE]   (stdin -> stdout)\n\
          \x20      wormcast-serve --client ADDR [--events FILE]    (stdin requests)\n\
-         \x20      wormcast-serve --print-request SEED INDEX [--with-events]"
+         \x20      wormcast-serve --print-request SEED INDEX [--with-events]\n\
+         \n\
+         --schedule FILE applies the schedule JSON to every request that does\n\
+         not embed its own `scenario.schedule` (hashes reflect the injection)."
     );
     std::process::exit(2);
 }
@@ -45,6 +48,7 @@ struct Opts {
     events: Option<std::path::PathBuf>,
     print_request: Option<(u64, u64)>,
     with_events: bool,
+    schedule: Option<std::path::PathBuf>,
 }
 
 fn parse_opts() -> Opts {
@@ -57,6 +61,7 @@ fn parse_opts() -> Opts {
         events: None,
         print_request: None,
         with_events: false,
+        schedule: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -86,6 +91,7 @@ fn parse_opts() -> Opts {
                 }
             }
             "--with-events" => o.with_events = true,
+            "--schedule" => o.schedule = Some(it.next().unwrap_or_else(|| usage()).into()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -111,16 +117,38 @@ fn main() {
         }
         return;
     }
+    let schedule = load_schedule(opts.schedule.as_deref());
     if opts.once {
-        run_once(opts.cache_cap);
+        run_once(opts.cache_cap, schedule);
         return;
     }
-    run_server(&opts);
+    run_server(&opts, schedule);
+}
+
+/// Load and strictly decode the `--schedule FILE` default schedule, if one
+/// was given; any problem is fatal at startup (exit 2), never mid-request.
+fn load_schedule(path: Option<&std::path::Path>) -> Option<wormcast_sim::Schedule> {
+    let path = path?;
+    let fail = |e: &dyn std::fmt::Display| -> ! {
+        eprintln!("error: --schedule {}: {e}", path.display());
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&e));
+    Some(wormcast_simcheck::schedule_from_json(&text).unwrap_or_else(|e| fail(&e)))
+}
+
+/// Build the serving core from the parsed options.
+fn new_server(cache_cap: usize, schedule: Option<wormcast_sim::Schedule>) -> Server {
+    let server = Server::new(cache_cap);
+    match schedule {
+        Some(s) => server.with_default_schedule(s),
+        None => server,
+    }
 }
 
 /// Stdin/stdout mode: same routing core, no socket.
-fn run_once(cache_cap: usize) {
-    let server = Server::new(cache_cap);
+fn run_once(cache_cap: usize, schedule: Option<wormcast_sim::Schedule>) {
+    let server = new_server(cache_cap, schedule);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -135,7 +163,7 @@ fn run_once(cache_cap: usize) {
     out.flush().expect("flush stdout");
 }
 
-fn run_server(opts: &Opts) -> ! {
+fn run_server(opts: &Opts, schedule: Option<wormcast_sim::Schedule>) -> ! {
     let listener =
         TcpListener::bind(&opts.addr).unwrap_or_else(|e| panic!("bind {}: {e}", opts.addr));
     let local = listener.local_addr().expect("local addr");
@@ -145,7 +173,7 @@ fn run_server(opts: &Opts) -> ! {
         opts.workers.max(1),
         opts.cache_cap
     );
-    let server = Arc::new(Server::new(opts.cache_cap));
+    let server = Arc::new(new_server(opts.cache_cap, schedule));
     let handles = net::serve(listener, server, opts.workers);
     for h in handles {
         let _ = h.join();

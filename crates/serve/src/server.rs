@@ -186,6 +186,7 @@ enum Decision {
 pub struct Server {
     routing: Mutex<Routing>,
     metrics: Mutex<MetricsRegistry>,
+    default_schedule: Option<wormcast_sim::Schedule>,
 }
 
 impl Server {
@@ -199,14 +200,47 @@ impl Server {
                 inflight: HashMap::new(),
             }),
             metrics: Mutex::new(MetricsRegistry::new()),
+            default_schedule: None,
         }
+    }
+
+    /// Apply `schedule` to every incoming request that does not carry its
+    /// own (`--schedule FILE` on the binary). The injection happens before
+    /// hashing, so a scheduled and an unscheduled answer for the same
+    /// scenario can never alias in the cache; requests that embed a
+    /// schedule keep it untouched.
+    #[must_use]
+    pub fn with_default_schedule(mut self, schedule: wormcast_sim::Schedule) -> Self {
+        self.default_schedule = Some(schedule);
+        self
     }
 
     /// Answer one request: cache hit, coalesce onto an identical in-flight
     /// run, or execute cold. Blocking (an engine run or a wait on one);
     /// call from a worker thread.
     pub fn respond(&self, req: &ScenarioRequest) -> Response {
+        let patched;
+        let req = match &self.default_schedule {
+            Some(sched) if req.scenario.schedule.is_none() => {
+                let mut r = req.clone();
+                r.scenario.schedule = Some(sched.clone());
+                patched = r;
+                &patched
+            }
+            _ => req,
+        };
         let hash = req.config_hash();
+        self.respond_inner(hash, req.outputs.events, || execute(req, hash))
+    }
+
+    /// The routing core behind [`Server::respond`], with the cold-execution
+    /// path injectable so tests can drive panicking and long-blocking runs.
+    fn respond_inner(
+        &self,
+        hash: u64,
+        include_events: bool,
+        exec: impl FnOnce() -> CachedRun,
+    ) -> Response {
         self.bump(MetricId::ServeRequests);
         let decision = {
             let mut rt = self.routing.lock().expect("routing lock");
@@ -232,10 +266,33 @@ impl Server {
             }
             Decision::Claim(slot) => {
                 self.bump(MetricId::ServeRunsExecuted);
-                let run = Arc::new(execute(req, hash));
+                // A panic inside the engine must not unwind past the claim:
+                // that would leave the in-flight entry behind forever, so
+                // every later identical request joins a slot nobody will
+                // publish and the server wedges. Catch it, answer with an
+                // error frame, and release the slot. The failed run is NOT
+                // cached — unlike a request rejected by validation, a panic
+                // is not known to be deterministic, so the next identical
+                // request gets a fresh execution.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(exec));
+                let (run, cacheable) = match caught {
+                    Ok(run) => (Arc::new(run), true),
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        let frame =
+                            frame::error_frame(Some(hash), &format!("internal error: {msg}"));
+                        let run = Arc::new(CachedRun {
+                            events_ndjson: String::new(),
+                            frame,
+                        });
+                        (run, false)
+                    }
+                };
                 {
                     let mut rt = self.routing.lock().expect("routing lock");
-                    rt.cache.insert(hash, run.clone());
+                    if cacheable {
+                        rt.cache.insert(hash, run.clone());
+                    }
                     rt.inflight.remove(&hash);
                 }
                 slot.publish(run.clone());
@@ -245,7 +302,7 @@ impl Server {
         Response {
             provenance,
             config_hash: hash,
-            include_events: req.outputs.events,
+            include_events,
             run,
         }
     }
@@ -268,6 +325,18 @@ impl Server {
             .lock()
             .expect("metrics lock")
             .inc_by(SeriesKey::plain(id), 1);
+    }
+}
+
+/// Best-effort rendering of a panic payload (panics carry `&str` or
+/// `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -328,5 +397,174 @@ mod tests {
         c.insert(1, run("a"));
         assert!(c.get(1).is_none());
         assert_eq!(c.len(), 0);
+    }
+
+    /// A two-phase gate: the claim thread's executor signals "entered" and
+    /// then blocks until the test releases it, so the test can arrange
+    /// joiners and cache churn while the run is provably in flight.
+    struct Gate {
+        state: Mutex<(bool, bool)>, // (entered, released)
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Self> {
+            Arc::new(Gate {
+                state: Mutex::new((false, false)),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn enter_and_hold(&self) {
+            let mut st = self.state.lock().unwrap();
+            st.0 = true;
+            self.cv.notify_all();
+            while !st.1 {
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+
+        fn wait_entered(&self) {
+            let mut st = self.state.lock().unwrap();
+            while !st.0 {
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+
+        fn release(&self) {
+            let mut st = self.state.lock().unwrap();
+            st.1 = true;
+            self.cv.notify_all();
+        }
+    }
+
+    #[test]
+    fn panic_during_execution_does_not_wedge_later_requests() {
+        let srv = Server::new(4);
+        let resp = srv.respond_inner(42, false, || panic!("boom"));
+        assert_eq!(resp.provenance, Provenance::CacheMiss);
+        assert!(
+            resp.run.frame.contains("internal error: boom"),
+            "{}",
+            resp.run.frame
+        );
+        assert_eq!(srv.metric(MetricId::ServeRunsExecuted), 1);
+        assert_eq!(srv.cached_runs(), 0, "panicked run must not be cached");
+
+        // The in-flight entry is gone: an identical request executes fresh
+        // instead of joining a slot nobody will publish or replaying the
+        // cached panic.
+        let resp = srv.respond_inner(42, false, || CachedRun {
+            events_ndjson: String::new(),
+            frame: "ok".to_string(),
+        });
+        assert_eq!(resp.provenance, Provenance::CacheMiss);
+        assert_eq!(resp.run.frame, "ok");
+        assert_eq!(srv.metric(MetricId::ServeRunsExecuted), 2);
+    }
+
+    #[test]
+    fn coalesced_waiters_on_a_panicking_run_get_the_error_frame() {
+        let srv = Arc::new(Server::new(4));
+        let gate = Gate::new();
+
+        let claimer = {
+            let srv = srv.clone();
+            let gate = gate.clone();
+            std::thread::spawn(move || {
+                srv.respond_inner(7, false, move || {
+                    gate.enter_and_hold();
+                    panic!("engine exploded");
+                })
+            })
+        };
+        gate.wait_entered();
+
+        let joiner = {
+            let srv = srv.clone();
+            std::thread::spawn(move || {
+                srv.respond_inner(7, false, || {
+                    unreachable!("joiner must coalesce, not execute")
+                })
+            })
+        };
+        // Give the joiner time to reach the in-flight table before the
+        // claimer is released; if it loses the race anyway, its executor
+        // trips the unreachable! above and fails the test loudly.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        gate.release();
+
+        let claimed = claimer
+            .join()
+            .expect("claimer must not propagate the panic");
+        let joined = joiner.join().expect("joiner must not hang or panic");
+        assert!(
+            claimed
+                .run
+                .frame
+                .contains("internal error: engine exploded"),
+            "{}",
+            claimed.run.frame
+        );
+        assert_eq!(joined.provenance, Provenance::Coalesced);
+        assert_eq!(joined.run.frame, claimed.run.frame);
+        assert_eq!(srv.metric(MetricId::ServeRunsExecuted), 1);
+        assert_eq!(srv.metric(MetricId::ServeCoalesced), 1);
+    }
+
+    #[test]
+    fn cache_eviction_churn_during_flight_keeps_coalescing_intact() {
+        let srv = Arc::new(Server::new(1));
+        let gate = Gate::new();
+
+        let claimer = {
+            let srv = srv.clone();
+            let gate = gate.clone();
+            std::thread::spawn(move || {
+                srv.respond_inner(1, false, move || {
+                    gate.enter_and_hold();
+                    CachedRun {
+                        events_ndjson: String::new(),
+                        frame: "slow".to_string(),
+                    }
+                })
+            })
+        };
+        gate.wait_entered();
+
+        // Churn the one-slot cache while hash 1 is in flight: hash 2 is
+        // cached then evicted by hash 3.
+        for h in [2u64, 3] {
+            let resp = srv.respond_inner(h, false, move || CachedRun {
+                events_ndjson: String::new(),
+                frame: format!("r{h}"),
+            });
+            assert_eq!(resp.provenance, Provenance::CacheMiss);
+        }
+
+        let joiner = {
+            let srv = srv.clone();
+            std::thread::spawn(move || {
+                srv.respond_inner(1, false, || {
+                    unreachable!("joiner must coalesce, not execute")
+                })
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        gate.release();
+
+        let claimed = claimer.join().expect("claimer");
+        let joined = joiner.join().expect("joiner");
+        assert_eq!(claimed.run.frame, "slow");
+        assert_eq!(joined.provenance, Provenance::Coalesced);
+        assert_eq!(joined.run.frame, "slow");
+        // Exactly three cold executions: hashes 1, 2 and 3 — the eviction
+        // churn neither re-ran nor lost the in-flight request.
+        assert_eq!(srv.metric(MetricId::ServeRunsExecuted), 3);
+        assert_eq!(srv.metric(MetricId::ServeCoalesced), 1);
+        // The in-flight run landed in the cache after the churn.
+        let resp = srv.respond_inner(1, false, || unreachable!("cached"));
+        assert_eq!(resp.provenance, Provenance::CacheHit);
+        assert_eq!(resp.run.frame, "slow");
     }
 }

@@ -161,6 +161,51 @@ fn failing_scenarios_answer_with_cached_error_frames() {
 }
 
 #[test]
+fn default_schedule_injection_changes_the_hash_but_respects_embedded_ones() {
+    let sched = wormcast_sim::Schedule {
+        ramp: Some(wormcast_sim::LoadRamp::linear(0.5, 2.0, 40.0)),
+        ..Default::default()
+    };
+    let plain = Server::new(4);
+    let scheduled = Server::new(4).with_default_schedule(sched.clone());
+    let req = request("Db", 8, false);
+
+    // A schedule-less request picks up the server default *before* hashing:
+    // the two servers answer under different config hashes, so a scheduled
+    // and an unscheduled answer can never alias in a shared cache.
+    let bare = plain.respond(&req);
+    let injected = scheduled.respond(&req);
+    assert!(
+        bare.run.frame.starts_with("{\"result\":"),
+        "{}",
+        bare.run.frame
+    );
+    assert!(
+        injected.run.frame.starts_with("{\"result\":"),
+        "{}",
+        injected.run.frame
+    );
+    assert_ne!(
+        bare.config_hash, injected.config_hash,
+        "injected schedule must be part of the request identity"
+    );
+
+    // A request carrying its own schedule is untouched — both servers see
+    // the same identity and produce byte-identical frames.
+    let mut owned = request("Db", 8, false);
+    owned.scenario.schedule = Some(sched);
+    let a = plain.respond(&owned);
+    let b = scheduled.respond(&owned);
+    assert_eq!(a.config_hash, b.config_hash);
+    assert_eq!(a.run.frame, b.run.frame);
+    assert_eq!(
+        owned.config_hash(),
+        injected.config_hash,
+        "injection is equivalent to the client embedding the schedule"
+    );
+}
+
+#[test]
 fn malformed_lines_are_answered_in_band() {
     let server = Server::new(4);
     let mut out = Vec::new();

@@ -13,7 +13,9 @@
 //! * [`active_set`] — bitmap index sets ([`ActiveSet`]) for dense id
 //!   worklists;
 //! * [`rng`] — seeded, labelled random substreams ([`SimRng`]);
-//! * [`dist`] — the sampling distributions the workloads need.
+//! * [`dist`] — the sampling distributions the workloads need;
+//! * [`schedule`] — dynamic scenario schedules ([`Schedule`]): load ramps,
+//!   link-bandwidth modulation, hotspot drift and trace replay.
 //!
 //! Engines (e.g. `wormcast-network`) own an [`EventQueue`] over their own event
 //! enum and drive the classic loop:
@@ -40,6 +42,7 @@ pub mod active_set;
 pub mod dist;
 pub mod queue;
 pub mod rng;
+pub mod schedule;
 pub mod sharded;
 pub mod time;
 pub mod wheel;
@@ -50,6 +53,10 @@ pub use dist::{
 };
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
+pub use schedule::{
+    HotspotDrift, LinkModulation, LoadRamp, RampPoint, ReplayEntry, Schedule, SpeedTransition,
+    TraceReplay, MAX_PHASE_MARKS,
+};
 pub use sharded::{Round, ShardedScheduler, SpinBarrier};
 pub use time::{SimDuration, SimTime, PS_PER_MS, PS_PER_US};
 pub use wheel::CalendarWheel;

@@ -37,6 +37,7 @@ pub use report::{Failure, Report};
 pub use run::{run_scenario, run_scenario_with, Outcome, RunOptions};
 pub use scenario::{Family, Scenario, TopoSpec, WorkloadSpec};
 pub use schema::{
-    canonical_json, scenario_from_json, RequestedOutputs, ScenarioRequest, SCHEMA_VERSION,
+    canonical_json, scenario_from_json, schedule_from_json, RequestedOutputs, ScenarioRequest,
+    SCHEMA_VERSION, SCHEMA_VERSION_MIN,
 };
 pub use shrink::{repro_test, shrink};

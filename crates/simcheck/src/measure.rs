@@ -132,11 +132,14 @@ fn measure_mesh(
     let alg = s.workload.algorithm();
     let cfg = base_cfg(s, alg);
     let plan = fault_plan(s, &mesh);
+    let (transitions, marks) = crate::run::schedule_artifacts(s, &mesh);
     let (injections, mut drivers) = mesh_workload(s, &mesh);
     if shards > 1 {
         let mut net = ShardedNetwork::new(mesh.clone(), cfg, shards, || routing_for(alg, &mesh))
             .map_err(|e| e.to_string())?;
         net.schedule_faults(&plan);
+        net.schedule_speed_transitions(&transitions);
+        net.schedule_phase_marks(&marks);
         if events_rep.is_some() {
             net.enable_trace(TRACE_CAP);
         }
@@ -160,6 +163,8 @@ fn measure_mesh(
     } else {
         let mut net = Network::new(mesh.clone(), cfg, routing_for(alg, &mesh));
         net.schedule_faults(&plan);
+        net.schedule_speed_transitions(&transitions);
+        net.schedule_phase_marks(&marks);
         run_single(&mut net, &injections, &mut drivers, events_rep)
     }
 }
@@ -327,6 +332,7 @@ mod tests {
             fail_stop_rate: 0.0,
             transient_rate: 0.0,
             watchdog_us: 0.0,
+            schedule: None,
         }
     }
 

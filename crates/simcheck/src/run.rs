@@ -28,14 +28,18 @@ use wormcast_network::{
 #[cfg(feature = "invariants")]
 use wormcast_network::{InvariantChecker, MessageId};
 use wormcast_routing::{dor_path, CodedPath, TorusDor};
-use wormcast_sim::{SimRng, SimTime};
-use wormcast_topology::{Mesh, NodeId, Topology, Torus};
+use wormcast_sim::{SimRng, SimTime, SpeedTransition};
+use wormcast_topology::{ChannelId, Mesh, NodeId, Topology, Torus};
 use wormcast_workload::{random_destinations, routing_for, BroadcastTracker};
 
 use crate::scenario::{Family, Scenario, TopoSpec, WorkloadSpec};
 
 /// Trace capacity per engine run (same bound the differential suite uses).
 pub(crate) const TRACE_CAP: usize = 4_000_000;
+
+/// The offered-traffic window every stochastic arrival lands in, in µs —
+/// also the horizon schedule phase marks are materialized against.
+pub(crate) const ARRIVAL_WINDOW_US: f64 = 40.0;
 
 /// Shard counts every mesh scenario is re-run at (each twice, for the
 /// run-to-run determinism check). A count is skipped when it exceeds the
@@ -301,27 +305,60 @@ pub(crate) fn fault_plan(s: &Scenario, mesh: &Mesh) -> FaultPlan {
     FaultPlan::sample(mesh, &spec, &mut rng)
 }
 
+/// The scenario's schedule-derived engine inputs: link-speed transitions
+/// (materialized from the dedicated `simcheck-schedule` substream and
+/// filtered to physically present channels — the raw channel id space has
+/// boundary slots with no link) plus deterministic phase marks. Every
+/// engine leg of the scenario applies the same artifacts in the same order,
+/// which is what keeps the differential oracle and the sharded runs honest
+/// under schedules.
+pub(crate) fn schedule_artifacts(
+    s: &Scenario,
+    mesh: &Mesh,
+) -> (Vec<SpeedTransition>, Vec<(SimTime, u32)>) {
+    let Some(sched) = &s.schedule else {
+        return (Vec::new(), Vec::new());
+    };
+    let mut rng = SimRng::for_replication(s.seed, s.index).substream("simcheck-schedule");
+    let mut transitions = sched.speed_transitions(mesh.num_channels(), &mut rng);
+    transitions.retain(|t| mesh.channel_exists(ChannelId(t.channel)));
+    (transitions, sched.phase_marks(ARRIVAL_WINDOW_US))
+}
+
 /// Materialize the background unicast stream (Unicasts / Mixed workloads).
+/// A schedule warps arrival draws through the load ramp and biases
+/// destinations toward the drifting hotspot; without one, the draw sequence
+/// is byte-identical to the historical stationary plan.
 fn unicast_plan(s: &Scenario, mesh: &Mesh, alg: Algorithm, n: u32, max_len: u64) -> Vec<Injection> {
     let mut rng = SimRng::for_replication(s.seed, s.index).substream("simcheck-unicasts");
     let nodes = mesh.num_nodes();
     let adaptive = alg == Algorithm::Ab;
+    let sched = s.schedule.clone().unwrap_or_default();
     (0..n)
         .map(|i| {
             let src = NodeId(rng.index(nodes) as u32);
-            let dst = loop {
+            let mut dst = loop {
                 let d = NodeId(rng.index(nodes) as u32);
                 if d != src {
                     break d;
                 }
             };
+            let at_us = sched.warp_arrival(rng.unit(), ARRIVAL_WINDOW_US);
+            if let Some(h) = &sched.hotspot {
+                if rng.chance(h.weight) {
+                    let hot = NodeId(h.position_at(at_us, nodes));
+                    if hot != src {
+                        dst = hot;
+                    }
+                }
+            }
             let route = if adaptive {
                 Route::Adaptive { dst }
             } else {
                 Route::Fixed(CodedPath::unicast(mesh, dor_path(mesh, src, dst)))
             };
             Injection {
-                at: SimTime::from_us(rng.unit() * 40.0),
+                at: SimTime::from_us(at_us),
                 spec: MessageSpec {
                     src,
                     route,
@@ -335,6 +372,40 @@ fn unicast_plan(s: &Scenario, mesh: &Mesh, alg: Algorithm, n: u32, max_len: u64)
         .collect()
 }
 
+/// Materialize the schedule's trace-replay dimension as extra offered
+/// traffic: each recorded entry becomes one fixed-route unicast at its
+/// recorded time, in a dedicated `OpId` range so replayed messages never
+/// collide with workload operations.
+fn replay_plan(s: &Scenario, mesh: &Mesh) -> Vec<Injection> {
+    let Some(replay) = s.schedule.as_ref().and_then(|x| x.replay.as_ref()) else {
+        return Vec::new();
+    };
+    let nodes = mesh.num_nodes() as u32;
+    replay
+        .entries
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| {
+            let src = NodeId(e.src % nodes);
+            let dst = NodeId(e.dst % nodes);
+            if src == dst {
+                return None;
+            }
+            Some(Injection {
+                at: SimTime::from_us(e.at_us),
+                spec: MessageSpec {
+                    src,
+                    route: Route::Fixed(CodedPath::unicast(mesh, dor_path(mesh, src, dst))),
+                    length: e.length.max(1),
+                    op: OpId(500_000 + i as u64),
+                    tag: 0,
+                    charge_startup: true,
+                },
+            })
+        })
+        .collect()
+}
+
 /// Materialize injections and drivers for a mesh scenario. Node indices are
 /// taken modulo the (possibly shrunk) mesh size.
 ///
@@ -344,7 +415,7 @@ fn unicast_plan(s: &Scenario, mesh: &Mesh, alg: Algorithm, n: u32, max_len: u64)
 pub(crate) fn mesh_workload(s: &Scenario, mesh: &Mesh) -> (Vec<Injection>, Vec<Box<dyn Driver>>) {
     let nodes = mesh.num_nodes();
     let clamp = |raw: u32| NodeId(raw % nodes as u32);
-    match s.workload {
+    let (mut injections, drivers): (Vec<Injection>, Vec<Box<dyn Driver>>) = match s.workload {
         WorkloadSpec::Single { alg, src, length } => {
             let src = clamp(src);
             let schedule = alg.schedule(mesh, src);
@@ -427,7 +498,9 @@ pub(crate) fn mesh_workload(s: &Scenario, mesh: &Mesh) -> (Vec<Injection>, Vec<B
             (Vec::new(), drivers)
         }
         WorkloadSpec::TorusRing { .. } => unreachable!("torus workload on a mesh scenario"),
-    }
+    };
+    injections.extend(replay_plan(s, mesh));
+    (injections, drivers)
 }
 
 /// Receivers a spec's route must deliver to — the exactly-once expectation.
@@ -572,6 +645,9 @@ fn run_sharded(
         }
         Family::InvariantOnly => net.schedule_faults(plan),
     }
+    let (transitions, marks) = schedule_artifacts(s, mesh);
+    net.schedule_speed_transitions(&transitions);
+    net.schedule_phase_marks(&marks);
     net.enable_trace(TRACE_CAP);
     let (injections, mut drivers) = mesh_workload(s, mesh);
     for inj in &injections {
@@ -618,6 +694,8 @@ fn execute_mesh(s: &Scenario, dims: &[u16], opts: RunOptions) -> Outcome {
     let plan = fault_plan(s, &mesh);
 
     // Active-set engine, with the event-level checker attached when built in.
+    let (transitions, marks) = schedule_artifacts(s, &mesh);
+
     let arena_cfg = cfg.with_invariant_checks(cfg!(feature = "invariants"));
     let mut net = Network::new(mesh.clone(), arena_cfg, routing_for(alg, &mesh));
     #[cfg(feature = "invariants")]
@@ -640,6 +718,8 @@ fn execute_mesh(s: &Scenario, dims: &[u16], opts: RunOptions) -> Outcome {
         // Watchdog/transient regimes use the engine's fault scheduler.
         Family::InvariantOnly => net.schedule_faults(&plan),
     }
+    net.schedule_speed_transitions(&transitions);
+    net.schedule_phase_marks(&marks);
     #[cfg(feature = "invariants")]
     let on_inject = |id: MessageId, spec: &MessageSpec| {
         checker.expect_exactly_once(id, receivers_of(&mesh, spec), spec.length);
@@ -668,6 +748,8 @@ fn execute_mesh(s: &Scenario, dims: &[u16], opts: RunOptions) -> Outcome {
             for ch in plan.dead_at_start() {
                 cnet.fail_channel(ch);
             }
+            cnet.schedule_speed_transitions(&transitions);
+            cnet.schedule_phase_marks(&marks);
             let (cinjections, mut cdrivers) = mesh_workload(s, &mesh);
             let classic_rec = drive!(&mut cnet, cinjections, cdrivers, |_, _: &MessageSpec| {});
             compare(&classic_rec, &arena_rec)

@@ -8,10 +8,12 @@
 //! fully reproducible from those two numbers alone — and stays meaningful
 //! after the shrinker has mutated its fields.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::ReleaseMode;
-use wormcast_sim::SimRng;
+use wormcast_sim::{
+    HotspotDrift, LinkModulation, LoadRamp, RampPoint, ReplayEntry, Schedule, SimRng, TraceReplay,
+};
 use wormcast_workload::MulticastScheme;
 
 /// Which topology the scenario runs on.
@@ -143,7 +145,12 @@ pub enum Family {
 
 /// One self-describing simulation case. See the module docs for how the
 /// `(seed, index)` pair pins down every derived random choice.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize` is hand-written (not derived) so that `schedule: None`
+/// produces the exact pre-schedule encoding — the vendored facade renders
+/// derived `Option::None` fields as JSON `null`, which would silently move
+/// every persisted v1 canonical form and config hash.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Master seed of the campaign this scenario came from.
     pub seed: u64,
@@ -162,6 +169,103 @@ pub struct Scenario {
     /// Delivery-watchdog timeout in µs (0 = off; > 0 forces
     /// [`Family::InvariantOnly`] — the oracle has no watchdog).
     pub watchdog_us: f64,
+    /// Dynamic scenario schedule (load ramp, link modulation, hotspot
+    /// drift, trace replay); `None` = stationary scenario. Schema v2 only.
+    pub schedule: Option<Schedule>,
+}
+
+impl Serialize for Scenario {
+    fn to_value(&self) -> Value {
+        let mut obj = vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("index".to_string(), self.index.to_value()),
+            ("topo".to_string(), self.topo.to_value()),
+            ("mode".to_string(), self.mode.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("fail_stop_rate".to_string(), self.fail_stop_rate.to_value()),
+            ("transient_rate".to_string(), self.transient_rate.to_value()),
+            ("watchdog_us".to_string(), self.watchdog_us.to_value()),
+        ];
+        if let Some(sched) = &self.schedule {
+            obj.push(("schedule".to_string(), schedule_value(sched)));
+        }
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for Scenario {}
+
+fn kv(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// The `Value` encoding of a [`Schedule`]: one object key per active
+/// dimension, absent dimensions omitted entirely (never `null`).
+pub fn schedule_value(s: &Schedule) -> Value {
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    if let Some(r) = &s.ramp {
+        let points: Vec<Value> = r
+            .points
+            .iter()
+            .map(|p| {
+                kv(vec![
+                    ("t_us", p.t_us.to_value()),
+                    ("rate", p.rate.to_value()),
+                ])
+            })
+            .collect();
+        entries.push((
+            "ramp".to_string(),
+            kv(vec![("points", Value::Array(points))]),
+        ));
+    }
+    if let Some(m) = &s.modulation {
+        entries.push((
+            "modulation".to_string(),
+            kv(vec![
+                ("period_us", m.period_us.to_value()),
+                ("duty", m.duty.to_value()),
+                ("factor", m.factor.to_value()),
+                ("fraction", m.fraction.to_value()),
+                ("windows", m.windows.to_value()),
+            ]),
+        ));
+    }
+    if let Some(h) = &s.hotspot {
+        entries.push((
+            "hotspot".to_string(),
+            kv(vec![
+                ("start", h.start.to_value()),
+                ("stride", h.stride.to_value()),
+                ("step_us", h.step_us.to_value()),
+                ("weight", h.weight.to_value()),
+            ]),
+        ));
+    }
+    if let Some(r) = &s.replay {
+        let es: Vec<Value> = r
+            .entries
+            .iter()
+            .map(|e| {
+                kv(vec![
+                    ("at_us", e.at_us.to_value()),
+                    ("src", e.src.to_value()),
+                    ("dst", e.dst.to_value()),
+                    ("length", e.length.to_value()),
+                ])
+            })
+            .collect();
+        entries.push((
+            "replay".to_string(),
+            kv(vec![("entries", Value::Array(es))]),
+        ));
+    }
+    Value::Object(entries)
 }
 
 impl Scenario {
@@ -272,6 +376,84 @@ impl Scenario {
             }
         };
 
+        // Dynamic schedule (mesh only; drawn last so pre-schedule fields
+        // keep their historical values for every `(seed, index)` pair).
+        let schedule = match &topo {
+            TopoSpec::Torus(_) => None,
+            TopoSpec::Mesh(_) => {
+                if rng.chance(0.35) {
+                    let mut sched = Schedule::default();
+                    if rng.chance(0.55) {
+                        let from = 0.2 + 0.6 * rng.unit();
+                        let to = 1.0 + 1.5 * rng.unit();
+                        sched.ramp = Some(if rng.chance(0.3) {
+                            LoadRamp {
+                                points: vec![
+                                    RampPoint {
+                                        t_us: 0.0,
+                                        rate: from,
+                                    },
+                                    RampPoint {
+                                        t_us: 10.0 + 10.0 * rng.unit(),
+                                        rate: to,
+                                    },
+                                    RampPoint {
+                                        t_us: 30.0 + 10.0 * rng.unit(),
+                                        rate: from,
+                                    },
+                                ],
+                            }
+                        } else {
+                            LoadRamp::linear(from, to, 40.0)
+                        });
+                    }
+                    if rng.chance(0.4) {
+                        sched.modulation = Some(LinkModulation {
+                            period_us: 8.0 + 12.0 * rng.unit(),
+                            duty: 0.3 + 0.4 * rng.unit(),
+                            factor: 2 + rng.index(3) as u32,
+                            fraction: 0.15 + 0.35 * rng.unit(),
+                            windows: 2 + rng.index(3) as u32,
+                        });
+                    }
+                    if rng.chance(0.35) {
+                        sched.hotspot = Some(HotspotDrift {
+                            start: rng.index(nodes) as u32,
+                            stride: 1 + rng.index(4) as u32,
+                            step_us: 5.0 + 10.0 * rng.unit(),
+                            weight: 0.3 + 0.5 * rng.unit(),
+                        });
+                    }
+                    if rng.chance(0.15) {
+                        let n = 3 + rng.index(8);
+                        let entries: Vec<ReplayEntry> = (0..n)
+                            .map(|_| {
+                                let src = rng.index(nodes) as u32;
+                                let mut dst = rng.index(nodes) as u32;
+                                if dst == src {
+                                    dst = (dst + 1) % nodes as u32;
+                                }
+                                ReplayEntry {
+                                    at_us: rng.unit() * 40.0,
+                                    src,
+                                    dst,
+                                    length: 1 + rng.index(24) as u64,
+                                }
+                            })
+                            .collect();
+                        sched.replay = Some(TraceReplay { entries });
+                    }
+                    if sched.is_empty() {
+                        None
+                    } else {
+                        Some(sched)
+                    }
+                } else {
+                    None
+                }
+            }
+        };
+
         Scenario {
             seed,
             index,
@@ -281,6 +463,7 @@ impl Scenario {
             fail_stop_rate,
             transient_rate,
             watchdog_us,
+            schedule,
         }
     }
 }
@@ -318,6 +501,13 @@ mod tests {
                 assert_eq!(s.mode, ReleaseMode::AfterTailCrossing);
                 assert!(!s.has_faults(), "torus scenarios stay fault-free");
                 assert!(matches!(s.workload, WorkloadSpec::TorusRing { .. }));
+                assert!(s.schedule.is_none(), "torus scenarios stay stationary");
+            }
+            if let Some(sched) = &s.schedule {
+                assert!(!sched.is_empty(), "generated schedules are non-empty");
+                sched
+                    .validate()
+                    .unwrap_or_else(|e| panic!("scenario {i}: {e}"));
             }
             if let TopoSpec::Mesh(d) = &s.topo {
                 if d.len() == 2 {
@@ -359,5 +549,26 @@ mod tests {
             kinds.iter().all(|&k| k > 0),
             "all workloads reachable: {kinds:?}"
         );
+    }
+
+    #[test]
+    fn every_schedule_dimension_is_reachable() {
+        let (mut ramps, mut mods, mut hots, mut replays, mut none) = (0, 0, 0, 0, 0);
+        for i in 0..600 {
+            match Scenario::generate(9, i).schedule {
+                None => none += 1,
+                Some(sched) => {
+                    ramps += sched.ramp.is_some() as u32;
+                    mods += sched.modulation.is_some() as u32;
+                    hots += sched.hotspot.is_some() as u32;
+                    replays += sched.replay.is_some() as u32;
+                }
+            }
+        }
+        assert!(none > 200, "stationary scenarios stay the majority: {none}");
+        assert!(ramps > 10, "load ramps are sampled: {ramps}");
+        assert!(mods > 10, "link modulation is sampled: {mods}");
+        assert!(hots > 10, "hotspot drift is sampled: {hots}");
+        assert!(replays > 3, "trace replay is sampled: {replays}");
     }
 }

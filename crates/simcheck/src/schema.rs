@@ -20,14 +20,23 @@
 use serde::{Serialize, Value};
 use wormcast_broadcast::Algorithm;
 use wormcast_network::ReleaseMode;
+use wormcast_sim::{
+    HotspotDrift, LinkModulation, LoadRamp, RampPoint, ReplayEntry, Schedule, TraceReplay,
+};
 use wormcast_workload::MulticastScheme;
 
 use crate::scenario::{Scenario, TopoSpec, WorkloadSpec};
 
-/// Current request-schema version. Decoders reject anything else; bump it
-/// when a field changes meaning (adding optional fields with defaults is
-/// backwards compatible and does not need a bump).
-pub const SCHEMA_VERSION: u64 = 1;
+/// Current request-schema version. Decoders accept `1..=SCHEMA_VERSION` and
+/// reject anything else; v2 added the optional `scenario.schedule` object
+/// (dynamic load ramps, link modulation, hotspot drift, trace replay).
+/// A v1 request (necessarily schedule-free) canonicalizes and hashes to the
+/// exact bytes it always did — the schedule key is omitted when absent,
+/// never `null`.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest request-schema version decoders still accept.
+pub const SCHEMA_VERSION_MIN: u64 = 1;
 
 /// Which response streams a request wants.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
@@ -105,13 +114,19 @@ impl ScenarioRequest {
     pub fn from_value(v: &Value) -> Result<Self, String> {
         let obj = as_object(v, "request")?;
         let version = get_u64(obj, "v")?.ok_or("request lacks the schema version field `v`")?;
-        if version != SCHEMA_VERSION {
+        if !(SCHEMA_VERSION_MIN..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported schema version {version} (this build speaks v{SCHEMA_VERSION})"
+                "unsupported schema version {version} \
+                 (this build speaks v{SCHEMA_VERSION_MIN}..=v{SCHEMA_VERSION})"
             ));
         }
         let scenario = field(obj, "scenario").ok_or("request lacks `scenario`")?;
         let scenario = scenario_from_value(scenario)?;
+        if scenario.schedule.is_some() && version < 2 {
+            return Err(format!(
+                "`scenario.schedule` requires schema v2 (request declared v{version})"
+            ));
+        }
         let reps = get_u64(obj, "reps")?.unwrap_or(1);
         if reps == 0 {
             return Err("`reps` must be at least 1".to_string());
@@ -329,7 +344,89 @@ fn workload_from(v: &Value) -> Result<WorkloadSpec, String> {
     }
 }
 
-/// Decode a [`Scenario`] from its derive-produced `Value` encoding.
+/// Decode the optional schedule object. Strict: an unknown schedule kind is
+/// an error, not a silent skip — a typo'd or future dimension must never
+/// degrade to "ran without it".
+fn schedule_from(v: &Value) -> Result<Schedule, String> {
+    let obj = as_object(v, "schedule")?;
+    let mut sched = Schedule::default();
+    for (key, val) in obj {
+        match key.as_str() {
+            "ramp" => {
+                let r = as_object(val, "ramp")?;
+                let pts = field(r, "points").ok_or("ramp lacks `points`")?;
+                let Value::Array(pts) = pts else {
+                    return Err(format!("`points` must be an array, got {pts:?}"));
+                };
+                let points = pts
+                    .iter()
+                    .map(|p| {
+                        let p = as_object(p, "ramp point")?;
+                        Ok(RampPoint {
+                            t_us: get_f64(p, "t_us")?,
+                            rate: get_f64(p, "rate")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                sched.ramp = Some(LoadRamp { points });
+            }
+            "modulation" => {
+                let m = as_object(val, "modulation")?;
+                sched.modulation = Some(LinkModulation {
+                    period_us: get_f64(m, "period_us")?,
+                    duty: get_f64(m, "duty")?,
+                    factor: req_u32(m, "factor")?,
+                    fraction: get_f64(m, "fraction")?,
+                    windows: req_u32(m, "windows")?,
+                });
+            }
+            "hotspot" => {
+                let h = as_object(val, "hotspot")?;
+                sched.hotspot = Some(HotspotDrift {
+                    start: req_u32(h, "start")?,
+                    stride: req_u32(h, "stride")?,
+                    step_us: get_f64(h, "step_us")?,
+                    weight: get_f64(h, "weight")?,
+                });
+            }
+            "replay" => {
+                let r = as_object(val, "replay")?;
+                let es = field(r, "entries").ok_or("replay lacks `entries`")?;
+                let Value::Array(es) = es else {
+                    return Err(format!("`entries` must be an array, got {es:?}"));
+                };
+                let entries = es
+                    .iter()
+                    .map(|e| {
+                        let e = as_object(e, "replay entry")?;
+                        Ok(ReplayEntry {
+                            at_us: get_f64(e, "at_us")?,
+                            src: req_u32(e, "src")?,
+                            dst: req_u32(e, "dst")?,
+                            length: req_u64(e, "length")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                sched.replay = Some(TraceReplay { entries });
+            }
+            other => {
+                return Err(format!(
+                    "unknown schedule kind `{other}` \
+                     (this build knows ramp, modulation, hotspot, replay)"
+                ));
+            }
+        }
+    }
+    if sched.is_empty() {
+        return Err("schedule must enable at least one dimension".to_string());
+    }
+    sched
+        .validate()
+        .map_err(|e| format!("invalid schedule: {e}"))?;
+    Ok(sched)
+}
+
+/// Decode a [`Scenario`] from its `Value` encoding.
 ///
 /// # Errors
 /// Returns a description of the first offending field.
@@ -337,6 +434,10 @@ pub fn scenario_from_value(v: &Value) -> Result<Scenario, String> {
     let obj = as_object(v, "scenario")?;
     let topo = topo_from(field(obj, "topo").ok_or("scenario lacks `topo`")?)?;
     let workload = workload_from(field(obj, "workload").ok_or("scenario lacks `workload`")?)?;
+    let schedule = match field(obj, "schedule") {
+        None => None,
+        Some(v) => Some(schedule_from(v)?),
+    };
     let scenario = Scenario {
         seed: req_u64(obj, "seed")?,
         index: req_u64(obj, "index")?,
@@ -346,6 +447,7 @@ pub fn scenario_from_value(v: &Value) -> Result<Scenario, String> {
         fail_stop_rate: get_f64(obj, "fail_stop_rate")?,
         transient_rate: get_f64(obj, "transient_rate")?,
         watchdog_us: get_f64(obj, "watchdog_us")?,
+        schedule,
     };
     for (name, rate) in [
         ("fail_stop_rate", scenario.fail_stop_rate),
@@ -374,6 +476,17 @@ pub fn scenario_from_value(v: &Value) -> Result<Scenario, String> {
 pub fn scenario_from_json(text: &str) -> Result<Scenario, String> {
     let v = serde_json::from_str(text).map_err(|e| e.to_string())?;
     scenario_from_value(&v)
+}
+
+/// Decode a bare [`Schedule`] from JSON text (the `--schedule FILE` shape
+/// on the drivers and serve; the same object embeds in a v2 request under
+/// `scenario.schedule`). Strict and validated, like the request path.
+///
+/// # Errors
+/// Returns a description of the syntax error or the first offending field.
+pub fn schedule_from_json(text: &str) -> Result<Schedule, String> {
+    let v = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    schedule_from(&v)
 }
 
 #[cfg(test)]
@@ -409,7 +522,8 @@ mod tests {
 
     #[test]
     fn request_defaults_apply() {
-        let s = Scenario::generate(3, 0);
+        let mut s = Scenario::generate(3, 0);
+        s.schedule = None; // pinning v:1 below, which rejects schedules
         let json = format!("{{\"v\":1,\"scenario\":{}}}", canonical_json(&s));
         let req = ScenarioRequest::from_json(&json).expect("minimal request");
         assert_eq!(req.reps, 1);
@@ -421,8 +535,12 @@ mod tests {
 
     #[test]
     fn version_gate_and_field_errors() {
-        let s = canonical_json(&Scenario::generate(3, 0));
-        let e = ScenarioRequest::from_json(&format!("{{\"v\":2,\"scenario\":{s}}}")).unwrap_err();
+        let mut sc = Scenario::generate(3, 0);
+        sc.schedule = None; // the v:1 legs below must not trip the schedule gate
+        let s = canonical_json(&sc);
+        let e = ScenarioRequest::from_json(&format!("{{\"v\":3,\"scenario\":{s}}}")).unwrap_err();
+        assert!(e.contains("unsupported schema version"), "{e}");
+        let e = ScenarioRequest::from_json(&format!("{{\"v\":0,\"scenario\":{s}}}")).unwrap_err();
         assert!(e.contains("unsupported schema version"), "{e}");
         let e = ScenarioRequest::from_json("{\"v\":1}").unwrap_err();
         assert!(e.contains("scenario"), "{e}");
@@ -431,6 +549,81 @@ mod tests {
         let e = ScenarioRequest::from_json(&format!("{{\"v\":1,\"scenario\":{s},\"reps\":0}}"))
             .unwrap_err();
         assert!(e.contains("reps"), "{e}");
+    }
+
+    fn scheduled_scenario() -> Scenario {
+        let mut s = Scenario::generate(3, 0);
+        s.schedule = Some(Schedule {
+            ramp: Some(LoadRamp::linear(0.25, 2.0, 40.0)),
+            modulation: Some(LinkModulation {
+                period_us: 10.0,
+                duty: 0.5,
+                factor: 4,
+                fraction: 0.3,
+                windows: 3,
+            }),
+            hotspot: Some(HotspotDrift {
+                start: 5,
+                stride: 3,
+                step_us: 8.0,
+                weight: 0.6,
+            }),
+            replay: Some(TraceReplay {
+                entries: vec![ReplayEntry {
+                    at_us: 1.5,
+                    src: 0,
+                    dst: 7,
+                    length: 12,
+                }],
+            }),
+        });
+        s
+    }
+
+    #[test]
+    fn scheduled_scenarios_round_trip() {
+        round_trip(&scheduled_scenario());
+        let req = ScenarioRequest::new(scheduled_scenario());
+        let back = ScenarioRequest::from_json(&req.canonical_json()).expect("v2 round trip");
+        assert_eq!(req, back);
+        assert_eq!(req.v, 2);
+    }
+
+    #[test]
+    fn schedule_decoding_is_strict() {
+        let mut s = canonical_json(&scheduled_scenario());
+        // A v1 request carrying a schedule is rejected outright.
+        let e = ScenarioRequest::from_json(&format!("{{\"v\":1,\"scenario\":{s}}}")).unwrap_err();
+        assert!(e.contains("requires schema v2"), "{e}");
+        // An unknown schedule kind is an error, not a silent skip.
+        s = s.replace("\"ramp\":", "\"surge\":");
+        let e = ScenarioRequest::from_json(&format!("{{\"v\":2,\"scenario\":{s}}}")).unwrap_err();
+        assert!(e.contains("unknown schedule kind `surge`"), "{e}");
+        // An empty schedule object is rejected.
+        let bare = canonical_json(&Scenario::generate(3, 0));
+        let with_empty = bare.replacen("{", "{\"schedule\":{},", 1);
+        let e = ScenarioRequest::from_json(&format!("{{\"v\":2,\"scenario\":{with_empty}}}"))
+            .unwrap_err();
+        assert!(e.contains("at least one dimension"), "{e}");
+        // A malformed dimension is rejected by the schedule validator.
+        let mut sched = scheduled_scenario();
+        if let Some(x) = &mut sched.schedule {
+            x.modulation.as_mut().unwrap().factor = 1;
+        }
+        let e = ScenarioRequest::from_json(&format!(
+            "{{\"v\":2,\"scenario\":{}}}",
+            canonical_json(&sched)
+        ))
+        .unwrap_err();
+        assert!(e.contains("invalid schedule"), "{e}");
+    }
+
+    #[test]
+    fn schedule_changes_the_config_hash() {
+        let mut plain = ScenarioRequest::new(Scenario::generate(3, 0));
+        plain.scenario.schedule = None;
+        let scheduled = ScenarioRequest::new(scheduled_scenario());
+        assert_ne!(plain.config_hash(), scheduled.config_hash());
     }
 
     #[test]
@@ -464,13 +657,8 @@ mod tests {
         assert_ne!(req.config_hash(), other.config_hash());
     }
 
-    #[test]
-    fn config_hash_pinned_value() {
-        // The hash is part of the wire contract (cache keys, provenance
-        // events). This pins the v1 value for one concrete scenario; if it
-        // moves, either the canonical encoding or FNV changed — both are
-        // schema breaks that need a version bump.
-        let s = Scenario {
+    fn pinned_scenario() -> Scenario {
+        Scenario {
             seed: 7,
             index: 3,
             topo: TopoSpec::Mesh(vec![4, 4]),
@@ -483,12 +671,44 @@ mod tests {
             fail_stop_rate: 0.0,
             transient_rate: 0.0,
             watchdog_us: 0.0,
-        };
-        let req = ScenarioRequest::new(s);
+            schedule: None,
+        }
+    }
+
+    #[test]
+    fn config_hash_pinned_value() {
+        // The hash is part of the wire contract (cache keys, provenance
+        // events). This pins the value for one concrete scenario; if it
+        // moves, either the canonical encoding or FNV changed — both are
+        // schema breaks that need a version bump.
+        let req = ScenarioRequest::new(pinned_scenario());
         assert_eq!(
             req.config_hash(),
             fnv1a64(req_physics_bytes(&req).as_bytes())
         );
+    }
+
+    #[test]
+    fn v1_requests_decode_and_hash_identically() {
+        // The exact hash a v1 build produced for this request, captured
+        // before the v2 (schedule) extension landed. A schedule-free v1
+        // request must keep canonicalizing and hashing to the same bytes
+        // forever — serve caches and provenance logs key on it.
+        const PINNED_V1_HASH: u64 = 0xef3c_22ab_242e_70e7;
+        let mut req = ScenarioRequest::new(pinned_scenario());
+        req.v = 1;
+        assert_eq!(req.config_hash(), PINNED_V1_HASH);
+        assert!(
+            !req.canonical_json().contains("schedule"),
+            "an absent schedule must be omitted, not null: {}",
+            req.canonical_json()
+        );
+        // And the same request arriving as v1 wire text decodes, keeps its
+        // declared version, and hashes to the pinned value.
+        let wire = req.canonical_json();
+        let back = ScenarioRequest::from_json(&wire).expect("v1 decodes");
+        assert_eq!(back.v, 1);
+        assert_eq!(back.config_hash(), PINNED_V1_HASH);
     }
 
     fn req_physics_bytes(req: &ScenarioRequest) -> String {

@@ -9,6 +9,7 @@
 //! is rendered as a ready-to-paste `#[test]` by [`repro_test`].
 
 use crate::scenario::{Scenario, TopoSpec, WorkloadSpec};
+use wormcast_sim::Schedule;
 
 /// Single-step simplifications of `s`, most aggressive first.
 fn candidates(s: &Scenario) -> Vec<Scenario> {
@@ -32,6 +33,47 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
             watchdog_us: 0.0,
             ..s.clone()
         });
+    }
+
+    // Drop the schedule next: whole thing first, then one dimension at a
+    // time (normalising a now-empty schedule back to `None` so the repro
+    // never carries a vacuous `Some`). Each step strictly decreases the
+    // number of enabled dimensions, so shrinking still terminates.
+    if let Some(sch) = &s.schedule {
+        out.push(Scenario {
+            schedule: None,
+            ..s.clone()
+        });
+        let mut without = |sched: Schedule| {
+            out.push(Scenario {
+                schedule: if sched.is_empty() { None } else { Some(sched) },
+                ..s.clone()
+            });
+        };
+        if sch.ramp.is_some() {
+            without(Schedule {
+                ramp: None,
+                ..sch.clone()
+            });
+        }
+        if sch.modulation.is_some() {
+            without(Schedule {
+                modulation: None,
+                ..sch.clone()
+            });
+        }
+        if sch.hotspot.is_some() {
+            without(Schedule {
+                hotspot: None,
+                ..sch.clone()
+            });
+        }
+        if sch.replay.is_some() {
+            without(Schedule {
+                replay: None,
+                ..sch.clone()
+            });
+        }
     }
 
     // Simplify the workload shape.
@@ -247,6 +289,14 @@ pub fn repro_test(s: &Scenario) -> String {
             format!("WorkloadSpec::TorusRing {{ src: {src}, length: {length} }}")
         }
     };
+    // The derived `Debug` form of a schedule is one `vec!` substitution away
+    // from being a valid Rust literal.
+    let schedule = match &s.schedule {
+        None => "None".to_string(),
+        Some(sch) => format!("Some({sch:?})")
+            .replace("points: [", "points: vec![")
+            .replace("entries: [", "entries: vec!["),
+    };
     let mut imports = vec![
         "use wormcast_network::ReleaseMode;",
         "use wormcast_simcheck::{run_scenario, Scenario, TopoSpec, WorkloadSpec};",
@@ -256,6 +306,25 @@ pub fn repro_test(s: &Scenario) -> String {
     }
     if workload.contains("MulticastScheme::") {
         imports.push("use wormcast_workload::MulticastScheme;");
+    }
+    let schedule_import;
+    if let Some(sch) = &s.schedule {
+        let mut names = vec!["Schedule"];
+        if sch.ramp.is_some() {
+            names.extend(["LoadRamp", "RampPoint"]);
+        }
+        if sch.modulation.is_some() {
+            names.push("LinkModulation");
+        }
+        if sch.hotspot.is_some() {
+            names.push("HotspotDrift");
+        }
+        if sch.replay.is_some() {
+            names.extend(["ReplayEntry", "TraceReplay"]);
+        }
+        names.sort_unstable();
+        schedule_import = format!("use wormcast_sim::{{{}}};", names.join(", "));
+        imports.push(&schedule_import);
     }
     imports.sort_unstable();
     format!(
@@ -271,6 +340,7 @@ pub fn repro_test(s: &Scenario) -> String {
          \x20       fail_stop_rate: {fsr:?},\n\
          \x20       transient_rate: {tr:?},\n\
          \x20       watchdog_us: {wd:?},\n\
+         \x20       schedule: {schedule},\n\
          \x20   }};\n\
          \x20   let o = run_scenario(&s);\n\
          \x20   assert!(o.is_clean(), \"{{o:?}}\");\n\
@@ -346,6 +416,7 @@ mod tests {
             fail_stop_rate: 0.0,
             transient_rate: 0.0,
             watchdog_us: 0.0,
+            schedule: None,
         };
         let t = repro_test(&s);
         assert!(t.starts_with("#[test]"), "{t}");
@@ -353,6 +424,69 @@ mod tests {
         assert!(t.contains("TopoSpec::Mesh(vec![2, 3, 2])"), "{t}");
         assert!(t.contains("Algorithm::Db"), "{t}");
         assert!(t.contains("run_scenario(&s)"), "{t}");
+        assert!(t.contains("schedule: None"), "{t}");
         assert!(!t.contains("MulticastScheme"), "unused import: {t}");
+        assert!(!t.contains("wormcast_sim::"), "unused import: {t}");
+    }
+
+    fn scheduled(mut s: Scenario) -> Scenario {
+        s.schedule = Some(Schedule {
+            ramp: Some(wormcast_sim::LoadRamp::linear(0.25, 2.0, 40.0)),
+            hotspot: Some(wormcast_sim::HotspotDrift {
+                start: 3,
+                stride: 2,
+                step_us: 8.0,
+                weight: 0.5,
+            }),
+            ..Schedule::default()
+        });
+        s
+    }
+
+    #[test]
+    fn shrinker_drops_the_schedule() {
+        let s = scheduled(Scenario::generate(42, 7));
+        let min = shrink(&s, |_| true);
+        assert!(min.schedule.is_none(), "{min:?}");
+    }
+
+    #[test]
+    fn shrinker_can_drop_a_single_schedule_dimension() {
+        let s = scheduled(Scenario::generate(42, 7));
+        // Predicate that needs the hotspot but not the ramp: the shrinker
+        // should keep a one-dimension schedule rather than all-or-nothing.
+        let min = shrink(&s, |c| {
+            c.schedule.as_ref().is_some_and(|sch| sch.hotspot.is_some())
+        });
+        let sch = min.schedule.as_ref().expect("schedule kept");
+        assert!(sch.hotspot.is_some(), "{min:?}");
+        assert!(sch.ramp.is_none(), "ramp dropped: {min:?}");
+    }
+
+    #[test]
+    fn repro_renders_schedules_as_literals() {
+        let s = scheduled(Scenario {
+            seed: 9,
+            index: 1,
+            topo: TopoSpec::Mesh(vec![3, 3]),
+            mode: wormcast_network::ReleaseMode::PathHolding,
+            workload: WorkloadSpec::Single {
+                alg: Algorithm::Db,
+                src: 0,
+                length: 8,
+            },
+            fail_stop_rate: 0.0,
+            transient_rate: 0.0,
+            watchdog_us: 0.0,
+            schedule: None,
+        });
+        let t = repro_test(&s);
+        assert!(t.contains("schedule: Some(Schedule {"), "{t}");
+        assert!(t.contains("points: vec![RampPoint {"), "{t}");
+        assert!(
+            t.contains("use wormcast_sim::{HotspotDrift, LoadRamp, RampPoint, Schedule};"),
+            "{t}"
+        );
+        assert!(!t.contains("LinkModulation"), "unused import: {t}");
     }
 }

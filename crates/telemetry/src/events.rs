@@ -76,6 +76,9 @@ pub enum EventKind {
     /// A serve request joined an identical in-flight run instead of
     /// starting its own (`q` carries the request's config hash).
     Coalesced,
+    /// A scenario-schedule phase boundary was crossed (`q` carries the
+    /// phase number).
+    SchedulePhase,
 }
 
 impl EventKind {
@@ -102,6 +105,7 @@ impl EventKind {
             EventKind::CacheHit => "cache_hit",
             EventKind::CacheMiss => "cache_miss",
             EventKind::Coalesced => "coalesced",
+            EventKind::SchedulePhase => "schedule_phase",
         }
     }
 }
@@ -313,9 +317,14 @@ pub fn trace_event(r: &TraceRecord) -> Event {
         TraceKind::Deliver => EventKind::Deliver,
         TraceKind::Complete => EventKind::Complete,
         TraceKind::ChannelRelease => EventKind::ChannelRelease,
+        TraceKind::SchedulePhase => EventKind::SchedulePhase,
     };
     let mut e = Event::new(r.time.as_ps(), kind, 0);
-    if r.message.0 != u64::MAX {
+    if r.kind == TraceKind::SchedulePhase {
+        // The phase number rides in the trace record's `message` slot; on
+        // the wire it belongs in `q` so `msg` keeps message-id semantics.
+        e.q = Some(r.message.0);
+    } else if r.message.0 != u64::MAX {
         e.msg = Some(r.message.0);
     }
     e.node = r.node.map(|n| n.0);
@@ -550,6 +559,7 @@ mod tests {
             EventKind::CacheHit,
             EventKind::CacheMiss,
             EventKind::Coalesced,
+            EventKind::SchedulePhase,
         ] {
             let mut e = Event::new(u64::MAX, kind, u64::MAX);
             assert_eq!(e.line().len(), e.line_len(), "{}", e.line());

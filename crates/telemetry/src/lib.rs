@@ -644,6 +644,16 @@ impl MetricsSink for CollectorSink {
             push_event(f, e);
         }
     }
+
+    fn on_schedule_phase(&mut self, now: SimTime, phase: u32) {
+        if !self.events {
+            return;
+        }
+        let mut guard = self.shared.lock().unwrap();
+        let mut e = self.event(now, EventKind::SchedulePhase);
+        e.q = Some(phase as u64);
+        push_event(&mut guard, e);
+    }
 }
 
 #[cfg(test)]

@@ -513,6 +513,55 @@ fn snapshot_arrivals_percentiles() {
 }
 
 #[test]
+fn snapshot_schedules_ramp_claims() {
+    // schedules.json: delivered load vs time under a deterministic load
+    // ramp, one row per (algorithm, time bin). Three claims are pinned:
+    // the offered curve is identical across algorithms (common random
+    // numbers — the schedule, not the algorithm, shapes the input), it is
+    // ramp-shaped (later load bins above the first), and every algorithm
+    // is lossless over the horizon (sum offered == sum delivered).
+    let objs = snapshots::objects("schedules.json");
+    let by_bin = snapshots::by_num_key(&objs, "bin");
+    assert!(
+        by_bin.len() >= 4,
+        "enough bins to see the ramp: {}",
+        by_bin.len()
+    );
+    for (bin, rows) in &by_bin {
+        assert_eq!(rows.len(), 4, "bin {bin}: all four algorithms present");
+        let offered: Vec<f64> = rows.iter().map(|o| snapshots::num(o, "offered")).collect();
+        assert!(
+            offered.windows(2).all(|w| w[0] == w[1]),
+            "bin {bin}: offered counts identical across algorithms: {offered:?}"
+        );
+    }
+    let mut per_alg: std::collections::BTreeMap<String, (f64, f64)> = Default::default();
+    for o in &objs {
+        let e = per_alg
+            .entry(snapshots::string(o, "algorithm"))
+            .or_default();
+        e.0 += snapshots::num(o, "offered");
+        e.1 += snapshots::num(o, "delivered");
+    }
+    assert_eq!(per_alg.len(), 4, "all four algorithms swept: {per_alg:?}");
+    for (alg, (offered, delivered)) in &per_alg {
+        assert!(offered > &0.0, "{alg}: nonzero offered load");
+        assert_eq!(offered, delivered, "{alg}: lossless over the horizon");
+    }
+    // Ramp shape on the common offered curve: the peak bin clearly exceeds
+    // the first (the committed default ramps 0.5 -> 2.5 msgs/node/ms).
+    let offered_curve: Vec<f64> = by_bin
+        .values()
+        .map(|rows| snapshots::num(&rows[0], "offered_per_node_per_ms"))
+        .collect();
+    let peak = offered_curve.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        peak > 1.5 * offered_curve[0] && offered_curve[0] > 0.0,
+        "offered curve is ramp-shaped: {offered_curve:?}"
+    );
+}
+
+#[test]
 fn snapshot_fig34_load_sweeps_are_complete() {
     for name in ["fig3.json", "fig4.json"] {
         let objs = snapshots::objects(name);
