@@ -72,6 +72,46 @@ done
 WORMCAST_FAULTS_FILE="$TDIR/f1/faults.json" \
     run cargo test "${OFFLINE[@]}" -q -p wormcast --test faults_schema
 
+# Saturation smoke: run the quick offered-vs-delivered sweep (DB/AB/QAB on
+# a 4x4x4 mesh) across job counts and shard geometries. The determinism
+# contract for the mixed steady-state sims is byte-level across --jobs AND
+# across --shards (the queue-aware arbitration tie-breaks by global channel
+# index, so the spatial partition is unobservable); then validate the schema
+# against the produced file.
+echo "==> saturation smoke"
+run ./target/release/saturation --quick --seed 7 --jobs 1 --out "$TDIR/sat-j1"
+run ./target/release/saturation --quick --seed 7 --jobs 4 --out "$TDIR/sat-j4"
+run ./target/release/saturation --quick --seed 7 --jobs 1 --shards 4 \
+    --out "$TDIR/sat-s4"
+[ -s "$TDIR/sat-j1/saturation.json" ] || {
+    echo "ci: saturation.json missing or empty" >&2
+    exit 1
+}
+run cmp "$TDIR/sat-j1/saturation.json" "$TDIR/sat-j4/saturation.json" || {
+    echo "ci: saturation.json differs across --jobs counts" >&2
+    exit 1
+}
+run cmp "$TDIR/sat-j1/saturation.json" "$TDIR/sat-s4/saturation.json" || {
+    echo "ci: saturation.json differs between --shards 1 and --shards 4" >&2
+    exit 1
+}
+for key in '"offered":' '"delivered":' '"saturated":' '"QAB"'; do
+    grep -q "$key" "$TDIR/sat-j1/saturation.json" || {
+        echo "ci: saturation.json missing key $key" >&2
+        exit 1
+    }
+done
+WORMCAST_SATURATION_FILE="$TDIR/sat-j1/saturation.json" \
+    run cargo test "${OFFLINE[@]}" -q -p wormcast --test saturation_schema
+
+# QAB differential leg: bit-compare the arena engine against the classic
+# oracle on QAB's queue-aware substrate (single broadcasts, mixed traffic,
+# unicast streams, multicast contention), both release disciplines. The
+# workspace test run above already executes this suite in debug; re-running
+# it by name here keeps the gate explicit and fails with a readable label.
+echo "==> QAB differential leg"
+run cargo test "${OFFLINE[@]}" -q -p wormcast-workload --test differential
+
 # Simcheck smoke: a time-boxed fuzzing campaign through the differential
 # oracle and the invariant checker. Fixed seed, ~200 scenarios (or 60 s,
 # whichever bites first), zero findings required; two runs must agree byte

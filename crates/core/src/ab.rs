@@ -28,11 +28,39 @@ use crate::schedule::{BroadcastSchedule, RoutePlan, ScheduledMessage};
 use wormcast_routing::{CodedPath, Path};
 use wormcast_topology::{Coord, Mesh, NodeId, Plane, Topology};
 
+/// How a serpentine's row-to-row turn hops are segmented, which decides
+/// which turn model the coded segments conform to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SerpentineStyle {
+    /// AB: each segment is a row sweep plus the trailing turn hop
+    /// (E…EN / W…WN / E…ES / W…WS) — west-first conformable, since any
+    /// west hops come first within a segment.
+    WestFirst,
+    /// QAB: on descending serpentines the turn hop *leads* the next
+    /// segment (S,E…E / S,W…W) instead of trailing the previous one, so
+    /// every segment does all its negative hops before any positive hop —
+    /// negative-first conformable. Ascending serpentines keep the trailing
+    /// turn (W…WN is already negative-before-positive).
+    NegativeFirst,
+}
+
 /// Build the AB broadcast schedule for `source` on a 2D or 3D `mesh`.
 ///
 /// # Panics
 /// Panics if the mesh is not 2D/3D or any of the X/Y dimensions is < 2.
 pub fn ab_schedule(mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
+    corner_plane_schedule(mesh, source, SerpentineStyle::WestFirst, "AB")
+}
+
+/// The corner/plane-relay/serpentine skeleton shared by AB and QAB: three
+/// message-passing steps whose only structural degree of freedom is the
+/// serpentine segmentation (`style`).
+pub(crate) fn corner_plane_schedule(
+    mesh: &Mesh,
+    source: NodeId,
+    style: SerpentineStyle,
+    label: &'static str,
+) -> BroadcastSchedule {
     assert!(
         mesh.ndims() == 2 || mesh.ndims() == 3,
         "AB is defined for 2D and 3D meshes"
@@ -145,6 +173,7 @@ pub fn ab_schedule(mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
                 &corner,
                 &rows,
                 &src_c,
+                style,
             );
         }
     }
@@ -153,7 +182,7 @@ pub fn ab_schedule(mesh: &Mesh, source: NodeId) -> BroadcastSchedule {
     BroadcastSchedule {
         source,
         messages,
-        algorithm: "AB",
+        algorithm: label,
     }
 }
 
@@ -186,7 +215,11 @@ fn plane_at(mesh: &Mesh, z: u16) -> Plane {
 /// as one message-passing step. Segmenting matters for deadlock freedom: a
 /// row-plus-turn segment conforms to west-first routing (E…EN or W…WN), so
 /// AB's traffic keeps the channel-dependency graph acyclic, whereas one
-/// monolithic snake path would take the prohibited N→W turn.
+/// monolithic snake path would take the prohibited N→W turn. The
+/// [`SerpentineStyle::NegativeFirst`] variant walks the identical node
+/// sequence but cuts descending serpentines *before* each turn hop, so the
+/// hop leads its segment and every segment stays negative-before-positive.
+#[allow(clippy::too_many_arguments)] // internal builder shared by AB/QAB
 fn push_serpentine(
     mesh: &Mesh,
     messages: &mut Vec<ScheduledMessage>,
@@ -195,8 +228,11 @@ fn push_serpentine(
     corner: &Coord,
     rows: &[u16],
     src_c: &Coord,
+    style: SerpentineStyle,
 ) {
     let w = mesh.dim_size(0);
+    let descending = rows.len() > 1 && rows[1] < rows[0];
+    let turn_leads = style == SerpentineStyle::NegativeFirst && descending;
     let mut left_to_right = corner.get(0) == 0;
     for (ri, &y) in rows.iter().enumerate() {
         let mut coords: Vec<Coord> = Vec::with_capacity(w as usize + 1);
@@ -205,12 +241,20 @@ fn push_serpentine(
         } else {
             (0..w).rev().collect()
         };
+        // A leading turn hop enters this row from where the previous sweep
+        // ended (S,E…E / S,W…W — negative-first legal).
+        if turn_leads && ri > 0 {
+            coords.push(plane.at(xs[0], rows[ri - 1]));
+        }
         for x in &xs {
             coords.push(plane.at(*x, y));
         }
-        // The turn hop onto the next row (E…EN / W…WN — west-first legal).
-        if let Some(&next_y) = rows.get(ri + 1) {
-            coords.push(plane.at(*xs.last().unwrap(), next_y));
+        // The trailing turn hop onto the next row (E…EN / W…WN — west-first
+        // legal).
+        if !turn_leads {
+            if let Some(&next_y) = rows.get(ri + 1) {
+                coords.push(plane.at(*xs.last().unwrap(), next_y));
+            }
         }
         if ri == 0 {
             debug_assert_eq!(coords[0], *corner, "serpentine starts at its corner");

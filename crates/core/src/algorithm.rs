@@ -1,8 +1,9 @@
-//! The four broadcast algorithms behind one dispatching enum.
+//! The five broadcast algorithms behind one dispatching enum.
 
 use crate::ab::{ab_schedule, ab_steps};
 use crate::db::{db_schedule, db_steps};
 use crate::edn::{edn_schedule, edn_steps};
+use crate::qab::{qab_schedule, qab_steps};
 use crate::rd::{rd_schedule, rd_steps};
 use crate::schedule::BroadcastSchedule;
 use serde::{Deserialize, Serialize};
@@ -16,9 +17,13 @@ pub enum RoutingKind {
     /// Turn-model adaptive routing: west-first in 2D, Z-then-west-first in
     /// 3D (AB).
     WestFirstAdaptive,
+    /// Queue-aware adaptive routing: negative-first candidates arbitrated by
+    /// local backlog with channel-index tie-breaks (QAB).
+    QueueAdaptive,
 }
 
-/// The four broadcast algorithms the paper compares.
+/// The paper's four broadcast algorithms plus this reproduction's
+/// queue-aware extension.
 ///
 /// # Examples
 ///
@@ -43,11 +48,28 @@ pub enum Algorithm {
     /// Adaptive Broadcast on coded-path + west-first routing [Al-Dubai,
     /// Ould-Khaoua & Mackenzie 2003] — the other proposed algorithm.
     Ab,
+    /// Queue-aware Adaptive Broadcast — this reproduction's backlog-driven
+    /// extension in the spirit of Sinha–Paschos–Modiano backpressure
+    /// broadcast (arXiv:1604.00446): AB's three-step corner/serpentine
+    /// skeleton with every adaptive leg steered toward the
+    /// least-backlogged productive channel over negative-first candidates,
+    /// and negative-first detours under faults.
+    Qab,
 }
 
 impl Algorithm {
-    /// All four, in the paper's presentation order.
-    pub const ALL: [Algorithm; 4] = [Algorithm::Rd, Algorithm::Edn, Algorithm::Db, Algorithm::Ab];
+    /// All five: the paper's four in presentation order, then QAB.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Rd,
+        Algorithm::Edn,
+        Algorithm::Db,
+        Algorithm::Ab,
+        Algorithm::Qab,
+    ];
+
+    /// The paper's original four, in presentation order — the set the
+    /// figure-reproduction drivers sweep.
+    pub const PAPER: [Algorithm; 4] = [Algorithm::Rd, Algorithm::Edn, Algorithm::Db, Algorithm::Ab];
 
     /// The paper's abbreviation.
     pub fn name(self) -> &'static str {
@@ -56,6 +78,7 @@ impl Algorithm {
             Algorithm::Edn => "EDN",
             Algorithm::Db => "DB",
             Algorithm::Ab => "AB",
+            Algorithm::Qab => "QAB",
         }
     }
 
@@ -66,6 +89,7 @@ impl Algorithm {
             Algorithm::Edn => edn_schedule(mesh, source),
             Algorithm::Db => db_schedule(mesh, source),
             Algorithm::Ab => ab_schedule(mesh, source),
+            Algorithm::Qab => qab_schedule(mesh, source),
         }
     }
 
@@ -76,6 +100,7 @@ impl Algorithm {
             Algorithm::Edn => edn_steps(mesh),
             Algorithm::Db => db_steps(mesh),
             Algorithm::Ab => ab_steps(mesh),
+            Algorithm::Qab => qab_steps(mesh),
         }
     }
 
@@ -84,13 +109,15 @@ impl Algorithm {
     /// three-port router (§2), and the CPR router underneath DB and AB
     /// replicates and forwards messages on all ports (one per direction of a
     /// 3D mesh), so concurrent relay duties at the fixed corner/edge anchors
-    /// do not serialise behind each other.
+    /// do not serialise behind each other. QAB splits six ways so each
+    /// relay duty gets its own port.
     pub fn ports(self) -> usize {
         match self {
             Algorithm::Rd => 1,
             Algorithm::Edn => 3,
             Algorithm::Db => 6,
             Algorithm::Ab => 6,
+            Algorithm::Qab => 6,
         }
     }
 
@@ -98,6 +125,7 @@ impl Algorithm {
     pub fn routing(self) -> RoutingKind {
         match self {
             Algorithm::Ab => RoutingKind::WestFirstAdaptive,
+            Algorithm::Qab => RoutingKind::QueueAdaptive,
             _ => RoutingKind::DimensionOrdered,
         }
     }
@@ -117,7 +145,10 @@ impl std::str::FromStr for Algorithm {
             "EDN" => Ok(Algorithm::Edn),
             "DB" => Ok(Algorithm::Db),
             "AB" => Ok(Algorithm::Ab),
-            other => Err(format!("unknown algorithm '{other}' (RD, EDN, DB, AB)")),
+            "QAB" => Ok(Algorithm::Qab),
+            other => Err(format!(
+                "unknown algorithm '{other}' (RD, EDN, DB, AB, QAB)"
+            )),
         }
     }
 }
@@ -162,8 +193,16 @@ mod tests {
     #[test]
     fn routing_kinds() {
         assert_eq!(Algorithm::Ab.routing(), RoutingKind::WestFirstAdaptive);
+        assert_eq!(Algorithm::Qab.routing(), RoutingKind::QueueAdaptive);
         for alg in [Algorithm::Rd, Algorithm::Edn, Algorithm::Db] {
             assert_eq!(alg.routing(), RoutingKind::DimensionOrdered);
         }
+    }
+
+    #[test]
+    fn paper_subset_excludes_qab() {
+        assert!(!Algorithm::PAPER.contains(&Algorithm::Qab));
+        assert!(Algorithm::ALL.ends_with(&[Algorithm::Qab]));
+        assert_eq!(Algorithm::ALL[..4], Algorithm::PAPER);
     }
 }

@@ -11,6 +11,7 @@
 //! | [`Algorithm::Edn`] (Extended Dominating Node) | [`edn`] | k+m+4 | DOR unicast, 3-port |
 //! | [`Algorithm::Db`] (Deterministic Broadcast) | [`db`] | 4 | DOR + CPR |
 //! | [`Algorithm::Ab`] (Adaptive Broadcast) | [`ab`] | 3 | west-first + CPR |
+//! | [`Algorithm::Qab`] (Queue-aware Adaptive Broadcast) | [`qab`] | 3 | queue-aware negative-first + CPR |
 //!
 //! Schedules are pure data: simulation happens in `wormcast-network`, driven
 //! by the executor in `wormcast-workload`. [`BroadcastSchedule::validate`]
@@ -29,6 +30,7 @@ pub mod db;
 pub mod edn;
 pub mod extensions;
 pub mod multicast;
+pub mod qab;
 pub mod rd;
 pub mod schedule;
 pub mod viz;
@@ -39,6 +41,7 @@ pub use db::{db_schedule, db_steps};
 pub use edn::{edn_schedule, edn_steps};
 pub use extensions::{ghc_broadcast, torus_ring_broadcast, ExtError, ExtMessage, ExtSchedule};
 pub use multicast::{cpr_multicast, sp_multicast, um_multicast, um_steps, validate_multicast};
+pub use qab::{qab_schedule, qab_steps};
 pub use rd::{rd_schedule, rd_steps};
 pub use schedule::{BroadcastSchedule, RoutePlan, ScheduleError, ScheduledMessage};
 pub use viz::{render_all, render_step};

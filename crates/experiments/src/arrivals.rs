@@ -81,17 +81,17 @@ impl Experiment for ArrivalParams {
         let mesh = Mesh::new(&self.shape);
         let cfg = NetworkConfig::paper_default();
         let source = NodeId(self.source % mesh.num_nodes() as u32);
-        let mut profiles = Vec::with_capacity(Algorithm::ALL.len());
+        let mut profiles = Vec::with_capacity(Algorithm::PAPER.len());
         let mut frames = Vec::new();
         runner.run(
-            Algorithm::ALL.len(),
+            Algorithm::PAPER.len(),
             |i| {
                 let observe = telemetry.map(|spec| Observe::new(spec, i as u64));
-                profile_one(&mesh, cfg, Algorithm::ALL[i], source, self, observe)
+                profile_one(&mesh, cfg, Algorithm::PAPER[i], source, self, observe)
             },
             |i, (p, frame)| {
                 if let Some(frame) = frame {
-                    frames.push(LabeledFrame::new(Algorithm::ALL[i].name(), frame));
+                    frames.push(LabeledFrame::new(Algorithm::PAPER[i].name(), frame));
                 }
                 profiles.push(p);
             },

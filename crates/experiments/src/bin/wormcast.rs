@@ -1,15 +1,15 @@
 //! Umbrella experiment runner: regenerate every table and figure of the
 //! paper in one command.
 //!
-//! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig1-scale|fig2|tables|fig3|fig4|arrivals|multicast|faults|simcheck|serve]...
+//! Usage: `wormcast [all|steps|fig1|fig1-lowts|fig1-scale|fig2|tables|fig3|fig4|arrivals|multicast|faults|saturation|simcheck|serve]...
 //!                  [--quick] [--out DIR] [--seed N] [--ts US] [--length F] [--jobs N]
 //!                  [--shards N] [--telemetry DIR] [--events PATH] [--profile PATH]
 //!                  [--trace-dump PATH]`
 //!
 //! With no selector (or `all`), runs the full suite: the §2 step identities,
 //! Fig. 1 (plus the Ts = 0.15 µs variant), Fig. 2, Tables 1–2, Figs. 3–4,
-//! the node-level arrival profiles, the multicast extension and the fault
-//! sweep.
+//! the node-level arrival profiles, the multicast extension, the fault
+//! sweep and the offered-vs-delivered saturation lab.
 //!
 //! `--telemetry DIR` writes one `<sel>.telemetry.json` per experiment run;
 //! `--events PATH` writes one NDJSON stream per experiment and `--profile
@@ -60,6 +60,8 @@ fn min_last_axis(sel: &str, quick: bool) -> Option<(u16, &'static str)> {
         "multicast" => Some((8, "the 8x8x8 mesh (multicast)")),
         "faults" if quick => Some((4, "the 4x4x4 mesh (faults --quick)")),
         "faults" => Some((8, "the 8x8x8 mesh (faults)")),
+        "saturation" if quick => Some((4, "the 4x4x4 mesh (saturation --quick)")),
+        "saturation" => Some((8, "the 8x8x8 mesh (saturation)")),
         "schedules" if quick => Some((4, "the 4x4x4 mesh (schedules --quick)")),
         "schedules" => Some((8, "the 8x8x8 mesh (schedules)")),
         _ => None,
@@ -94,6 +96,7 @@ fn main() {
             "arrivals",
             "multicast",
             "faults",
+            "saturation",
             "schedules",
         ]
         .into_iter()
@@ -441,6 +444,51 @@ fn main() {
                 }
                 prof_frames = frames;
             }
+            "saturation" => {
+                let mut p = if opts.run.quick {
+                    wormcast_experiments::saturation::SaturationParams::quick()
+                } else {
+                    wormcast_experiments::saturation::SaturationParams::default()
+                };
+                if let Some(s) = opts.run.seed {
+                    p.seed = s;
+                }
+                if let Some(l) = opts.run.length {
+                    p.length = l;
+                }
+                if let Some(ts) = opts.run.startup_us {
+                    p.startup_us = ts;
+                }
+                let t0 = std::time::Instant::now();
+                prof.phase("run");
+                let (cells, frames) = p.run((&runner, spec.as_ref())).into_parts();
+                let wall = t0.elapsed();
+                prof.phase("merge");
+                println!(
+                    "{}",
+                    wormcast_experiments::saturation::table(&cells, &p).render()
+                );
+                report_claims(&wormcast_experiments::saturation::check_claims(&cells, &p));
+                prof.phase("emit");
+                out("saturation", &cells);
+                if spec.is_some() {
+                    let mut m = telemetry::manifest(
+                        sel,
+                        &opts,
+                        p.seed,
+                        p.length,
+                        p.startup_us,
+                        p.batches,
+                        wall,
+                    );
+                    m.algorithms = cells.iter().map(|c| c.algorithm.clone()).collect();
+                    m.algorithms.sort();
+                    m.algorithms.dedup();
+                    m.topologies = vec![format!("{}x{}x{}", p.shape[0], p.shape[1], p.shape[2])];
+                    telemetry::write_outputs(&to, sel, m, &frames);
+                }
+                prof_frames = frames;
+            }
             "schedules" => {
                 let mut p = if opts.run.quick {
                     schedules::SchedulesParams::quick()
@@ -528,8 +576,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown experiment '{other}' (steps, fig1, fig1-lowts, fig1-scale, fig2, \
-                     tables, fig3, fig4, arrivals, multicast, faults, schedules, simcheck, \
-                     serve, all)"
+                     tables, fig3, fig4, arrivals, multicast, faults, saturation, schedules, \
+                     simcheck, serve, all)"
                 );
                 std::process::exit(2);
             }

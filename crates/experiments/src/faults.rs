@@ -7,8 +7,9 @@
 //!
 //! Per replication a fail-stop fault plan is sampled from the replication's
 //! own RNG stream, the schedule is degraded around the links dead at t = 0
-//! (AB re-plans west-first detours; DOR-routed algorithms count the cut-off
-//! receivers), and a delivery watchdog converts any residual stall into
+//! (AB re-plans west-first detours, QAB negative-first ones; DOR-routed
+//! algorithms count the cut-off receivers), and a delivery watchdog
+//! converts any residual stall into
 //! accounting instead of a hang. A zero fault rate reproduces the fault-free
 //! code path event for event, which the CI smoke verifies bitwise.
 
@@ -199,7 +200,7 @@ pub fn table(cells: &[FaultsCell], params: &FaultsParams) -> Table {
             params.runs,
             s = params.side
         ),
-        &["rate", "RD", "EDN", "DB", "AB"],
+        &["rate", "RD", "EDN", "DB", "AB", "QAB"],
     );
     for &rate in &params.rates {
         let get = |alg: &str| -> String {
@@ -215,6 +216,7 @@ pub fn table(cells: &[FaultsCell], params: &FaultsParams) -> Table {
             get("EDN"),
             get("DB"),
             get("AB"),
+            get("QAB"),
         ]);
     }
     t
@@ -289,6 +291,31 @@ pub fn check_claims(cells: &[FaultsCell]) -> Vec<String> {
             ));
         }
     }
+    // At the harshest rate of the sweep, QAB's re-planned negative-first
+    // detours must out-deliver AB's fixed west-first staircases (CRN: both
+    // face identical fault plans, so the gap is the detour policy). Asserted
+    // only on powered sweeps (≥8 replications, the same bar as the sampler
+    // check): on a smoke-sized grid the ordering is sampling noise.
+    let top = cells
+        .iter()
+        .filter(|c| c.rate > 0.0 && c.runs >= 8)
+        .map(|c| c.rate)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if top.is_finite() {
+        let at = |alg: &str| {
+            cells
+                .iter()
+                .find(|c| c.algorithm == alg && c.rate == top)
+                .map(|c| c.delivery_ratio)
+        };
+        if let (Some(q), Some(a)) = (at("QAB"), at("AB")) {
+            if q < a {
+                bad.push(format!(
+                    "at top rate {top}: QAB delivery ratio {q:.4} < AB {a:.4}"
+                ));
+            }
+        }
+    }
     bad
 }
 
@@ -312,7 +339,7 @@ mod tests {
     fn produces_full_grid_and_claims_hold() {
         let p = quick_params();
         let cells = p.run(&Runner::sequential()).cells;
-        assert_eq!(cells.len(), 2 * 4);
+        assert_eq!(cells.len(), 2 * 5);
         let bad = check_claims(&cells);
         assert!(bad.is_empty(), "violated: {bad:?}");
     }

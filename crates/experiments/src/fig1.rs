@@ -88,7 +88,7 @@ impl Experiment for Fig1Params {
             .sides
             .iter()
             .flat_map(|&side| {
-                Algorithm::ALL.iter().map(move |&alg| {
+                Algorithm::PAPER.iter().map(move |&alg| {
                     let spec = BroadcastRep {
                         mesh: Mesh::cube(side),
                         cfg,

@@ -75,7 +75,7 @@ impl Fig1ScaleParams {
 
     fn algorithms(&self) -> Vec<Algorithm> {
         if self.all_algorithms {
-            Algorithm::ALL.to_vec()
+            Algorithm::PAPER.to_vec()
         } else {
             vec![Algorithm::Db, Algorithm::Ab]
         }

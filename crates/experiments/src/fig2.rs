@@ -99,9 +99,9 @@ impl Experiment for Fig2Params {
         let plan: Vec<([u16; 3], Algorithm)> = self
             .shapes
             .iter()
-            .flat_map(|&shape| Algorithm::ALL.iter().map(move |&alg| (shape, alg)))
+            .flat_map(|&shape| Algorithm::PAPER.iter().map(move |&alg| (shape, alg)))
             .collect();
-        let algs = Algorithm::ALL.len();
+        let algs = Algorithm::PAPER.len();
         let mut rows: Vec<(Fig2Cell, Option<TelemetryFrame>)> = Vec::with_capacity(plan.len());
         runner.run(
             plan.len(),

@@ -106,7 +106,7 @@ impl Experiment for LoadSweepParams {
             .release(self.release)
             .build()
             .expect("LoadSweepParams start-up latency must be a valid duration");
-        let plan: Vec<(Algorithm, usize, f64)> = Algorithm::ALL
+        let plan: Vec<(Algorithm, usize, f64)> = Algorithm::PAPER
             .iter()
             .flat_map(|&alg| {
                 self.loads

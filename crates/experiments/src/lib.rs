@@ -12,6 +12,7 @@
 //! | [`multicast`] | §4 future work | UM/CM/SP multicast density sweep |
 //! | [`arrivals`] | §3.2 widened | per-destination arrival percentiles & histograms |
 //! | [`faults`] | beyond the paper | delivery ratio vs link fault rate |
+//! | [`saturation`] | beyond the paper | offered vs delivered load for DB/AB/QAB |
 //!
 //! Each experiment's parameter struct implements the [`Experiment`] trait:
 //! `params.run(&runner)` produces the result cells, and
@@ -36,6 +37,7 @@ pub mod fig34;
 pub mod multicast;
 pub mod profile;
 pub mod report;
+pub mod saturation;
 pub mod schedules;
 pub mod steps;
 pub mod telemetry;

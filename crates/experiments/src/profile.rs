@@ -139,6 +139,7 @@ pub fn selector_name(sel: &str) -> &'static str {
         "arrivals" => "arrivals",
         "multicast" => "multicast",
         "faults" => "faults",
+        "saturation" => "saturation",
         "simcheck" => "simcheck",
         _ => "experiment",
     }
@@ -210,6 +211,7 @@ mod tests {
             "arrivals",
             "multicast",
             "faults",
+            "saturation",
             "simcheck",
         ] {
             assert_eq!(selector_name(sel), sel);

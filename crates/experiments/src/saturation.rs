@@ -1,0 +1,373 @@
+//! **Saturation** — offered vs *delivered* load for the adaptive broadcast
+//! algorithms. Not a figure of the paper: Figs. 3–4 stop at the latency
+//! curve, but the interesting question past the knee is how much traffic
+//! each algorithm still moves. This sweep drives the §3.3 mixed workload
+//! (90% unicast / 10% broadcast, L = 32 flits, Ts = 1.5 µs) across an
+//! offered-load axis that deliberately runs past AB's knee and reports the
+//! delivered load — payload messages per simulated ms per node — for DB
+//! (the oblivious reference), AB (west-first adaptive) and QAB (queue-aware
+//! adaptive).
+//!
+//! Algorithms at the same load index share one replication RNG stream
+//! (common random numbers): a gap between two curves at a load point is an
+//! algorithm effect, not sampling noise. Cells fold in plan-index order, so
+//! the result is bit-identical for any `--jobs` count.
+
+use crate::experiment::{Experiment, Observation, RunOutput};
+use crate::report::Table;
+use crate::telemetry::LabeledFrame;
+use serde::{Deserialize, Serialize};
+use wormcast_broadcast::Algorithm;
+use wormcast_network::{NetworkConfig, ReleaseMode};
+use wormcast_sim::SimRng;
+use wormcast_telemetry::{Observe, TelemetryFrame};
+use wormcast_topology::{Mesh, Topology};
+use wormcast_workload::{run_mixed_traffic_observed, MixedConfig};
+
+/// The algorithms the saturation lab compares: the oblivious reference and
+/// the two adaptive contenders.
+pub const ALGORITHMS: [Algorithm; 3] = [Algorithm::Db, Algorithm::Ab, Algorithm::Qab];
+
+/// Parameters of the saturation sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SaturationParams {
+    /// Mesh shape (default: the paper's 8×8×8 workhorse).
+    pub shape: [u16; 3],
+    /// Offered loads, messages/ms per node — strictly increasing, running
+    /// past the knee of the weakest contender.
+    pub loads: Vec<f64>,
+    /// Message length, flits.
+    pub length: u64,
+    /// Start-up latency, µs.
+    pub startup_us: f64,
+    /// Observations per batch.
+    pub batch_size: u64,
+    /// Retained batches (after the cold-start batch is dropped).
+    pub batches: usize,
+    /// Simulated-time safety valve per point, ms — hitting it before the
+    /// batch quota fills is the operational definition of saturation.
+    pub max_sim_ms: f64,
+    /// Channel-release discipline (paper-faithful facility queueing by
+    /// default).
+    pub release: ReleaseMode,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaturationParams {
+    fn default() -> Self {
+        SaturationParams {
+            shape: [8, 8, 8],
+            // A geometric-ish axis from Fig. 3's calibrated regime (≈1
+            // msg/ms/node) up to 320: on the 8×8×8 mesh the batch quota is
+            // the governor below ~200, and AB first fails the 90%-of-offered
+            // criterion around 256 — so the axis holds the whole pre-knee
+            // plateau, the knee itself, and head-room beyond it.
+            loads: vec![
+                1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 192.0, 256.0, 320.0,
+            ],
+            length: 32,
+            startup_us: 1.5,
+            batch_size: 20,
+            batches: 20,
+            max_sim_ms: 300.0,
+            release: ReleaseMode::AfterTailCrossing,
+            seed: 2005,
+        }
+    }
+}
+
+impl SaturationParams {
+    /// A seconds-scale smoke configuration (4×4×4, three loads).
+    pub fn quick() -> Self {
+        SaturationParams {
+            shape: [4, 4, 4],
+            loads: vec![0.5, 4.0, 10.0],
+            batch_size: 5,
+            batches: 3,
+            max_sim_ms: 60.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// One measured point of the saturation sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SaturationCell {
+    /// Algorithm short name.
+    pub algorithm: String,
+    /// Offered load, messages/ms per node (echo of the axis point).
+    pub offered: f64,
+    /// Delivered load, payload messages per simulated ms per node —
+    /// broadcast completions plus unicast deliveries over the simulated
+    /// span, normalised by node count.
+    pub delivered: f64,
+    /// Mean broadcast-operation latency, ms (NaN-free only below
+    /// saturation).
+    pub mean_latency_ms: f64,
+    /// Whether the point hit the simulated-time valve before filling its
+    /// batch quota.
+    pub saturated: bool,
+    /// Completed broadcast operations.
+    pub broadcasts_completed: u64,
+    /// Delivered unicast messages.
+    pub unicasts_delivered: u64,
+}
+
+impl Experiment for SaturationParams {
+    type Cell = SaturationCell;
+
+    /// Run the sweep: one steady-state simulation per (algorithm, load)
+    /// point, one harness task each. The replication stream is keyed by the
+    /// load index alone, so the three algorithms see identical arrival
+    /// processes at each axis point (CRN), and cells fold in plan-index
+    /// order for `--jobs` invariance.
+    fn run<'a>(&self, obs: impl Into<Observation<'a>>) -> RunOutput<SaturationCell> {
+        let obs = obs.into();
+        let (runner, telemetry) = (obs.runner(), obs.telemetry());
+        let cfg = NetworkConfig::builder()
+            .startup_us(self.startup_us)
+            .release(self.release)
+            .build()
+            .expect("SaturationParams start-up latency must be a valid duration");
+        let plan: Vec<(Algorithm, usize, f64)> = ALGORITHMS
+            .iter()
+            .flat_map(|&alg| {
+                self.loads
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, &load)| (alg, i, load))
+            })
+            .collect();
+        let nodes = Mesh::new(&self.shape).num_nodes() as f64;
+        let mut rows: Vec<(SaturationCell, Option<TelemetryFrame>)> =
+            Vec::with_capacity(plan.len());
+        runner.run(
+            plan.len(),
+            |t| {
+                let (alg, i, load) = plan[t];
+                let mesh = Mesh::new(&self.shape);
+                let mc = MixedConfig {
+                    algorithm: alg,
+                    load_per_node_per_ms: load,
+                    broadcast_fraction: 0.1,
+                    length: self.length,
+                    batch_size: self.batch_size,
+                    batches: self.batches,
+                    seed: self.seed,
+                    max_sim_ms: self.max_sim_ms,
+                    max_arrivals: 150_000,
+                    pattern: wormcast_workload::DestPattern::Uniform,
+                };
+                let root = SimRng::for_replication(self.seed, i as u64);
+                let observe = telemetry.map(|spec| Observe::new(spec, t as u64));
+                let (o, frame) = run_mixed_traffic_observed(&mesh, cfg, &mc, &root, observe);
+                (
+                    SaturationCell {
+                        algorithm: alg.name().to_string(),
+                        offered: load,
+                        delivered: o.throughput_msgs_per_ms / nodes,
+                        mean_latency_ms: o.mean_latency_ms,
+                        saturated: o.saturated,
+                        broadcasts_completed: o.broadcasts_completed,
+                        unicasts_delivered: o.unicasts_delivered,
+                    },
+                    frame,
+                )
+            },
+            |_, row| rows.push(row),
+        );
+        let mut cells = Vec::with_capacity(rows.len());
+        let mut frames = Vec::new();
+        for (cell, frame) in rows {
+            if let Some(frame) = frame {
+                frames.push(LabeledFrame::new(
+                    format!("{}@{}", cell.algorithm, cell.offered),
+                    frame,
+                ));
+            }
+            cells.push(cell);
+        }
+        RunOutput { cells, frames }
+    }
+}
+
+fn get<'a>(cells: &'a [SaturationCell], alg: &str, load: f64) -> Option<&'a SaturationCell> {
+    cells
+        .iter()
+        .find(|c| c.algorithm == alg && (c.offered - load).abs() < 1e-12)
+}
+
+/// AB's knee: the first offered load where AB either hits the saturation
+/// valve or delivers less than 90% of what was offered. `None` when AB
+/// keeps up across the whole axis (the sweep should then be extended).
+pub fn ab_knee(cells: &[SaturationCell], params: &SaturationParams) -> Option<f64> {
+    params.loads.iter().copied().find(|&l| {
+        get(cells, "AB", l).is_some_and(|c| c.saturated || c.delivered < 0.9 * c.offered)
+    })
+}
+
+/// Render the sweep: one row per offered load, one delivered-load column
+/// per algorithm (`*` marks points past the saturation valve).
+pub fn table(cells: &[SaturationCell], params: &SaturationParams) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Saturation: delivered load (msg/ms/node) vs offered load; \
+             {}x{}x{} mesh, L={} flits, Ts={} us",
+            params.shape[0], params.shape[1], params.shape[2], params.length, params.startup_us
+        ),
+        &["offered", "DB", "AB", "QAB"],
+    );
+    for &load in &params.loads {
+        let cell = |alg: &str| -> String {
+            match get(cells, alg, load) {
+                Some(c) => {
+                    let mark = if c.saturated { "*" } else { "" };
+                    format!("{:.4}{}", c.delivered, mark)
+                }
+                None => "-".into(),
+            }
+        };
+        t.push_row(vec![format!("{load}"), cell("DB"), cell("AB"), cell("QAB")]);
+    }
+    t
+}
+
+/// The saturation lab's qualitative claims, checked programmatically; the
+/// returned list is empty when every claim holds.
+///
+/// * the offered axis is strictly increasing (the sweep is a sweep);
+/// * every cell delivers a positive, finite load on the order of what was
+///   offered (a 15% tolerance absorbs Poisson variance over short
+///   measurement windows — the arrival count in a window is random even
+///   though the rate is pinned);
+/// * beyond AB's knee, QAB's delivered load weakly dominates AB's — the
+///   queue-aware selection keeps moving traffic where first-free west-first
+///   has already started refusing it (2% CRN tolerance).
+pub fn check_claims(cells: &[SaturationCell], params: &SaturationParams) -> Vec<String> {
+    let mut bad = Vec::new();
+    for w in params.loads.windows(2) {
+        if w[1] <= w[0] {
+            bad.push(format!(
+                "offered axis not increasing at {} -> {}",
+                w[0], w[1]
+            ));
+        }
+    }
+    for c in cells {
+        if !(c.delivered.is_finite() && c.delivered > 0.0) {
+            bad.push(format!(
+                "{}@{}: delivered load {} not positive/finite",
+                c.algorithm, c.offered, c.delivered
+            ));
+        }
+        if c.delivered > c.offered * 1.15 {
+            bad.push(format!(
+                "{}@{}: delivered {} exceeds offered by more than the window tolerance",
+                c.algorithm, c.offered, c.delivered
+            ));
+        }
+    }
+    if let Some(knee) = ab_knee(cells, params) {
+        for &l in params.loads.iter().filter(|&&l| l >= knee) {
+            if let (Some(q), Some(a)) = (get(cells, "QAB", l), get(cells, "AB", l)) {
+                if q.delivered < a.delivered * 0.98 {
+                    bad.push(format!(
+                        "at load {l} (knee {knee}): QAB delivered {:.4} < AB {:.4}",
+                        q.delivered, a.delivered
+                    ));
+                }
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormcast_workload::Runner;
+
+    #[test]
+    fn sweep_produces_grid() {
+        let p = SaturationParams::quick();
+        let cells = p.run(&Runner::sequential()).cells;
+        assert_eq!(cells.len(), 3 * p.loads.len());
+        for c in &cells {
+            assert!(c.delivered.is_finite() && c.delivered > 0.0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn light_load_delivers_what_was_offered() {
+        let p = SaturationParams::quick();
+        let cells = p.run(&Runner::sequential()).cells;
+        for alg in ["DB", "AB", "QAB"] {
+            let c = get(&cells, alg, 0.5).unwrap();
+            assert!(!c.saturated, "{alg} saturated at 0.5 on a 64-node mesh");
+            assert!(
+                c.delivered > 0.4 && c.delivered < 0.6,
+                "{alg}: delivered {} far from offered 0.5",
+                c.delivered
+            );
+        }
+    }
+
+    #[test]
+    fn claims_hold_on_the_quick_sweep() {
+        let p = SaturationParams::quick();
+        let cells = p.run(&Runner::sequential()).cells;
+        let bad = check_claims(&cells, &p);
+        assert!(bad.is_empty(), "violated: {bad:?}");
+    }
+
+    #[test]
+    fn grid_is_job_count_invariant() {
+        let p = SaturationParams::quick();
+        let a = p.run(&Runner::new(1)).cells;
+        let b = p.run(&Runner::new(4)).cells;
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.algorithm, y.algorithm);
+            assert_eq!(x.offered.to_bits(), y.offered.to_bits());
+            assert_eq!(x.delivered.to_bits(), y.delivered.to_bits());
+            assert_eq!(x.saturated, y.saturated);
+            assert_eq!(
+                (x.broadcasts_completed, x.unicasts_delivered),
+                (y.broadcasts_completed, y.unicasts_delivered)
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_all_loads() {
+        let p = SaturationParams::quick();
+        let cells = p.run(&Runner::sequential()).cells;
+        let t = table(&cells, &p);
+        assert_eq!(t.rows.len(), p.loads.len());
+        assert!(t.render().contains("QAB"));
+    }
+
+    #[test]
+    fn crn_shares_arrivals_across_algorithms() {
+        // CRN contract: at one load index every algorithm replays the same
+        // arrival process, so the offered side of the books must agree.
+        let p = SaturationParams::quick();
+        let cells = p.run(&Runner::sequential()).cells;
+        for &l in &p.loads {
+            let total = |alg: &str| {
+                let c = get(&cells, alg, l).unwrap();
+                c.broadcasts_completed + c.unicasts_delivered
+            };
+            // Delivered counts can differ (that is the experiment), but at
+            // the unsaturated light end they must be identical.
+            if !get(&cells, "AB", l).unwrap().saturated
+                && !get(&cells, "QAB", l).unwrap().saturated
+                && !get(&cells, "DB", l).unwrap().saturated
+            {
+                assert_eq!(total("AB"), total("QAB"), "load {l}");
+                assert_eq!(total("AB"), total("DB"), "load {l}");
+            }
+        }
+    }
+}

@@ -30,6 +30,9 @@ use wormcast_workload::{network_for, BroadcastTracker};
 /// Parameters of a scheduled-traffic run.
 #[derive(Debug, Clone)]
 pub struct SchedulesParams {
+    /// Algorithms swept (default: the paper's four; the determinism gates
+    /// also drive QAB through a schedule via this knob).
+    pub algorithms: Vec<Algorithm>,
     /// Mesh shape.
     pub shape: [u16; 3],
     /// The schedule driving the run. The ramp shapes arrival times; the
@@ -58,6 +61,7 @@ pub struct SchedulesParams {
 impl Default for SchedulesParams {
     fn default() -> Self {
         SchedulesParams {
+            algorithms: Algorithm::PAPER.to_vec(),
             shape: [8, 8, 8],
             schedule: Schedule {
                 ramp: Some(LoadRamp::linear(0.5, 2.5, 40.0)),
@@ -118,7 +122,7 @@ struct RepCounts {
 impl Experiment for SchedulesParams {
     type Cell = ScheduleCell;
 
-    /// Run the scheduled workload for all four algorithms.
+    /// Run the scheduled workload for every configured algorithm.
     ///
     /// Each (algorithm, replication) pair is one harness task; arrival
     /// draws use replication substreams shared across algorithms (common
@@ -133,7 +137,8 @@ impl Experiment for SchedulesParams {
         );
         let obs = obs.into();
         let (runner, telemetry) = (obs.runner(), obs.telemetry());
-        let plan: Vec<(Algorithm, u64)> = Algorithm::ALL
+        let plan: Vec<(Algorithm, u64)> = self
+            .algorithms
             .iter()
             .flat_map(|&alg| (0..self.runs).map(move |r| (alg, r)))
             .collect();
@@ -154,9 +159,9 @@ impl Experiment for SchedulesParams {
         let nodes = (self.shape[0] as u64 * self.shape[1] as u64 * self.shape[2] as u64) as f64;
         let bin_ms = self.horizon_us / self.bins as f64 / 1000.0;
         let per_rate = |count: u64| count as f64 / self.runs as f64 / nodes / bin_ms;
-        let mut cells = Vec::with_capacity(Algorithm::ALL.len() * self.bins);
+        let mut cells = Vec::with_capacity(self.algorithms.len() * self.bins);
         let mut frames = Vec::new();
-        for (ai, &alg) in Algorithm::ALL.iter().enumerate() {
+        for (ai, &alg) in self.algorithms.iter().enumerate() {
             let mut offered = vec![0u64; self.bins];
             let mut delivered = vec![0u64; self.bins];
             for r in 0..self.runs as usize {

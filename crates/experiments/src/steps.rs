@@ -36,7 +36,7 @@ pub fn run(shapes: &[[u16; 3]]) -> Vec<StepsRow> {
         .iter()
         .map(|&shape| {
             let mesh = Mesh::new(&shape);
-            let counts = Algorithm::ALL
+            let counts = Algorithm::PAPER
                 .iter()
                 .map(|&alg| {
                     let constructed = alg.schedule(&mesh, NodeId(0)).steps();

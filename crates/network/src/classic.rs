@@ -41,7 +41,7 @@ use crate::message::{Delivery, MessageId, MessageSpec, Route};
 use crate::metrics::{CountersSink, MetricsSink, TraceSink, UtilizationSink};
 use crate::trace::Trace;
 use std::collections::VecDeque;
-use wormcast_routing::{RoutingFunction, SimTopology};
+use wormcast_routing::{queue_aware_pick, RoutingFunction, SelectPolicy, SimTopology};
 use wormcast_sim::{EventQueue, SimTime};
 use wormcast_topology::{ChannelId, Mesh, NodeId, Sign};
 
@@ -541,6 +541,31 @@ impl<T: SimTopology> Network<T> {
             .filter(|c| !self.failed.contains(c))
             .collect();
         let pick_from: &[ChannelId] = if live.is_empty() { &next } else { &live };
+        let adaptive = matches!(self.msgs[m.index()].spec.route, Route::Adaptive { .. });
+        if adaptive && self.rf.select_policy() == SelectPolicy::QueueAware {
+            // QAB: minimise local backlog — a free channel counts 0, a busy
+            // one 1 + its waiting headers, dead ones sort last; ties break
+            // on the raw channel index (same rule, bit for bit, as the
+            // arena and sharded engines).
+            let ch = queue_aware_pick(&next, |c| {
+                if self.failed.contains(&c) {
+                    u64::MAX
+                } else if self.channels[c.index()].busy.is_none() {
+                    0
+                } else {
+                    1 + self.channels[c.index()].waiters.len() as u64
+                }
+            });
+            if self.channels[ch.index()].busy.is_none() && !self.failed.contains(&ch) {
+                self.grant(now, m, ch);
+            } else {
+                self.channels[ch.index()].waiters.push_back(m);
+                self.msgs[m.index()].waiting_on = Some(ch);
+                let queue_len = self.channels[ch.index()].waiters.len();
+                self.emit(|s| s.on_channel_wait(now, m, ch, queue_len));
+            }
+            return;
+        }
         // First free candidate wins.
         if let Some(&ch) = pick_from
             .iter()

@@ -54,7 +54,7 @@ use crate::message::{Delivery, MessageId, MessageSpec, Route};
 use crate::metrics::{CountersSink, MetricsSink, TraceSink, UtilizationSink};
 use crate::trace::Trace;
 use std::collections::VecDeque;
-use wormcast_routing::{RoutingFunction, SimTopology};
+use wormcast_routing::{queue_aware_pick, RoutingFunction, SelectPolicy, SimTopology};
 use wormcast_sim::{ActiveSet, CalendarWheel, SimTime};
 use wormcast_topology::{ChannelId, Mesh, NodeId, Sign};
 
@@ -761,6 +761,34 @@ impl<T: SimTopology> Network<T> {
         // candidate is dead has re-routed around the fault.
         let dodging =
             !self.failed.is_empty() && cands.iter().any(|c| self.failed.contains(c.index()));
+        if self.rf.select_policy() == SelectPolicy::QueueAware {
+            // QAB: minimise local backlog — a free channel counts 0, a busy
+            // one 1 + its waiting headers, dead ones sort last; ties break
+            // on the raw channel index, which is what keeps the pick
+            // byte-identical across engines, --jobs and --shards. With no
+            // live candidate the header stalls on the lowest-index dead
+            // link and the watchdog decides its fate.
+            let any_live = cands.iter().any(|c| !self.failed.contains(c.index()));
+            let ch = queue_aware_pick(&cands, |c| {
+                if self.failed.contains(c.index()) {
+                    u64::MAX
+                } else if self.chans.busy[c.index()] == NONE {
+                    0
+                } else {
+                    1 + self.chans.waiters_len[c.index()] as u64
+                }
+            });
+            if dodging && any_live {
+                let at = self.msgs.cur[i];
+                self.emit(|s| s.on_reroute(now, MessageId(m as u64), at));
+            }
+            if !self.failed.contains(ch.index()) && self.chans.busy[ch.index()] == NONE {
+                self.grant(now, m, ch);
+            } else {
+                self.wait_on(now, m, ch);
+            }
+            return;
+        }
         // First free live candidate wins (preference order).
         if let Some(&ch) = cands
             .iter()

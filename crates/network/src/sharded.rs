@@ -43,7 +43,7 @@ use crate::trace::TraceRecord;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
-use wormcast_routing::{RoutingFunction, SimTopology};
+use wormcast_routing::{queue_aware_pick, RoutingFunction, SelectPolicy, SimTopology};
 use wormcast_sim::{ActiveSet, CalendarWheel, ShardedScheduler, SimDuration, SimTime, SpinBarrier};
 use wormcast_topology::{ChannelId, Mesh, NodeId, ShardMap, Sign};
 
@@ -822,6 +822,37 @@ impl<T: SimTopology> Shard<T> {
             && cands
                 .iter()
                 .any(|c| self.failed.contains(self.chans.local(*c)));
+        if self.rf.select_policy() == SelectPolicy::QueueAware {
+            // QAB: minimise local backlog — a free channel counts 0, a busy
+            // one 1 + its waiting headers, dead ones sort last; ties break
+            // on the *global* channel index, so a shard's pick agrees with
+            // what the single-threaded engines would choose from the same
+            // local state.
+            let any_live = cands
+                .iter()
+                .any(|c| !self.failed.contains(self.chans.local(*c)));
+            let ch = queue_aware_pick(&cands, |c| {
+                let li = self.chans.local(c);
+                if self.failed.contains(li) {
+                    u64::MAX
+                } else if self.chans.busy[li] == NONE {
+                    0
+                } else {
+                    1 + self.chans.waiters_len[li] as u64
+                }
+            });
+            if dodging && any_live {
+                let at = self.msgs[&m].cur;
+                self.emit(|s| s.on_reroute(now, MessageId(m as u64), at));
+            }
+            let li = self.chans.local(ch);
+            if !self.failed.contains(li) && self.chans.busy[li] == NONE {
+                self.grant(now, m, ch);
+            } else {
+                self.wait_on(now, m, ch);
+            }
+            return;
+        }
         if let Some(&ch) = cands.iter().find(|&&c| {
             let li = self.chans.local(c);
             !self.failed.contains(li) && self.chans.busy[li] == NONE

@@ -20,11 +20,13 @@
 pub mod cpr;
 pub mod dor;
 pub mod path;
+pub mod qab;
 pub mod turn;
 
 pub use cpr::{CodedPath, ControlField};
 pub use dor::{dor_path, hop_dim_sign, is_dor_legal};
 pub use path::Path;
+pub use qab::{negative_first_path_avoiding, queue_aware_pick, QueueAdaptive, SelectPolicy};
 pub use turn::{
     is_planar_west_first_legal, is_west_first_legal, planar_west_first_path_avoiding,
     west_first_path, west_first_path_avoiding, DimensionOrdered, NegativeFirst, OddEven,
@@ -134,6 +136,14 @@ pub trait RoutingFunction<T: SimTopology = Mesh>: Send + Sync {
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
+
+    /// How the engine arbitrates among [`candidates`](Self::candidates)
+    /// when a header needs an output channel. Defaults to the historical
+    /// first-free-in-preference-order rule; QAB overrides this with the
+    /// backlog-minimising [`SelectPolicy::QueueAware`].
+    fn select_policy(&self) -> SelectPolicy {
+        SelectPolicy::FirstFree
+    }
 }
 
 /// Shortest-way dimension-ordered routing on the torus: corrects dimensions

@@ -267,3 +267,33 @@ fn tcp_round_trip_streams_events_then_frame() {
     let direct = server.respond(&ScenarioRequest::from_json(&line).expect("parse"));
     assert_eq!(direct.run.frame, frames[0]);
 }
+
+#[test]
+fn qab_requests_are_served_deterministically() {
+    // The fifth algorithm over the wire: a QAB scenario request is accepted,
+    // keys its own cache slot (distinct from AB's for the otherwise-identical
+    // scenario), and replays byte-identically from cache.
+    let server = Server::new(8);
+    let req = request("Qab", 8, true);
+    assert_ne!(
+        req.config_hash(),
+        request("Ab", 8, true).config_hash(),
+        "QAB and AB must not share a cache key"
+    );
+    let cold = server.respond(&req);
+    let warm = server.respond(&req);
+    assert_eq!(cold.provenance, Provenance::CacheMiss);
+    assert_eq!(warm.provenance, Provenance::CacheHit);
+    assert_eq!(cold.run.frame, warm.run.frame);
+    assert_eq!(
+        body_after_provenance(&cold.render()),
+        body_after_provenance(&warm.render())
+    );
+    assert!(
+        cold.run
+            .frame
+            .contains(&format!("\"{:016x}\"", req.config_hash())),
+        "frame echoes the QAB request's config hash"
+    );
+    assert_eq!(server.metric(MetricId::ServeRunsExecuted), 1);
+}

@@ -332,7 +332,7 @@ pub(crate) fn schedule_artifacts(
 fn unicast_plan(s: &Scenario, mesh: &Mesh, alg: Algorithm, n: u32, max_len: u64) -> Vec<Injection> {
     let mut rng = SimRng::for_replication(s.seed, s.index).substream("simcheck-unicasts");
     let nodes = mesh.num_nodes();
-    let adaptive = alg == Algorithm::Ab;
+    let adaptive = matches!(alg, Algorithm::Ab | Algorithm::Qab);
     let sched = s.schedule.clone().unwrap_or_default();
     (0..n)
         .map(|i| {

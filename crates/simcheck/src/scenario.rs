@@ -57,7 +57,8 @@ pub enum WorkloadSpec {
     },
     /// A seeded random unicast stream with no broadcast.
     Unicasts {
-        /// Routing substrate selector (adaptive for [`Algorithm::Ab`]).
+        /// Routing substrate selector (adaptive legs for [`Algorithm::Ab`]
+        /// and [`Algorithm::Qab`]).
         alg: Algorithm,
         /// Number of messages.
         n: u32,
@@ -123,11 +124,11 @@ impl WorkloadSpec {
     }
 
     /// Whether any message in this workload routes adaptively (AB's
-    /// point-to-point legs). Adaptive workloads cannot be differentially
-    /// compared under faults: the active-set engine reports re-routes
-    /// around dead candidates that the classic oracle does not.
+    /// point-to-point legs, or any QAB leg). Adaptive workloads cannot be
+    /// differentially compared under faults: the active-set engine reports
+    /// re-routes around dead candidates that the classic oracle does not.
     pub fn is_adaptive(&self) -> bool {
-        self.algorithm() == Algorithm::Ab
+        matches!(self.algorithm(), Algorithm::Ab | Algorithm::Qab)
     }
 }
 
@@ -317,7 +318,7 @@ impl Scenario {
         // EDN is defined for 3D meshes only.
         let algs: &[Algorithm] = match &topo {
             TopoSpec::Mesh(d) if d.len() == 3 => &Algorithm::ALL,
-            _ => &[Algorithm::Rd, Algorithm::Db, Algorithm::Ab],
+            _ => &[Algorithm::Rd, Algorithm::Db, Algorithm::Ab, Algorithm::Qab],
         };
         let alg = algs[rng.index(algs.len())];
         let src = rng.index(nodes) as u32;

@@ -276,6 +276,7 @@ fn algorithm_from(v: &Value) -> Result<Algorithm, String> {
         ("Edn", None) => Ok(Algorithm::Edn),
         ("Db", None) => Ok(Algorithm::Db),
         ("Ab", None) => Ok(Algorithm::Ab),
+        ("Qab", None) => Ok(Algorithm::Qab),
         (other, _) => Err(format!("unknown algorithm `{other}`")),
     }
 }
@@ -709,6 +710,33 @@ mod tests {
         let back = ScenarioRequest::from_json(&wire).expect("v1 decodes");
         assert_eq!(back.v, 1);
         assert_eq!(back.config_hash(), PINNED_V1_HASH);
+    }
+
+    #[test]
+    fn qab_requests_decode_and_hash_without_moving_existing_hashes() {
+        // The fifth algorithm rides the existing v2 schema: a QAB request
+        // decodes, canonicalizes with `"alg":"Qab"`, and keys its own cache
+        // slot. Pinning its hash (and re-asserting the v1 pin above stays
+        // where it was) proves adding the variant did not perturb the wire
+        // contract for any pre-QAB request.
+        const PINNED_QAB_V2_HASH: u64 = 0xc400_fe74_9e84_d538;
+        let mut scenario = pinned_scenario();
+        scenario.workload = WorkloadSpec::Single {
+            alg: Algorithm::Qab,
+            src: 0,
+            length: 16,
+        };
+        let req = ScenarioRequest::new(scenario);
+        assert_eq!(req.v, 2);
+        assert_eq!(req.config_hash(), PINNED_QAB_V2_HASH);
+        assert!(req.canonical_json().contains("\"alg\":\"Qab\""));
+        let back = ScenarioRequest::from_json(&req.canonical_json()).expect("QAB decodes");
+        assert_eq!(back.config_hash(), PINNED_QAB_V2_HASH);
+        // Same scenario, different algorithm → different cache key; and the
+        // Db request's own hash is untouched by the enum gaining a variant.
+        let db = ScenarioRequest::new(pinned_scenario());
+        assert_ne!(db.config_hash(), PINNED_QAB_V2_HASH);
+        assert_eq!(db.config_hash(), fnv1a64(req_physics_bytes(&db).as_bytes()));
     }
 
     fn req_physics_bytes(req: &ScenarioRequest) -> String {

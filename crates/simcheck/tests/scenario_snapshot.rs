@@ -53,6 +53,21 @@ fn generator_matches_pinned_snapshot() {
 }
 
 #[test]
+fn pinned_index_lands_on_a_qab_scenario() {
+    // The fifth algorithm must stay reachable from the generator: at seed 0,
+    // index 1 draws a QAB workload (and the 32-line snapshot holds several
+    // more). A pool change that silently dropped QAB would trip this long
+    // before a fuzz campaign noticed the gap.
+    let s = Scenario::generate(0, 1);
+    assert_eq!(s.workload.algorithm(), wormcast_broadcast::Algorithm::Qab);
+    let pinned = std::fs::read_to_string(SNAPSHOT).expect("snapshot file missing");
+    assert!(
+        pinned.contains("\"Qab\""),
+        "pinned snapshot retains QAB coverage"
+    );
+}
+
+#[test]
 fn pinned_snapshot_round_trips() {
     // The committed lines must stay decodable: they double as fixtures for
     // the request schema.

@@ -11,7 +11,12 @@
 //!    dead links with [`west_first_path_avoiding`] where a legal turn
 //!    sequence exists. Deterministic algorithms (DOR/RD/EDN/DB) have no
 //!    legal alternative path, so their cut-off receivers are counted
-//!    undeliverable up front — graceful degradation, not a wedge.
+//!    undeliverable up front — graceful degradation, not a wedge. QAB's
+//!    all-adaptive legs are checked against the dead set: a leg whose
+//!    minimal negative-first candidate DAG is fully live stays adaptive
+//!    (the engine steers by queue depth), while a leg the faults encroach
+//!    on is re-planned as a negative-first-legal detour with
+//!    [`negative_first_path_avoiding`].
 //! 2. **Run-time resilience**: adaptive legs steer around dead candidates
 //!    inside the engine, transient outages park waiters until the link
 //!    returns, and the delivery watchdog reaps anything that still stalls
@@ -31,7 +36,8 @@ use serde::{Deserialize, Serialize};
 use wormcast_broadcast::{Algorithm, BroadcastSchedule, RoutePlan, RoutingKind, ScheduledMessage};
 use wormcast_network::{FaultPlan, FaultSpec, NetworkConfig, OpId};
 use wormcast_routing::{
-    planar_west_first_path_avoiding, west_first_path_avoiding, CodedPath, Path,
+    negative_first_path_avoiding, planar_west_first_path_avoiding, west_first_path_avoiding,
+    CodedPath, NegativeFirst, Path, RoutingFunction,
 };
 use wormcast_sim::{SimDuration, SimRng, SimTime};
 use wormcast_stats::summarize;
@@ -56,8 +62,12 @@ pub struct DegradedSchedule {
 /// `blocked` set returns an exact clone — the fault-rate-0 identity).
 /// Coded paths are truncated at their first dead hop; receivers beyond the
 /// break become detour unicasts under west-first re-planning when `alg`
-/// routes adaptively, and undeliverable otherwise. Adaptive legs are left
-/// to the engine, which steers around dead candidates hop by hop.
+/// routes adaptively, and undeliverable otherwise. AB's adaptive legs are
+/// left to the engine, which steers around dead candidates hop by hop;
+/// QAB's adaptive legs stay adaptive only while their whole minimal
+/// candidate DAG is live, and are otherwise re-planned as negative-first
+/// detours (or counted unreachable when the dead set severs every legal
+/// route).
 pub fn degrade_schedule(
     mesh: &Mesh,
     alg: Algorithm,
@@ -76,12 +86,40 @@ pub fn degrade_schedule(
         dead[ch.index()] = true;
     }
     let adaptive_fallback = alg.routing() == RoutingKind::WestFirstAdaptive;
+    let queue_adaptive = alg.routing() == RoutingKind::QueueAdaptive;
     let mut messages = Vec::new();
     let mut unreachable = Vec::new();
     let mut reroutes = 0u64;
     for m in &schedule.messages {
         let RoutePlan::Coded(cp) = &m.plan else {
-            // Adaptive legs dodge in-flight; the watchdog reaps dead ends.
+            // QAB: an adaptive leg whose minimal negative-first candidate
+            // DAG is entirely live is left to the engine's queue-aware
+            // steering (it cannot be trapped — every greedy choice stays
+            // inside a live DAG). A leg whose DAG touches a dead link is
+            // re-planned here as a negative-first-legal detour around the
+            // dead set, replacing AB's fixed west-first staircases; with no
+            // legal live route the destination is counted up front.
+            // AB's own adaptive corner legs keep the historical behaviour:
+            // dodge in-flight, watchdog reaps dead ends.
+            if queue_adaptive {
+                let RoutePlan::Adaptive { src, dst } = &m.plan else {
+                    unreachable!("coded handled above");
+                };
+                if adaptive_dag_hits_dead(mesh, *src, *dst, &dead) {
+                    let is_dead = |c: ChannelId| dead[c.index()];
+                    if let Some(p) = negative_first_path_avoiding(mesh, *src, *dst, &is_dead) {
+                        reroutes += 1;
+                        messages.push(ScheduledMessage {
+                            step: m.step,
+                            plan: RoutePlan::Coded(CodedPath::unicast(mesh, p)),
+                            charge_startup: m.charge_startup,
+                        });
+                    } else {
+                        unreachable.push(*dst);
+                    }
+                    continue;
+                }
+            }
             messages.push(m.clone());
             continue;
         };
@@ -138,6 +176,30 @@ pub fn degrade_schedule(
         unreachable,
         reroutes,
     }
+}
+
+/// Whether any channel in the minimal negative-first candidate DAG from
+/// `src` to `dst` is dead: the set of channels a queue-aware header *could*
+/// be offered at run time, whatever the backlog. All live means the engine's
+/// greedy steering can never be cornered on this leg; any dead means the leg
+/// is conservatively re-planned at schedule time.
+fn adaptive_dag_hits_dead(mesh: &Mesh, src: NodeId, dst: NodeId, dead: &[bool]) -> bool {
+    let mut seen = vec![false; mesh.num_nodes()];
+    seen[src.index()] = true;
+    let mut stack = vec![src];
+    while let Some(cur) = stack.pop() {
+        for ch in NegativeFirst.candidates(mesh, src, cur, None, dst) {
+            if dead[ch.index()] {
+                return true;
+            }
+            let to = mesh.channel_endpoints(ch).1;
+            if !seen[to.index()] {
+                seen[to.index()] = true;
+                stack.push(to);
+            }
+        }
+    }
+    false
 }
 
 /// Measured outcome of one broadcast on a faulted network.
@@ -477,6 +539,69 @@ mod tests {
             d.reroutes > 0 || d.unreachable.is_empty(),
             "receivers behind the break are either re-routed or counted"
         );
+    }
+
+    #[test]
+    fn degrade_replans_qab_legs_the_faults_encroach_on() {
+        // QAB from (1,1): two adaptive corner legs, (1,1)→(0,0) and
+        // (0,0)→(3,3). Kill one interior link inside the far leg's
+        // candidate DAG: that leg must turn into a fixed negative-first
+        // detour avoiding it, while the near leg (whose DAG never touches
+        // the dead link) stays adaptive and the serpentines pass through
+        // unchanged. The link is interior (row 1) so a monotone detour
+        // always exists; a boundary-row link would honestly sever the
+        // same-row destinations, exactly as west-first's staircase does
+        // for AB.
+        let mesh = Mesh::square(4);
+        let src = mesh.node_at(&Coord::xy(1, 1));
+        let schedule = Algorithm::Qab.schedule(&mesh, src);
+        let adaptive = |s: &BroadcastSchedule| {
+            s.messages
+                .iter()
+                .filter(|m| matches!(m.plan, RoutePlan::Adaptive { .. }))
+                .count()
+        };
+        assert_eq!(adaptive(&schedule), 2, "two corner legs to steer");
+        let dead = mesh
+            .channel_between(
+                mesh.node_at(&Coord::xy(1, 1)),
+                mesh.node_at(&Coord::xy(2, 1)),
+            )
+            .unwrap();
+        let d = degrade_schedule(&mesh, Algorithm::Qab, &schedule, &[dead]);
+        assert_eq!(d.reroutes, 1, "exactly the encroached leg is re-planned");
+        assert_eq!(
+            adaptive(&d.schedule),
+            1,
+            "the leg away from the fault stays adaptive"
+        );
+        for m in &d.schedule.messages {
+            if let RoutePlan::Coded(cp) = &m.plan {
+                assert!(cp.path.hops.iter().all(|&c| c != dead));
+            }
+        }
+        assert_eq!(
+            d.schedule.messages.len(),
+            schedule.messages.len(),
+            "the detour replaces its leg one-for-one"
+        );
+        assert!(d.unreachable.is_empty(), "one dead link severs nothing");
+    }
+
+    #[test]
+    fn degrade_counts_qab_unreachable_when_cut_off() {
+        // Sever every link into the far corner: no legal route remains and
+        // the corner is declared unreachable at plan time.
+        let mesh = Mesh::square(3);
+        let src = mesh.node_at(&Coord::xy(0, 0));
+        let corner = mesh.node_at(&Coord::xy(2, 2));
+        let schedule = Algorithm::Qab.schedule(&mesh, src);
+        let dead: Vec<ChannelId> = mesh
+            .channels()
+            .filter(|&c| mesh.channel_endpoints(c).1 == corner)
+            .collect();
+        let d = degrade_schedule(&mesh, Algorithm::Qab, &schedule, &dead);
+        assert_eq!(d.unreachable, vec![corner]);
     }
 
     #[test]

@@ -130,9 +130,13 @@ pub fn run_mixed_traffic_observed(
         net.add_sink(c.sink());
         c
     });
+    // Unicasts ride the algorithm's substrate: fixed DOR for the
+    // dimension-ordered algorithms, the network's adaptive routing function
+    // (west-first for AB, queue-aware negative-first for QAB) otherwise.
     let adaptive_unicast = matches!(
         mc.algorithm.routing(),
         wormcast_broadcast::RoutingKind::WestFirstAdaptive
+            | wormcast_broadcast::RoutingKind::QueueAdaptive
     );
 
     let mut arrivals_rng = root.substream("arrivals");

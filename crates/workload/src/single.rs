@@ -7,7 +7,9 @@ use crate::scrape::{scrape_engine_stats, scrape_shard_stats};
 use serde::{Deserialize, Serialize};
 use wormcast_broadcast::{Algorithm, RoutingKind};
 use wormcast_network::{ConfigError, NetworkConfig, OpId, ShardedNetwork, ShardedSim, Simulation};
-use wormcast_routing::{DimensionOrdered, PlanarWestFirst, RoutingFunction, WestFirst};
+use wormcast_routing::{
+    DimensionOrdered, PlanarWestFirst, QueueAdaptive, RoutingFunction, WestFirst,
+};
 use wormcast_sim::SimTime;
 use wormcast_stats::{summarize, OnlineStats};
 use wormcast_telemetry::{Observe, TelemetryFrame};
@@ -41,6 +43,7 @@ pub fn routing_for(alg: Algorithm, mesh: &Mesh) -> Box<dyn RoutingFunction> {
                 Box::new(WestFirst)
             }
         }
+        RoutingKind::QueueAdaptive => Box::new(QueueAdaptive),
     }
 }
 
@@ -382,7 +385,7 @@ mod tests {
         // latencies bit-for-bit at every admissible shard count.
         let m = Mesh::cube(8);
         let src = NodeId(77);
-        for alg in [Algorithm::Db, Algorithm::Ab] {
+        for alg in [Algorithm::Db, Algorithm::Ab, Algorithm::Qab] {
             let base = run_single_broadcast(&m, cfg(), alg, src, 100);
             for shards in [1usize, 2, 4] {
                 let o = run_single_broadcast_sharded(&m, cfg(), alg, src, 100, shards)

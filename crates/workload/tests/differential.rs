@@ -7,8 +7,9 @@
 //! flit-event trace, the delivery sequence (order included), the aggregate
 //! counters and the final simulation clock. Workloads cover the paper's
 //! three traffic shapes (single broadcasts, mixed unicast + broadcast
-//! streams, multicast subsets), all four algorithms, both release modes and
-//! both routing substrates.
+//! streams, multicast subsets), all five algorithms, both release modes and
+//! all three routing substrates (fixed DOR, west-first adaptive, QAB's
+//! queue-aware negative-first).
 
 use wormcast_broadcast::Algorithm;
 use wormcast_network::{
@@ -168,10 +169,11 @@ fn single_broadcasts_are_equivalent() {
 
 /// Build a seeded random unicast stream: `n` messages with random sources,
 /// destinations, lengths, arrival times and start-up charging, routed on
-/// the substrate `alg` selects (fixed DOR paths or adaptive west-first).
+/// the substrate `alg` selects (fixed DOR paths, or adaptive legs for the
+/// west-first and queue-aware substrates).
 fn random_unicasts(mesh: &Mesh, alg: Algorithm, n: usize, seed: u64) -> Vec<Injection> {
     let mut rng = SimRng::new(seed);
-    let adaptive = alg == Algorithm::Ab;
+    let adaptive = matches!(alg, Algorithm::Ab | Algorithm::Qab);
     (0..n)
         .map(|i| {
             let src = NodeId(rng.index(mesh.num_nodes()) as u32);
@@ -213,6 +215,7 @@ fn mixed_traffic_is_equivalent() {
             (Algorithm::Db, 7u64),
             (Algorithm::Ab, 8),
             (Algorithm::Rd, 9),
+            (Algorithm::Qab, 10),
         ] {
             let plan = random_unicasts(&mesh, alg, 250, 0xA110 ^ seed);
             let src = NodeId((seed * 17 % mesh.num_nodes() as u64) as u32);
@@ -236,7 +239,11 @@ fn mixed_traffic_is_equivalent() {
 fn unicast_streams_are_equivalent() {
     let mesh = Mesh::cube(4);
     for mode in MODES {
-        for (alg, seed) in [(Algorithm::Db, 21u64), (Algorithm::Ab, 22)] {
+        for (alg, seed) in [
+            (Algorithm::Db, 21u64),
+            (Algorithm::Ab, 22),
+            (Algorithm::Qab, 23),
+        ] {
             let plan = random_unicasts(&mesh, alg, 400, 0xB220 ^ seed);
             assert_equivalent(
                 &format!("unicast-only {alg} {mode:?} seed {seed}"),
@@ -273,6 +280,23 @@ fn multicast_schedules_are_equivalent() {
                     cfg_for(mode),
                     alg,
                     &[],
+                    false,
+                    || Some(BroadcastTracker::new(&mesh, &schedule, OpId(0), 32)),
+                );
+                // The same multicast schedule contending with a QAB unicast
+                // stream: the coded subset paths ride the queue-aware
+                // substrate's network, exercising mixed fixed + queue-aware
+                // arbitration in both engines.
+                let plan = random_unicasts(&mesh, Algorithm::Qab, 60, 0xD440 ^ m as u64);
+                assert_equivalent(
+                    &format!(
+                        "multicast {} m {m} {mode:?} on QAB substrate",
+                        scheme.name()
+                    ),
+                    &mesh,
+                    cfg_for(mode),
+                    Algorithm::Qab,
+                    &plan,
                     false,
                     || Some(BroadcastTracker::new(&mesh, &schedule, OpId(0), 32)),
                 );

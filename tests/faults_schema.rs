@@ -59,7 +59,7 @@ fn validate_faults_json(text: &str, context: &str) {
 fn generated_cells_serialize_with_the_full_schema() {
     let params = quick_params();
     let cells = params.run(&Runner::sequential()).cells;
-    assert_eq!(cells.len(), 2 * 4, "rate x algorithm grid");
+    assert_eq!(cells.len(), 2 * 5, "rate x algorithm grid");
     let json = serde_json::to_string(&cells).expect("cells serialize");
     validate_faults_json(&json, "generated cells");
     let bad = check_claims(&cells);

@@ -586,3 +586,93 @@ fn snapshot_fig34_load_sweeps_are_complete() {
         );
     }
 }
+
+#[test]
+fn snapshot_saturation_qab_dominates_ab_beyond_the_knee() {
+    // The saturation lab's headline, re-asserted on the committed numbers:
+    // the offered axis is strictly increasing and runs past AB's knee (the
+    // first load where AB hits the time valve or delivers < 90% of what was
+    // offered), and from the knee on QAB's delivered load weakly dominates
+    // AB's (2% CRN tolerance — both algorithms replay identical arrival
+    // processes at each load point).
+    let objs = snapshots::objects("saturation.json");
+    let curve = |alg: &str| -> Vec<(f64, f64, bool)> {
+        objs.iter()
+            .filter(|o| snapshots::string(o, "algorithm") == alg)
+            .map(|o| {
+                (
+                    snapshots::num(o, "offered"),
+                    snapshots::num(o, "delivered"),
+                    o.contains("\"saturated\": true"),
+                )
+            })
+            .collect()
+    };
+    let (db, ab, qab) = (curve("DB"), curve("AB"), curve("QAB"));
+    assert!(!db.is_empty(), "DB swept");
+    assert_eq!(ab.len(), qab.len(), "AB and QAB share the axis");
+    for c in [&ab, &qab] {
+        for w in c.windows(2) {
+            assert!(
+                w[1].0 > w[0].0,
+                "offered axis must be strictly increasing: {:?}",
+                c.iter().map(|p| p.0).collect::<Vec<_>>()
+            );
+        }
+        for &(offered, delivered, _) in c {
+            assert!(
+                delivered.is_finite() && delivered > 0.0,
+                "delivered load at offered {offered} must be positive"
+            );
+        }
+    }
+    let knee = ab
+        .iter()
+        .position(|&(offered, delivered, saturated)| saturated || delivered < 0.9 * offered)
+        .expect("the committed axis must run past AB's knee");
+    for (a, q) in ab[knee..].iter().zip(&qab[knee..]) {
+        assert_eq!(a.0, q.0, "aligned load points");
+        assert!(
+            q.1 >= a.1 * 0.98,
+            "beyond the knee (offered {}): QAB delivered {} < AB {}",
+            a.0,
+            q.1,
+            a.1
+        );
+    }
+}
+
+#[test]
+fn snapshot_faults_qab_outlives_ab() {
+    // The fault lab's headline for the fifth algorithm, on the committed
+    // numbers: at every positive fault rate — the top rate above all — QAB's
+    // re-planned negative-first detours deliver to more receivers than AB's
+    // fixed west-first staircases, and QAB never stalls where AB does.
+    let objs = snapshots::objects("faults.json");
+    let mut rates: Vec<f64> = objs.iter().map(|o| snapshots::num(o, "rate")).collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rates.dedup();
+    let top = *rates.last().unwrap();
+    assert!(top > 0.0, "the sweep must include a positive fault rate");
+    for &rate in rates.iter().filter(|&&r| r > 0.0) {
+        let at_rate: Vec<String> = objs
+            .iter()
+            .filter(|o| snapshots::num(o, "rate") == rate)
+            .cloned()
+            .collect();
+        let t = snapshots::table(&at_rate, "algorithm", "delivery_ratio");
+        assert!(
+            t["QAB"] > t["AB"],
+            "rate {rate}: QAB delivery ratio {} <= AB {}",
+            t["QAB"],
+            t["AB"]
+        );
+        let stalled = snapshots::table(&at_rate, "algorithm", "stalled");
+        assert!(
+            stalled["QAB"] <= stalled["AB"],
+            "rate {rate}: QAB stalls {} > AB {}",
+            stalled["QAB"],
+            stalled["AB"]
+        );
+    }
+}

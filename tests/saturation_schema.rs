@@ -1,0 +1,74 @@
+//! Schema checks for the `saturation` experiment output.
+//!
+//! `results/saturation.json` is an array of cell objects, one per
+//! (algorithm, offered load) pair, each carrying the throughput fields the
+//! saturation lab is about: `algorithm`, `offered`, `delivered`,
+//! `mean_latency_ms`, `saturated` plus the raw completion counters. The
+//! vendored serde facade has no deserializer, so the external-file test
+//! validates structurally (the same approach CI's grep-level checks take);
+//! the in-process test locks the schema at the type level and re-checks
+//! the headline claims on a freshly generated quick sweep.
+
+use wormcast::experiments::saturation::{check_claims, SaturationParams};
+use wormcast::prelude::*;
+
+/// Field keys every cell of saturation.json must carry, in serialization
+/// order.
+const REQUIRED_KEYS: &[&str] = &[
+    "\"algorithm\":",
+    "\"offered\":",
+    "\"delivered\":",
+    "\"mean_latency_ms\":",
+    "\"saturated\":",
+    "\"broadcasts_completed\":",
+    "\"unicasts_delivered\":",
+];
+
+fn validate_saturation_json(text: &str, context: &str) {
+    let text = text.trim();
+    assert!(
+        text.starts_with('[') && text.ends_with(']'),
+        "{context}: expected a JSON array of cells"
+    );
+    let cells = text.matches("\"algorithm\":").count();
+    assert!(cells > 0, "{context}: no cells");
+    for key in REQUIRED_KEYS {
+        assert_eq!(
+            text.matches(key).count(),
+            cells,
+            "{context}: key {key} must appear exactly once per cell"
+        );
+    }
+    for alg in ["\"DB\"", "\"AB\"", "\"QAB\""] {
+        assert!(text.contains(alg), "{context}: the sweep must cover {alg}");
+    }
+}
+
+#[test]
+fn generated_cells_serialize_with_the_full_schema() {
+    let params = SaturationParams::quick();
+    let cells = params.run(&Runner::sequential()).cells;
+    assert_eq!(cells.len(), 3 * params.loads.len(), "algorithm x load grid");
+    let json = serde_json::to_string(&cells).expect("cells serialize");
+    validate_saturation_json(&json, "generated cells");
+    let bad = check_claims(&cells, &params);
+    assert!(bad.is_empty(), "claims violated: {bad:?}");
+}
+
+/// ci.sh runs the release `saturation` binary with `--out`, then re-runs
+/// this test with `WORMCAST_SATURATION_FILE` pointing at the produced JSON —
+/// the end-to-end check that the shipped binary emits a schema-valid sweep.
+#[test]
+fn external_saturation_file_validates_when_provided() {
+    let Ok(path) = std::env::var("WORMCAST_SATURATION_FILE") else {
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read WORMCAST_SATURATION_FILE={path}: {e}"));
+    validate_saturation_json(&text, &path);
+    println!(
+        "validated {}: {} cells",
+        path,
+        text.matches("\"algorithm\":").count()
+    );
+}
